@@ -1,0 +1,177 @@
+//! Figure 1: performance variability of five NFs across porting variants.
+//!
+//! For each motivation NF we benchmark 2–4 versions sharing the same core
+//! logic but differing in porting/workload knobs (accelerator use, packet
+//! size, state placement and flow distribution, rule count and flow
+//! cache, packet rate), then normalize latency against the fastest.
+
+use clara_bench::{banner, f2, nic, table, trace_len};
+use click_model::elements;
+use nf_ir::GlobalId;
+use nic_sim::{Accel, MemLevel, NicConfig, PortConfig};
+use trafgen::{FlowDist, Trace, WorkloadSpec};
+
+fn main() {
+    banner(
+        "Figure 1",
+        "performance variability of five NFs (2-4 variants each)",
+    );
+    let cfg = nic();
+    let cores = 16;
+    let mut rows = Vec::new();
+    let mut overall_max: f64 = 1.0;
+
+    // --- NAT: checksum accelerator on/off. ---
+    {
+        let e = elements::mazunat();
+        let spec = WorkloadSpec {
+            tcp_ratio: 1.0,
+            ..WorkloadSpec::large_flows()
+        };
+        let trace = Trace::generate(&spec, trace_len(), 1);
+        let lat =
+            |port: &PortConfig| nic_sim::simulate(&e.module, &trace, port, &cfg, cores).latency_us;
+        let variants = vec![
+            ("sw-csum", lat(&PortConfig::naive())),
+            ("accel-csum", lat(&PortConfig::naive().with_csum_accel())),
+        ];
+        overall_max = overall_max.max(push_nf(&mut rows, "NAT", &variants));
+    }
+
+    // --- DPI: packet sizes. ---
+    {
+        let e = elements::dpi_with_depth(256);
+        let lat = |size: u16| {
+            let spec = WorkloadSpec::large_flows().with_pkt_size(size);
+            let trace = Trace::generate(&spec, trace_len(), 2);
+            nic_sim::simulate(&e.module, &trace, &PortConfig::naive(), &cfg, cores).latency_us
+        };
+        let variants = vec![("64B", lat(64)), ("512B", lat(512)), ("1500B", lat(1500))];
+        overall_max = overall_max.max(push_nf(&mut rows, "DPI", &variants));
+    }
+
+    // --- FW: state memory location x flow distribution. ---
+    {
+        let e = elements::firewall();
+        let run = |level: MemLevel, flows: u32, dist: FlowDist| {
+            let spec = WorkloadSpec {
+                flow_dist: dist,
+                tcp_ratio: 1.0,
+                syn_ratio: 0.02,
+                ..WorkloadSpec::small_flows().with_flows(flows)
+            };
+            let trace = Trace::generate(&spec, trace_len().max(4000), 3);
+            let mut port = PortConfig::naive();
+            for g in &e.module.globals {
+                if g.total_bytes() <= cfg.level(level).capacity {
+                    port = port.place(g.id, level);
+                }
+            }
+            // Admit every flow so the table actually fills.
+            let pfx = u64::from(trace.pkts[0].flow.src_ip >> 12);
+            let wp = nic_sim::profile_workload(&e.module, &trace, &port, &cfg, |m| {
+                m.state.store(GlobalId(1), 0, 0, 4, pfx);
+            });
+            nic_sim::solve_perf(&wp, &cfg, &port, cores).latency_us
+        };
+        let variants = vec![
+            (
+                "emem/uniform",
+                run(MemLevel::Emem, 16384, FlowDist::Uniform),
+            ),
+            (
+                "emem/zipf",
+                run(MemLevel::Emem, 16384, FlowDist::Zipf { s: 1.2 }),
+            ),
+            (
+                "imem/uniform",
+                run(MemLevel::Imem, 16384, FlowDist::Uniform),
+            ),
+            (
+                "imem/zipf",
+                run(MemLevel::Imem, 16384, FlowDist::Zipf { s: 1.2 }),
+            ),
+        ];
+        overall_max = overall_max.max(push_nf(&mut rows, "FW", &variants));
+    }
+
+    // --- LPM: rule count x flow cache. ---
+    {
+        let run = |rules: usize, cache: bool| {
+            let e = elements::iplookup(8192);
+            let spec = WorkloadSpec::small_flows().with_flows(512);
+            let trace = Trace::generate(&spec, trace_len(), 4);
+            let rlist: Vec<(u32, u8, u32)> = trace
+                .pkts
+                .iter()
+                .take(rules)
+                .map(|p| (p.flow.dst_ip, 20, 9))
+                .collect();
+            let region = clara_bench::loop_region(&e);
+            let port = if cache {
+                PortConfig::naive().accelerate(region, Accel::Lpm)
+            } else {
+                PortConfig::naive()
+            };
+            let wp = nic_sim::profile_workload(&e.module, &trace, &port, &cfg, |m| {
+                click_model::elements::algo::build_trie(&mut m.state, GlobalId(0), 8192, &rlist);
+            });
+            nic_sim::solve_perf(&wp, &cfg, &port, cores).latency_us
+        };
+        let variants = vec![
+            ("16-rules", run(16, false)),
+            ("1k-rules", run(1024, false)),
+            ("1k+cache", run(1024, true)),
+        ];
+        overall_max = overall_max.max(push_nf(&mut rows, "LPM", &variants));
+    }
+
+    // --- HH: packet rates (offered line rate drives contention). ---
+    {
+        let e = elements::heavy_hitter();
+        let run = |gbps: f64| {
+            // Small cache: the counter table contends at EMEM, so the
+            // offered rate shows up as queueing latency.
+            let rate_cfg = NicConfig {
+                line_rate_gbps: gbps,
+                emem_cache_bytes: 2 * 1024,
+                ..cfg.clone()
+            };
+            let spec = WorkloadSpec::small_flows()
+                .with_flows(65536)
+                .with_pkt_size(64);
+            let trace = Trace::generate(&spec, trace_len().max(4000), 5);
+            nic_sim::simulate(&e.module, &trace, &PortConfig::naive(), &rate_cfg, 60).latency_us
+        };
+        let variants = vec![("10G", run(10.0)), ("25G", run(25.0)), ("40G", run(40.0))];
+        overall_max = overall_max.max(push_nf(&mut rows, "HH", &variants));
+    }
+
+    table(&["NF", "variant", "latency(us)", "normalized"], &rows);
+    println!();
+    println!(
+        "Max latency variability across variants: {:.1}x (paper: up to 13.8x)",
+        overall_max
+    );
+}
+
+/// Appends one NF's variants (normalized to its fastest); returns the max
+/// normalized latency.
+fn push_nf(rows: &mut Vec<Vec<String>>, nf: &str, variants: &[(&str, f64)]) -> f64 {
+    let best = variants
+        .iter()
+        .map(|(_, l)| *l)
+        .fold(f64::INFINITY, f64::min);
+    let mut max_norm: f64 = 1.0;
+    for (name, lat) in variants {
+        let norm = lat / best;
+        max_norm = max_norm.max(norm);
+        rows.push(vec![
+            nf.to_string(),
+            (*name).to_string(),
+            f2(*lat),
+            f2(norm),
+        ]);
+    }
+    max_norm
+}

@@ -1,0 +1,65 @@
+//! Figure 9: algorithm-identification precision and recall for Clara's
+//! SVM vs AutoML, kNN, DNN, DT, and GBDT.
+
+use clara_bench::{banner, scaled, table};
+use clara_core::algid::{labeled_corpus, AlgoClass, AlgoIdentifier, ClassifierKind};
+use tinyml::metrics::micro_precision_recall;
+
+fn main() {
+    banner("Figure 9", "algorithm identification: precision / recall");
+    let train = labeled_corpus(scaled(60), 21);
+    let test = labeled_corpus(scaled(20), 22);
+    println!(
+        "training corpus: {} samples; held-out test: {} samples\n",
+        train.len(),
+        test.len()
+    );
+
+    let kinds = [
+        ClassifierKind::ClaraSvm,
+        ClassifierKind::AutoMl,
+        ClassifierKind::Knn,
+        ClassifierKind::Dnn,
+        ClassifierKind::Dt,
+        ClassifierKind::Gbdt,
+    ];
+    let truth: Vec<usize> = test.iter().map(|(_, c)| c.label()).collect();
+    let mut rows = Vec::new();
+    for kind in kinds {
+        let id = AlgoIdentifier::train(&train, kind, 21);
+        let preds: Vec<usize> = test.iter().map(|(m, _)| id.identify(m).0.label()).collect();
+        let pr = micro_precision_recall(&truth, &preds, AlgoClass::None.label());
+        rows.push(vec![
+            kind.name().to_string(),
+            format!("{:.1}%", pr.precision * 100.0),
+            format!("{:.1}%", pr.recall * 100.0),
+        ]);
+    }
+    table(&["Model", "Precision", "Recall"], &rows);
+    println!("\nPaper reference: Clara 96.6% precision / 83.3% recall; others on par.");
+
+    // Concrete example identifications from Section 5.3.
+    println!("\nConcrete identifications on real elements:");
+    let id = AlgoIdentifier::train(&train, ClassifierKind::ClaraSvm, 21);
+    let examples = [
+        ("cmsketch", "CRC row hashes"),
+        ("wepdecap", "CRC32 integrity loop (rc4-style decap)"),
+        ("iplookup", "radix/trie IP lookup"),
+        ("aggcounter", "plain counters (no accelerator)"),
+        ("mazunat", "NAT (no accelerator)"),
+    ];
+    let rows: Vec<Vec<String>> = examples
+        .iter()
+        .map(|(name, what)| {
+            let e = clara_bench::element(name);
+            let (class, region) = id.identify(&e.module);
+            vec![
+                name.to_string(),
+                (*what).to_string(),
+                class.name().to_string(),
+                region.len().to_string(),
+            ]
+        })
+        .collect();
+    table(&["NF", "contains", "identified", "region-blocks"], &rows);
+}

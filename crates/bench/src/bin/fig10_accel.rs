@@ -1,0 +1,143 @@
+//! Figure 10: accelerator identification pays off.
+//!
+//! (a) PCA view of the algorithm-ID feature space (class separation);
+//! (b) CRC accelerator benefit on cmsketch and wepdecap;
+//! (c) LPM accelerator benefit on iplookup across rule counts.
+
+use clara_bench::{banner, crc_port, f2, lpm_port, nic, scaled, table, trace_len};
+use clara_core::algid::{labeled_corpus, AlgoClass, AlgoIdentifier, ClassifierKind};
+use nf_ir::GlobalId;
+use nic_sim::PortConfig;
+use tinyml::pca::Pca;
+use trafgen::{Trace, WorkloadSpec};
+
+fn main() {
+    banner("Figure 10", "accelerator identification and its benefits");
+    part_a();
+    part_b();
+    part_c();
+}
+
+/// (a) PCA of the feature space: per-class centroids and separation.
+fn part_a() {
+    println!("\n(a) PCA of algorithm-ID features");
+    let corpus = labeled_corpus(scaled(40), 31);
+    let id = AlgoIdentifier::train(&corpus, ClassifierKind::ClaraSvm, 31);
+    let feats: Vec<Vec<f64>> = corpus.iter().map(|(m, _)| id.features(m)).collect();
+    let pca = Pca::fit(&feats, 2);
+
+    let mut sums: std::collections::BTreeMap<usize, (f64, f64, usize)> = Default::default();
+    for ((_, class), f) in corpus.iter().zip(feats.iter()) {
+        let p = pca.project(f);
+        let e = sums.entry(class.label()).or_insert((0.0, 0.0, 0));
+        e.0 += p[0];
+        e.1 += p[1];
+        e.2 += 1;
+    }
+    let rows: Vec<Vec<String>> = sums
+        .iter()
+        .map(|(&label, &(x, y, n))| {
+            vec![
+                AlgoClass::from_label(label).name().to_string(),
+                f2(x / n as f64),
+                f2(y / n as f64),
+                n.to_string(),
+            ]
+        })
+        .collect();
+    table(&["class", "PC1 centroid", "PC2 centroid", "samples"], &rows);
+    println!(
+        "  explained variance: PC1 {:.2}, PC2 {:.2} (distinct centroids = separable classes)",
+        pca.explained[0], pca.explained[1]
+    );
+}
+
+/// (b) CRC accelerator on cmsketch and wepdecap.
+fn part_b() {
+    println!("\n(b) CRC accelerator benefit (paper: up to 1.6x throughput, -25% latency)");
+    let cfg = nic();
+    let cores = 20;
+    let spec = WorkloadSpec::min_size();
+    let trace = Trace::generate(&spec, trace_len(), 32);
+    let mut rows = Vec::new();
+    for name in ["cmsketch", "wepdecap"] {
+        let e = clara_bench::element(name);
+        let naive = nic_sim::simulate(&e.module, &trace, &PortConfig::naive(), &cfg, cores);
+        let accel = nic_sim::simulate(&e.module, &trace, &crc_port(&e), &cfg, cores);
+        rows.push(vec![
+            name.to_string(),
+            f2(naive.throughput_mpps),
+            f2(accel.throughput_mpps),
+            format!("{:.2}x", accel.throughput_mpps / naive.throughput_mpps),
+            f2(naive.latency_us),
+            f2(accel.latency_us),
+            format!(
+                "{:.0}%",
+                (1.0 - accel.latency_us / naive.latency_us) * 100.0
+            ),
+        ]);
+    }
+    table(
+        &[
+            "NF",
+            "naive Mpps",
+            "Clara Mpps",
+            "speedup",
+            "naive us",
+            "Clara us",
+            "lat cut",
+        ],
+        &rows,
+    );
+}
+
+/// (c) LPM accelerator on iplookup vs rule count.
+fn part_c() {
+    println!("\n(c) LPM accelerator benefit vs rule count (paper: ~an order of magnitude)");
+    let cfg = nic();
+    let cores = 20;
+    let mut rows = Vec::new();
+    for exp in 4..=10u32 {
+        let rules = 1usize << exp;
+        let e = click_model::elements::iplookup(4 * rules as u32 + 64);
+        let spec = WorkloadSpec::small_flows().with_flows(rules as u32);
+        let trace = Trace::generate(&spec, trace_len(), 33);
+        let rlist: Vec<(u32, u8, u32)> = trace
+            .pkts
+            .iter()
+            .take(rules)
+            .map(|p| (p.flow.dst_ip, 20, 9))
+            .collect();
+        let capacity = 4 * rules as u32 + 64;
+        let run = |port: &PortConfig| {
+            let rl = rlist.clone();
+            let wp = nic_sim::profile_workload(&e.module, &trace, port, &cfg, move |m| {
+                click_model::elements::algo::build_trie(&mut m.state, GlobalId(0), capacity, &rl);
+            });
+            nic_sim::solve_perf(&wp, &cfg, port, cores)
+        };
+        let naive = run(&PortConfig::naive());
+        let accel = run(&lpm_port(&e));
+        rows.push(vec![
+            format!("2^{exp}"),
+            f2(naive.throughput_mpps),
+            f2(accel.throughput_mpps),
+            format!("{:.1}x", accel.throughput_mpps / naive.throughput_mpps),
+            f2(naive.latency_us),
+            f2(accel.latency_us),
+            format!("{:.1}x", naive.latency_us / accel.latency_us),
+        ]);
+    }
+    table(
+        &[
+            "rules",
+            "naive Mpps",
+            "Clara Mpps",
+            "thpt gain",
+            "naive us",
+            "Clara us",
+            "lat gain",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,192 @@
+//! The NF element type and the evaluated corpus registry.
+
+use nf_ir::Module;
+use serde::{Deserialize, Serialize};
+
+/// The classes of offloading insights Clara generates (Table 2's legend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InsightClass {
+    /// Cross-platform instruction/memory prediction (circle).
+    Prediction,
+    /// Accelerator algorithm identification (triangle).
+    AlgorithmId,
+    /// Framework-API reverse porting (solid triangle).
+    ReversePorting,
+    /// Multicore scale-out factor analysis (solid circle).
+    ScaleOut,
+    /// NF state placement (diamond).
+    Placement,
+    /// Variable reordering / access coalescing (solid diamond).
+    Coalescing,
+    /// NF colocation analysis (crossed circle).
+    Colocation,
+}
+
+impl InsightClass {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            InsightClass::Prediction => "prediction",
+            InsightClass::AlgorithmId => "algo-id",
+            InsightClass::ReversePorting => "reverse-port",
+            InsightClass::ScaleOut => "scale-out",
+            InsightClass::Placement => "placement",
+            InsightClass::Coalescing => "coalescing",
+            InsightClass::Colocation => "colocation",
+        }
+    }
+}
+
+/// Metadata mirroring the paper's Table 2 columns.
+#[derive(Debug, Clone, Serialize)]
+pub struct ElementMeta {
+    /// Element name as in Table 2.
+    pub name: &'static str,
+    /// Lines of (Click C++) code reported by the paper.
+    pub paper_loc: u32,
+    /// Whether the element keeps cross-packet state.
+    pub stateful: bool,
+    /// Insight classes the paper applies to this element.
+    pub insights: Vec<InsightClass>,
+    /// One-line description.
+    pub description: &'static str,
+}
+
+/// An NF element: its NIR module plus Table 2 metadata.
+///
+/// Elements carry no behaviour of their own — [`crate::Machine`] interprets
+/// the module, so analysis and execution share one definition.
+#[derive(Debug, Clone, Serialize)]
+pub struct NfElement {
+    /// The element's IR (first function = packet handler).
+    pub module: Module,
+    /// Table 2 metadata.
+    pub meta: ElementMeta,
+}
+
+impl NfElement {
+    /// The element name.
+    pub fn name(&self) -> &'static str {
+        self.meta.name
+    }
+}
+
+/// The full Table 2 corpus: all 17 evaluated Click programs.
+pub fn corpus() -> Vec<NfElement> {
+    use crate::elements::*;
+    vec![
+        anonipaddr(),
+        tcpack(),
+        udpipencap(),
+        forcetcp(),
+        tcpresp(),
+        tcpgen(),
+        aggcounter(),
+        timefilter(),
+        cmsketch(),
+        wepdecap(),
+        iplookup(256),
+        iprewriter(),
+        ipclassifier(),
+        dnsproxy(),
+        mazunat(),
+        udpcount(),
+        webgen(),
+    ]
+}
+
+/// The extended corpus: Table 2 plus the motivation NFs and the extra
+/// elements this library ships beyond the paper (load balancer, rate
+/// limiter, VLAN tagger, SYN-cookie proxy, GRE tunnel, flow exporter,
+/// web-TCP bookkeeping).
+pub fn extended_corpus() -> Vec<NfElement> {
+    use crate::elements::*;
+    let mut v = corpus();
+    v.extend([
+        webtcp(),
+        dpi(),
+        firewall(),
+        heavy_hitter(),
+        loadbalancer(8),
+        ratelimiter(),
+        vlantag(),
+        syncookie(),
+        gretunnel(),
+        flowstats(),
+    ]);
+    v
+}
+
+/// The five Figure 1 motivation NFs (base versions; variants are built by
+/// the benchmarks through port configurations and workloads).
+pub fn motivation_variants() -> Vec<NfElement> {
+    use crate::elements::*;
+    vec![
+        mazunat(),      // NAT
+        dpi(),          // DPI
+        firewall(),     // FW
+        iplookup(256),  // LPM
+        heavy_hitter(), // HH
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Machine;
+    use trafgen::{Trace, WorkloadSpec};
+
+    #[test]
+    fn corpus_has_seventeen_elements_with_unique_names() {
+        let c = corpus();
+        assert_eq!(c.len(), 17);
+        let mut names: Vec<&str> = c.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 17);
+    }
+
+    #[test]
+    fn every_corpus_module_verifies() {
+        for e in corpus() {
+            nf_ir::verify::verify_module(&e.module)
+                .unwrap_or_else(|err| panic!("{}: {err}", e.name()));
+        }
+    }
+
+    #[test]
+    fn every_corpus_element_executes_on_traffic() {
+        let spec = WorkloadSpec::imix();
+        let trace = Trace::generate(&spec, 50, 42);
+        for e in corpus() {
+            let mut m = Machine::new(&e.module).expect("valid");
+            for p in &trace.pkts {
+                let t = m.run(p).unwrap_or_else(|err| panic!("{}: {err}", e.name()));
+                assert!(t.steps > 0, "{} did nothing", e.name());
+            }
+        }
+    }
+
+    #[test]
+    fn stateful_flag_matches_module_globals() {
+        for e in corpus() {
+            assert_eq!(
+                e.meta.stateful,
+                !e.module.globals.is_empty(),
+                "{} statefulness mismatch",
+                e.name()
+            );
+        }
+    }
+
+    #[test]
+    fn motivation_nfs_execute() {
+        let trace = Trace::generate(&WorkloadSpec::large_flows(), 20, 7);
+        for e in motivation_variants() {
+            let mut m = Machine::new(&e.module).expect("valid");
+            for p in &trace.pkts {
+                m.run(p).unwrap_or_else(|err| panic!("{}: {err}", e.name()));
+            }
+        }
+    }
+}

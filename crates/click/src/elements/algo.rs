@@ -1,0 +1,521 @@
+//! Elements containing accelerator-eligible algorithms.
+//!
+//! `cmsketch` and `wepdecap` embed CRC-style checksum loops (dense
+//! xor/shift bitwise work), and `iplookup` embeds a binary-trie
+//! longest-prefix-match walk (bounded pointer chasing) — exactly the
+//! algorithm classes Clara's identification stage (Section 4.1) learns to
+//! spot and map onto the Netronome CRC and LPM engines.
+
+use nf_ir::{
+    ApiCall, BinOp, BlockId, FunctionBuilder, GlobalId, MemRef, Module, Operand, PktField, Pred,
+    StateKind, Ty,
+};
+
+use super::helpers::{flow_key, send_ret, set_phi_incoming};
+use crate::element::{ElementMeta, InsightClass, NfElement};
+use crate::state::StateStore;
+
+/// Emits a bit-serial CRC16 loop over a 32-bit `key`, returning the block
+/// ids `(head, latch)` and the final CRC operand (valid in `after`).
+///
+/// The caller must be positioned in a block that will fall through to the
+/// loop; on return the builder is positioned at the start of `after`.
+fn emit_crc16_loop(
+    fb: &mut FunctionBuilder,
+    key: Operand,
+    poly: i64,
+    pre: BlockId,
+    patches: &mut Vec<(BlockId, usize, BlockId, Operand)>,
+) -> Operand {
+    let head = fb.block();
+    let body = fb.block();
+    let latch = fb.block();
+    let after = fb.block();
+    fb.br(head);
+
+    fb.switch_to(head);
+    let i = fb.phi(
+        Ty::I32,
+        vec![(pre, Operand::imm(0)), (latch, Operand::imm(0))],
+    );
+    let crc = fb.phi(
+        Ty::I32,
+        vec![(pre, Operand::imm(0xffff)), (latch, Operand::imm(0))],
+    );
+    let more = fb.icmp(Pred::ULt, Ty::I32, i, Operand::imm(32));
+    fb.cond_br(more, body, after);
+
+    fb.switch_to(body);
+    let top = fb.bin(BinOp::LShr, Ty::I32, crc, Operand::imm(15));
+    let topbit = fb.bin(BinOp::And, Ty::I32, top, Operand::imm(1));
+    let kshift = fb.bin(BinOp::LShr, Ty::I32, key, i);
+    let kbit = fb.bin(BinOp::And, Ty::I32, kshift, Operand::imm(1));
+    let mix = fb.bin(BinOp::Xor, Ty::I32, topbit, kbit);
+    let shifted = fb.bin(BinOp::Shl, Ty::I32, crc, Operand::imm(1));
+    let masked = fb.bin(BinOp::And, Ty::I32, shifted, Operand::imm(0xffff));
+    let xored = fb.bin(BinOp::Xor, Ty::I32, masked, Operand::imm(poly));
+    let taken = fb.icmp(Pred::Ne, Ty::I32, mix, Operand::imm(0));
+    let crc_next = fb.select(Ty::I32, taken, xored, masked);
+    fb.br(latch);
+
+    fb.switch_to(latch);
+    let i_next = fb.bin(BinOp::Add, Ty::I32, i, Operand::imm(1));
+    fb.br(head);
+
+    patches.push((head, 0, latch, i_next));
+    patches.push((head, 1, latch, crc_next));
+
+    fb.switch_to(after);
+    // The CRC value flows out through a phi-free read: `crc` is defined in
+    // `head`, which dominates `after`.
+    crc
+}
+
+/// `cmsketch`: count-min sketch with CRC16 row hashes.
+pub fn cmsketch() -> NfElement {
+    let mut m = Module::new("cmsketch");
+    let g_row0 = m.add_global("sketch_row0", StateKind::Sketch, 4, 1024);
+    let g_row1 = m.add_global("sketch_row1", StateKind::Sketch, 4, 1024);
+    let g_min = m.add_global("last_min", StateKind::Scalar, 4, 1);
+
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    fb.switch_to(entry);
+    let _ = fb.call(ApiCall::IpHeader, vec![]);
+    let key = flow_key(&mut fb);
+
+    let mut patches = Vec::new();
+    let pre0 = fb.current_block().expect("in entry");
+    let crc0 = emit_crc16_loop(&mut fb, key, 0x1021, pre0, &mut patches);
+    // Row 0 update.
+    let idx0 = fb.bin(BinOp::And, Ty::I32, crc0, Operand::imm(1023));
+    let c0 = fb.load(Ty::I32, MemRef::global_at(g_row0, idx0, 0));
+    let c0n = fb.bin(BinOp::Add, Ty::I32, c0, Operand::imm(1));
+    fb.store(Ty::I32, c0n, MemRef::global_at(g_row0, idx0, 0));
+
+    let pre1 = fb.current_block().expect("in row0 after");
+    let crc1 = emit_crc16_loop(&mut fb, key, 0x8005, pre1, &mut patches);
+    // Row 1 update.
+    let idx1 = fb.bin(BinOp::And, Ty::I32, crc1, Operand::imm(1023));
+    let c1 = fb.load(Ty::I32, MemRef::global_at(g_row1, idx1, 0));
+    let c1n = fb.bin(BinOp::Add, Ty::I32, c1, Operand::imm(1));
+    fb.store(Ty::I32, c1n, MemRef::global_at(g_row1, idx1, 0));
+
+    // min(row0, row1) — the sketch estimate.
+    let less = fb.icmp(Pred::ULt, Ty::I32, c0n, c1n);
+    let est = fb.select(Ty::I32, less, c0n, c1n);
+    fb.store(Ty::I32, est, MemRef::global(g_min));
+    send_ret(&mut fb, 0);
+
+    let mut f = fb.finish();
+    for (head, pos, latch, val) in patches {
+        set_phi_incoming(&mut f, head, pos, latch, val);
+    }
+    m.funcs.push(f);
+    NfElement {
+        module: m,
+        meta: ElementMeta {
+            name: "cmsketch",
+            paper_loc: 92,
+            stateful: true,
+            insights: vec![
+                InsightClass::Prediction,
+                InsightClass::AlgorithmId,
+                InsightClass::ScaleOut,
+                InsightClass::Placement,
+            ],
+            description: "count-min sketch with CRC row hashes (CRC accel target)",
+        },
+    }
+}
+
+/// `wepdecap`: WEP decapsulation — RC4-style keystream mix plus a CRC32
+/// integrity loop over payload words.
+pub fn wepdecap() -> NfElement {
+    let mut m = Module::new("wepdecap");
+    let g_ok = m.add_global("decap_ok", StateKind::Scalar, 4, 1);
+    let g_bad = m.add_global("decap_bad", StateKind::Scalar, 4, 1);
+
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    let head = fb.block();
+    let body = fb.block();
+    let latch = fb.block();
+    let after = fb.block();
+    let good = fb.block();
+    let bad = fb.block();
+    fb.switch_to(entry);
+    let _ = fb.call(ApiCall::IpHeader, vec![]);
+    let len = fb.call(ApiCall::PktLen, vec![]).expect("has result");
+    let pay = fb.bin(BinOp::Sub, Ty::I32, len, Operand::imm(54));
+    let cap = fb.icmp(Pred::UGt, Ty::I32, pay, Operand::imm(64));
+    let limit = fb.select(Ty::I32, cap, Operand::imm(64), pay);
+    // RC4-style key setup from the IV (three mixing rounds).
+    let iv = fb.load(Ty::I32, MemRef::pkt(PktField::Payload(0)));
+    let k1 = fb.bin(BinOp::Mul, Ty::I32, iv, Operand::imm(0x0101_0101));
+    let k2 = fb.bin(BinOp::Xor, Ty::I32, k1, Operand::imm(0x5a5a_5a5a));
+    let k3 = fb.bin(BinOp::LShr, Ty::I32, k2, Operand::imm(3));
+    let key = fb.bin(BinOp::Xor, Ty::I32, k2, k3);
+    fb.br(head);
+
+    // CRC32-style word loop: crc = (crc >> 8) ^ mix(crc ^ word).
+    fb.switch_to(head);
+    let off = fb.phi(
+        Ty::I32,
+        vec![(entry, Operand::imm(4)), (latch, Operand::imm(0))],
+    );
+    let crc = fb.phi(
+        Ty::I32,
+        vec![
+            (entry, Operand::imm(0xffff_ffffu32 as i64)),
+            (latch, Operand::imm(0)),
+        ],
+    );
+    let more = fb.icmp(Pred::ULt, Ty::I32, off, limit);
+    fb.cond_br(more, body, after);
+
+    fb.switch_to(body);
+    let w = fb.load(Ty::I32, MemRef::pkt(PktField::Payload(4)));
+    let decrypted = fb.bin(BinOp::Xor, Ty::I32, w, key);
+    let x = fb.bin(BinOp::Xor, Ty::I32, crc, decrypted);
+    let s1 = fb.bin(BinOp::LShr, Ty::I32, x, Operand::imm(8));
+    let a1 = fb.bin(BinOp::And, Ty::I32, x, Operand::imm(0xff));
+    let m1 = fb.bin(BinOp::Mul, Ty::I32, a1, Operand::imm(0x04c1));
+    let s2 = fb.bin(BinOp::Shl, Ty::I32, m1, Operand::imm(4));
+    let crc_mix = fb.bin(BinOp::Xor, Ty::I32, s1, s2);
+    let crc_next = fb.bin(BinOp::Xor, Ty::I32, crc_mix, Operand::imm(0x04c1_1db7));
+    fb.br(latch);
+
+    fb.switch_to(latch);
+    let off_next = fb.bin(BinOp::Add, Ty::I32, off, Operand::imm(4));
+    fb.br(head);
+
+    fb.switch_to(after);
+    // Integrity check: low byte of CRC vs a payload trailer byte.
+    let low = fb.bin(BinOp::And, Ty::I32, crc, Operand::imm(0x7));
+    let passes = fb.icmp(Pred::Ne, Ty::I32, low, Operand::imm(0));
+    fb.cond_br(passes, good, bad);
+
+    fb.switch_to(good);
+    let okc = fb.load(Ty::I32, MemRef::global(g_ok));
+    let okc1 = fb.bin(BinOp::Add, Ty::I32, okc, Operand::imm(1));
+    fb.store(Ty::I32, okc1, MemRef::global(g_ok));
+    send_ret(&mut fb, 0);
+
+    fb.switch_to(bad);
+    let bc = fb.load(Ty::I32, MemRef::global(g_bad));
+    let bc1 = fb.bin(BinOp::Add, Ty::I32, bc, Operand::imm(1));
+    fb.store(Ty::I32, bc1, MemRef::global(g_bad));
+    send_ret(&mut fb, 1);
+
+    let mut f = fb.finish();
+    set_phi_incoming(&mut f, head, 0, latch, off_next);
+    set_phi_incoming(&mut f, head, 1, latch, crc_next);
+    m.funcs.push(f);
+    NfElement {
+        module: m,
+        meta: ElementMeta {
+            name: "wepdecap",
+            paper_loc: 104,
+            stateful: true,
+            insights: vec![
+                InsightClass::Prediction,
+                InsightClass::AlgorithmId,
+                InsightClass::ScaleOut,
+                InsightClass::Placement,
+            ],
+            description: "WEP decapsulation with CRC32 integrity loop (CRC accel target)",
+        },
+    }
+}
+
+/// Trie node layout for [`iplookup`]: `child0 | child1 | nexthop | valid`.
+pub const TRIE_NODE_BYTES: u32 = 16;
+/// Byte offset of the zero-bit child pointer.
+pub const TRIE_OFF_CHILD0: u32 = 0;
+/// Byte offset of the one-bit child pointer.
+pub const TRIE_OFF_CHILD1: u32 = 4;
+/// Byte offset of the next-hop value.
+pub const TRIE_OFF_NEXTHOP: u32 = 8;
+/// Byte offset of the valid flag.
+pub const TRIE_OFF_VALID: u32 = 12;
+
+/// `iplookup`: longest-prefix match by binary-trie walk (Figure 1's LPM).
+///
+/// `capacity` sizes the trie node pool; rules are installed into the
+/// interpreter's state with [`build_trie`].
+pub fn iplookup(capacity: u32) -> NfElement {
+    let mut m = Module::new("iplookup");
+    let g_trie = m.add_global(
+        "lpm_trie",
+        StateKind::Trie,
+        TRIE_NODE_BYTES,
+        capacity.max(16),
+    );
+    let g_hits = m.add_global("lookup_hits", StateKind::Scalar, 4, 1);
+    let g_miss = m.add_global("lookup_miss", StateKind::Scalar, 4, 1);
+
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    let head = fb.block();
+    let body = fb.block();
+    let latch = fb.block();
+    let after = fb.block();
+    let matched = fb.block();
+    let unmatched = fb.block();
+    fb.switch_to(entry);
+    let _ = fb.call(ApiCall::IpHeader, vec![]);
+    let dst = fb.load(Ty::I32, MemRef::pkt(PktField::IpDst));
+    fb.br(head);
+
+    // Walk: node/depth/best are loop-carried; stop on null child or depth 24.
+    fb.switch_to(head);
+    let node = fb.phi(
+        Ty::I32,
+        vec![(entry, Operand::imm(0)), (latch, Operand::imm(0))],
+    );
+    let depth = fb.phi(
+        Ty::I32,
+        vec![(entry, Operand::imm(0)), (latch, Operand::imm(0))],
+    );
+    let best = fb.phi(
+        Ty::I32,
+        vec![(entry, Operand::imm(0)), (latch, Operand::imm(0))],
+    );
+    let in_range = fb.icmp(Pred::ULt, Ty::I32, depth, Operand::imm(24));
+    fb.cond_br(in_range, body, after);
+
+    fb.switch_to(body);
+    // Track the longest valid prefix seen so far.
+    let valid = fb.load(Ty::I32, MemRef::global_at(g_trie, node, TRIE_OFF_VALID));
+    let nexthop = fb.load(Ty::I32, MemRef::global_at(g_trie, node, TRIE_OFF_NEXTHOP));
+    let has = fb.icmp(Pred::Ne, Ty::I32, valid, Operand::imm(0));
+    let best_next = fb.select(Ty::I32, has, nexthop, best);
+    // Choose the child by the current address bit (pointer chasing).
+    let shift = fb.bin(BinOp::Sub, Ty::I32, Operand::imm(31), depth);
+    let bitword = fb.bin(BinOp::LShr, Ty::I32, dst, shift);
+    let bit = fb.bin(BinOp::And, Ty::I32, bitword, Operand::imm(1));
+    let c0 = fb.load(Ty::I32, MemRef::global_at(g_trie, node, TRIE_OFF_CHILD0));
+    let c1 = fb.load(Ty::I32, MemRef::global_at(g_trie, node, TRIE_OFF_CHILD1));
+    let go1 = fb.icmp(Pred::Ne, Ty::I32, bit, Operand::imm(0));
+    let child = fb.select(Ty::I32, go1, c1, c0);
+    let dead_end = fb.icmp(Pred::Eq, Ty::I32, child, Operand::imm(0));
+    // A null child ends the walk: route through `latch` with depth forced
+    // past the bound so `head` exits next iteration.
+    let depth_next_raw = fb.bin(BinOp::Add, Ty::I32, depth, Operand::imm(1));
+    let depth_next = fb.select(Ty::I32, dead_end, Operand::imm(24), depth_next_raw);
+    fb.br(latch);
+
+    fb.switch_to(latch);
+    let node_next = fb.select(Ty::I32, dead_end, node, child);
+    fb.br(head);
+
+    fb.switch_to(after);
+    let found = fb.icmp(Pred::Ne, Ty::I32, best, Operand::imm(0));
+    fb.cond_br(found, matched, unmatched);
+
+    fb.switch_to(matched);
+    fb.store(Ty::I32, best, MemRef::pkt(PktField::EthDst)); // Next-hop MAC.
+    let hc = fb.load(Ty::I32, MemRef::global(g_hits));
+    let hc1 = fb.bin(BinOp::Add, Ty::I32, hc, Operand::imm(1));
+    fb.store(Ty::I32, hc1, MemRef::global(g_hits));
+    send_ret(&mut fb, 0);
+
+    fb.switch_to(unmatched);
+    let mc = fb.load(Ty::I32, MemRef::global(g_miss));
+    let mc1 = fb.bin(BinOp::Add, Ty::I32, mc, Operand::imm(1));
+    fb.store(Ty::I32, mc1, MemRef::global(g_miss));
+    send_ret(&mut fb, 1); // Default route.
+
+    let mut f = fb.finish();
+    set_phi_incoming(&mut f, head, 0, latch, node_next);
+    set_phi_incoming(&mut f, head, 1, latch, depth_next);
+    set_phi_incoming(&mut f, head, 2, latch, best_next);
+    m.funcs.push(f);
+    NfElement {
+        module: m,
+        meta: ElementMeta {
+            name: "iplookup",
+            paper_loc: 95,
+            stateful: true,
+            insights: vec![
+                InsightClass::Prediction,
+                InsightClass::AlgorithmId,
+                InsightClass::ScaleOut,
+                InsightClass::Placement,
+            ],
+            description: "binary-trie longest prefix match (LPM accel target)",
+        },
+    }
+}
+
+/// Installs prefix rules `(addr, prefix_len, nexthop)` into an
+/// [`iplookup`] trie global, returning the number of nodes used.
+///
+/// Node 0 is the root; children are allocated sequentially. Next-hop 0 is
+/// reserved for "no route", so hops are stored as `nexthop | 1<<31`... no:
+/// hops are stored as given and must be nonzero to count as a match.
+pub fn build_trie(
+    state: &mut StateStore,
+    trie: GlobalId,
+    capacity: u32,
+    rules: &[(u32, u8, u32)],
+) -> u32 {
+    let mut next_free = 1u32;
+    for &(addr, plen, nexthop) in rules {
+        let mut node = 0u32;
+        for d in 0..plen.min(24) {
+            let bit = (addr >> (31 - d)) & 1;
+            let off = if bit == 1 {
+                TRIE_OFF_CHILD1
+            } else {
+                TRIE_OFF_CHILD0
+            };
+            let child = state.load(trie, u64::from(node), off, 4) as u32;
+            let child = if child == 0 {
+                if next_free >= capacity {
+                    break; // Pool exhausted; rule truncated.
+                }
+                let c = next_free;
+                next_free += 1;
+                state.store(trie, u64::from(node), off, 4, u64::from(c));
+                c
+            } else {
+                child
+            };
+            node = child;
+        }
+        state.store(
+            trie,
+            u64::from(node),
+            TRIE_OFF_NEXTHOP,
+            4,
+            u64::from(nexthop.max(1)),
+        );
+        state.store(trie, u64::from(node), TRIE_OFF_VALID, 4, 1);
+    }
+    next_free
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Machine;
+    use trafgen::{Trace, WorkloadSpec};
+
+    #[test]
+    fn cmsketch_estimates_flow_counts() {
+        let e = cmsketch();
+        let mut m = Machine::new(&e.module).unwrap();
+        let spec = WorkloadSpec::large_flows().with_flows(1);
+        let trace = Trace::generate(&spec, 10, 1);
+        for p in &trace.pkts {
+            m.run(p).unwrap();
+        }
+        // One flow, ten packets: the sketch min must be exactly 10.
+        assert_eq!(m.state.load(GlobalId(2), 0, 0, 4), 10);
+    }
+
+    #[test]
+    fn cmsketch_rows_disagree_across_flows() {
+        let e = cmsketch();
+        let mut m = Machine::new(&e.module).unwrap();
+        let spec = WorkloadSpec::small_flows().with_flows(500);
+        let trace = Trace::generate(&spec, 500, 2);
+        for p in &trace.pkts {
+            m.run(p).unwrap();
+        }
+        // Different polynomials → different row distributions; both rows
+        // must hold all increments.
+        let sum_row = |g: GlobalId, st: &crate::StateStore| -> u64 {
+            (0..1024).map(|i| st.load(g, i, 0, 4)).sum()
+        };
+        assert_eq!(sum_row(GlobalId(0), &m.state), 500);
+        assert_eq!(sum_row(GlobalId(1), &m.state), 500);
+    }
+
+    #[test]
+    fn wepdecap_classifies_every_packet() {
+        let e = wepdecap();
+        let mut m = Machine::new(&e.module).unwrap();
+        let trace = Trace::generate(&WorkloadSpec::imix(), 40, 3);
+        for p in &trace.pkts {
+            m.run(p).unwrap();
+        }
+        let ok = m.state.load(GlobalId(0), 0, 0, 4);
+        let bad = m.state.load(GlobalId(1), 0, 0, 4);
+        assert_eq!(ok + bad, 40);
+    }
+
+    #[test]
+    fn iplookup_matches_installed_prefixes() {
+        let e = iplookup(1024);
+        let mut machine = Machine::new(&e.module).unwrap();
+        let spec = WorkloadSpec::large_flows().with_flows(8);
+        let trace = Trace::generate(&spec, 40, 4);
+        // Install a /16 covering the first packet's destination and a
+        // default-ish /4 covering nothing in 64.0.0.0+ space.
+        let dst = trace.pkts[0].flow.dst_ip;
+        build_trie(
+            &mut machine.state,
+            GlobalId(0),
+            1024,
+            &[(dst, 16, 42), (0x0808_0000, 16, 7)],
+        );
+        let mut hits = 0u64;
+        for p in &trace.pkts {
+            machine.run(p).unwrap();
+        }
+        hits += machine.state.load(GlobalId(1), 0, 0, 4);
+        let miss = machine.state.load(GlobalId(2), 0, 0, 4);
+        assert!(hits > 0, "no LPM hits");
+        assert_eq!(hits + miss, 40);
+    }
+
+    #[test]
+    fn iplookup_prefers_longer_prefix() {
+        let e = iplookup(1024);
+        let mut machine = Machine::new(&e.module).unwrap();
+        let spec = WorkloadSpec::large_flows().with_flows(1);
+        let trace = Trace::generate(&spec, 1, 5);
+        let dst = trace.pkts[0].flow.dst_ip;
+        build_trie(
+            &mut machine.state,
+            GlobalId(0),
+            1024,
+            &[(dst, 8, 11), (dst, 20, 22)],
+        );
+        let mut view = crate::PacketView::new(&trace.pkts[0]);
+        machine.run_view(&mut view).unwrap();
+        // The /20 next-hop wins over the /8.
+        assert_eq!(view.get(PktField::EthDst), 22);
+    }
+
+    #[test]
+    fn trie_walk_depth_scales_with_rules() {
+        // More rules → deeper/longer walks on average (Figure 10c's axis).
+        let spec = WorkloadSpec::small_flows().with_flows(64);
+        let trace = Trace::generate(&spec, 64, 6);
+        let steps_for = |nrules: usize| -> u64 {
+            let e = iplookup(8192);
+            let mut machine = Machine::new(&e.module).unwrap();
+            let rules: Vec<(u32, u8, u32)> = trace
+                .pkts
+                .iter()
+                .take(nrules)
+                .map(|p| (p.flow.dst_ip, 20, 9))
+                .collect();
+            build_trie(&mut machine.state, GlobalId(0), 8192, &rules);
+            trace
+                .pkts
+                .iter()
+                .map(|p| machine.run(p).unwrap().steps)
+                .sum()
+        };
+        let few = steps_for(2);
+        let many = steps_for(64);
+        assert!(many > few, "many-rule walk {many} <= few-rule walk {few}");
+    }
+
+    use nf_ir::GlobalId;
+}

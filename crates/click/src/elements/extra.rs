@@ -1,0 +1,555 @@
+//! Additional NF elements beyond the paper's Table 2 corpus.
+//!
+//! These broaden the library for downstream users (and stress the
+//! substrate from more angles): a consistent-hash load balancer, a
+//! token-bucket rate limiter, VLAN encap/decap, a SYN-cookie proxy, a GRE
+//! tunnel encapsulator, and a flow-statistics exporter.
+
+use nf_ir::{
+    ApiCall, BinOp, CastOp, FunctionBuilder, MemRef, Module, Operand, PktField, Pred, StateKind, Ty,
+};
+
+use super::helpers::{csum_send_ret, drop_ret, flow_key, send_ret, slot_index};
+use crate::element::{ElementMeta, InsightClass, NfElement};
+
+/// Consistent-hash load balancer: pick a backend by flow hash, remember
+/// the choice in a flow table so connections stick.
+pub fn loadbalancer(backends: u32) -> NfElement {
+    let n = backends.max(2);
+    let mut m = Module::new("loadbalancer");
+    let g_flows = m.add_global("lb_flows", StateKind::HashMap, 16, 8192);
+    let g_backends = m.add_global("lb_backends", StateKind::Array, 8, n);
+    let g_dispatched = m.add_global("dispatched", StateKind::Scalar, 4, 1);
+
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    let hit = fb.block();
+    let miss = fb.block();
+    let out = fb.block();
+    fb.switch_to(entry);
+    let _ = fb.call(ApiCall::IpHeader, vec![]);
+    let key = flow_key(&mut fb);
+    let found = fb
+        .call(ApiCall::HashMapFind(g_flows), vec![key])
+        .expect("result");
+    let is_hit = fb.icmp(Pred::Ne, Ty::I32, found, Operand::imm(0));
+    fb.cond_br(is_hit, hit, miss);
+
+    fb.switch_to(hit);
+    let slot = slot_index(&mut fb, found);
+    let backend = fb.load(Ty::I32, MemRef::global_at(g_flows, slot, 8));
+    fb.store(Ty::I32, backend, MemRef::pkt(PktField::IpDst));
+    fb.br(out);
+
+    fb.switch_to(miss);
+    // Consistent-ish hash: multiply-shift over the key.
+    let h = fb.bin(
+        BinOp::Mul,
+        Ty::I32,
+        key,
+        Operand::imm(0x9e37_79b9u32 as i64),
+    );
+    let hs = fb.bin(BinOp::LShr, Ty::I32, h, Operand::imm(16));
+    let idx = fb.bin(BinOp::URem, Ty::I32, hs, Operand::imm(i64::from(n)));
+    let chosen = fb.load(Ty::I32, MemRef::global_at(g_backends, idx, 0));
+    let ins = fb
+        .call(ApiCall::HashMapInsert(g_flows), vec![key])
+        .expect("result");
+    let islot = slot_index(&mut fb, ins);
+    fb.store(Ty::I32, chosen, MemRef::global_at(g_flows, islot, 8));
+    fb.store(Ty::I32, chosen, MemRef::pkt(PktField::IpDst));
+    fb.br(out);
+
+    fb.switch_to(out);
+    let d = fb.load(Ty::I32, MemRef::global(g_dispatched));
+    let d1 = fb.bin(BinOp::Add, Ty::I32, d, Operand::imm(1));
+    fb.store(Ty::I32, d1, MemRef::global(g_dispatched));
+    csum_send_ret(&mut fb, 0);
+    m.funcs.push(fb.finish());
+    NfElement {
+        module: m,
+        meta: ElementMeta {
+            name: "loadbalancer",
+            paper_loc: 0,
+            stateful: true,
+            insights: vec![
+                InsightClass::Prediction,
+                InsightClass::ScaleOut,
+                InsightClass::Placement,
+            ],
+            description: "sticky consistent-hash load balancer",
+        },
+    }
+}
+
+/// Token-bucket rate limiter: per-flow buckets refilled by the element
+/// clock; packets without tokens are dropped.
+pub fn ratelimiter() -> NfElement {
+    let mut m = Module::new("ratelimiter");
+    let g_buckets = m.add_global("rl_buckets", StateKind::HashMap, 24, 4096);
+    let g_rate = m.add_global("tokens_per_tick", StateKind::Scalar, 4, 1);
+    let g_dropped = m.add_global("rl_dropped", StateKind::Scalar, 4, 1);
+
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    let hit = fb.block();
+    let fresh = fb.block();
+    let check = fb.block();
+    let allow = fb.block();
+    let deny = fb.block();
+    fb.switch_to(entry);
+    let _ = fb.call(ApiCall::IpHeader, vec![]);
+    let key = flow_key(&mut fb);
+    let now = fb.call(ApiCall::Timestamp, vec![]).expect("result");
+    let found = fb
+        .call(ApiCall::HashMapFind(g_buckets), vec![key])
+        .expect("result");
+    let is_hit = fb.icmp(Pred::Ne, Ty::I32, found, Operand::imm(0));
+    fb.cond_br(is_hit, hit, fresh);
+
+    // Refill: tokens += rate * (now - last); cap at 8 * rate.
+    fb.switch_to(hit);
+    let slot = slot_index(&mut fb, found);
+    let last = fb.load(Ty::I32, MemRef::global_at(g_buckets, slot, 8));
+    let tokens = fb.load(Ty::I32, MemRef::global_at(g_buckets, slot, 12));
+    let rate = fb.load(Ty::I32, MemRef::global(g_rate));
+    let rate_eff = fb.bin(BinOp::Or, Ty::I32, rate, Operand::imm(1));
+    let dt = fb.bin(BinOp::Sub, Ty::I32, now, last);
+    let refill = fb.bin(BinOp::Mul, Ty::I32, dt, rate_eff);
+    let t1 = fb.bin(BinOp::Add, Ty::I32, tokens, refill);
+    let cap = fb.bin(BinOp::Shl, Ty::I32, rate_eff, Operand::imm(3));
+    let over = fb.icmp(Pred::UGt, Ty::I32, t1, cap);
+    let t2 = fb.select(Ty::I32, over, cap, t1);
+    fb.store(Ty::I32, now, MemRef::global_at(g_buckets, slot, 8));
+    fb.store(Ty::I32, t2, MemRef::global_at(g_buckets, slot, 12));
+    fb.br(check);
+
+    fb.switch_to(fresh);
+    let ins = fb
+        .call(ApiCall::HashMapInsert(g_buckets), vec![key])
+        .expect("result");
+    let islot = slot_index(&mut fb, ins);
+    fb.store(Ty::I32, now, MemRef::global_at(g_buckets, islot, 8));
+    fb.store(
+        Ty::I32,
+        Operand::imm(8),
+        MemRef::global_at(g_buckets, islot, 12),
+    );
+    fb.br(check);
+
+    // Spend one token if available.
+    fb.switch_to(check);
+    let slot2 = fb.phi(Ty::I32, vec![(hit, slot), (fresh, islot)]);
+    let t = fb.load(Ty::I32, MemRef::global_at(g_buckets, slot2, 12));
+    let has = fb.icmp(Pred::UGt, Ty::I32, t, Operand::imm(0));
+    fb.cond_br(has, allow, deny);
+
+    fb.switch_to(allow);
+    let spent = fb.bin(BinOp::Sub, Ty::I32, t, Operand::imm(1));
+    fb.store(Ty::I32, spent, MemRef::global_at(g_buckets, slot2, 12));
+    send_ret(&mut fb, 0);
+
+    fb.switch_to(deny);
+    let d = fb.load(Ty::I32, MemRef::global(g_dropped));
+    let d1 = fb.bin(BinOp::Add, Ty::I32, d, Operand::imm(1));
+    fb.store(Ty::I32, d1, MemRef::global(g_dropped));
+    drop_ret(&mut fb);
+    m.funcs.push(fb.finish());
+    NfElement {
+        module: m,
+        meta: ElementMeta {
+            name: "ratelimiter",
+            paper_loc: 0,
+            stateful: true,
+            insights: vec![
+                InsightClass::Prediction,
+                InsightClass::ScaleOut,
+                InsightClass::Placement,
+            ],
+            description: "per-flow token-bucket rate limiter",
+        },
+    }
+}
+
+/// VLAN tagger: pushes a VLAN id derived from the source prefix into the
+/// EtherType/TCI fields (and counts tagged frames).
+pub fn vlantag() -> NfElement {
+    let mut m = Module::new("vlantag");
+    let g_tagged = m.add_global("tagged", StateKind::Scalar, 4, 1);
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    fb.switch_to(entry);
+    let _ = fb.call(ApiCall::EthHeader, vec![]);
+    let src = fb.load(Ty::I32, MemRef::pkt(PktField::IpSrc));
+    let pfx = fb.bin(BinOp::LShr, Ty::I32, src, Operand::imm(20));
+    let vid = fb.bin(BinOp::And, Ty::I32, pfx, Operand::imm(0x0fff));
+    let tci = fb.bin(BinOp::Or, Ty::I32, vid, Operand::imm(0x2000)); // PCP=1
+    fb.store(
+        Ty::I16,
+        Operand::imm(0x8100),
+        MemRef::pkt(PktField::EthType),
+    );
+    let tci16 = fb.cast(CastOp::Trunc, Ty::I32, Ty::I16, tci);
+    fb.store(Ty::I16, tci16, MemRef::pkt(PktField::IpId)); // TCI slot.
+    let t = fb.load(Ty::I32, MemRef::global(g_tagged));
+    let t1 = fb.bin(BinOp::Add, Ty::I32, t, Operand::imm(1));
+    fb.store(Ty::I32, t1, MemRef::global(g_tagged));
+    send_ret(&mut fb, 0);
+    m.funcs.push(fb.finish());
+    NfElement {
+        module: m,
+        meta: ElementMeta {
+            name: "vlantag",
+            paper_loc: 0,
+            stateful: true,
+            insights: vec![InsightClass::Prediction, InsightClass::ScaleOut],
+            description: "source-prefix VLAN tagger",
+        },
+    }
+}
+
+/// SYN-cookie proxy: answer SYNs with a stateless cookie SYN/ACK; admit
+/// established flows whose ACK carries a valid cookie.
+pub fn syncookie() -> NfElement {
+    let mut m = Module::new("syncookie");
+    let g_admitted = m.add_global("admitted", StateKind::Scalar, 4, 1);
+    let g_rejected = m.add_global("rejected", StateKind::Scalar, 4, 1);
+    let g_secret = m.add_global("cookie_secret", StateKind::Scalar, 4, 1);
+
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    let on_syn = fb.block();
+    let on_ack = fb.block();
+    let good = fb.block();
+    let bad = fb.block();
+    fb.switch_to(entry);
+    let _ = fb.call(ApiCall::TcpHeader, vec![]);
+    let flags = fb.load(Ty::I8, MemRef::pkt(PktField::TcpFlags));
+    let synbit = fb.bin(BinOp::And, Ty::I8, flags, Operand::imm(0x02));
+    let is_syn = fb.icmp(Pred::Ne, Ty::I8, synbit, Operand::imm(0));
+    fb.cond_br(is_syn, on_syn, on_ack);
+
+    // SYN: respond with cookie = H(key, secret) as our ISS.
+    fb.switch_to(on_syn);
+    let key = flow_key(&mut fb);
+    let secret = fb.load(Ty::I32, MemRef::global(g_secret));
+    let mix = fb.bin(BinOp::Xor, Ty::I32, key, secret);
+    let h1 = fb.bin(BinOp::Mul, Ty::I32, mix, Operand::imm(0x85eb_ca6b));
+    let h2 = fb.bin(BinOp::LShr, Ty::I32, h1, Operand::imm(13));
+    let cookie = fb.bin(BinOp::Xor, Ty::I32, h1, h2);
+    // Swap endpoints and send SYN/ACK carrying the cookie.
+    let srcip = fb.load(Ty::I32, MemRef::pkt(PktField::IpSrc));
+    let dstip = fb.load(Ty::I32, MemRef::pkt(PktField::IpDst));
+    fb.store(Ty::I32, dstip, MemRef::pkt(PktField::IpSrc));
+    fb.store(Ty::I32, srcip, MemRef::pkt(PktField::IpDst));
+    let seq = fb.load(Ty::I32, MemRef::pkt(PktField::TcpSeq));
+    let ack = fb.bin(BinOp::Add, Ty::I32, seq, Operand::imm(1));
+    fb.store(Ty::I32, ack, MemRef::pkt(PktField::TcpAck));
+    fb.store(Ty::I32, cookie, MemRef::pkt(PktField::TcpSeq));
+    fb.store(Ty::I8, Operand::imm(0x12), MemRef::pkt(PktField::TcpFlags));
+    csum_send_ret(&mut fb, 0);
+
+    // ACK: recompute the cookie and compare against ack-1.
+    fb.switch_to(on_ack);
+    let key2 = flow_key(&mut fb);
+    let secret2 = fb.load(Ty::I32, MemRef::global(g_secret));
+    let mix2 = fb.bin(BinOp::Xor, Ty::I32, key2, secret2);
+    let h1b = fb.bin(BinOp::Mul, Ty::I32, mix2, Operand::imm(0x85eb_ca6b));
+    let h2b = fb.bin(BinOp::LShr, Ty::I32, h1b, Operand::imm(13));
+    let want = fb.bin(BinOp::Xor, Ty::I32, h1b, h2b);
+    let ackn = fb.load(Ty::I32, MemRef::pkt(PktField::TcpAck));
+    let got = fb.bin(BinOp::Sub, Ty::I32, ackn, Operand::imm(1));
+    let ok = fb.icmp(Pred::Eq, Ty::I32, got, want);
+    fb.cond_br(ok, good, bad);
+
+    fb.switch_to(good);
+    let a = fb.load(Ty::I32, MemRef::global(g_admitted));
+    let a1 = fb.bin(BinOp::Add, Ty::I32, a, Operand::imm(1));
+    fb.store(Ty::I32, a1, MemRef::global(g_admitted));
+    send_ret(&mut fb, 0);
+
+    fb.switch_to(bad);
+    let r = fb.load(Ty::I32, MemRef::global(g_rejected));
+    let r1 = fb.bin(BinOp::Add, Ty::I32, r, Operand::imm(1));
+    fb.store(Ty::I32, r1, MemRef::global(g_rejected));
+    drop_ret(&mut fb);
+    m.funcs.push(fb.finish());
+    NfElement {
+        module: m,
+        meta: ElementMeta {
+            name: "syncookie",
+            paper_loc: 0,
+            stateful: true,
+            insights: vec![InsightClass::Prediction, InsightClass::ScaleOut],
+            description: "stateless SYN-cookie proxy",
+        },
+    }
+}
+
+/// GRE tunnel encapsulator: outer IP header + GRE key from the flow.
+pub fn gretunnel() -> NfElement {
+    let mut m = Module::new("gretunnel");
+    let g_encap = m.add_global("encapsulated", StateKind::Scalar, 4, 1);
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    fb.switch_to(entry);
+    let _ = fb.call(ApiCall::IpHeader, vec![]);
+    let len = fb.call(ApiCall::PktLen, vec![]).expect("result");
+    let len16 = fb.cast(CastOp::Trunc, Ty::I32, Ty::I16, len);
+    let outer_len = fb.bin(BinOp::Add, Ty::I16, len16, Operand::imm(24));
+    let key = flow_key(&mut fb);
+    fb.store(Ty::I16, outer_len, MemRef::pkt(PktField::IpLen));
+    fb.store(Ty::I8, Operand::imm(47), MemRef::pkt(PktField::IpProto)); // GRE
+    fb.store(
+        Ty::I32,
+        Operand::imm(0x0a0a_0001),
+        MemRef::pkt(PktField::IpSrc),
+    );
+    fb.store(
+        Ty::I32,
+        Operand::imm(0x0a0a_0002),
+        MemRef::pkt(PktField::IpDst),
+    );
+    fb.store(Ty::I32, key, MemRef::pkt(PktField::Payload(0))); // GRE key.
+    let c = fb.load(Ty::I32, MemRef::global(g_encap));
+    let c1 = fb.bin(BinOp::Add, Ty::I32, c, Operand::imm(1));
+    fb.store(Ty::I32, c1, MemRef::global(g_encap));
+    csum_send_ret(&mut fb, 0);
+    m.funcs.push(fb.finish());
+    NfElement {
+        module: m,
+        meta: ElementMeta {
+            name: "gretunnel",
+            paper_loc: 0,
+            stateful: true,
+            insights: vec![InsightClass::Prediction, InsightClass::ScaleOut],
+            description: "GRE tunnel encapsulator",
+        },
+    }
+}
+
+/// Flow-statistics exporter: per-flow packet/byte counters; every 64th
+/// packet of a flow emits a record into an export ring.
+pub fn flowstats() -> NfElement {
+    let mut m = Module::new("flowstats");
+    let g_flows = m.add_global("fs_flows", StateKind::HashMap, 24, 8192);
+    let g_ring = m.add_global("export_ring", StateKind::Vector, 16, 256);
+    let g_exports = m.add_global("exports", StateKind::Scalar, 4, 1);
+
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    let hit = fb.block();
+    let miss = fb.block();
+    let tally = fb.block();
+    let export = fb.block();
+    let out = fb.block();
+    fb.switch_to(entry);
+    let _ = fb.call(ApiCall::IpHeader, vec![]);
+    let key = flow_key(&mut fb);
+    let found = fb
+        .call(ApiCall::HashMapFind(g_flows), vec![key])
+        .expect("result");
+    let is_hit = fb.icmp(Pred::Ne, Ty::I32, found, Operand::imm(0));
+    fb.cond_br(is_hit, hit, miss);
+
+    fb.switch_to(hit);
+    let hslot = slot_index(&mut fb, found);
+    fb.br(tally);
+
+    fb.switch_to(miss);
+    let ins = fb
+        .call(ApiCall::HashMapInsert(g_flows), vec![key])
+        .expect("result");
+    let mslot = slot_index(&mut fb, ins);
+    fb.br(tally);
+
+    fb.switch_to(tally);
+    let slot = fb.phi(Ty::I32, vec![(hit, hslot), (miss, mslot)]);
+    let pkts = fb.load(Ty::I32, MemRef::global_at(g_flows, slot, 8));
+    let pkts1 = fb.bin(BinOp::Add, Ty::I32, pkts, Operand::imm(1));
+    fb.store(Ty::I32, pkts1, MemRef::global_at(g_flows, slot, 8));
+    let len = fb.load(Ty::I16, MemRef::pkt(PktField::IpLen));
+    let len32 = fb.cast(CastOp::Zext, Ty::I16, Ty::I32, len);
+    let bytes = fb.load(Ty::I32, MemRef::global_at(g_flows, slot, 12));
+    let bytes1 = fb.bin(BinOp::Add, Ty::I32, bytes, len32);
+    fb.store(Ty::I32, bytes1, MemRef::global_at(g_flows, slot, 12));
+    let low = fb.bin(BinOp::And, Ty::I32, pkts1, Operand::imm(63));
+    let due = fb.icmp(Pred::Eq, Ty::I32, low, Operand::imm(0));
+    fb.cond_br(due, export, out);
+
+    fb.switch_to(export);
+    let rslot = fb
+        .call(ApiCall::VectorPush(g_ring), vec![])
+        .expect("result");
+    let ridx = slot_index(&mut fb, rslot);
+    fb.store(Ty::I32, key, MemRef::global_at(g_ring, ridx, 0));
+    fb.store(Ty::I32, pkts1, MemRef::global_at(g_ring, ridx, 4));
+    fb.store(Ty::I32, bytes1, MemRef::global_at(g_ring, ridx, 8));
+    let ex = fb.load(Ty::I32, MemRef::global(g_exports));
+    let ex1 = fb.bin(BinOp::Add, Ty::I32, ex, Operand::imm(1));
+    fb.store(Ty::I32, ex1, MemRef::global(g_exports));
+    fb.br(out);
+
+    fb.switch_to(out);
+    send_ret(&mut fb, 0);
+    m.funcs.push(fb.finish());
+    NfElement {
+        module: m,
+        meta: ElementMeta {
+            name: "flowstats",
+            paper_loc: 0,
+            stateful: true,
+            insights: vec![
+                InsightClass::Prediction,
+                InsightClass::ScaleOut,
+                InsightClass::Placement,
+                InsightClass::Coalescing,
+            ],
+            description: "per-flow statistics exporter with export ring",
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Machine;
+    use nf_ir::GlobalId;
+    use trafgen::{Trace, WorkloadSpec};
+
+    fn tcp_trace(flows: u32, n: usize, seed: u64) -> Trace {
+        let spec = WorkloadSpec {
+            tcp_ratio: 1.0,
+            ..WorkloadSpec::large_flows().with_flows(flows)
+        };
+        Trace::generate(&spec, n, seed)
+    }
+
+    #[test]
+    fn extra_elements_verify_and_execute() {
+        let trace = Trace::generate(&WorkloadSpec::imix(), 40, 1);
+        for e in crate::element::extended_corpus() {
+            let mut m = Machine::new(&e.module).unwrap_or_else(|err| panic!("{}: {err}", e.name()));
+            for p in &trace.pkts {
+                m.run(p).unwrap_or_else(|err| panic!("{}: {err}", e.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn loadbalancer_is_sticky() {
+        let e = loadbalancer(4);
+        let mut machine = Machine::new(&e.module).unwrap();
+        // Install distinct backend addresses.
+        for i in 0..4u64 {
+            machine
+                .state
+                .store(GlobalId(1), i, 0, 4, 0xc0a8_0000 + i + 1);
+        }
+        let trace = tcp_trace(3, 30, 2);
+        let mut per_flow: std::collections::HashMap<u32, u64> = Default::default();
+        for p in &trace.pkts {
+            let mut view = crate::PacketView::new(p);
+            machine.run_view(&mut view).unwrap();
+            let dst = view.get(nf_ir::PktField::IpDst);
+            assert!(
+                dst > 0xc0a8_0000 && dst <= 0xc0a8_0004,
+                "not a backend: {dst:#x}"
+            );
+            let prev = per_flow.entry(p.flow_id).or_insert(dst);
+            assert_eq!(*prev, dst, "flow {} flapped backends", p.flow_id);
+        }
+    }
+
+    #[test]
+    fn ratelimiter_drops_when_bucket_empty() {
+        let e = ratelimiter();
+        let mut machine = Machine::new(&e.module).unwrap();
+        // Zero refill rate forced to 1 via `| 1`; a single flow spamming
+        // every tick gets roughly rate-limited after the initial burst.
+        let trace = tcp_trace(1, 60, 3);
+        let mut sent = 0;
+        let mut dropped = 0;
+        for p in &trace.pkts {
+            let mut view = crate::PacketView::new(p);
+            machine.run_view(&mut view).unwrap();
+            match view.verdict {
+                Some(crate::packet::Verdict::Sent(_)) => sent += 1,
+                Some(crate::packet::Verdict::Dropped) => dropped += 1,
+                None => {}
+            }
+        }
+        assert_eq!(sent + dropped, 60);
+        assert!(sent > 0, "initial burst should pass");
+    }
+
+    #[test]
+    fn vlantag_rewrites_ethertype() {
+        let e = vlantag();
+        let mut machine = Machine::new(&e.module).unwrap();
+        let trace = tcp_trace(2, 3, 4);
+        let mut view = crate::PacketView::new(&trace.pkts[0]);
+        machine.run_view(&mut view).unwrap();
+        assert_eq!(view.get(nf_ir::PktField::EthType), 0x8100);
+    }
+
+    #[test]
+    fn syncookie_admits_valid_ack_rejects_forged() {
+        let e = syncookie();
+        let mut machine = Machine::new(&e.module).unwrap();
+        machine.state.store(GlobalId(2), 0, 0, 4, 0x5eed_cafe);
+        let trace = tcp_trace(1, 2, 5);
+        // First packet is a SYN: we get a SYN/ACK carrying the cookie.
+        let mut syn = crate::PacketView::new(&trace.pkts[0]);
+        machine.run_view(&mut syn).unwrap();
+        assert_eq!(syn.get(nf_ir::PktField::TcpFlags), 0x12);
+        let cookie = syn.get(nf_ir::PktField::TcpSeq);
+        // Craft the client's ACK: ack = cookie + 1 on the same flow.
+        let mut ack = crate::PacketView::new(&trace.pkts[1]);
+        ack.set(nf_ir::PktField::TcpFlags, 0x10);
+        ack.set(nf_ir::PktField::TcpAck, (cookie + 1) & 0xffff_ffff);
+        machine.run_view(&mut ack).unwrap();
+        assert_eq!(
+            machine.state.load(GlobalId(0), 0, 0, 4),
+            1,
+            "valid ACK admitted"
+        );
+        // Forged ACK gets rejected.
+        let mut forged = crate::PacketView::new(&trace.pkts[1]);
+        forged.set(nf_ir::PktField::TcpFlags, 0x10);
+        forged.set(nf_ir::PktField::TcpAck, 12345);
+        machine.run_view(&mut forged).unwrap();
+        assert_eq!(
+            machine.state.load(GlobalId(1), 0, 0, 4),
+            1,
+            "forged ACK rejected"
+        );
+    }
+
+    #[test]
+    fn gretunnel_sets_outer_header() {
+        let e = gretunnel();
+        let mut machine = Machine::new(&e.module).unwrap();
+        let trace = tcp_trace(1, 1, 6);
+        let mut view = crate::PacketView::new(&trace.pkts[0]);
+        let inner_len = view.get(nf_ir::PktField::IpLen);
+        machine.run_view(&mut view).unwrap();
+        assert_eq!(view.get(nf_ir::PktField::IpProto), 47);
+        assert_eq!(
+            view.get(nf_ir::PktField::IpLen),
+            (u64::from(trace.pkts[0].size) + 24) & 0xffff
+        );
+        let _ = inner_len;
+    }
+
+    #[test]
+    fn flowstats_exports_every_64th_packet() {
+        let e = flowstats();
+        let mut machine = Machine::new(&e.module).unwrap();
+        let trace = tcp_trace(1, 130, 7);
+        for p in &trace.pkts {
+            machine.run(p).unwrap();
+        }
+        assert_eq!(machine.state.load(GlobalId(2), 0, 0, 4), 2); // 64 and 128.
+    }
+}

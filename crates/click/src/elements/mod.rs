@@ -1,0 +1,30 @@
+//! The evaluated NF corpus, defined element by element as NIR modules.
+//!
+//! Every element of the paper's Table 2 is here, grouped by flavour:
+//!
+//! - [`stateless`]: header-manipulation elements with no cross-packet
+//!   state (`anonipaddr`, `tcpack`, `udpipencap`, `forcetcp`, `tcpresp`);
+//! - [`stateful`]: counter/state-machine elements (`tcpgen`, `aggcounter`,
+//!   `timefilter`, plus `webtcp`, `heavy_hitter`, `firewall`, `dpi` used
+//!   by the motivation and coalescing experiments);
+//! - [`algo`]: elements containing accelerator-eligible algorithms
+//!   (`cmsketch` and `wepdecap` with CRC-style loops, `iplookup` with a
+//!   trie walk);
+//! - [`apps`]: the larger applications (`iprewriter`, `ipclassifier`,
+//!   `dnsproxy`, `mazunat`, `udpcount`, `webgen`).
+
+pub mod algo;
+pub mod apps;
+pub mod extra;
+pub mod helpers;
+pub mod stateful;
+pub mod stateless;
+
+pub use algo::{cmsketch, iplookup, wepdecap};
+pub use apps::{dnsproxy, ipclassifier, iprewriter, mazunat, udpcount, webgen};
+pub use extra::{flowstats, gretunnel, loadbalancer, ratelimiter, syncookie, vlantag};
+pub use stateful::{
+    aggcounter, dpi, dpi_with_depth, firewall, firewall_with_rules, heavy_hitter, tcpgen,
+    timefilter, webtcp,
+};
+pub use stateless::{anonipaddr, forcetcp, tcpack, tcpresp, udpipencap};

@@ -1,0 +1,682 @@
+//! Stateful counter and state-machine elements.
+
+use nf_ir::{
+    ApiCall, BinOp, CastOp, FunctionBuilder, MemRef, Module, Operand, PktField, Pred, StateKind, Ty,
+};
+
+use super::helpers::{drop_ret, flow_key, send_ret, slot_index};
+use crate::element::{ElementMeta, InsightClass, NfElement};
+
+/// `tcpgen`: a TCP traffic-generator state machine over scalar globals.
+///
+/// Its many co-accessed scalars (`tcp_state`/`send_next`/`recv_next`,
+/// `sport`/`dport`, `good_pkt` vs `bad_pkt`) make it the paper's running
+/// example for memory-access coalescing (Section 5.6).
+pub fn tcpgen() -> NfElement {
+    let mut m = Module::new("tcpgen");
+    let g_state = m.add_global("tcp_state", StateKind::Scalar, 4, 1);
+    let g_send = m.add_global("send_next", StateKind::Scalar, 4, 1);
+    let g_recv = m.add_global("recv_next", StateKind::Scalar, 4, 1);
+    let g_iss = m.add_global("iss", StateKind::Scalar, 4, 1);
+    let g_sport = m.add_global("sport", StateKind::Scalar, 4, 1);
+    let g_dport = m.add_global("dport", StateKind::Scalar, 4, 1);
+    let g_good = m.add_global("good_pkt", StateKind::Scalar, 4, 1);
+    let g_bad = m.add_global("bad_pkt", StateKind::Scalar, 4, 1);
+
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    let on_syn = fb.block();
+    let on_ack = fb.block();
+    let on_bad = fb.block();
+    let out = fb.block();
+    fb.switch_to(entry);
+    let tcp_ok = fb.call(ApiCall::TcpHeader, vec![]).expect("has result");
+    let flags = fb.load(Ty::I8, MemRef::pkt(PktField::TcpFlags));
+    let not_tcp = fb.icmp(Pred::Eq, Ty::I32, tcp_ok, Operand::imm(0));
+    let synbit = fb.bin(BinOp::And, Ty::I8, flags, Operand::imm(0x02));
+    let is_syn = fb.icmp(Pred::Ne, Ty::I8, synbit, Operand::imm(0));
+    let bad_or_syn = fb.select(Ty::I1, not_tcp, Operand::imm(0), is_syn);
+    fb.cond_br(bad_or_syn, on_syn, on_ack);
+
+    // SYN: (re)initialize the connection block.
+    fb.switch_to(on_syn);
+    let r = fb.call(ApiCall::Random, vec![]).expect("has result");
+    fb.store(Ty::I32, r, MemRef::global(g_iss));
+    let iss1 = fb.bin(BinOp::Add, Ty::I32, r, Operand::imm(1));
+    fb.store(Ty::I32, iss1, MemRef::global(g_send));
+    fb.store(Ty::I32, Operand::imm(1), MemRef::global(g_state));
+    let sp = fb.load(Ty::I16, MemRef::pkt(PktField::TcpSport));
+    let dp = fb.load(Ty::I16, MemRef::pkt(PktField::TcpDport));
+    let sp32 = fb.cast(CastOp::Zext, Ty::I16, Ty::I32, sp);
+    let dp32 = fb.cast(CastOp::Zext, Ty::I16, Ty::I32, dp);
+    fb.store(Ty::I32, sp32, MemRef::global(g_sport));
+    fb.store(Ty::I32, dp32, MemRef::global(g_dport));
+    let good = fb.load(Ty::I32, MemRef::global(g_good));
+    let good1 = fb.bin(BinOp::Add, Ty::I32, good, Operand::imm(1));
+    fb.store(Ty::I32, good1, MemRef::global(g_good));
+    fb.br(out);
+
+    // ACK path: advance the window if the connection is established.
+    fb.switch_to(on_ack);
+    let state = fb.load(Ty::I32, MemRef::global(g_state));
+    let established = fb.icmp(Pred::Ne, Ty::I32, state, Operand::imm(0));
+    let ackbit = fb.bin(BinOp::And, Ty::I8, flags, Operand::imm(0x10));
+    let has_ack = fb.icmp(Pred::Ne, Ty::I8, ackbit, Operand::imm(0));
+    let ok = fb.select(Ty::I1, established, has_ack, Operand::imm(0));
+    let progress = fb.block();
+    fb.cond_br(ok, progress, on_bad);
+
+    fb.switch_to(progress);
+    let ack = fb.load(Ty::I32, MemRef::pkt(PktField::TcpAck));
+    fb.store(Ty::I32, ack, MemRef::global(g_recv));
+    let send = fb.load(Ty::I32, MemRef::global(g_send));
+    let len = fb.load(Ty::I16, MemRef::pkt(PktField::IpLen));
+    let len32 = fb.cast(CastOp::Zext, Ty::I16, Ty::I32, len);
+    let pay = fb.bin(BinOp::Sub, Ty::I32, len32, Operand::imm(40));
+    let send2 = fb.bin(BinOp::Add, Ty::I32, send, pay);
+    fb.store(Ty::I32, send2, MemRef::global(g_send));
+    fb.store(Ty::I32, send2, MemRef::pkt(PktField::TcpSeq));
+    let good = fb.load(Ty::I32, MemRef::global(g_good));
+    let good1 = fb.bin(BinOp::Add, Ty::I32, good, Operand::imm(1));
+    fb.store(Ty::I32, good1, MemRef::global(g_good));
+    fb.br(out);
+
+    fb.switch_to(on_bad);
+    let bad = fb.load(Ty::I32, MemRef::global(g_bad));
+    let bad1 = fb.bin(BinOp::Add, Ty::I32, bad, Operand::imm(1));
+    fb.store(Ty::I32, bad1, MemRef::global(g_bad));
+    fb.br(out);
+
+    fb.switch_to(out);
+    send_ret(&mut fb, 0);
+    m.funcs.push(fb.finish());
+    NfElement {
+        module: m,
+        meta: ElementMeta {
+            name: "tcpgen",
+            paper_loc: 108,
+            stateful: true,
+            insights: vec![
+                InsightClass::Prediction,
+                InsightClass::ScaleOut,
+                InsightClass::Coalescing,
+            ],
+            description: "TCP generator state machine (coalescing target)",
+        },
+    }
+}
+
+/// `aggcounter`: per-destination aggregate packet/byte counters.
+pub fn aggcounter() -> NfElement {
+    let mut m = Module::new("aggcounter");
+    let g_tbl = m.add_global("agg_table", StateKind::Array, 8, 1024);
+    let g_total = m.add_global("total_pkts", StateKind::Scalar, 4, 1);
+    let g_bytes = m.add_global("total_bytes", StateKind::Scalar, 4, 1);
+
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    fb.switch_to(entry);
+    let _ = fb.call(ApiCall::IpHeader, vec![]);
+    let dst = fb.load(Ty::I32, MemRef::pkt(PktField::IpDst));
+    let h = fb.bin(BinOp::Mul, Ty::I32, dst, Operand::imm(0x9e3779b9u32 as i64));
+    let h2 = fb.bin(BinOp::LShr, Ty::I32, h, Operand::imm(22));
+    let idx = fb.bin(BinOp::And, Ty::I32, h2, Operand::imm(1023));
+    let c = fb.load(Ty::I32, MemRef::global_at(g_tbl, idx, 0));
+    let c1 = fb.bin(BinOp::Add, Ty::I32, c, Operand::imm(1));
+    fb.store(Ty::I32, c1, MemRef::global_at(g_tbl, idx, 0));
+    let len = fb.load(Ty::I16, MemRef::pkt(PktField::IpLen));
+    let len32 = fb.cast(CastOp::Zext, Ty::I16, Ty::I32, len);
+    let b = fb.load(Ty::I32, MemRef::global_at(g_tbl, idx, 4));
+    let b1 = fb.bin(BinOp::Add, Ty::I32, b, len32);
+    fb.store(Ty::I32, b1, MemRef::global_at(g_tbl, idx, 4));
+    let tot = fb.load(Ty::I32, MemRef::global(g_total));
+    let tot1 = fb.bin(BinOp::Add, Ty::I32, tot, Operand::imm(1));
+    fb.store(Ty::I32, tot1, MemRef::global(g_total));
+    let tb = fb.load(Ty::I32, MemRef::global(g_bytes));
+    let tb1 = fb.bin(BinOp::Add, Ty::I32, tb, len32);
+    fb.store(Ty::I32, tb1, MemRef::global(g_bytes));
+    send_ret(&mut fb, 0);
+    m.funcs.push(fb.finish());
+    NfElement {
+        module: m,
+        meta: ElementMeta {
+            name: "aggcounter",
+            paper_loc: 95,
+            stateful: true,
+            insights: vec![
+                InsightClass::Prediction,
+                InsightClass::ScaleOut,
+                InsightClass::Coalescing,
+            ],
+            description: "per-destination aggregate counters",
+        },
+    }
+}
+
+/// `timefilter`: rate-limits flows by minimum inter-packet gap.
+pub fn timefilter() -> NfElement {
+    let mut m = Module::new("timefilter");
+    let g_seen = m.add_global("last_seen", StateKind::HashMap, 16, 4096);
+    let g_window = m.add_global("window", StateKind::Scalar, 4, 1);
+    let g_pass = m.add_global("passed", StateKind::Scalar, 4, 1);
+    let g_filt = m.add_global("filtered", StateKind::Scalar, 4, 1);
+
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    let hit = fb.block();
+    let too_soon = fb.block();
+    let pass = fb.block();
+    let miss = fb.block();
+    fb.switch_to(entry);
+    let _ = fb.call(ApiCall::IpHeader, vec![]);
+    let key = flow_key(&mut fb);
+    let now = fb.call(ApiCall::Timestamp, vec![]).expect("has result");
+    let found = fb
+        .call(ApiCall::HashMapFind(g_seen), vec![key])
+        .expect("has result");
+    let is_hit = fb.icmp(Pred::Ne, Ty::I32, found, Operand::imm(0));
+    fb.cond_br(is_hit, hit, miss);
+
+    fb.switch_to(hit);
+    let slot = slot_index(&mut fb, found);
+    let last = fb.load(Ty::I32, MemRef::global_at(g_seen, slot, 8));
+    let delta = fb.bin(BinOp::Sub, Ty::I32, now, last);
+    let window = fb.load(Ty::I32, MemRef::global(g_window));
+    let soon = fb.icmp(Pred::ULt, Ty::I32, delta, window);
+    fb.cond_br(soon, too_soon, pass);
+
+    fb.switch_to(too_soon);
+    let f = fb.load(Ty::I32, MemRef::global(g_filt));
+    let f1 = fb.bin(BinOp::Add, Ty::I32, f, Operand::imm(1));
+    fb.store(Ty::I32, f1, MemRef::global(g_filt));
+    drop_ret(&mut fb);
+
+    fb.switch_to(pass);
+    let slot2 = slot_index(&mut fb, found);
+    fb.store(Ty::I32, now, MemRef::global_at(g_seen, slot2, 8));
+    let p = fb.load(Ty::I32, MemRef::global(g_pass));
+    let p1 = fb.bin(BinOp::Add, Ty::I32, p, Operand::imm(1));
+    fb.store(Ty::I32, p1, MemRef::global(g_pass));
+    send_ret(&mut fb, 0);
+
+    fb.switch_to(miss);
+    let ins = fb
+        .call(ApiCall::HashMapInsert(g_seen), vec![key])
+        .expect("has result");
+    let islot = slot_index(&mut fb, ins);
+    fb.store(Ty::I32, now, MemRef::global_at(g_seen, islot, 8));
+    let p = fb.load(Ty::I32, MemRef::global(g_pass));
+    let p1 = fb.bin(BinOp::Add, Ty::I32, p, Operand::imm(1));
+    fb.store(Ty::I32, p1, MemRef::global(g_pass));
+    send_ret(&mut fb, 0);
+    m.funcs.push(fb.finish());
+    NfElement {
+        module: m,
+        meta: ElementMeta {
+            name: "timefilter",
+            paper_loc: 153,
+            stateful: true,
+            insights: vec![
+                InsightClass::Prediction,
+                InsightClass::ScaleOut,
+                InsightClass::Coalescing,
+            ],
+            description: "per-flow inter-arrival rate limiter",
+        },
+    }
+}
+
+/// `webtcp`: web-server-side TCP bookkeeping over many scalar globals
+/// (a coalescing-experiment element, Figure 13's `webtcp`).
+pub fn webtcp() -> NfElement {
+    let mut m = Module::new("webtcp");
+    let g_seq = m.add_global("cur_seq", StateKind::Scalar, 4, 1);
+    let g_ack = m.add_global("cur_ack", StateKind::Scalar, 4, 1);
+    let g_sent = m.add_global("bytes_sent", StateKind::Scalar, 4, 1);
+    let g_recv = m.add_global("bytes_recv", StateKind::Scalar, 4, 1);
+    let g_req = m.add_global("req_count", StateKind::Scalar, 4, 1);
+    let g_resp = m.add_global("resp_count", StateKind::Scalar, 4, 1);
+    let g_err = m.add_global("err_count", StateKind::Scalar, 4, 1);
+
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    let tcp = fb.block();
+    let request = fb.block();
+    let other = fb.block();
+    let bad = fb.block();
+    fb.switch_to(entry);
+    let ok = fb.call(ApiCall::TcpHeader, vec![]).expect("has result");
+    let is_tcp = fb.icmp(Pred::Ne, Ty::I32, ok, Operand::imm(0));
+    fb.cond_br(is_tcp, tcp, bad);
+
+    fb.switch_to(tcp);
+    let seq = fb.load(Ty::I32, MemRef::pkt(PktField::TcpSeq));
+    let ackn = fb.load(Ty::I32, MemRef::pkt(PktField::TcpAck));
+    fb.store(Ty::I32, seq, MemRef::global(g_seq));
+    fb.store(Ty::I32, ackn, MemRef::global(g_ack));
+    let len = fb.load(Ty::I16, MemRef::pkt(PktField::IpLen));
+    let len32 = fb.cast(CastOp::Zext, Ty::I16, Ty::I32, len);
+    let rcv = fb.load(Ty::I32, MemRef::global(g_recv));
+    let rcv1 = fb.bin(BinOp::Add, Ty::I32, rcv, len32);
+    fb.store(Ty::I32, rcv1, MemRef::global(g_recv));
+    let dport = fb.load(Ty::I16, MemRef::pkt(PktField::TcpDport));
+    let is_http = fb.icmp(Pred::Eq, Ty::I16, dport, Operand::imm(80));
+    fb.cond_br(is_http, request, other);
+
+    fb.switch_to(request);
+    let rq = fb.load(Ty::I32, MemRef::global(g_req));
+    let rq1 = fb.bin(BinOp::Add, Ty::I32, rq, Operand::imm(1));
+    fb.store(Ty::I32, rq1, MemRef::global(g_req));
+    let rs = fb.load(Ty::I32, MemRef::global(g_resp));
+    let rs1 = fb.bin(BinOp::Add, Ty::I32, rs, Operand::imm(1));
+    fb.store(Ty::I32, rs1, MemRef::global(g_resp));
+    let snt = fb.load(Ty::I32, MemRef::global(g_sent));
+    let snt1 = fb.bin(BinOp::Add, Ty::I32, snt, Operand::imm(1460));
+    fb.store(Ty::I32, snt1, MemRef::global(g_sent));
+    send_ret(&mut fb, 0);
+
+    fb.switch_to(other);
+    send_ret(&mut fb, 1);
+
+    fb.switch_to(bad);
+    let e = fb.load(Ty::I32, MemRef::global(g_err));
+    let e1 = fb.bin(BinOp::Add, Ty::I32, e, Operand::imm(1));
+    fb.store(Ty::I32, e1, MemRef::global(g_err));
+    drop_ret(&mut fb);
+    m.funcs.push(fb.finish());
+    NfElement {
+        module: m,
+        meta: ElementMeta {
+            name: "webtcp",
+            paper_loc: 140,
+            stateful: true,
+            insights: vec![InsightClass::Prediction, InsightClass::Coalescing],
+            description: "web-server TCP bookkeeping (coalescing target)",
+        },
+    }
+}
+
+/// Heavy-hitter detection: per-source counters with a report threshold
+/// (Figure 1's `HH` motivation NF).
+pub fn heavy_hitter() -> NfElement {
+    let mut m = Module::new("heavy_hitter");
+    let g_tbl = m.add_global("hh_counters", StateKind::Array, 4, 4096);
+    let g_thresh = m.add_global("threshold", StateKind::Scalar, 4, 1);
+    let g_heavy = m.add_global("heavy_count", StateKind::Scalar, 4, 1);
+
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    let heavy = fb.block();
+    let light = fb.block();
+    fb.switch_to(entry);
+    let _ = fb.call(ApiCall::IpHeader, vec![]);
+    let src = fb.load(Ty::I32, MemRef::pkt(PktField::IpSrc));
+    let h = fb.bin(BinOp::Mul, Ty::I32, src, Operand::imm(0x85eb_ca6b));
+    let h2 = fb.bin(BinOp::LShr, Ty::I32, h, Operand::imm(20));
+    let idx = fb.bin(BinOp::And, Ty::I32, h2, Operand::imm(4095));
+    let c = fb.load(Ty::I32, MemRef::global_at(g_tbl, idx, 0));
+    let c1 = fb.bin(BinOp::Add, Ty::I32, c, Operand::imm(1));
+    fb.store(Ty::I32, c1, MemRef::global_at(g_tbl, idx, 0));
+    let thr = fb.load(Ty::I32, MemRef::global(g_thresh));
+    let thr_eff = fb.bin(BinOp::Or, Ty::I32, thr, Operand::imm(1024));
+    let over = fb.icmp(Pred::UGt, Ty::I32, c1, thr_eff);
+    fb.cond_br(over, heavy, light);
+
+    fb.switch_to(heavy);
+    let hv = fb.load(Ty::I32, MemRef::global(g_heavy));
+    let hv1 = fb.bin(BinOp::Add, Ty::I32, hv, Operand::imm(1));
+    fb.store(Ty::I32, hv1, MemRef::global(g_heavy));
+    send_ret(&mut fb, 1);
+
+    fb.switch_to(light);
+    send_ret(&mut fb, 0);
+    m.funcs.push(fb.finish());
+    NfElement {
+        module: m,
+        meta: ElementMeta {
+            name: "heavy_hitter",
+            paper_loc: 90,
+            stateful: true,
+            insights: vec![InsightClass::Prediction, InsightClass::ScaleOut],
+            description: "heavy-hitter detection (Figure 1 HH)",
+        },
+    }
+}
+
+/// Stateful firewall: SYN packets consult a rule array, established flows
+/// hit a flow table (Figure 1's `FW` motivation NF).
+pub fn firewall() -> NfElement {
+    firewall_with_rules(64)
+}
+
+/// [`firewall`] with a configurable rule count.
+pub fn firewall_with_rules(rules: u32) -> NfElement {
+    let mut m = Module::new("firewall");
+    let g_flows = m.add_global("fw_flows", StateKind::HashMap, 16, 8192);
+    let g_rules = m.add_global("fw_rules", StateKind::Array, 8, rules.max(1));
+    let g_drop = m.add_global("dropped", StateKind::Scalar, 4, 1);
+
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    let syn_path = fb.block();
+    let loop_head = fb.block();
+    let loop_body = fb.block();
+    let loop_next = fb.block();
+    let allow = fb.block();
+    let deny = fb.block();
+    let est_path = fb.block();
+    let est_hit = fb.block();
+    fb.switch_to(entry);
+    let _ = fb.call(ApiCall::IpHeader, vec![]);
+    let flags = fb.load(Ty::I8, MemRef::pkt(PktField::TcpFlags));
+    let syn = fb.bin(BinOp::And, Ty::I8, flags, Operand::imm(0x02));
+    let is_syn = fb.icmp(Pred::Ne, Ty::I8, syn, Operand::imm(0));
+    fb.cond_br(is_syn, syn_path, est_path);
+
+    // SYN: scan the rule table for a matching source prefix.
+    fb.switch_to(syn_path);
+    let src = fb.load(Ty::I32, MemRef::pkt(PktField::IpSrc));
+    let pfx = fb.bin(BinOp::LShr, Ty::I32, src, Operand::imm(12));
+    fb.br(loop_head);
+
+    fb.switch_to(loop_head);
+    let i = fb.phi(
+        Ty::I32,
+        vec![(syn_path, Operand::imm(0)), (loop_next, Operand::imm(0))],
+    );
+    // (The phi's loop_next incoming is patched below once i_next exists;
+    //  FunctionBuilder has no forward references, so re-derive instead.)
+    let in_range = fb.icmp(Pred::ULt, Ty::I32, i, Operand::imm(i64::from(rules.max(1))));
+    fb.cond_br(in_range, loop_body, deny);
+
+    fb.switch_to(loop_body);
+    let rule = fb.load(Ty::I32, MemRef::global_at(g_rules, i, 0));
+    let matches = fb.icmp(Pred::Eq, Ty::I32, rule, pfx);
+    fb.cond_br(matches, allow, loop_next);
+
+    fb.switch_to(loop_next);
+    let _i_next = fb.bin(BinOp::Add, Ty::I32, i, Operand::imm(1));
+    fb.br(loop_head);
+
+    fb.switch_to(allow);
+    let key = flow_key(&mut fb);
+    let ins = fb
+        .call(ApiCall::HashMapInsert(g_flows), vec![key])
+        .expect("has result");
+    let islot = slot_index(&mut fb, ins);
+    fb.store(
+        Ty::I32,
+        Operand::imm(1),
+        MemRef::global_at(g_flows, islot, 8),
+    );
+    send_ret(&mut fb, 0);
+
+    fb.switch_to(deny);
+    let d = fb.load(Ty::I32, MemRef::global(g_drop));
+    let d1 = fb.bin(BinOp::Add, Ty::I32, d, Operand::imm(1));
+    fb.store(Ty::I32, d1, MemRef::global(g_drop));
+    drop_ret(&mut fb);
+
+    // Established: flow-table lookup.
+    fb.switch_to(est_path);
+    let key2 = flow_key(&mut fb);
+    let found = fb
+        .call(ApiCall::HashMapFind(g_flows), vec![key2])
+        .expect("has result");
+    let hit = fb.icmp(Pred::Ne, Ty::I32, found, Operand::imm(0));
+    fb.cond_br(hit, est_hit, deny);
+
+    fb.switch_to(est_hit);
+    let slot = slot_index(&mut fb, found);
+    let cnt = fb.load(Ty::I32, MemRef::global_at(g_flows, slot, 8));
+    let cnt1 = fb.bin(BinOp::Add, Ty::I32, cnt, Operand::imm(1));
+    fb.store(Ty::I32, cnt1, MemRef::global_at(g_flows, slot, 8));
+    send_ret(&mut fb, 0);
+
+    let mut f = fb.finish();
+    // Patch the loop phi to carry the incremented counter (the builder has
+    // no forward references, so the phi was created with a placeholder).
+    patch_loop_phi(&mut f, loop_head, loop_next);
+    m.funcs.push(f);
+    NfElement {
+        module: m,
+        meta: ElementMeta {
+            name: "firewall",
+            paper_loc: 180,
+            stateful: true,
+            insights: vec![
+                InsightClass::Prediction,
+                InsightClass::ScaleOut,
+                InsightClass::Placement,
+            ],
+            description: "stateful firewall with rule scan (Figure 1 FW)",
+        },
+    }
+}
+
+/// Replaces the placeholder incoming value of the first phi in
+/// `loop_head` (for predecessor `latch`) with the last value defined in
+/// `latch` — the standard induction-variable wiring.
+pub(crate) fn patch_loop_phi(
+    f: &mut nf_ir::Function,
+    loop_head: nf_ir::BlockId,
+    latch: nf_ir::BlockId,
+) {
+    let latch_val = f.blocks[latch.index()]
+        .insts
+        .iter()
+        .rev()
+        .find_map(|i| i.dst())
+        .expect("latch defines the next induction value");
+    if let Some(nf_ir::Inst::Phi { incomings, .. }) = f.blocks[loop_head.index()].insts.first_mut()
+    {
+        for (bb, v) in incomings.iter_mut() {
+            if *bb == latch {
+                *v = nf_ir::Operand::Value(latch_val);
+            }
+        }
+    }
+}
+
+/// DPI: scans payload words for a signature up to a configurable depth
+/// (Figure 1's `DPI` motivation NF — cost scales with packet size).
+pub fn dpi() -> NfElement {
+    dpi_with_depth(256)
+}
+
+/// [`dpi`] with a configurable scan depth in bytes.
+pub fn dpi_with_depth(depth: u16) -> NfElement {
+    let mut m = Module::new("dpi");
+    let g_hits = m.add_global("sig_hits", StateKind::Scalar, 4, 1);
+    let g_scanned = m.add_global("bytes_scanned", StateKind::Scalar, 4, 1);
+
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    let loop_head = fb.block();
+    let loop_body = fb.block();
+    let found = fb.block();
+    let loop_next = fb.block();
+    let done = fb.block();
+    fb.switch_to(entry);
+    let _ = fb.call(ApiCall::IpHeader, vec![]);
+    let len = fb.call(ApiCall::PktLen, vec![]).expect("has result");
+    let pay = fb.bin(BinOp::Sub, Ty::I32, len, Operand::imm(54));
+    let deep = fb.icmp(Pred::UGt, Ty::I32, pay, Operand::imm(i64::from(depth)));
+    let limit = fb.select(Ty::I32, deep, Operand::imm(i64::from(depth)), pay);
+    fb.br(loop_head);
+
+    fb.switch_to(loop_head);
+    let off = fb.phi(
+        Ty::I32,
+        vec![(entry, Operand::imm(0)), (loop_next, Operand::imm(0))],
+    );
+    let more = fb.icmp(Pred::ULt, Ty::I32, off, limit);
+    fb.cond_br(more, loop_body, done);
+
+    fb.switch_to(loop_body);
+    // The interpreter reads payload words at fixed offsets; scanning uses
+    // a strided window of probes (every 4 bytes up to the depth).
+    let w0 = fb.load(Ty::I32, MemRef::pkt(PktField::Payload(0)));
+    let mixed = fb.bin(BinOp::Xor, Ty::I32, w0, off);
+    let masked = fb.bin(BinOp::And, Ty::I32, mixed, Operand::imm(0xffff));
+    let is_sig = fb.icmp(Pred::Eq, Ty::I32, masked, Operand::imm(0x4e46));
+    fb.cond_br(is_sig, found, loop_next);
+
+    fb.switch_to(found);
+    let hits = fb.load(Ty::I32, MemRef::global(g_hits));
+    let hits1 = fb.bin(BinOp::Add, Ty::I32, hits, Operand::imm(1));
+    fb.store(Ty::I32, hits1, MemRef::global(g_hits));
+    fb.br(loop_next);
+
+    fb.switch_to(loop_next);
+    let _off_next = fb.bin(BinOp::Add, Ty::I32, off, Operand::imm(4));
+    fb.br(loop_head);
+
+    fb.switch_to(done);
+    let sc = fb.load(Ty::I32, MemRef::global(g_scanned));
+    let sc1 = fb.bin(BinOp::Add, Ty::I32, sc, limit);
+    fb.store(Ty::I32, sc1, MemRef::global(g_scanned));
+    send_ret(&mut fb, 0);
+
+    let mut f = fb.finish();
+    patch_loop_phi(&mut f, loop_head, loop_next);
+    m.funcs.push(f);
+    NfElement {
+        module: m,
+        meta: ElementMeta {
+            name: "dpi",
+            paper_loc: 110,
+            stateful: true,
+            insights: vec![InsightClass::Prediction, InsightClass::ScaleOut],
+            description: "payload signature scan (Figure 1 DPI)",
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Machine;
+    use nf_ir::GlobalId;
+    use trafgen::{Trace, WorkloadSpec};
+
+    #[test]
+    fn tcpgen_counts_good_and_bad() {
+        let e = tcpgen();
+        let mut m = Machine::new(&e.module).unwrap();
+        let spec = WorkloadSpec {
+            tcp_ratio: 1.0,
+            syn_ratio: 0.0,
+            ..WorkloadSpec::large_flows().with_flows(2)
+        };
+        let trace = Trace::generate(&spec, 30, 1);
+        for p in &trace.pkts {
+            m.run(p).unwrap();
+        }
+        let good = m.state.load(GlobalId(6), 0, 0, 4);
+        let bad = m.state.load(GlobalId(7), 0, 0, 4);
+        assert_eq!(good + bad, 30);
+        assert!(good >= 2, "at least the SYNs count as good, got {good}");
+    }
+
+    #[test]
+    fn aggcounter_totals_match_packet_count() {
+        let e = aggcounter();
+        let mut m = Machine::new(&e.module).unwrap();
+        let trace = Trace::generate(&WorkloadSpec::large_flows(), 25, 2);
+        for p in &trace.pkts {
+            m.run(p).unwrap();
+        }
+        assert_eq!(m.state.load(GlobalId(1), 0, 0, 4), 25);
+        assert!(m.state.load(GlobalId(2), 0, 0, 4) > 0);
+    }
+
+    #[test]
+    fn timefilter_filters_rapid_repeats() {
+        let e = timefilter();
+        let mut machine = Machine::new(&e.module).unwrap();
+        // Window = 5 ticks; a single flow sending every tick gets filtered.
+        machine.state.store(GlobalId(1), 0, 0, 4, 5);
+        let spec = WorkloadSpec::large_flows().with_flows(1);
+        let trace = Trace::generate(&spec, 20, 3);
+        for p in &trace.pkts {
+            machine.run(p).unwrap();
+        }
+        let passed = machine.state.load(GlobalId(2), 0, 0, 4);
+        let filtered = machine.state.load(GlobalId(3), 0, 0, 4);
+        assert_eq!(passed + filtered, 20);
+        assert!(filtered > 10, "expected most packets filtered: {filtered}");
+    }
+
+    #[test]
+    fn firewall_admits_only_rule_matched_flows() {
+        let e = firewall_with_rules(16);
+        let mut machine = Machine::new(&e.module).unwrap();
+        let spec = WorkloadSpec {
+            tcp_ratio: 1.0,
+            syn_ratio: 0.0,
+            ..WorkloadSpec::large_flows().with_flows(4)
+        };
+        let trace = Trace::generate(&spec, 40, 4);
+        // All generated sources share a /20 prefix; install a rule for it.
+        let pfx = u64::from(trace.pkts[0].flow.src_ip >> 12);
+        machine.state.store(GlobalId(1), 3, 0, 4, pfx);
+        let count_verdicts = |machine: &mut Machine| {
+            let mut sent = 0;
+            let mut dropped = 0;
+            for p in &trace.pkts {
+                let mut view = crate::PacketView::new(p);
+                machine.run_view(&mut view).unwrap();
+                match view.verdict {
+                    Some(crate::packet::Verdict::Sent(_)) => sent += 1,
+                    Some(crate::packet::Verdict::Dropped) => dropped += 1,
+                    None => {}
+                }
+            }
+            (sent, dropped)
+        };
+        let (sent, dropped) = count_verdicts(&mut machine);
+        assert_eq!(sent, 40, "rule-matched flows should all pass");
+        assert_eq!(dropped, 0);
+        // Without any rules, every flow is denied.
+        let mut bare = Machine::new(&e.module).unwrap();
+        let (sent, dropped) = count_verdicts(&mut bare);
+        assert_eq!(sent, 0);
+        assert_eq!(dropped, 40);
+    }
+
+    #[test]
+    fn dpi_scans_more_bytes_for_larger_packets() {
+        let e = dpi_with_depth(512);
+        let mut small_m = Machine::new(&e.module).unwrap();
+        let mut large_m = Machine::new(&e.module).unwrap();
+        let small = Trace::generate(&WorkloadSpec::large_flows().with_pkt_size(64), 5, 5);
+        let large = Trace::generate(&WorkloadSpec::large_flows().with_pkt_size(1400), 5, 5);
+        let mut small_steps = 0;
+        let mut large_steps = 0;
+        for p in &small.pkts {
+            small_steps += small_m.run(p).unwrap().steps;
+        }
+        for p in &large.pkts {
+            large_steps += large_m.run(p).unwrap().steps;
+        }
+        assert!(
+            large_steps > 3 * small_steps,
+            "large {large_steps} vs small {small_steps}"
+        );
+    }
+
+    #[test]
+    fn heavy_hitter_flags_hot_sources() {
+        let e = heavy_hitter();
+        let mut machine = Machine::new(&e.module).unwrap();
+        // One flow sends everything → exceeds the default 1024 threshold.
+        let spec = WorkloadSpec::large_flows().with_flows(1);
+        let trace = Trace::generate(&spec, 1500, 6);
+        for p in &trace.pkts {
+            machine.run(p).unwrap();
+        }
+        let heavy = machine.state.load(GlobalId(2), 0, 0, 4);
+        assert!(heavy > 400, "heavy count {heavy}");
+    }
+}

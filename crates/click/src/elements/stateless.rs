@@ -1,0 +1,333 @@
+//! Stateless header-manipulation elements (top rows of Table 2).
+
+use nf_ir::{ApiCall, BinOp, CastOp, FunctionBuilder, MemRef, Module, Operand, PktField, Pred, Ty};
+
+use super::helpers::{csum_send_ret, drop_ret, send_ret};
+use crate::element::{ElementMeta, InsightClass, NfElement};
+
+fn stateless_meta(name: &'static str, paper_loc: u32, description: &'static str) -> ElementMeta {
+    ElementMeta {
+        name,
+        paper_loc,
+        stateful: false,
+        insights: vec![InsightClass::Prediction, InsightClass::ScaleOut],
+        description,
+    }
+}
+
+/// `anonipaddr`: prefix-preserving IP address anonymization.
+///
+/// Mixes both addresses through xor/shift rounds, keeping the top octet —
+/// pure per-packet computation, the paper's canonical stateless element.
+pub fn anonipaddr() -> NfElement {
+    let mut m = Module::new("anonipaddr");
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    fb.switch_to(entry);
+    let _ = fb.call(ApiCall::IpHeader, vec![]);
+    let src = fb.load(Ty::I32, MemRef::pkt(PktField::IpSrc));
+    let dst = fb.load(Ty::I32, MemRef::pkt(PktField::IpDst));
+    // Three mixing rounds per address (keeps the /8 prefix).
+    let mut anon = Vec::new();
+    for addr in [src, dst] {
+        let prefix = fb.bin(BinOp::And, Ty::I32, addr, Operand::imm(0xff00_0000));
+        let low = fb.bin(BinOp::And, Ty::I32, addr, Operand::imm(0x00ff_ffff));
+        let mut x = low;
+        for round in 0..3 {
+            let mul = fb.bin(BinOp::Mul, Ty::I32, x, Operand::imm(0x9e37 + round));
+            let sh = fb.bin(BinOp::LShr, Ty::I32, mul, Operand::imm(11));
+            x = fb.bin(BinOp::Xor, Ty::I32, mul, sh);
+        }
+        let low2 = fb.bin(BinOp::And, Ty::I32, x, Operand::imm(0x00ff_ffff));
+        anon.push(fb.bin(BinOp::Or, Ty::I32, prefix, low2));
+    }
+    fb.store(Ty::I32, anon[0], MemRef::pkt(PktField::IpSrc));
+    fb.store(Ty::I32, anon[1], MemRef::pkt(PktField::IpDst));
+    csum_send_ret(&mut fb, 0);
+    m.funcs.push(fb.finish());
+    NfElement {
+        module: m,
+        meta: stateless_meta("anonipaddr", 93, "prefix-preserving IP anonymizer"),
+    }
+}
+
+/// `tcpack`: acknowledges TCP segments (swap endpoints, bump ack).
+pub fn tcpack() -> NfElement {
+    let mut m = Module::new("tcpack");
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    let is_tcp = fb.block();
+    let not_tcp = fb.block();
+    fb.switch_to(entry);
+    let _ = fb.call(ApiCall::IpHeader, vec![]);
+    let tcp_ok = fb.call(ApiCall::TcpHeader, vec![]).expect("has result");
+    let c = fb.icmp(Pred::Ne, Ty::I32, tcp_ok, Operand::imm(0));
+    fb.cond_br(c, is_tcp, not_tcp);
+
+    fb.switch_to(is_tcp);
+    let seq = fb.load(Ty::I32, MemRef::pkt(PktField::TcpSeq));
+    let len = fb.load(Ty::I16, MemRef::pkt(PktField::IpLen));
+    let len32 = fb.cast(CastOp::Zext, Ty::I16, Ty::I32, len);
+    // payload = ip_len - 40 (header sizes); ack = seq + payload.
+    let payload = fb.bin(BinOp::Sub, Ty::I32, len32, Operand::imm(40));
+    let ack = fb.bin(BinOp::Add, Ty::I32, seq, payload);
+    // Swap ports using two stack temporaries (Table 2: 2 memory slots).
+    let s0 = fb.slot();
+    let s1 = fb.slot();
+    let sport = fb.load(Ty::I16, MemRef::pkt(PktField::TcpSport));
+    let dport = fb.load(Ty::I16, MemRef::pkt(PktField::TcpDport));
+    fb.store(Ty::I16, sport, MemRef::stack(s0));
+    fb.store(Ty::I16, dport, MemRef::stack(s1));
+    let t0 = fb.load(Ty::I16, MemRef::stack(s1));
+    let t1 = fb.load(Ty::I16, MemRef::stack(s0));
+    fb.store(Ty::I16, t0, MemRef::pkt(PktField::TcpSport));
+    fb.store(Ty::I16, t1, MemRef::pkt(PktField::TcpDport));
+    fb.store(Ty::I32, ack, MemRef::pkt(PktField::TcpAck));
+    let flags = fb.load(Ty::I8, MemRef::pkt(PktField::TcpFlags));
+    let withack = fb.bin(BinOp::Or, Ty::I8, flags, Operand::imm(0x10));
+    fb.store(Ty::I8, withack, MemRef::pkt(PktField::TcpFlags));
+    csum_send_ret(&mut fb, 0);
+
+    fb.switch_to(not_tcp);
+    send_ret(&mut fb, 1);
+    m.funcs.push(fb.finish());
+    NfElement {
+        module: m,
+        meta: stateless_meta("tcpack", 68, "TCP acknowledgement generator"),
+    }
+}
+
+/// `udpipencap`: encapsulates packets in a fresh IP/UDP header.
+pub fn udpipencap() -> NfElement {
+    let mut m = Module::new("udpipencap");
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    fb.switch_to(entry);
+    let _ = fb.call(ApiCall::EthHeader, vec![]);
+    let len = fb.call(ApiCall::PktLen, vec![]).expect("has result");
+    let len16 = fb.cast(CastOp::Trunc, Ty::I32, Ty::I16, len);
+    // New outer lengths.
+    let ip_len = fb.bin(BinOp::Add, Ty::I16, len16, Operand::imm(28));
+    let udp_len = fb.bin(BinOp::Add, Ty::I16, len16, Operand::imm(8));
+    // Write the 9 header fields of the encapsulation (Table 2: 9 mem ops).
+    fb.store(Ty::I8, Operand::imm(0x45), MemRef::pkt(PktField::IpVhl));
+    fb.store(Ty::I8, Operand::imm(0), MemRef::pkt(PktField::IpTos));
+    fb.store(Ty::I16, ip_len, MemRef::pkt(PktField::IpLen));
+    fb.store(Ty::I8, Operand::imm(64), MemRef::pkt(PktField::IpTtl));
+    fb.store(Ty::I8, Operand::imm(17), MemRef::pkt(PktField::IpProto));
+    fb.store(
+        Ty::I32,
+        Operand::imm(0x0a00_0001),
+        MemRef::pkt(PktField::IpSrc),
+    );
+    fb.store(
+        Ty::I32,
+        Operand::imm(0x0a00_0002),
+        MemRef::pkt(PktField::IpDst),
+    );
+    fb.store(Ty::I16, Operand::imm(5555), MemRef::pkt(PktField::UdpSport));
+    fb.store(Ty::I16, udp_len, MemRef::pkt(PktField::UdpLen));
+    csum_send_ret(&mut fb, 0);
+    m.funcs.push(fb.finish());
+    NfElement {
+        module: m,
+        meta: stateless_meta("udpipencap", 87, "IP/UDP encapsulation"),
+    }
+}
+
+/// `forcetcp`: coerces packets into well-formed TCP (fix offsets/flags).
+pub fn forcetcp() -> NfElement {
+    let mut m = Module::new("forcetcp");
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    let fix = fb.block();
+    let short = fb.block();
+    let flag_fix = fb.block();
+    let done = fb.block();
+    fb.switch_to(entry);
+    let _ = fb.call(ApiCall::IpHeader, vec![]);
+    let len = fb.load(Ty::I16, MemRef::pkt(PktField::IpLen));
+    let big_enough = fb.icmp(Pred::UGe, Ty::I16, len, Operand::imm(40));
+    fb.cond_br(big_enough, fix, short);
+
+    fb.switch_to(fix);
+    fb.store(Ty::I8, Operand::imm(6), MemRef::pkt(PktField::IpProto));
+    // Recompute the data offset from ip header length bits.
+    let vhl = fb.load(Ty::I8, MemRef::pkt(PktField::IpVhl));
+    let ihl = fb.bin(BinOp::And, Ty::I8, vhl, Operand::imm(0x0f));
+    let ihl_bytes = fb.bin(BinOp::Shl, Ty::I8, ihl, Operand::imm(2));
+    let s0 = fb.slot();
+    fb.store(Ty::I8, ihl_bytes, MemRef::stack(s0));
+    let off = fb.bin(BinOp::Shl, Ty::I8, Operand::imm(5), Operand::imm(4));
+    fb.store(Ty::I8, off, MemRef::pkt(PktField::TcpOff));
+    let flags = fb.load(Ty::I8, MemRef::pkt(PktField::TcpFlags));
+    // SYN and FIN together are invalid; strip FIN if both set.
+    let synfin = fb.bin(BinOp::And, Ty::I8, flags, Operand::imm(0x03));
+    let both = fb.icmp(Pred::Eq, Ty::I8, synfin, Operand::imm(0x03));
+    fb.cond_br(both, flag_fix, done);
+
+    fb.switch_to(flag_fix);
+    let cleared = fb.bin(BinOp::And, Ty::I8, flags, Operand::imm(0xfe));
+    fb.store(Ty::I8, cleared, MemRef::pkt(PktField::TcpFlags));
+    fb.br(done);
+
+    fb.switch_to(done);
+    // Clamp the window to a sane maximum.
+    let win = fb.load(Ty::I16, MemRef::pkt(PktField::TcpWin));
+    let too_big = fb.icmp(Pred::UGt, Ty::I16, win, Operand::imm(0x4000));
+    let clamped = fb.select(Ty::I16, too_big, Operand::imm(0x4000), win);
+    fb.store(Ty::I16, clamped, MemRef::pkt(PktField::TcpWin));
+    csum_send_ret(&mut fb, 0);
+
+    fb.switch_to(short);
+    drop_ret(&mut fb);
+    m.funcs.push(fb.finish());
+    NfElement {
+        module: m,
+        meta: stateless_meta("forcetcp", 126, "coerce packets into valid TCP"),
+    }
+}
+
+/// `tcpresp`: crafts a TCP response (SYN→SYN/ACK, else ACK echo).
+pub fn tcpresp() -> NfElement {
+    let mut m = Module::new("tcpresp");
+    let mut fb = FunctionBuilder::new("process");
+    let entry = fb.entry_block();
+    let is_tcp = fb.block();
+    let syn_path = fb.block();
+    let ack_path = fb.block();
+    let respond = fb.block();
+    let not_tcp = fb.block();
+    fb.switch_to(entry);
+    let _ = fb.call(ApiCall::IpHeader, vec![]);
+    let tcp_ok = fb.call(ApiCall::TcpHeader, vec![]).expect("has result");
+    let c = fb.icmp(Pred::Ne, Ty::I32, tcp_ok, Operand::imm(0));
+    fb.cond_br(c, is_tcp, not_tcp);
+
+    fb.switch_to(is_tcp);
+    // Swap addresses and ports (response direction).
+    let src = fb.load(Ty::I32, MemRef::pkt(PktField::IpSrc));
+    let dst = fb.load(Ty::I32, MemRef::pkt(PktField::IpDst));
+    fb.store(Ty::I32, dst, MemRef::pkt(PktField::IpSrc));
+    fb.store(Ty::I32, src, MemRef::pkt(PktField::IpDst));
+    let sport = fb.load(Ty::I16, MemRef::pkt(PktField::TcpSport));
+    let dport = fb.load(Ty::I16, MemRef::pkt(PktField::TcpDport));
+    fb.store(Ty::I16, dport, MemRef::pkt(PktField::TcpSport));
+    fb.store(Ty::I16, sport, MemRef::pkt(PktField::TcpDport));
+    let flags = fb.load(Ty::I8, MemRef::pkt(PktField::TcpFlags));
+    let syn = fb.bin(BinOp::And, Ty::I8, flags, Operand::imm(0x02));
+    let is_syn = fb.icmp(Pred::Ne, Ty::I8, syn, Operand::imm(0));
+    fb.cond_br(is_syn, syn_path, ack_path);
+
+    fb.switch_to(syn_path);
+    let seq = fb.load(Ty::I32, MemRef::pkt(PktField::TcpSeq));
+    let ack = fb.bin(BinOp::Add, Ty::I32, seq, Operand::imm(1));
+    fb.store(Ty::I32, ack, MemRef::pkt(PktField::TcpAck));
+    fb.store(Ty::I8, Operand::imm(0x12), MemRef::pkt(PktField::TcpFlags));
+    // Pick an initial sequence number from the addresses.
+    let iss = fb.bin(BinOp::Xor, Ty::I32, src, Operand::imm(0x1357_9bdf));
+    fb.store(Ty::I32, iss, MemRef::pkt(PktField::TcpSeq));
+    fb.br(respond);
+
+    fb.switch_to(ack_path);
+    let seq2 = fb.load(Ty::I32, MemRef::pkt(PktField::TcpSeq));
+    let len = fb.load(Ty::I16, MemRef::pkt(PktField::IpLen));
+    let len32 = fb.cast(CastOp::Zext, Ty::I16, Ty::I32, len);
+    let pay = fb.bin(BinOp::Sub, Ty::I32, len32, Operand::imm(40));
+    let ack2 = fb.bin(BinOp::Add, Ty::I32, seq2, pay);
+    fb.store(Ty::I32, ack2, MemRef::pkt(PktField::TcpAck));
+    fb.store(Ty::I8, Operand::imm(0x10), MemRef::pkt(PktField::TcpFlags));
+    fb.br(respond);
+
+    fb.switch_to(respond);
+    csum_send_ret(&mut fb, 0);
+
+    fb.switch_to(not_tcp);
+    drop_ret(&mut fb);
+    m.funcs.push(fb.finish());
+    NfElement {
+        module: m,
+        meta: stateless_meta("tcpresp", 124, "TCP responder (SYN/ACK, ACK echo)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Machine;
+    use trafgen::{Trace, WorkloadSpec};
+
+    #[test]
+    fn anonipaddr_rewrites_addresses_preserving_prefix() {
+        let e = anonipaddr();
+        let mut m = Machine::new(&e.module).unwrap();
+        let trace = Trace::generate(&WorkloadSpec::large_flows(), 1, 1);
+        let mut view = crate::PacketView::new(&trace.pkts[0]);
+        let orig_src = view.get(PktField::IpSrc);
+        m.run_view(&mut view).unwrap();
+        let new_src = view.get(PktField::IpSrc);
+        assert_ne!(orig_src, new_src, "address unchanged");
+        assert_eq!(orig_src >> 24, new_src >> 24, "prefix not preserved");
+    }
+
+    #[test]
+    fn tcpack_sets_ack_flag_and_swaps_ports() {
+        let e = tcpack();
+        let mut m = Machine::new(&e.module).unwrap();
+        let spec = WorkloadSpec {
+            tcp_ratio: 1.0,
+            ..WorkloadSpec::large_flows()
+        };
+        let trace = Trace::generate(&spec, 1, 2);
+        let mut view = crate::PacketView::new(&trace.pkts[0]);
+        let sport = view.get(PktField::TcpSport);
+        let dport = view.get(PktField::TcpDport);
+        m.run_view(&mut view).unwrap();
+        assert_eq!(view.get(PktField::TcpSport), dport);
+        assert_eq!(view.get(PktField::TcpDport), sport);
+        assert_ne!(view.get(PktField::TcpFlags) & 0x10, 0);
+    }
+
+    #[test]
+    fn forcetcp_drops_short_packets() {
+        let e = forcetcp();
+        let mut m = Machine::new(&e.module).unwrap();
+        let spec = WorkloadSpec::large_flows().with_pkt_size(64); // ip_len 50 >= 40 → kept
+        let t = Trace::generate(&spec, 1, 3);
+        let mut view = crate::PacketView::new(&t.pkts[0]);
+        m.run_view(&mut view).unwrap();
+        assert_eq!(view.verdict, Some(crate::packet::Verdict::Sent(0)));
+        // Forge a tiny packet by shrinking ip_len below 40.
+        let mut view = crate::PacketView::new(&t.pkts[0]);
+        view.set(PktField::IpLen, 20);
+        m.run_view(&mut view).unwrap();
+        assert_eq!(view.verdict, Some(crate::packet::Verdict::Dropped));
+    }
+
+    #[test]
+    fn tcpresp_turns_syn_into_synack() {
+        let e = tcpresp();
+        let mut m = Machine::new(&e.module).unwrap();
+        let spec = WorkloadSpec {
+            tcp_ratio: 1.0,
+            syn_ratio: 1.0,
+            ..WorkloadSpec::large_flows()
+        };
+        let t = Trace::generate(&spec, 1, 4);
+        let mut view = crate::PacketView::new(&t.pkts[0]);
+        m.run_view(&mut view).unwrap();
+        assert_eq!(view.get(PktField::TcpFlags), 0x12); // SYN|ACK
+    }
+
+    #[test]
+    fn udpipencap_sets_outer_lengths() {
+        let e = udpipencap();
+        let mut m = Machine::new(&e.module).unwrap();
+        let t = Trace::generate(&WorkloadSpec::large_flows().with_pkt_size(100), 1, 5);
+        let mut view = crate::PacketView::new(&t.pkts[0]);
+        m.run_view(&mut view).unwrap();
+        assert_eq!(view.get(PktField::IpLen), 128);
+        assert_eq!(view.get(PktField::UdpLen), 108);
+        assert_eq!(view.get(PktField::IpProto), 17);
+    }
+}

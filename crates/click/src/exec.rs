@@ -1,0 +1,197 @@
+//! Execution traces: what the interpreter records per packet.
+
+use nf_ir::{ApiCall, BlockId, GlobalId};
+use serde::{Deserialize, Serialize};
+
+/// One framework-API event with enough detail for faithful NIC costing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApiEvent {
+    /// Which API was invoked.
+    pub call: ApiCall,
+    /// Number of bucket/entry probes performed (hash map / vector walks).
+    pub probes: u32,
+    /// Whether a lookup hit (find) or an insert found space.
+    pub hit: bool,
+    /// Bytes of packet data processed (checksums, header parses).
+    pub bytes: u32,
+}
+
+/// One event of an execution trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// Entered a basic block.
+    Block(BlockId),
+    /// A load/store to a stateful global.
+    State {
+        /// The global.
+        global: GlobalId,
+        /// Dynamic entry index (0 for scalars).
+        index: u64,
+        /// Byte offset within the entry (identifies the *variable*, which
+        /// drives memory-coalescing analysis).
+        offset: u32,
+        /// Access width in bytes.
+        bytes: u32,
+        /// True for stores.
+        write: bool,
+    },
+    /// A packet-data access (headers or payload).
+    Pkt {
+        /// Access width in bytes.
+        bytes: u32,
+        /// True for stores.
+        write: bool,
+    },
+    /// A framework API call.
+    Api(ApiEvent),
+}
+
+/// Everything recorded while processing one packet.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecTrace {
+    /// Events in program order.
+    pub events: Vec<Event>,
+    /// Total interpreted IR instructions (a step-count sanity metric).
+    pub steps: u64,
+    /// The function's return value, if any.
+    pub ret: Option<u64>,
+}
+
+impl ExecTrace {
+    /// Block-visit sequence (loop iterations appear repeatedly).
+    pub fn block_visits(&self) -> Vec<BlockId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Block(b) => Some(*b),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of stateful accesses (optionally only to one global).
+    pub fn state_access_count(&self, global: Option<GlobalId>) -> usize {
+        self.events
+            .iter()
+            .filter(|e| match e {
+                Event::State { global: g, .. } => global.is_none_or(|want| *g == want),
+                _ => false,
+            })
+            .count()
+    }
+
+    /// All API events.
+    pub fn api_events(&self) -> impl Iterator<Item = &ApiEvent> {
+        self.events.iter().filter_map(|e| match e {
+            Event::Api(a) => Some(a),
+            _ => None,
+        })
+    }
+}
+
+/// Interpreter failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The per-packet step limit was exceeded (runaway loop).
+    StepLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// A value was read before being defined (malformed SSA reached the
+    /// interpreter; `verify` should have caught it).
+    UndefinedValue {
+        /// The value id.
+        value: u32,
+    },
+    /// Branch to a nonexistent block.
+    BadBlock {
+        /// The block id.
+        block: u32,
+    },
+    /// A global id had no storage (module/state mismatch).
+    BadGlobal {
+        /// The global id.
+        global: u32,
+    },
+    /// An API call had the wrong number of arguments.
+    BadApiArity {
+        /// The API name.
+        api: &'static str,
+        /// Arguments supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::StepLimit { limit } => write!(f, "step limit {limit} exceeded"),
+            TraceError::UndefinedValue { value } => write!(f, "undefined value %{value}"),
+            TraceError::BadBlock { block } => write!(f, "branch to nonexistent bb{block}"),
+            TraceError::BadGlobal { global } => write!(f, "no storage for @{global}"),
+            TraceError::BadApiArity { api, got } => {
+                write!(f, "api {api} called with {got} args")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_visits_filters_events() {
+        let t = ExecTrace {
+            events: vec![
+                Event::Block(BlockId(0)),
+                Event::Pkt {
+                    bytes: 2,
+                    write: false,
+                },
+                Event::Block(BlockId(1)),
+                Event::Block(BlockId(1)),
+            ],
+            steps: 4,
+            ret: None,
+        };
+        assert_eq!(t.block_visits(), vec![BlockId(0), BlockId(1), BlockId(1)]);
+    }
+
+    #[test]
+    fn state_access_count_filters_by_global() {
+        let t = ExecTrace {
+            events: vec![
+                Event::State {
+                    global: GlobalId(0),
+                    index: 0,
+                    offset: 0,
+                    bytes: 4,
+                    write: false,
+                },
+                Event::State {
+                    global: GlobalId(1),
+                    index: 2,
+                    offset: 4,
+                    bytes: 4,
+                    write: true,
+                },
+            ],
+            steps: 2,
+            ret: None,
+        };
+        assert_eq!(t.state_access_count(None), 2);
+        assert_eq!(t.state_access_count(Some(GlobalId(1))), 1);
+        assert_eq!(t.state_access_count(Some(GlobalId(9))), 0);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(
+            TraceError::StepLimit { limit: 10 }.to_string(),
+            "step limit 10 exceeded"
+        );
+    }
+}

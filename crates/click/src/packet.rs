@@ -1,0 +1,188 @@
+//! Mutable packet header views.
+
+use std::collections::HashMap;
+
+use nf_ir::PktField;
+use trafgen::{Packet, Proto};
+
+/// A mutable view of one packet's header fields and payload.
+///
+/// Header fields are materialized from the immutable trace packet on
+/// construction; NF code can then read and rewrite them (NAT address
+/// rewriting, TTL decrements, checksum patches). Payload bytes are
+/// generated lazily from the packet's deterministic seed, with a sparse
+/// overlay for writes.
+#[derive(Debug, Clone)]
+pub struct PacketView {
+    /// The underlying trace packet.
+    pub base: Packet,
+    fields: HashMap<PktField, u64>,
+    payload_overlay: HashMap<u16, u8>,
+    /// Output port chosen by `pkt_send` (None until sent/dropped).
+    pub verdict: Option<Verdict>,
+}
+
+/// What the NF decided to do with the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Forwarded to an output port.
+    Sent(u16),
+    /// Dropped.
+    Dropped,
+}
+
+impl PacketView {
+    /// Builds the view, materializing header fields from the trace packet.
+    pub fn new(pkt: &Packet) -> PacketView {
+        let mut fields = HashMap::new();
+        let f = pkt.flow;
+        let ip_len = u64::from(pkt.size.saturating_sub(14));
+        fields.insert(PktField::EthDst, 0x00aa_bb01);
+        fields.insert(PktField::EthSrc, 0x00cc_dd02);
+        fields.insert(PktField::EthType, 0x0800);
+        fields.insert(PktField::IpVhl, 0x45);
+        fields.insert(PktField::IpTos, 0);
+        fields.insert(PktField::IpLen, ip_len);
+        fields.insert(PktField::IpId, u64::from(pkt.seq & 0xffff));
+        fields.insert(PktField::IpTtl, u64::from(pkt.ttl));
+        fields.insert(PktField::IpProto, u64::from(f.proto.number()));
+        fields.insert(PktField::IpCsum, 0xbeef);
+        fields.insert(PktField::IpSrc, u64::from(f.src_ip));
+        fields.insert(PktField::IpDst, u64::from(f.dst_ip));
+        match f.proto {
+            Proto::Tcp => {
+                fields.insert(PktField::TcpSport, u64::from(f.src_port));
+                fields.insert(PktField::TcpDport, u64::from(f.dst_port));
+                fields.insert(PktField::TcpSeq, u64::from(pkt.seq));
+                fields.insert(PktField::TcpAck, u64::from(pkt.seq.wrapping_add(1)));
+                fields.insert(PktField::TcpOff, 0x50);
+                fields.insert(PktField::TcpFlags, u64::from(pkt.tcp_flags));
+                fields.insert(PktField::TcpWin, 0xffff);
+                fields.insert(PktField::TcpCsum, 0xcafe);
+            }
+            Proto::Udp => {
+                fields.insert(PktField::UdpSport, u64::from(f.src_port));
+                fields.insert(PktField::UdpDport, u64::from(f.dst_port));
+                fields.insert(PktField::UdpLen, u64::from(pkt.size.saturating_sub(34)));
+                fields.insert(PktField::UdpCsum, 0xfeed);
+            }
+        }
+        PacketView {
+            base: *pkt,
+            fields,
+            payload_overlay: HashMap::new(),
+            verdict: None,
+        }
+    }
+
+    /// Reads a header field or payload word (0 for absent fields, e.g.
+    /// TCP fields of a UDP packet).
+    pub fn get(&self, field: PktField) -> u64 {
+        match field {
+            PktField::Payload(off) => {
+                let mut word = 0u64;
+                for i in 0..4u16 {
+                    let b = self
+                        .payload_overlay
+                        .get(&(off + i))
+                        .copied()
+                        .unwrap_or_else(|| self.base.payload_byte(off + i));
+                    word = (word << 8) | u64::from(b);
+                }
+                word
+            }
+            _ => self.fields.get(&field).copied().unwrap_or(0),
+        }
+    }
+
+    /// Writes a header field or payload word.
+    pub fn set(&mut self, field: PktField, value: u64) {
+        match field {
+            PktField::Payload(off) => {
+                for i in 0..4u16 {
+                    let byte = ((value >> (8 * (3 - i))) & 0xff) as u8;
+                    self.payload_overlay.insert(off + i, byte);
+                }
+            }
+            _ => {
+                self.fields.insert(field, value);
+            }
+        }
+    }
+
+    /// Packet length in bytes.
+    pub fn len(&self) -> u16 {
+        self.base.size
+    }
+
+    /// Packets are never empty (minimum 64-byte frames).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Payload length in bytes.
+    pub fn payload_len(&self) -> u16 {
+        self.base.payload_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trafgen::{FlowKey, TCP_SYN};
+
+    fn pkt() -> Packet {
+        Packet {
+            flow: FlowKey {
+                src_ip: 0x0a000001,
+                dst_ip: 0xc0a80101,
+                src_port: 1234,
+                dst_port: 80,
+                proto: Proto::Tcp,
+            },
+            flow_id: 0,
+            size: 128,
+            tcp_flags: TCP_SYN,
+            seq: 42,
+            ttl: 64,
+            payload_seed: 9,
+        }
+    }
+
+    #[test]
+    fn fields_materialize_from_packet() {
+        let v = PacketView::new(&pkt());
+        assert_eq!(v.get(PktField::IpSrc), 0x0a000001);
+        assert_eq!(v.get(PktField::TcpDport), 80);
+        assert_eq!(v.get(PktField::IpLen), 128 - 14);
+        assert_eq!(v.get(PktField::IpTtl), 64);
+    }
+
+    #[test]
+    fn writes_are_visible() {
+        let mut v = PacketView::new(&pkt());
+        v.set(PktField::IpDst, 0x0a000099);
+        assert_eq!(v.get(PktField::IpDst), 0x0a000099);
+    }
+
+    #[test]
+    fn udp_packet_has_no_tcp_fields() {
+        let mut p = pkt();
+        p.flow.proto = Proto::Udp;
+        p.tcp_flags = 0;
+        let v = PacketView::new(&p);
+        assert_eq!(v.get(PktField::TcpSeq), 0);
+        assert_eq!(v.get(PktField::UdpSport), 1234);
+    }
+
+    #[test]
+    fn payload_words_read_and_write() {
+        let mut v = PacketView::new(&pkt());
+        let orig = v.get(PktField::Payload(4));
+        v.set(PktField::Payload(4), 0xdeadbeef);
+        assert_eq!(v.get(PktField::Payload(4)), 0xdeadbeef);
+        assert_ne!(orig, 0xdeadbeef_u64.wrapping_add(1));
+        // Adjacent unwritten bytes still come from the seed.
+        let _ = v.get(PktField::Payload(8));
+    }
+}

@@ -1,0 +1,397 @@
+//! Runtime storage for stateful NF globals.
+//!
+//! Data-structure semantics follow the *SmartNIC-style* implementations
+//! that Clara reverse-ports (Section 3.3 of the paper): hash maps use a
+//! fixed set of buckets (no linear probing past the bucket, no dynamic
+//! allocation) and vector deletion only tombstones entries.
+
+use nf_ir::{GlobalId, Module, StateKind};
+use serde::{Deserialize, Serialize};
+
+/// Slots per hash bucket (Netronome-style fixed bucket set).
+pub const BUCKET_SLOTS: u64 = 4;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct GlobalStorage {
+    kind: StateKind,
+    entry_bytes: u32,
+    entries: u32,
+    bytes: Vec<u8>,
+    /// Occupancy/validity flags (hash maps and vectors).
+    occupied: Vec<bool>,
+    /// Stored keys (hash maps).
+    keys: Vec<u64>,
+    /// Logical length (vectors).
+    count: u32,
+}
+
+/// Storage for every global of a module.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StateStore {
+    globals: Vec<GlobalStorage>,
+}
+
+/// Result of a hash-map or vector operation, including the probe count
+/// needed for faithful NIC costing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpResult {
+    /// Slot index (entry number) the operation resolved to, if any.
+    pub slot: Option<u64>,
+    /// Number of slots examined.
+    pub probes: u32,
+    /// Whether the operation found what it was looking for.
+    pub hit: bool,
+}
+
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl StateStore {
+    /// Allocates storage for every global in `module`.
+    pub fn new(module: &Module) -> StateStore {
+        let globals = module
+            .globals
+            .iter()
+            .map(|g| {
+                let n = g.entries.max(1);
+                GlobalStorage {
+                    kind: g.kind,
+                    entry_bytes: g.entry_bytes.max(1),
+                    entries: n,
+                    bytes: vec![0; (g.entry_bytes.max(1) as usize) * n as usize],
+                    occupied: vec![false; n as usize],
+                    keys: vec![0; n as usize],
+                    count: 0,
+                }
+            })
+            .collect();
+        StateStore { globals }
+    }
+
+    /// Clears all state (between experiment runs).
+    pub fn reset(&mut self) {
+        for g in &mut self.globals {
+            g.bytes.iter_mut().for_each(|b| *b = 0);
+            g.occupied.iter_mut().for_each(|o| *o = false);
+            g.keys.iter_mut().for_each(|k| *k = 0);
+            g.count = 0;
+        }
+    }
+
+    fn storage(&self, g: GlobalId) -> Option<&GlobalStorage> {
+        self.globals.get(g.index())
+    }
+
+    fn storage_mut(&mut self, g: GlobalId) -> Option<&mut GlobalStorage> {
+        self.globals.get_mut(g.index())
+    }
+
+    /// True when the store has storage for `g`.
+    pub fn has(&self, g: GlobalId) -> bool {
+        self.storage(g).is_some()
+    }
+
+    /// Loads `width` bytes (little-endian) at `(index, offset)` of global
+    /// `g`. Out-of-range accesses wrap to the structure size (NF code is
+    /// expected to mask indices; wrapping keeps the interpreter total).
+    pub fn load(&self, g: GlobalId, index: u64, offset: u32, width: u32) -> u64 {
+        let Some(s) = self.storage(g) else {
+            return 0;
+        };
+        let idx = (index % u64::from(s.entries)) as usize;
+        let base = idx * s.entry_bytes as usize + (offset as usize % s.entry_bytes as usize);
+        let mut v = 0u64;
+        for i in 0..width.min(8) as usize {
+            let b = s.bytes.get(base + i).copied().unwrap_or(0);
+            v |= u64::from(b) << (8 * i);
+        }
+        v
+    }
+
+    /// Stores `width` bytes (little-endian) at `(index, offset)`.
+    pub fn store(&mut self, g: GlobalId, index: u64, offset: u32, width: u32, value: u64) {
+        let Some(s) = self.storage_mut(g) else {
+            return;
+        };
+        let idx = (index % u64::from(s.entries)) as usize;
+        let base = idx * s.entry_bytes as usize + (offset as usize % s.entry_bytes as usize);
+        for i in 0..width.min(8) as usize {
+            if let Some(b) = s.bytes.get_mut(base + i) {
+                *b = ((value >> (8 * i)) & 0xff) as u8;
+            }
+        }
+    }
+
+    fn bucket_range(s: &GlobalStorage, key: u64) -> (u64, u64) {
+        let n = u64::from(s.entries);
+        let nbuckets = (n / BUCKET_SLOTS).max(1);
+        let start = (mix64(key) % nbuckets) * BUCKET_SLOTS;
+        (start, (start + BUCKET_SLOTS).min(n))
+    }
+
+    /// Hash-map lookup with fixed-bucket semantics.
+    pub fn map_find(&self, g: GlobalId, key: u64) -> OpResult {
+        let Some(s) = self.storage(g) else {
+            return OpResult {
+                slot: None,
+                probes: 0,
+                hit: false,
+            };
+        };
+        let (start, end) = Self::bucket_range(s, key);
+        let mut probes = 0;
+        for slot in start..end {
+            probes += 1;
+            if s.occupied[slot as usize] && s.keys[slot as usize] == key {
+                return OpResult {
+                    slot: Some(slot),
+                    probes,
+                    hit: true,
+                };
+            }
+        }
+        OpResult {
+            slot: None,
+            probes,
+            hit: false,
+        }
+    }
+
+    /// Hash-map insert: reuses the key's slot, else the first free slot of
+    /// the bucket, else evicts the first slot (fixed buckets can overflow).
+    pub fn map_insert(&mut self, g: GlobalId, key: u64) -> OpResult {
+        let Some(s) = self.storage_mut(g) else {
+            return OpResult {
+                slot: None,
+                probes: 0,
+                hit: false,
+            };
+        };
+        let (start, end) = Self::bucket_range(s, key);
+        let mut probes = 0;
+        let mut free: Option<u64> = None;
+        for slot in start..end {
+            probes += 1;
+            let si = slot as usize;
+            if s.occupied[si] && s.keys[si] == key {
+                return OpResult {
+                    slot: Some(slot),
+                    probes,
+                    hit: true,
+                };
+            }
+            if !s.occupied[si] && free.is_none() {
+                free = Some(slot);
+            }
+        }
+        let slot = free.unwrap_or(start); // Evict on overflow.
+        let si = slot as usize;
+        if !s.occupied[si] {
+            s.count += 1;
+        } else {
+            // Evicting: wipe the old entry's value bytes.
+            let eb = s.entry_bytes as usize;
+            s.bytes[si * eb..(si + 1) * eb]
+                .iter_mut()
+                .for_each(|b| *b = 0);
+        }
+        s.occupied[si] = true;
+        s.keys[si] = key;
+        OpResult {
+            slot: Some(slot),
+            probes,
+            hit: false,
+        }
+    }
+
+    /// Hash-map erase (tombstones the slot).
+    pub fn map_erase(&mut self, g: GlobalId, key: u64) -> OpResult {
+        let found = self.map_find(g, key);
+        if let (Some(slot), Some(s)) = (found.slot, self.storage_mut(g)) {
+            s.occupied[slot as usize] = false;
+            s.keys[slot as usize] = 0;
+            s.count = s.count.saturating_sub(1);
+        }
+        found
+    }
+
+    /// Vector element access: valid when `idx < len` and not tombstoned.
+    pub fn vec_get(&self, g: GlobalId, idx: u64) -> OpResult {
+        let Some(s) = self.storage(g) else {
+            return OpResult {
+                slot: None,
+                probes: 0,
+                hit: false,
+            };
+        };
+        if idx < u64::from(s.count) && s.occupied[idx as usize] {
+            OpResult {
+                slot: Some(idx),
+                probes: 1,
+                hit: true,
+            }
+        } else {
+            OpResult {
+                slot: None,
+                probes: 1,
+                hit: false,
+            }
+        }
+    }
+
+    /// Vector push; wraps to slot 0 when full (pre-sized storage).
+    pub fn vec_push(&mut self, g: GlobalId) -> OpResult {
+        let Some(s) = self.storage_mut(g) else {
+            return OpResult {
+                slot: None,
+                probes: 0,
+                hit: false,
+            };
+        };
+        let slot = if s.count < s.entries {
+            let slot = u64::from(s.count);
+            s.count += 1;
+            slot
+        } else {
+            0 // Full: overwrite the head (no dynamic growth on NIC).
+        };
+        s.occupied[slot as usize] = true;
+        OpResult {
+            slot: Some(slot),
+            probes: 1,
+            hit: true,
+        }
+    }
+
+    /// Vector delete: *tombstones only* (Netronome semantics — "deletion
+    /// calls only mark the entries as invalid").
+    pub fn vec_delete(&mut self, g: GlobalId, idx: u64) -> OpResult {
+        let Some(s) = self.storage_mut(g) else {
+            return OpResult {
+                slot: None,
+                probes: 0,
+                hit: false,
+            };
+        };
+        if idx < u64::from(s.count) {
+            s.occupied[idx as usize] = false;
+            OpResult {
+                slot: Some(idx),
+                probes: 1,
+                hit: true,
+            }
+        } else {
+            OpResult {
+                slot: None,
+                probes: 1,
+                hit: false,
+            }
+        }
+    }
+
+    /// Current logical entry count of a structure.
+    pub fn len_of(&self, g: GlobalId) -> u32 {
+        self.storage(g).map_or(0, |s| s.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_ir::Module;
+
+    fn store() -> (StateStore, GlobalId, GlobalId) {
+        let mut m = Module::new("t");
+        let map = m.add_global("map", StateKind::HashMap, 16, 64);
+        let vec = m.add_global("vec", StateKind::Vector, 8, 8);
+        (StateStore::new(&m), map, vec)
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let (mut s, map, _) = store();
+        s.store(map, 3, 8, 4, 0xdead_beef);
+        assert_eq!(s.load(map, 3, 8, 4), 0xdead_beef);
+        assert_eq!(s.load(map, 3, 8, 2), 0xbeef);
+        assert_eq!(s.load(map, 4, 8, 4), 0);
+    }
+
+    #[test]
+    fn map_insert_then_find() {
+        let (mut s, map, _) = store();
+        let ins = s.map_insert(map, 0x1234);
+        assert!(ins.slot.is_some());
+        assert!(!ins.hit); // New key.
+        let find = s.map_find(map, 0x1234);
+        assert_eq!(find.slot, ins.slot);
+        assert!(find.hit);
+        assert!(find.probes >= 1 && find.probes <= BUCKET_SLOTS as u32);
+        // Re-insert is idempotent.
+        let again = s.map_insert(map, 0x1234);
+        assert_eq!(again.slot, ins.slot);
+        assert!(again.hit);
+        assert_eq!(s.len_of(map), 1);
+    }
+
+    #[test]
+    fn map_miss_and_erase() {
+        let (mut s, map, _) = store();
+        assert!(!s.map_find(map, 7).hit);
+        s.map_insert(map, 7);
+        assert!(s.map_erase(map, 7).hit);
+        assert!(!s.map_find(map, 7).hit);
+        assert_eq!(s.len_of(map), 0);
+    }
+
+    #[test]
+    fn bucket_overflow_evicts() {
+        let mut m = Module::new("t");
+        // 4 entries = exactly one bucket.
+        let map = m.add_global("map", StateKind::HashMap, 16, 4);
+        let mut s = StateStore::new(&m);
+        for k in 1..=5u64 {
+            s.map_insert(map, k);
+        }
+        // All five keys hashed to the single bucket; one was evicted.
+        let hits = (1..=5u64).filter(|&k| s.map_find(map, k).hit).count();
+        assert_eq!(hits, 4);
+    }
+
+    #[test]
+    fn vector_push_get_delete_tombstones() {
+        let (mut s, _, vec) = store();
+        let a = s.vec_push(vec).slot.unwrap();
+        let b = s.vec_push(vec).slot.unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert!(s.vec_get(vec, 0).hit);
+        s.vec_delete(vec, 0);
+        assert!(!s.vec_get(vec, 0).hit); // Tombstoned, not shifted.
+        assert!(s.vec_get(vec, 1).hit);
+        assert_eq!(s.len_of(vec), 2); // Length unchanged by delete.
+    }
+
+    #[test]
+    fn vector_wraps_when_full() {
+        let (mut s, _, vec) = store();
+        for _ in 0..8 {
+            s.vec_push(vec);
+        }
+        let wrapped = s.vec_push(vec);
+        assert_eq!(wrapped.slot, Some(0));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let (mut s, map, vec) = store();
+        s.map_insert(map, 9);
+        s.vec_push(vec);
+        s.store(map, 0, 0, 4, 77);
+        s.reset();
+        assert!(!s.map_find(map, 9).hit);
+        assert_eq!(s.len_of(vec), 0);
+        assert_eq!(s.load(map, 0, 0, 4), 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! The Clara facade: train once, analyze any NF.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use nf_ir::{BlockId, GlobalId, Module};
+use nic_sim::{Accel, CoalescePlan, MemLevel, NicConfig, PortConfig, WorkloadProfile};
+use serde::{Deserialize, Serialize};
+use trafgen::Trace;
+
+use crate::algid::{AlgoClass, AlgoIdentifier, ClassifierKind};
+use crate::coalesce;
+use crate::placement;
+use crate::predict::{
+    block_samples, memory_count_accuracy, InstructionPredictor, PredictTrainConfig, PredictorKind,
+};
+use crate::prepare::prepare_module;
+use crate::scaleout::{ScaleoutKind, ScaleoutModel};
+
+/// Training budget for the whole Clara pipeline.
+#[derive(Debug, Clone)]
+pub struct ClaraConfig {
+    /// Synthesized programs for instruction-prediction training.
+    pub predict_programs: usize,
+    /// Labeled variants per class for algorithm identification.
+    pub algid_per_class: usize,
+    /// Synthesized programs for scale-out training.
+    pub scaleout_programs: usize,
+    /// Neural-model training epochs.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// NIC hardware configuration.
+    pub nic: NicConfig,
+}
+
+impl ClaraConfig {
+    /// Full-quality configuration (benchmarks, release builds).
+    pub fn full(seed: u64) -> ClaraConfig {
+        ClaraConfig {
+            predict_programs: 240,
+            algid_per_class: 40,
+            scaleout_programs: 60,
+            epochs: 35,
+            seed,
+            nic: NicConfig::default(),
+        }
+    }
+
+    /// Reduced configuration for tests and examples.
+    pub fn fast(seed: u64) -> ClaraConfig {
+        ClaraConfig {
+            predict_programs: 50,
+            algid_per_class: 25,
+            scaleout_programs: 16,
+            epochs: 15,
+            seed,
+            nic: NicConfig::default(),
+        }
+    }
+}
+
+/// A fully trained Clara instance.
+#[derive(Serialize, Deserialize)]
+pub struct Clara {
+    /// Instruction predictor (LSTM+FC).
+    pub predictor: InstructionPredictor,
+    /// Algorithm identifier (SVM over SPE features).
+    pub algid: AlgoIdentifier,
+    /// Scale-out core-count model (GBDT).
+    pub scaleout: ScaleoutModel,
+    /// NIC configuration used for training and analysis.
+    pub nic: NicConfig,
+}
+
+/// The offloading insights Clara generates for one NF + workload.
+#[derive(Debug, Clone)]
+pub struct Insights {
+    /// Predicted NIC compute instructions per packet-handler invocation.
+    pub predicted_compute: f64,
+    /// Counted memory accesses (IR loads/stores to state/packet data).
+    pub counted_mem: u32,
+    /// Memory-counting fidelity vs the vendor compiler (percent).
+    pub mem_count_accuracy: f64,
+    /// Identified accelerator opportunity and its loop region.
+    pub accel: Option<(AlgoClass, Vec<BlockId>)>,
+    /// Suggested core count for the profiled workload.
+    pub suggested_cores: u32,
+    /// Suggested state placement.
+    pub placement: BTreeMap<GlobalId, MemLevel>,
+    /// Suggested variable packing.
+    pub coalesce: CoalescePlan,
+    /// The host-side workload profile the suggestions are based on.
+    pub profile: WorkloadProfile,
+}
+
+impl Insights {
+    /// Converts the insights into a concrete port configuration
+    /// (the "Clara porting" of Section 5.1).
+    pub fn port_config(&self) -> PortConfig {
+        let mut port = PortConfig::naive()
+            .with_csum_accel()
+            .with_coalesce(self.coalesce.clone());
+        port = placement::apply_placement(port, &self.placement);
+        if let Some((class, region)) = &self.accel {
+            let accel = match class {
+                AlgoClass::Crc | AlgoClass::Crypto => Some(Accel::Crc),
+                AlgoClass::Lpm => Some(Accel::Lpm),
+                AlgoClass::None => None,
+            };
+            if let Some(a) = accel {
+                port = port.accelerate(region.iter().copied(), a);
+            }
+        }
+        port
+    }
+}
+
+impl Clara {
+    /// Trains the full pipeline from synthesized corpora.
+    pub fn train(cfg: &ClaraConfig) -> Clara {
+        // Instruction prediction: synthesized program/assembly pairs.
+        let train_modules = nf_synth::synth_corpus(cfg.predict_programs, true, cfg.seed);
+        let samples = block_samples(&train_modules);
+        let predictor = InstructionPredictor::train(
+            PredictorKind::ClaraLstm,
+            &samples,
+            &PredictTrainConfig {
+                epochs: cfg.epochs,
+                seed: cfg.seed,
+                ..Default::default()
+            },
+        );
+        // Algorithm identification.
+        let corpus = crate::algid::labeled_corpus(cfg.algid_per_class, cfg.seed ^ 0xa1);
+        let algid = AlgoIdentifier::train(&corpus, ClassifierKind::ClaraSvm, cfg.seed);
+        // Scale-out analysis.
+        let so_data =
+            crate::scaleout::training_set(cfg.scaleout_programs, cfg.seed ^ 0x50, &cfg.nic);
+        let scaleout = ScaleoutModel::train(ScaleoutKind::ClaraGbdt, &so_data, &cfg.nic, cfg.seed);
+        Clara {
+            predictor,
+            algid,
+            scaleout,
+            nic: cfg.nic.clone(),
+        }
+    }
+
+    /// Serializes the trained pipeline to a JSON file (train once, reuse
+    /// across runs).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or serialization error.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a pipeline previously written by [`Clara::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or deserialization error.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Clara> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(std::io::Error::other)
+    }
+
+    /// Analyzes an unported NF against a workload trace, producing the
+    /// full insight bundle.
+    pub fn analyze(&self, module: &Module, trace: &Trace) -> Insights {
+        let prepared = prepare_module(module);
+        let predicted_compute = self.predictor.predict_module_compute(module);
+        let counted_mem = prepared.counted_mem();
+        let accel = {
+            let (class, region) = self.algid.identify(module);
+            if class == AlgoClass::None || region.is_empty() {
+                None
+            } else {
+                Some((class, region))
+            }
+        };
+        // Host-side profiling for the workload-specific insights.
+        let naive = PortConfig::naive();
+        let profile = nic_sim::profile_workload(module, trace, &naive, &self.nic, |_| {});
+        let placement =
+            placement::suggest_placement(module, &profile, &self.nic).unwrap_or_default();
+        let coalesce = coalesce::suggest_coalescing(module, trace, 7);
+        let suggested_cores = self.scaleout.predict(&profile, &self.nic, &naive);
+        Insights {
+            predicted_compute,
+            counted_mem,
+            mem_count_accuracy: memory_count_accuracy(module),
+            accel,
+            suggested_cores,
+            placement,
+            coalesce,
+            profile,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trafgen::WorkloadSpec;
+
+    #[test]
+    fn end_to_end_insights_for_cmsketch() {
+        let clara = Clara::train(&ClaraConfig::fast(1));
+        let e = click_model::elements::cmsketch();
+        let trace = Trace::generate(&WorkloadSpec::large_flows(), 300, 2);
+        let insights = clara.analyze(&e.module, &trace);
+
+        assert!(insights.predicted_compute > 0.0);
+        assert!(insights.counted_mem > 0);
+        assert!(insights.mem_count_accuracy > 90.0);
+        let (class, region) = insights.accel.as_ref().expect("cmsketch has CRC loops");
+        assert_eq!(*class, AlgoClass::Crc);
+        assert!(!region.is_empty());
+        assert!((1..=60).contains(&insights.suggested_cores));
+
+        // The Clara port must beat the naive port on the simulator.
+        let port = insights.port_config();
+        let cfg = NicConfig::default();
+        let naive_pt = nic_sim::simulate(&e.module, &trace, &PortConfig::naive(), &cfg, 20);
+        let clara_pt = nic_sim::simulate(&e.module, &trace, &port, &cfg, 20);
+        assert!(
+            clara_pt.throughput_mpps > naive_pt.throughput_mpps,
+            "clara {} vs naive {}",
+            clara_pt.throughput_mpps,
+            naive_pt.throughput_mpps
+        );
+        assert!(clara_pt.latency_us < naive_pt.latency_us);
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_predictions() {
+        let clara = Clara::train(&ClaraConfig::fast(5));
+        let dir = std::env::temp_dir().join("clara_model_test.json");
+        clara.save(&dir).expect("saves");
+        let loaded = Clara::load(&dir).expect("loads");
+        std::fs::remove_file(&dir).ok();
+
+        let e = click_model::elements::iplookup(256);
+        let trace = Trace::generate(&WorkloadSpec::large_flows(), 200, 6);
+        let a = clara.analyze(&e.module, &trace);
+        let b = loaded.analyze(&e.module, &trace);
+        assert_eq!(a.predicted_compute, b.predicted_compute);
+        assert_eq!(a.suggested_cores, b.suggested_cores);
+        assert_eq!(a.accel, b.accel);
+        assert_eq!(a.placement, b.placement);
+    }
+
+    #[test]
+    fn stateless_nf_gets_no_placement_or_accel() {
+        let clara = Clara::train(&ClaraConfig::fast(3));
+        let e = click_model::elements::tcpack();
+        let trace = Trace::generate(&WorkloadSpec::large_flows(), 100, 4);
+        let insights = clara.analyze(&e.module, &trace);
+        assert!(insights.placement.is_empty());
+        assert!(insights.coalesce.clusters.is_empty());
+        assert!(insights.accel.is_none(), "{:?}", insights.accel);
+    }
+}

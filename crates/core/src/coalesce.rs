@@ -1,0 +1,286 @@
+//! Memory access coalescing (paper Section 4.4).
+//!
+//! Clara computes, for each stateful variable, an *access vector* over
+//! the NF's code blocks (how the variable's accesses distribute across
+//! blocks), clusters variables with similar vectors via K-means, and
+//! suggests packing each cluster contiguously so it can be fetched with
+//! one coalesced access. Variables never accessed together (`good_pkt`
+//! vs `bad_pkt` in the paper's tcpgen example) land in different
+//! clusters.
+
+use std::collections::BTreeMap;
+
+use click_model::{Event, Machine};
+use nf_ir::{GlobalId, Module, StateKind};
+use nic_sim::{CoalescePlan, PortConfig};
+use tinyml::kmeans::KMeans;
+use trafgen::Trace;
+
+/// A coalescing variable: a scalar global (the paper's "global variables").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Var(pub GlobalId);
+
+/// Per-variable access vectors over code blocks.
+#[derive(Debug, Clone)]
+pub struct AccessVectors {
+    /// The variables, in module order.
+    pub vars: Vec<Var>,
+    /// `vectors[v][b]` = normalized access share of variable `v` from
+    /// block `b`.
+    pub vectors: Vec<Vec<f64>>,
+    /// Raw access totals per variable.
+    pub totals: Vec<f64>,
+}
+
+/// Collects access vectors by running the NF over the trace on the host
+/// (the paper's profiling step).
+///
+/// # Panics
+///
+/// Panics if the module fails verification.
+pub fn access_vectors(module: &Module, trace: &Trace) -> AccessVectors {
+    let vars: Vec<Var> = module
+        .globals
+        .iter()
+        .filter(|g| g.kind == StateKind::Scalar)
+        .map(|g| Var(g.id))
+        .collect();
+    let n_blocks = module.handler().map_or(0, |f| f.blocks.len());
+    let index_of: BTreeMap<GlobalId, usize> =
+        vars.iter().enumerate().map(|(i, v)| (v.0, i)).collect();
+
+    let mut counts = vec![vec![0.0f64; n_blocks]; vars.len()];
+    let mut machine = Machine::new(module).expect("module verifies");
+    for pkt in &trace.pkts {
+        let t = machine.run(pkt).expect("no step limit");
+        let mut cur_block = 0usize;
+        for ev in &t.events {
+            match ev {
+                Event::Block(b) => cur_block = b.index(),
+                Event::State { global, .. } => {
+                    if let Some(&vi) = index_of.get(global) {
+                        counts[vi][cur_block] += 1.0;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let totals: Vec<f64> = counts.iter().map(|c| c.iter().sum()).collect();
+    let vectors = counts
+        .into_iter()
+        .zip(totals.iter())
+        .map(|(c, &t)| {
+            if t <= 0.0 {
+                c
+            } else {
+                c.into_iter().map(|x| x / t).collect()
+            }
+        })
+        .collect();
+    AccessVectors {
+        vars,
+        vectors,
+        totals,
+    }
+}
+
+/// Clara's K-means coalescing suggestion.
+///
+/// Clusters variables by access-vector similarity for each candidate
+/// cluster count, then keeps the clustering that minimizes profiled
+/// memory accesses (the paper's "cutoff threshold to determine a suitable
+/// inter-cluster distance", chosen by validation).
+pub fn suggest_coalescing(module: &Module, trace: &Trace, seed: u64) -> CoalescePlan {
+    let av = access_vectors(module, trace);
+    if av.vars.len() < 2 {
+        return CoalescePlan::default();
+    }
+    let rec = nic_sim::record_workload(module, trace, |_| {});
+    let cfg = nic_sim::NicConfig::default();
+    let mut best = CoalescePlan::default();
+    let mut best_cost = eval_recorded(module, &rec, &cfg, &best);
+    for k in 1..=av.vars.len().min(6) {
+        let km = KMeans::fit(&av.vectors, k, seed);
+        let mut clusters: BTreeMap<usize, Vec<(GlobalId, u32)>> = BTreeMap::new();
+        for (v, &c) in av.vars.iter().zip(km.assignment.iter()) {
+            clusters.entry(c).or_default().push((v.0, 0));
+        }
+        let plan = CoalescePlan {
+            // Only multi-variable clusters are worth packing.
+            clusters: clusters.into_values().filter(|c| c.len() >= 2).collect(),
+        };
+        let cost = eval_recorded(module, &rec, &cfg, &plan);
+        if cost < best_cost {
+            best_cost = cost;
+            best = plan;
+        }
+    }
+    best
+}
+
+/// Expert emulation (Section 5.8): exhaustively tries every partition of
+/// the hottest `k` variables and keeps the plan with the fewest profiled
+/// memory accesses (a proxy for latency at saturation).
+pub fn exhaustive_coalescing(
+    module: &Module,
+    trace: &Trace,
+    cfg: &nic_sim::NicConfig,
+    k: usize,
+) -> CoalescePlan {
+    let rec = nic_sim::record_workload(module, trace, |_| {});
+    let av = access_vectors(module, trace);
+    // Hottest k variables.
+    let mut order: Vec<usize> = (0..av.vars.len()).collect();
+    order.sort_by(|&a, &b| av.totals[b].partial_cmp(&av.totals[a]).expect("finite"));
+    order.truncate(k.min(av.vars.len()));
+    if order.len() < 2 {
+        return CoalescePlan::default();
+    }
+
+    let mut best_plan = CoalescePlan::default();
+    let mut best_cost = eval_recorded(module, &rec, cfg, &best_plan);
+    // Enumerate set partitions via restricted-growth strings.
+    let n = order.len();
+    let mut rgs = vec![0usize; n];
+    loop {
+        let nclusters = rgs.iter().copied().max().unwrap_or(0) + 1;
+        let mut clusters: Vec<Vec<(GlobalId, u32)>> = vec![Vec::new(); nclusters];
+        for (pos, &vi) in order.iter().enumerate() {
+            clusters[rgs[pos]].push((av.vars[vi].0, 0));
+        }
+        let plan = CoalescePlan {
+            clusters: clusters.into_iter().filter(|c| c.len() >= 2).collect(),
+        };
+        let cost = eval_recorded(module, &rec, cfg, &plan);
+        if cost < best_cost {
+            best_cost = cost;
+            best_plan = plan;
+        }
+        if !next_rgs(&mut rgs) {
+            break;
+        }
+    }
+    best_plan
+}
+
+/// Total profiled memory accesses per packet under a plan (lower = better
+/// packing).
+pub fn eval_plan(
+    module: &Module,
+    trace: &Trace,
+    cfg: &nic_sim::NicConfig,
+    plan: &CoalescePlan,
+) -> f64 {
+    let rec = nic_sim::record_workload(module, trace, |_| {});
+    eval_recorded(module, &rec, cfg, plan)
+}
+
+/// [`eval_plan`] over pre-recorded interpreter traces (sweep-friendly).
+pub fn eval_recorded(
+    module: &Module,
+    rec: &nic_sim::RecordedWorkload,
+    cfg: &nic_sim::NicConfig,
+    plan: &CoalescePlan,
+) -> f64 {
+    let port = PortConfig::naive().with_coalesce(plan.clone());
+    let wp = nic_sim::profile_recorded(module, rec, &port, cfg);
+    wp.channel_demand(cfg, &port).iter().sum()
+}
+
+/// Advances a restricted-growth string to the next set partition.
+fn next_rgs(rgs: &mut [usize]) -> bool {
+    let n = rgs.len();
+    for i in (1..n).rev() {
+        let max_prefix = rgs[..i].iter().copied().max().unwrap_or(0);
+        if rgs[i] <= max_prefix {
+            rgs[i] += 1;
+            for r in rgs.iter_mut().skip(i + 1) {
+                *r = 0;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trafgen::WorkloadSpec;
+
+    fn tcp_trace() -> Trace {
+        let spec = WorkloadSpec {
+            tcp_ratio: 1.0,
+            ..WorkloadSpec::large_flows()
+        };
+        Trace::generate(&spec, 300, 1)
+    }
+
+    #[test]
+    fn access_vectors_cover_all_scalars() {
+        let e = click_model::elements::tcpgen();
+        let av = access_vectors(&e.module, &tcp_trace());
+        assert_eq!(av.vars.len(), 8); // tcpgen has eight scalar globals.
+                                      // Co-accessed variables have similar vectors: sport/dport are
+                                      // always written together in the SYN block.
+        let sport = av.vars.iter().position(|v| v.0 == GlobalId(4)).unwrap();
+        let dport = av.vars.iter().position(|v| v.0 == GlobalId(5)).unwrap();
+        assert_eq!(av.vectors[sport], av.vectors[dport]);
+    }
+
+    #[test]
+    fn kmeans_groups_coaccessed_variables() {
+        let e = click_model::elements::tcpgen();
+        let plan = suggest_coalescing(&e.module, &tcp_trace(), 2);
+        assert!(!plan.clusters.is_empty(), "no clusters suggested");
+        // sport (g4) and dport (g5) must share a cluster.
+        let c_sport = plan.cluster_of(GlobalId(4), 0);
+        let c_dport = plan.cluster_of(GlobalId(5), 0);
+        assert!(c_sport.is_some());
+        assert_eq!(c_sport, c_dport, "sport/dport split: {plan:?}");
+        // good_pkt (g6) and bad_pkt (g7) are never accessed together; they
+        // must not share a cluster.
+        let c_good = plan.cluster_of(GlobalId(6), 0);
+        let c_bad = plan.cluster_of(GlobalId(7), 0);
+        if let (Some(a), Some(b)) = (c_good, c_bad) {
+            assert_ne!(a, b, "good/bad packed together: {plan:?}");
+        }
+    }
+
+    #[test]
+    fn coalescing_reduces_channel_demand() {
+        let e = click_model::elements::tcpgen();
+        let trace = tcp_trace();
+        let cfg = nic_sim::NicConfig::default();
+        let none = eval_plan(&e.module, &trace, &cfg, &CoalescePlan::default());
+        let plan = suggest_coalescing(&e.module, &trace, 3);
+        let packed = eval_plan(&e.module, &trace, &cfg, &plan);
+        assert!(packed < none, "packed {packed} vs none {none}");
+    }
+
+    #[test]
+    fn expert_is_at_least_as_good_as_kmeans() {
+        let e = click_model::elements::webtcp();
+        let trace = tcp_trace();
+        let cfg = nic_sim::NicConfig::default();
+        let clara = suggest_coalescing(&e.module, &trace, 4);
+        let clara_cost = eval_plan(&e.module, &trace, &cfg, &clara);
+        let expert = exhaustive_coalescing(&e.module, &trace, &cfg, 7);
+        let expert_cost = eval_plan(&e.module, &trace, &cfg, &expert);
+        assert!(
+            expert_cost <= clara_cost + 1e-9,
+            "expert {expert_cost} vs clara {clara_cost}"
+        );
+    }
+
+    #[test]
+    fn rgs_enumerates_bell_number_of_partitions() {
+        let mut rgs = vec![0usize; 4];
+        let mut count = 1;
+        while next_rgs(&mut rgs) {
+            count += 1;
+        }
+        assert_eq!(count, 15); // Bell(4).
+    }
+}

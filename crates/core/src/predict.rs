@@ -1,0 +1,386 @@
+//! Cross-platform instruction prediction (paper Sections 3.2–3.3).
+//!
+//! Clara predicts, per basic block, how many compute instructions the
+//! opaque vendor compiler will emit — by training an LSTM+FC model on
+//! synthesized program/assembly pairs. Stateful memory accesses are not
+//! predicted but *counted* from IR loads/stores (they map ~1:1 onto NIC
+//! memory commands). Framework API calls are excluded from prediction and
+//! handled by reverse porting: their cost comes from the vendor library
+//! itself (`nic-sim`'s API cost model), mirroring the paper's use of "the
+//! machine code as compiled from the SmartNIC compiler directly".
+
+use nf_ir::{abstraction, Module, Vocabulary};
+use serde::{Deserialize, Serialize};
+use tinyml::cnn::{Cnn1d, CnnConfig};
+use tinyml::lstm::{LstmConfig, LstmRegressor};
+use tinyml::metrics;
+use tinyml::mlp::{Loss, Mlp, MlpConfig};
+
+/// One training sample: a block's token sequence and its ground-truth
+/// NIC instruction counts (from compiling with `nfcc`).
+#[derive(Debug, Clone)]
+pub struct BlockSample {
+    /// Abstract tokens of the block.
+    pub tokens: Vec<nf_ir::AbstractToken>,
+    /// Compute instructions `nfcc` emitted for the block.
+    pub compute: f64,
+    /// Memory instructions `nfcc` emitted for the block.
+    pub mem: f64,
+}
+
+/// Extracts `(token sequence, NIC counts)` samples from modules by
+/// compiling each with the vendor compiler.
+pub fn block_samples(modules: &[Module]) -> Vec<BlockSample> {
+    let mut out = Vec::new();
+    for m in modules {
+        let nic = nfcc::compile_module(m);
+        for (f, nf) in m.funcs.iter().zip(nic.funcs.iter()) {
+            for (b, nb) in f.blocks.iter().zip(nf.blocks.iter()) {
+                out.push(BlockSample {
+                    tokens: abstraction::abstract_block(b),
+                    compute: f64::from(nb.compute_count()),
+                    mem: f64::from(nb.mem_count()),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The model family used for prediction (Figure 8's contenders).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// Clara's LSTM + FC model.
+    ClaraLstm,
+    /// Fully-connected network over the bag-of-tokens histogram.
+    Dnn,
+    /// 1-D CNN over the token sequence.
+    Cnn,
+    /// AutoML pipeline search (random-forest & friends) over the
+    /// bag-of-tokens histogram (the TPOT baseline).
+    AutoMl,
+}
+
+impl PredictorKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictorKind::ClaraLstm => "Clara (LSTM+FC)",
+            PredictorKind::Dnn => "DNN",
+            PredictorKind::Cnn => "CNN",
+            PredictorKind::AutoMl => "AutoML",
+        }
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+enum Model {
+    Lstm(LstmRegressor),
+    Dnn(Mlp),
+    Cnn(Cnn1d),
+    AutoMl(tinyml::automl::AutoMlRegressor),
+}
+
+/// A trained cross-platform instruction predictor.
+#[derive(Serialize, Deserialize)]
+pub struct InstructionPredictor {
+    vocab: Vocabulary,
+    kind: PredictorKind,
+    model: Model,
+}
+
+/// Knobs for predictor training.
+#[derive(Debug, Clone, Copy)]
+pub struct PredictTrainConfig {
+    /// Training epochs for the neural models.
+    pub epochs: usize,
+    /// Hidden width of the LSTM.
+    pub hidden: usize,
+    /// AutoML search budget (pipelines tried).
+    pub automl_budget: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Disable vocabulary compaction's operand abstraction (ablation):
+    /// every token becomes out-of-vocabulary noise instead.
+    pub ablate_vocab: bool,
+}
+
+impl Default for PredictTrainConfig {
+    fn default() -> PredictTrainConfig {
+        PredictTrainConfig {
+            epochs: 35,
+            hidden: 28,
+            automl_budget: 8,
+            seed: 11,
+            ablate_vocab: false,
+        }
+    }
+}
+
+fn bag_of_tokens(vocab: &Vocabulary, tokens: &[nf_ir::AbstractToken]) -> Vec<f64> {
+    let mut v = vec![0.0; vocab.len()];
+    for t in tokens {
+        v[vocab.encode_token(t)] += 1.0;
+    }
+    v
+}
+
+impl InstructionPredictor {
+    /// Trains a predictor of the given kind on block samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn train(
+        kind: PredictorKind,
+        samples: &[BlockSample],
+        cfg: &PredictTrainConfig,
+    ) -> InstructionPredictor {
+        assert!(!samples.is_empty(), "no training samples");
+        let token_seqs: Vec<&[nf_ir::AbstractToken]> = if cfg.ablate_vocab {
+            Vec::new() // Empty vocabulary: everything maps to <unk>.
+        } else {
+            samples.iter().map(|s| s.tokens.as_slice()).collect()
+        };
+        let vocab = Vocabulary::build(token_seqs);
+        let seqs: Vec<Vec<usize>> = samples.iter().map(|s| vocab.encode(&s.tokens)).collect();
+        let targets: Vec<Vec<f64>> = samples.iter().map(|s| vec![s.compute]).collect();
+        let scalar_targets: Vec<f64> = samples.iter().map(|s| s.compute).collect();
+
+        let model = match kind {
+            PredictorKind::ClaraLstm => {
+                let mut m = LstmRegressor::new(LstmConfig {
+                    vocab: vocab.len().max(2),
+                    hidden: cfg.hidden,
+                    fc_hidden: cfg.hidden.max(8),
+                    outputs: 1,
+                    lr: 0.015,
+                    epochs: cfg.epochs,
+                    clip: 5.0,
+                    seed: cfg.seed,
+                });
+                m.fit(&seqs, &targets);
+                Model::Lstm(m)
+            }
+            PredictorKind::Dnn => {
+                let x: Vec<Vec<f64>> = samples
+                    .iter()
+                    .map(|s| bag_of_tokens(&vocab, &s.tokens))
+                    .collect();
+                let mut m = Mlp::new(MlpConfig {
+                    inputs: vocab.len(),
+                    hidden: vec![48, 24],
+                    outputs: 1,
+                    loss: Loss::Mse,
+                    lr: 0.01,
+                    epochs: cfg.epochs * 2,
+                    seed: cfg.seed,
+                });
+                m.fit(&x, &scalar_targets);
+                Model::Dnn(m)
+            }
+            PredictorKind::Cnn => {
+                let mut m = Cnn1d::new(CnnConfig {
+                    vocab: vocab.len().max(2),
+                    embed: 14,
+                    filters: 20,
+                    width: 3,
+                    outputs: 1,
+                    lr: 0.015,
+                    epochs: cfg.epochs,
+                    seed: cfg.seed,
+                });
+                m.fit(&seqs, &targets);
+                Model::Cnn(m)
+            }
+            PredictorKind::AutoMl => {
+                let x: Vec<Vec<f64>> = samples
+                    .iter()
+                    .map(|s| bag_of_tokens(&vocab, &s.tokens))
+                    .collect();
+                let data = tinyml::Dataset::new(x, scalar_targets);
+                Model::AutoMl(tinyml::automl::AutoMlRegressor::search(
+                    &data,
+                    cfg.automl_budget,
+                    cfg.seed,
+                ))
+            }
+        };
+        InstructionPredictor { vocab, kind, model }
+    }
+
+    /// The model family this predictor uses.
+    pub fn kind(&self) -> PredictorKind {
+        self.kind
+    }
+
+    /// Predicts the NIC compute-instruction count of one block.
+    pub fn predict_block(&self, tokens: &[nf_ir::AbstractToken]) -> f64 {
+        let pred = match &self.model {
+            Model::Lstm(m) => m.predict(&self.vocab.encode(tokens))[0],
+            Model::Cnn(m) => m.predict(&self.vocab.encode(tokens))[0],
+            Model::Dnn(m) => m.predict_scalar(&bag_of_tokens(&self.vocab, tokens)),
+            Model::AutoMl(m) => m.predict(&bag_of_tokens(&self.vocab, tokens)),
+        };
+        pred.max(0.0)
+    }
+
+    /// Per-block WMAPE against the vendor compiler's ground truth on a
+    /// module the predictor has never seen.
+    pub fn wmape_module(&self, module: &Module) -> f64 {
+        let samples = block_samples(std::slice::from_ref(module));
+        let truth: Vec<f64> = samples.iter().map(|s| s.compute).collect();
+        let preds: Vec<f64> = samples
+            .iter()
+            .map(|s| self.predict_block(&s.tokens))
+            .collect();
+        metrics::wmape(&truth, &preds)
+    }
+
+    /// Predicted total compute instructions for a module's handler.
+    pub fn predict_module_compute(&self, module: &Module) -> f64 {
+        let prepared = crate::prepare::prepare_module(module);
+        prepared
+            .blocks
+            .iter()
+            .map(|b| self.predict_block(&b.tokens))
+            .sum()
+    }
+}
+
+/// Memory-access counting accuracy: IR stateful+packet loads/stores vs
+/// the memory instructions `nfcc` actually emitted, per block
+/// (1 − WMAPE, as a percentage).
+pub fn memory_count_accuracy(module: &Module) -> f64 {
+    let nic = nfcc::compile_module(module);
+    let mut truth = Vec::new();
+    let mut counted = Vec::new();
+    for (f, nf) in module.funcs.iter().zip(nic.funcs.iter()) {
+        for (b, nb) in f.blocks.iter().zip(nf.blocks.iter()) {
+            truth.push(f64::from(nb.mem_cmd_count()));
+            let ir_mem = b
+                .insts
+                .iter()
+                .filter(|i| {
+                    matches!(
+                        i.class(),
+                        nf_ir::InstClass::StatefulMem | nf_ir::InstClass::PacketMem
+                    )
+                })
+                .count();
+            counted.push(ir_mem as f64);
+        }
+    }
+    (1.0 - metrics::wmape(&truth, &counted)) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn training_modules(n: usize, seed: u64) -> Vec<Module> {
+        nf_synth::synth_corpus(n, true, seed)
+    }
+
+    #[test]
+    fn memory_counting_is_nearly_exact() {
+        for e in click_model::corpus() {
+            let acc = memory_count_accuracy(&e.module);
+            assert!(acc >= 95.0, "{}: {acc:.1}%", e.name());
+        }
+    }
+
+    #[test]
+    fn lstm_beats_mean_predictor_on_held_out_blocks() {
+        let train = training_modules(60, 1);
+        let test = training_modules(15, 2);
+        let train_s = block_samples(&train);
+        let test_s = block_samples(&test);
+        let cfg = PredictTrainConfig {
+            epochs: 25,
+            ..Default::default()
+        };
+        let model = InstructionPredictor::train(PredictorKind::ClaraLstm, &train_s, &cfg);
+        let truth: Vec<f64> = test_s.iter().map(|s| s.compute).collect();
+        let preds: Vec<f64> = test_s
+            .iter()
+            .map(|s| model.predict_block(&s.tokens))
+            .collect();
+        let err = metrics::wmape(&truth, &preds);
+        let mean = train_s.iter().map(|s| s.compute).sum::<f64>() / train_s.len() as f64;
+        let base = metrics::wmape(&truth, &vec![mean; truth.len()]);
+        assert!(err < 0.6 * base, "lstm {err:.3} vs mean {base:.3}");
+        assert!(err < 0.30, "lstm wmape {err:.3}");
+    }
+
+    #[test]
+    fn ablating_vocabulary_hurts() {
+        let train = training_modules(40, 3);
+        let test = training_modules(10, 4);
+        let train_s = block_samples(&train);
+        let test_s = block_samples(&test);
+        let mut cfg = PredictTrainConfig {
+            epochs: 15,
+            ..Default::default()
+        };
+        let good = InstructionPredictor::train(PredictorKind::ClaraLstm, &train_s, &cfg);
+        cfg.ablate_vocab = true;
+        let bad = InstructionPredictor::train(PredictorKind::ClaraLstm, &train_s, &cfg);
+        let truth: Vec<f64> = test_s.iter().map(|s| s.compute).collect();
+        let wm = |m: &InstructionPredictor| {
+            metrics::wmape(
+                &truth,
+                &test_s
+                    .iter()
+                    .map(|s| m.predict_block(&s.tokens))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert!(
+            wm(&good) < wm(&bad),
+            "vocab {} vs ablated {}",
+            wm(&good),
+            wm(&bad)
+        );
+    }
+
+    #[test]
+    fn all_baselines_train_and_predict() {
+        let train = training_modules(25, 5);
+        let train_s = block_samples(&train);
+        let cfg = PredictTrainConfig {
+            epochs: 6,
+            automl_budget: 4,
+            ..Default::default()
+        };
+        for kind in [
+            PredictorKind::Dnn,
+            PredictorKind::Cnn,
+            PredictorKind::AutoMl,
+        ] {
+            let m = InstructionPredictor::train(kind, &train_s, &cfg);
+            let p = m.predict_block(&train_s[0].tokens);
+            assert!(p.is_finite() && p >= 0.0, "{}: {p}", kind.name());
+        }
+    }
+
+    #[test]
+    fn predicts_whole_module_totals() {
+        let train = training_modules(40, 6);
+        let train_s = block_samples(&train);
+        let cfg = PredictTrainConfig {
+            epochs: 20,
+            ..Default::default()
+        };
+        let model = InstructionPredictor::train(PredictorKind::ClaraLstm, &train_s, &cfg);
+        let e = click_model::elements::aggcounter();
+        let predicted = model.predict_module_compute(&e.module);
+        let truth = f64::from(nfcc::compile_module(&e.module).handler().total_compute());
+        assert!(predicted > 0.0);
+        let rel = (predicted - truth).abs() / truth;
+        assert!(
+            rel < 0.6,
+            "module-level error {rel:.2} (pred {predicted:.0} vs {truth:.0})"
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Multicore scale-out factor analysis (paper Section 4.2).
+//!
+//! Clara predicts the close-to-optimal core count for an NF and workload
+//! by training a GBDT cost model on synthesized programs deployed to the
+//! NIC across different "schedules" (core counts) — the TVM-inspired
+//! algorithm/schedule separation. Features capture arithmetic intensity
+//! (compute vs memory to different regions) and workload shape.
+
+use nic_sim::{optimal_cores, solve_perf, NicConfig, PortConfig, WorkloadProfile};
+use serde::{Deserialize, Serialize};
+use tinyml::automl::AutoMlRegressor;
+use tinyml::gbdt::{GbdtConfig, GbdtRegressor};
+use tinyml::knn::Knn;
+use tinyml::mlp::{Loss, Mlp, MlpConfig};
+use tinyml::Dataset;
+use trafgen::{Trace, WorkloadSpec};
+
+/// Feature vector of one (NF workload-profile, NIC) pair.
+pub fn features_of(wp: &WorkloadProfile, cfg: &NicConfig, port: &PortConfig) -> Vec<f64> {
+    let demand = wp.channel_demand(cfg, port);
+    let mem_total: f64 = demand.iter().sum();
+    let ai = wp.compute / mem_total.max(1e-9);
+    let ws: u64 = wp.working_set.values().sum();
+    vec![
+        wp.compute / 100.0,
+        demand[0],
+        demand[1],
+        demand[2],
+        demand[3], // EMEM misses
+        demand[4], // EMEM cache hits
+        ai.min(100.0),
+        ((ws.max(1)) as f64).log2(),
+        wp.mean_pkt_size / 100.0,
+    ]
+}
+
+/// Ground-truth optimal core count by exhaustive sweep (what the paper
+/// obtains "by exhaustive benchmarking with all possible configurations").
+pub fn optimal_by_sweep(wp: &WorkloadProfile, cfg: &NicConfig, port: &PortConfig) -> u32 {
+    let pts: Vec<_> = (1..=cfg.cores)
+        .map(|c| solve_perf(wp, cfg, port, c))
+        .collect();
+    optimal_cores(&pts)
+}
+
+/// The regressor family (Figure 11a's contenders).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScaleoutKind {
+    /// Clara's GBDT.
+    ClaraGbdt,
+    /// k-nearest neighbours.
+    Knn,
+    /// Fully-connected network.
+    Dnn,
+    /// AutoML pipeline search.
+    AutoMl,
+}
+
+impl ScaleoutKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleoutKind::ClaraGbdt => "Clara (GBDT)",
+            ScaleoutKind::Knn => "kNN",
+            ScaleoutKind::Dnn => "DNN",
+            ScaleoutKind::AutoMl => "AutoML",
+        }
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+enum SoModel {
+    Gbdt(GbdtRegressor),
+    Knn(Knn),
+    Dnn(Mlp),
+    AutoMl(AutoMlRegressor),
+}
+
+/// A trained scale-out (optimal core count) predictor.
+#[derive(Serialize, Deserialize)]
+pub struct ScaleoutModel {
+    model: SoModel,
+    kind: ScaleoutKind,
+    max_cores: u32,
+}
+
+/// Builds the training set: synthesized NFs × workload profiles, labeled
+/// with the sweep-optimal core count.
+pub fn training_set(programs: usize, seed: u64, cfg: &NicConfig) -> Dataset {
+    let modules = nf_synth::synth_corpus(programs, true, seed);
+    let workloads = [
+        WorkloadSpec::large_flows(),
+        WorkloadSpec::small_flows().with_flows(8192),
+        WorkloadSpec::min_size(),
+    ];
+    let port = PortConfig::naive();
+    let mut data = Dataset::default();
+    for (i, m) in modules.iter().enumerate() {
+        for (j, spec) in workloads.iter().enumerate() {
+            let trace = Trace::generate(spec, 400, seed ^ ((i * 3 + j) as u64));
+            let wp = nic_sim::profile_workload(m, &trace, &port, cfg, |_| {});
+            let label = optimal_by_sweep(&wp, cfg, &port);
+            data.push(features_of(&wp, cfg, &port), f64::from(label));
+        }
+    }
+    data
+}
+
+impl ScaleoutModel {
+    /// Trains a predictor on a labeled dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn train(kind: ScaleoutKind, data: &Dataset, cfg: &NicConfig, seed: u64) -> ScaleoutModel {
+        assert!(!data.is_empty(), "empty dataset");
+        let model = match kind {
+            ScaleoutKind::ClaraGbdt => SoModel::Gbdt(GbdtRegressor::fit(
+                &data.x,
+                &data.y,
+                &GbdtConfig {
+                    rounds: 500,
+                    shrinkage: 0.03,
+                    tree: tinyml::tree::TreeConfig {
+                        max_depth: 6,
+                        min_split: 4,
+                        min_leaf: 2,
+                    },
+                },
+            )),
+            ScaleoutKind::Knn => SoModel::Knn(Knn::fit(&data.x, &data.y, 3)),
+            ScaleoutKind::Dnn => {
+                let mut m = Mlp::new(MlpConfig {
+                    inputs: data.dim(),
+                    hidden: vec![32, 16],
+                    outputs: 1,
+                    loss: Loss::Mse,
+                    lr: 0.01,
+                    epochs: 120,
+                    seed,
+                });
+                m.fit(&data.x, &data.y);
+                SoModel::Dnn(m)
+            }
+            ScaleoutKind::AutoMl => SoModel::AutoMl(AutoMlRegressor::search(data, 10, seed)),
+        };
+        ScaleoutModel {
+            model,
+            kind,
+            max_cores: cfg.cores,
+        }
+    }
+
+    /// The model family used.
+    pub fn kind(&self) -> ScaleoutKind {
+        self.kind
+    }
+
+    /// Predicts the optimal core count for a profiled workload.
+    pub fn predict(&self, wp: &WorkloadProfile, cfg: &NicConfig, port: &PortConfig) -> u32 {
+        let f = features_of(wp, cfg, port);
+        let raw = match &self.model {
+            SoModel::Gbdt(m) => m.predict(&f),
+            SoModel::Knn(m) => m.predict(&f),
+            SoModel::Dnn(m) => m.predict_scalar(&f),
+            SoModel::AutoMl(m) => m.predict(&f),
+        };
+        (raw.round().max(1.0) as u32).min(self.max_cores)
+    }
+
+    /// Mean absolute error (in cores) on a labeled dataset.
+    pub fn mae(&self, data: &Dataset) -> f64 {
+        let preds: Vec<f64> = data
+            .x
+            .iter()
+            .map(|f| {
+                let raw = match &self.model {
+                    SoModel::Gbdt(m) => m.predict(f),
+                    SoModel::Knn(m) => m.predict(f),
+                    SoModel::Dnn(m) => m.predict_scalar(f),
+                    SoModel::AutoMl(m) => m.predict(f),
+                };
+                raw.round().clamp(1.0, f64::from(self.max_cores))
+            })
+            .collect();
+        tinyml::metrics::mae(&data.y, &preds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbdt_beats_constant_predictor() {
+        let cfg = NicConfig::default();
+        let train = training_set(30, 1, &cfg);
+        let test = training_set(10, 2, &cfg);
+        let m = ScaleoutModel::train(ScaleoutKind::ClaraGbdt, &train, &cfg, 1);
+        let mae = m.mae(&test);
+        // Constant predictor: always guess the training mean.
+        let mean = train.y.iter().sum::<f64>() / train.len() as f64;
+        let base = tinyml::metrics::mae(&test.y, &vec![mean.round(); test.len()]);
+        assert!(mae <= base, "gbdt {mae:.2} vs constant {base:.2}");
+    }
+
+    #[test]
+    fn predictions_are_in_range() {
+        let cfg = NicConfig::default();
+        let train = training_set(12, 3, &cfg);
+        let m = ScaleoutModel::train(ScaleoutKind::ClaraGbdt, &train, &cfg, 3);
+        let e = click_model::elements::aggcounter();
+        let trace = Trace::generate(&WorkloadSpec::large_flows(), 200, 4);
+        let wp = nic_sim::profile_workload(&e.module, &trace, &PortConfig::naive(), &cfg, |_| {});
+        let c = m.predict(&wp, &cfg, &PortConfig::naive());
+        assert!((1..=cfg.cores).contains(&c), "{c}");
+    }
+
+    #[test]
+    fn all_baselines_train() {
+        let cfg = NicConfig::default();
+        let train = training_set(8, 5, &cfg);
+        for kind in [ScaleoutKind::Knn, ScaleoutKind::Dnn, ScaleoutKind::AutoMl] {
+            let m = ScaleoutModel::train(kind, &train, &cfg, 5);
+            assert!(m.mae(&train).is_finite(), "{}", kind.name());
+        }
+    }
+}

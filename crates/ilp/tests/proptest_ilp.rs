@@ -1,0 +1,45 @@
+//! Property tests: branch-and-bound matches brute force on small instances.
+
+use ilp_solver::AssignmentProblem;
+use proptest::prelude::*;
+
+fn arb_problem() -> impl Strategy<Value = AssignmentProblem> {
+    (1usize..6, 1usize..4).prop_flat_map(|(n, t)| {
+        (
+            proptest::collection::vec(proptest::collection::vec(0.0f64..100.0, t..=t), n..=n),
+            proptest::collection::vec(1u64..20, n..=n),
+            proptest::collection::vec(1u64..40, t..=t),
+        )
+            .prop_map(|(costs, sizes, caps)| AssignmentProblem { costs, sizes, caps })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solve_matches_brute_force(p in arb_problem()) {
+        let exact = p.solve();
+        let brute = p.brute_force();
+        match (exact, brute) {
+            (Some(a), Some(b)) => {
+                prop_assert!((a.cost - b.cost).abs() < 1e-9,
+                    "solver {} vs brute {}", a.cost, b.cost);
+                // And the reported assignment really has the reported cost
+                // and is feasible.
+                let mut used = vec![0u64; p.caps.len()];
+                let mut cost = 0.0;
+                for (i, &j) in a.assignment.iter().enumerate() {
+                    used[j] += p.sizes[i];
+                    cost += p.costs[i][j];
+                }
+                for (j, &u) in used.iter().enumerate() {
+                    prop_assert!(u <= p.caps[j], "capacity violated at {j}");
+                }
+                prop_assert!((cost - a.cost).abs() < 1e-9);
+            }
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "feasibility disagreement: {a:?} vs {b:?}"),
+        }
+    }
+}

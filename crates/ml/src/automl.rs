@@ -1,0 +1,426 @@
+//! Mini-AutoML: random pipeline search with cross-validation (TPOT stand-in).
+//!
+//! TPOT, the AutoML baseline of the paper, searches ML pipelines and
+//! hyperparameters. This module does the same at a smaller scale: it
+//! samples candidate pipelines (random forest, GBDT, kNN, decision tree —
+//! plus bagging/hyperparameter variations), scores each by k-fold
+//! cross-validation, and refits the winner on the full data. In the
+//! paper's experiments TPOT selected a random-forest pipeline for
+//! instruction prediction and a kNN for algorithm identification; the same
+//! winners tend to emerge here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::gbdt::{GbdtConfig, GbdtRegressor};
+use crate::knn::Knn;
+use crate::metrics;
+use crate::tree::{ClassificationTree, RegressionTree, TreeConfig};
+
+/// A random forest regressor (bagged trees with feature subsampling).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForest {
+    /// Fits `n_trees` bagged trees.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        n_trees: usize,
+        cfg: &TreeConfig,
+        seed: u64,
+    ) -> RandomForest {
+        assert!(!x.is_empty(), "empty training set");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = x[0].len();
+        let n_feats = ((d as f64).sqrt().ceil() as usize).max(1);
+        let trees = (0..n_trees)
+            .map(|_| {
+                let rows: Vec<usize> = (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
+                RegressionTree::fit_rows(x, y, &rows, cfg, Some(&mut rng), n_feats)
+            })
+            .collect();
+        RandomForest { trees }
+    }
+
+    /// Mean prediction over the ensemble.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len().max(1) as f64
+    }
+}
+
+/// The model family a pipeline uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PipelineKind {
+    /// Random forest.
+    RandomForest,
+    /// Gradient-boosted trees.
+    Gbdt,
+    /// k-nearest neighbours.
+    Knn,
+    /// A single decision tree.
+    DecisionTree,
+}
+
+impl PipelineKind {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PipelineKind::RandomForest => "random-forest",
+            PipelineKind::Gbdt => "gbdt",
+            PipelineKind::Knn => "knn",
+            PipelineKind::DecisionTree => "decision-tree",
+        }
+    }
+}
+
+/// A fitted regression pipeline chosen by AutoML search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FittedRegressor {
+    /// Random forest.
+    Forest(RandomForest),
+    /// GBDT.
+    Gbdt(GbdtRegressor),
+    /// kNN.
+    Knn(Knn),
+    /// Single tree.
+    Tree(RegressionTree),
+}
+
+impl FittedRegressor {
+    /// Predicts for one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        match self {
+            FittedRegressor::Forest(m) => m.predict(x),
+            FittedRegressor::Gbdt(m) => m.predict(x),
+            FittedRegressor::Knn(m) => m.predict(x),
+            FittedRegressor::Tree(m) => m.predict(x),
+        }
+    }
+}
+
+/// Result of an AutoML regression search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AutoMlRegressor {
+    /// The winning fitted pipeline.
+    pub model: FittedRegressor,
+    /// Which family won.
+    pub chosen: PipelineKind,
+    /// Cross-validated MAE of the winner.
+    pub cv_mae: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RegCandidate {
+    Forest { trees: usize, depth: usize },
+    Gbdt { rounds: usize, depth: usize },
+    Knn { k: usize },
+    Tree { depth: usize },
+}
+
+fn fit_reg(c: RegCandidate, x: &[Vec<f64>], y: &[f64], seed: u64) -> FittedRegressor {
+    match c {
+        RegCandidate::Forest { trees, depth } => FittedRegressor::Forest(RandomForest::fit(
+            x,
+            y,
+            trees,
+            &TreeConfig {
+                max_depth: depth,
+                min_split: 4,
+                min_leaf: 2,
+            },
+            seed,
+        )),
+        RegCandidate::Gbdt { rounds, depth } => FittedRegressor::Gbdt(GbdtRegressor::fit(
+            x,
+            y,
+            &GbdtConfig {
+                rounds,
+                shrinkage: 0.1,
+                tree: TreeConfig {
+                    max_depth: depth,
+                    min_split: 4,
+                    min_leaf: 2,
+                },
+            },
+        )),
+        RegCandidate::Knn { k } => FittedRegressor::Knn(Knn::fit(x, y, k)),
+        RegCandidate::Tree { depth } => FittedRegressor::Tree(RegressionTree::fit(
+            x,
+            y,
+            &TreeConfig {
+                max_depth: depth,
+                min_split: 4,
+                min_leaf: 2,
+            },
+        )),
+    }
+}
+
+impl AutoMlRegressor {
+    /// Searches `budget` random pipelines with 3-fold CV and refits the
+    /// best on all data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn search(data: &Dataset, budget: usize, seed: u64) -> AutoMlRegressor {
+        assert!(!data.is_empty(), "empty dataset");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let folds = data.kfold(3, seed);
+        let mut best: Option<(RegCandidate, f64)> = None;
+
+        for trial in 0..budget.max(1) {
+            let cand = match trial % 4 {
+                0 => RegCandidate::Forest {
+                    trees: rng.gen_range(20..80),
+                    depth: rng.gen_range(4..10),
+                },
+                1 => RegCandidate::Gbdt {
+                    rounds: rng.gen_range(30..120),
+                    depth: rng.gen_range(2..6),
+                },
+                2 => RegCandidate::Knn {
+                    k: rng.gen_range(1..8),
+                },
+                _ => RegCandidate::Tree {
+                    depth: rng.gen_range(3..12),
+                },
+            };
+            let mut maes = Vec::new();
+            for (train_idx, val_idx) in &folds {
+                if train_idx.is_empty() || val_idx.is_empty() {
+                    continue;
+                }
+                let train = data.subset(train_idx);
+                let val = data.subset(val_idx);
+                let m = fit_reg(cand, &train.x, &train.y, seed ^ trial as u64);
+                let preds: Vec<f64> = val.x.iter().map(|r| m.predict(r)).collect();
+                maes.push(metrics::mae(&val.y, &preds));
+            }
+            let mae = maes.iter().sum::<f64>() / maes.len().max(1) as f64;
+            if best.is_none_or(|(_, b)| mae < b) {
+                best = Some((cand, mae));
+            }
+        }
+        let (cand, cv_mae) = best.expect("at least one trial");
+        let chosen = match cand {
+            RegCandidate::Forest { .. } => PipelineKind::RandomForest,
+            RegCandidate::Gbdt { .. } => PipelineKind::Gbdt,
+            RegCandidate::Knn { .. } => PipelineKind::Knn,
+            RegCandidate::Tree { .. } => PipelineKind::DecisionTree,
+        };
+        AutoMlRegressor {
+            model: fit_reg(cand, &data.x, &data.y, seed),
+            chosen,
+            cv_mae,
+        }
+    }
+
+    /// Predicts for one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.model.predict(x)
+    }
+}
+
+/// A fitted classification pipeline chosen by AutoML search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FittedClassifier {
+    /// kNN classifier.
+    Knn(Knn),
+    /// Decision-tree classifier.
+    Tree(ClassificationTree),
+}
+
+impl FittedClassifier {
+    /// Predicted class for one row.
+    pub fn classify(&self, x: &[f64]) -> usize {
+        match self {
+            FittedClassifier::Knn(m) => m.classify(x),
+            FittedClassifier::Tree(m) => m.classify(x),
+        }
+    }
+}
+
+/// Result of an AutoML classification search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AutoMlClassifier {
+    /// The winning fitted pipeline.
+    pub model: FittedClassifier,
+    /// Which family won.
+    pub chosen: PipelineKind,
+    /// Cross-validated accuracy of the winner.
+    pub cv_accuracy: f64,
+}
+
+impl AutoMlClassifier {
+    /// Searches `budget` random pipelines with 3-fold CV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn search(
+        x: &[Vec<f64>],
+        labels: &[usize],
+        n_classes: usize,
+        budget: usize,
+        seed: u64,
+    ) -> AutoMlClassifier {
+        assert!(!x.is_empty(), "empty dataset");
+        let data = Dataset::new(x.to_vec(), labels.iter().map(|&l| l as f64).collect());
+        let folds = data.kfold(3, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut best: Option<(usize, usize, f64)> = None; // (kind, param, acc)
+
+        for trial in 0..budget.max(1) {
+            let (kind, param) = if trial % 2 == 0 {
+                (0, rng.gen_range(1..8)) // kNN, k
+            } else {
+                (1, rng.gen_range(3..12)) // tree, depth
+            };
+            let mut accs = Vec::new();
+            for (train_idx, val_idx) in &folds {
+                if train_idx.is_empty() || val_idx.is_empty() {
+                    continue;
+                }
+                let train = data.subset(train_idx);
+                let val = data.subset(val_idx);
+                let tl: Vec<usize> = train.y.iter().map(|&v| v as usize).collect();
+                let vl: Vec<usize> = val.y.iter().map(|&v| v as usize).collect();
+                let preds: Vec<usize> = if kind == 0 {
+                    let m = Knn::fit(&train.x, &train.y, param);
+                    val.x.iter().map(|r| m.classify(r)).collect()
+                } else {
+                    let m = ClassificationTree::fit(
+                        &train.x,
+                        &tl,
+                        n_classes,
+                        &TreeConfig {
+                            max_depth: param,
+                            min_split: 4,
+                            min_leaf: 2,
+                        },
+                    );
+                    val.x.iter().map(|r| m.classify(r)).collect()
+                };
+                accs.push(metrics::accuracy(&vl, &preds));
+            }
+            let acc = accs.iter().sum::<f64>() / accs.len().max(1) as f64;
+            if best.is_none_or(|(_, _, b)| acc > b) {
+                best = Some((kind, param, acc));
+            }
+        }
+        let (kind, param, cv_accuracy) = best.expect("at least one trial");
+        let (model, chosen) = if kind == 0 {
+            (
+                FittedClassifier::Knn(Knn::fit(&data.x, &data.y, param)),
+                PipelineKind::Knn,
+            )
+        } else {
+            (
+                FittedClassifier::Tree(ClassificationTree::fit(
+                    &data.x,
+                    labels,
+                    n_classes,
+                    &TreeConfig {
+                        max_depth: param,
+                        min_split: 4,
+                        min_leaf: 2,
+                    },
+                )),
+                PipelineKind::DecisionTree,
+            )
+        };
+        AutoMlClassifier {
+            model,
+            chosen,
+            cv_accuracy,
+        }
+    }
+
+    /// Predicted class for one row.
+    pub fn classify(&self, x: &[f64]) -> usize {
+        self.model.classify(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regressor_search_finds_a_decent_model() {
+        let x: Vec<Vec<f64>> = (0..150)
+            .map(|i| vec![(i % 25) as f64, (i % 7) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * 2.0 + r[1]).collect();
+        let data = Dataset::new(x.clone(), y.clone());
+        let auto = AutoMlRegressor::search(&data, 8, 1);
+        let preds: Vec<f64> = x.iter().map(|r| auto.predict(r)).collect();
+        let err = metrics::mae(&y, &preds);
+        assert!(err < 3.0, "mae {err} for {:?}", auto.chosen);
+    }
+
+    #[test]
+    fn classifier_search_separates_blobs() {
+        let mut x = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2usize {
+            for i in 0..40 {
+                x.push(vec![c as f64 * 10.0 + (i % 5) as f64 * 0.1]);
+                labels.push(c);
+            }
+        }
+        let auto = AutoMlClassifier::search(&x, &labels, 2, 6, 2);
+        assert!(auto.cv_accuracy > 0.95);
+        assert_eq!(auto.classify(&[0.2]), 0);
+        assert_eq!(auto.classify(&[10.2]), 1);
+    }
+
+    #[test]
+    fn forest_outperforms_deep_single_tree_on_noise() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(8);
+        let x: Vec<Vec<f64>> = (0..200).map(|_| vec![rng.gen_range(0.0..10.0)]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] + rng.gen_range(-1.0..1.0)).collect();
+        let test_x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 5.0]).collect();
+        let test_y: Vec<f64> = test_x.iter().map(|r| r[0]).collect();
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            40,
+            &TreeConfig {
+                max_depth: 10,
+                min_split: 2,
+                min_leaf: 1,
+            },
+            3,
+        );
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            &TreeConfig {
+                max_depth: 10,
+                min_split: 2,
+                min_leaf: 1,
+            },
+        );
+        let f_err = metrics::rmse(
+            &test_y,
+            &test_x.iter().map(|r| forest.predict(r)).collect::<Vec<_>>(),
+        );
+        let t_err = metrics::rmse(
+            &test_y,
+            &test_x.iter().map(|r| tree.predict(r)).collect::<Vec<_>>(),
+        );
+        assert!(f_err < t_err, "forest {f_err:.3} vs tree {t_err:.3}");
+    }
+}

@@ -1,0 +1,215 @@
+//! Tabular datasets: features, labels, splits, and normalization.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A tabular dataset of feature vectors and scalar labels.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature rows (all the same length).
+    pub x: Vec<Vec<f64>>,
+    /// Labels, one per row (class index or regression target).
+    pub y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates a dataset, checking shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != y.len()` or rows are ragged.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<f64>) -> Dataset {
+        assert_eq!(x.len(), y.len(), "rows/labels mismatch");
+        if let Some(first) = x.first() {
+            let d = first.len();
+            assert!(x.iter().all(|r| r.len() == d), "ragged feature rows");
+        }
+        Dataset { x, y }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Feature dimensionality (0 for an empty dataset).
+    pub fn dim(&self) -> usize {
+        self.x.first().map_or(0, Vec::len)
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, features: Vec<f64>, label: f64) {
+        if !self.x.is_empty() {
+            assert_eq!(features.len(), self.dim(), "feature dim mismatch");
+        }
+        self.x.push(features);
+        self.y.push(label);
+    }
+
+    /// Shuffles and splits into `(train, test)` with `test_frac` held out.
+    pub fn split(&self, test_frac: f64, seed: u64) -> (Dataset, Dataset) {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        let n_test = ((self.len() as f64) * test_frac.clamp(0.0, 1.0)).round() as usize;
+        let (test_idx, train_idx) = idx.split_at(n_test.min(self.len()));
+        let pick = |ids: &[usize]| {
+            Dataset::new(
+                ids.iter().map(|&i| self.x[i].clone()).collect(),
+                ids.iter().map(|&i| self.y[i]).collect(),
+            )
+        };
+        (pick(train_idx), pick(test_idx))
+    }
+
+    /// K-fold cross-validation index sets: `(train, validation)` pairs.
+    pub fn kfold(&self, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+        let k = k.max(2);
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        let mut folds = Vec::with_capacity(k);
+        for f in 0..k {
+            let val: Vec<usize> = idx
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &s)| (i % k == f).then_some(s))
+                .collect();
+            let train: Vec<usize> = idx
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &s)| (i % k != f).then_some(s))
+                .collect();
+            folds.push((train, val));
+        }
+        folds
+    }
+
+    /// Selects a subset of rows by index.
+    pub fn subset(&self, ids: &[usize]) -> Dataset {
+        Dataset::new(
+            ids.iter().map(|&i| self.x[i].clone()).collect(),
+            ids.iter().map(|&i| self.y[i]).collect(),
+        )
+    }
+}
+
+/// Per-feature standardization (zero mean, unit variance) fit on a dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Standardizer {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits on the given rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty.
+    pub fn fit(rows: &[Vec<f64>]) -> Standardizer {
+        assert!(!rows.is_empty(), "cannot fit on empty data");
+        let d = rows[0].len();
+        let n = rows.len() as f64;
+        let mut mean = vec![0.0; d];
+        for r in rows {
+            for (m, v) in mean.iter_mut().zip(r.iter()) {
+                *m += v;
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= n);
+        let mut var = vec![0.0; d];
+        for r in rows {
+            for ((v, x), m) in var.iter_mut().zip(r.iter()).zip(mean.iter()) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let std = var
+            .iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Standardizer { mean, std }
+    }
+
+    /// Transforms one row in place.
+    pub fn apply(&self, row: &mut [f64]) {
+        for ((x, m), s) in row.iter_mut().zip(self.mean.iter()).zip(self.std.iter()) {
+            *x = (*x - m) / s;
+        }
+    }
+
+    /// Transforms a whole dataset, returning a new copy.
+    pub fn transform(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter()
+            .map(|r| {
+                let mut r = r.clone();
+                self.apply(&mut r);
+                r
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            (0..10).map(|i| vec![i as f64, (i * 2) as f64]).collect(),
+            (0..10).map(|i| i as f64).collect(),
+        )
+    }
+
+    #[test]
+    fn split_partitions_all_rows() {
+        let d = toy();
+        let (train, test) = d.split(0.3, 1);
+        assert_eq!(train.len() + test.len(), d.len());
+        assert_eq!(test.len(), 3);
+        assert_eq!(train.dim(), 2);
+    }
+
+    #[test]
+    fn kfold_covers_every_row_once_as_validation() {
+        let d = toy();
+        let folds = d.kfold(5, 2);
+        let mut seen = vec![0; d.len()];
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), d.len());
+            for &i in val {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn standardizer_centers_and_scales() {
+        let d = toy();
+        let s = Standardizer::fit(&d.x);
+        let t = s.transform(&d.x);
+        let mean0: f64 = t.iter().map(|r| r[0]).sum::<f64>() / t.len() as f64;
+        assert!(mean0.abs() < 1e-9);
+        let var0: f64 = t.iter().map(|r| r[0] * r[0]).sum::<f64>() / t.len() as f64;
+        assert!((var0 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged_rows() {
+        let _ = Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0.0, 1.0]);
+    }
+}

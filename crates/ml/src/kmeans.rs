@@ -1,0 +1,206 @@
+//! K-means clustering (Clara's memory-coalescing variable packing).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A fitted K-means model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeans {
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster assignment of each training point.
+    pub assignment: Vec<usize>,
+    /// Final within-cluster sum of squares.
+    pub inertia: f64,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl KMeans {
+    /// Runs Lloyd's algorithm with k-means++ initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or `k == 0`.
+    pub fn fit(points: &[Vec<f64>], k: usize, seed: u64) -> KMeans {
+        assert!(!points.is_empty(), "empty point set");
+        assert!(k > 0, "k must be positive");
+        let k = k.min(points.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // k-means++ seeding.
+        let mut centroids: Vec<Vec<f64>> = vec![points[rng.gen_range(0..points.len())].clone()];
+        while centroids.len() < k {
+            let d2: Vec<f64> = points
+                .iter()
+                .map(|p| {
+                    centroids
+                        .iter()
+                        .map(|c| sq_dist(p, c))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = d2.iter().sum();
+            if total <= 0.0 {
+                // All points coincide with existing centroids.
+                centroids.push(points[rng.gen_range(0..points.len())].clone());
+                continue;
+            }
+            let mut x = rng.gen::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                x -= d;
+                if x <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            centroids.push(points[chosen].clone());
+        }
+
+        let mut assignment = vec![0usize; points.len()];
+        for _iter in 0..100 {
+            // Assign.
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let best = (0..centroids.len())
+                    .min_by(|&a, &b| {
+                        sq_dist(p, &centroids[a])
+                            .partial_cmp(&sq_dist(p, &centroids[b]))
+                            .expect("finite")
+                    })
+                    .expect("k >= 1");
+                if assignment[i] != best {
+                    assignment[i] = best;
+                    changed = true;
+                }
+            }
+            // Update.
+            let d = points[0].len();
+            let mut sums = vec![vec![0.0; d]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (i, p) in points.iter().enumerate() {
+                counts[assignment[i]] += 1;
+                for (s, v) in sums[assignment[i]].iter_mut().zip(p.iter()) {
+                    *s += v;
+                }
+            }
+            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(counts.iter())) {
+                if count > 0 {
+                    *c = sum.iter().map(|s| s / count as f64).collect();
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let inertia = points
+            .iter()
+            .zip(assignment.iter())
+            .map(|(p, &a)| sq_dist(p, &centroids[a]))
+            .sum();
+        KMeans {
+            centroids,
+            assignment,
+            inertia,
+        }
+    }
+
+    /// Picks `k` in `1..=k_max` by the elbow criterion (largest relative
+    /// inertia drop), then fits with that `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    pub fn fit_auto(points: &[Vec<f64>], k_max: usize, seed: u64) -> KMeans {
+        assert!(!points.is_empty(), "empty point set");
+        let k_max = k_max.clamp(1, points.len());
+        let fits: Vec<KMeans> = (1..=k_max).map(|k| KMeans::fit(points, k, seed)).collect();
+        // Choose the smallest k whose marginal improvement falls below 20%.
+        let mut best = 0;
+        for i in 1..fits.len() {
+            let prev = fits[i - 1].inertia.max(1e-12);
+            let gain = (fits[i - 1].inertia - fits[i].inertia) / prev;
+            if gain > 0.2 {
+                best = i;
+            } else {
+                break;
+            }
+        }
+        fits.into_iter().nth(best).expect("at least one fit")
+    }
+
+    /// Assigns a new point to its nearest centroid.
+    pub fn assign(&self, p: &[f64]) -> usize {
+        (0..self.centroids.len())
+            .min_by(|&a, &b| {
+                sq_dist(p, &self.centroids[a])
+                    .partial_cmp(&sq_dist(p, &self.centroids[b]))
+                    .expect("finite")
+            })
+            .expect("k >= 1")
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for c in 0..3 {
+            let cx = c as f64 * 10.0;
+            for i in 0..20 {
+                pts.push(vec![cx + (i % 5) as f64 * 0.1, cx - (i % 3) as f64 * 0.1]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let pts = blobs();
+        let km = KMeans::fit(&pts, 3, 1);
+        // All points of the same blob share a cluster.
+        for blob in 0..3 {
+            let first = km.assignment[blob * 20];
+            assert!(km.assignment[blob * 20..(blob + 1) * 20]
+                .iter()
+                .all(|&a| a == first));
+        }
+        assert!(km.inertia < 10.0);
+    }
+
+    #[test]
+    fn auto_k_picks_three_for_three_blobs() {
+        let pts = blobs();
+        let km = KMeans::fit_auto(&pts, 6, 2);
+        assert_eq!(km.k(), 3, "expected 3 clusters, got {}", km.k());
+    }
+
+    #[test]
+    fn assign_matches_training_assignment() {
+        let pts = blobs();
+        let km = KMeans::fit(&pts, 3, 3);
+        for (p, &a) in pts.iter().zip(km.assignment.iter()) {
+            assert_eq!(km.assign(p), a);
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let km = KMeans::fit(&pts, 10, 4);
+        assert!(km.k() <= 2);
+    }
+}

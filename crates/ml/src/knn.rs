@@ -1,0 +1,93 @@
+//! k-nearest-neighbour classifier and regressor.
+
+use serde::{Deserialize, Serialize};
+
+/// A kNN model (stores the training set; L2 distance).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Knn {
+    k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+}
+
+impl Knn {
+    /// Stores the training data.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input, length mismatch, or `k == 0`.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], k: usize) -> Knn {
+        assert!(!x.is_empty(), "empty training set");
+        assert_eq!(x.len(), y.len(), "x/y mismatch");
+        assert!(k > 0, "k must be positive");
+        Knn {
+            k: k.min(x.len()),
+            x: x.to_vec(),
+            y: y.to_vec(),
+        }
+    }
+
+    fn neighbours(&self, q: &[f64]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.x.len()).collect();
+        let dist = |i: usize| -> f64 {
+            self.x[i]
+                .iter()
+                .zip(q.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum()
+        };
+        idx.sort_by(|&a, &b| dist(a).partial_cmp(&dist(b)).expect("finite distances"));
+        idx.truncate(self.k);
+        idx
+    }
+
+    /// Mean of the k nearest labels (regression).
+    pub fn predict(&self, q: &[f64]) -> f64 {
+        let nb = self.neighbours(q);
+        nb.iter().map(|&i| self.y[i]).sum::<f64>() / nb.len() as f64
+    }
+
+    /// Majority vote among the k nearest labels (classification).
+    pub fn classify(&self, q: &[f64]) -> usize {
+        let nb = self.neighbours(q);
+        let mut counts = std::collections::HashMap::new();
+        for &i in &nb {
+            *counts.entry(self.y[i] as usize).or_insert(0usize) += 1;
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(label, count)| (count, std::cmp::Reverse(label)))
+            .map(|(label, _)| label)
+            .expect("k >= 1")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_neighbour_classification() {
+        let x = vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]];
+        let y = vec![0.0, 0.0, 1.0, 1.0];
+        let m = Knn::fit(&x, &y, 2);
+        assert_eq!(m.classify(&[0.5]), 0);
+        assert_eq!(m.classify(&[10.4]), 1);
+    }
+
+    #[test]
+    fn regression_averages_neighbours() {
+        let x = vec![vec![0.0], vec![2.0], vec![100.0]];
+        let y = vec![1.0, 3.0, 50.0];
+        let m = Knn::fit(&x, &y, 2);
+        assert_eq!(m.predict(&[1.0]), 2.0);
+    }
+
+    #[test]
+    fn k_is_clamped_to_dataset() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![1.0, 3.0];
+        let m = Knn::fit(&x, &y, 10);
+        assert_eq!(m.predict(&[0.0]), 2.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! `tinyml`: from-scratch machine learning for the Clara reproduction.
+//!
+//! The Clara paper (SOSP 2021) uses Scikit-learn, TensorFlow and XGBoost.
+//! None of those exist in this self-contained Rust workspace, so this crate
+//! re-implements every model the paper trains or compares against:
+//!
+//! | Paper use | Model | Module |
+//! |---|---|---|
+//! | Instruction prediction (Clara) | LSTM + FC regression | [`lstm`] |
+//! | Instruction prediction baselines | DNN (MLP), CNN | [`mlp`], [`cnn`] |
+//! | AutoML baseline (TPOT) | random pipeline search | [`automl`] |
+//! | Algorithm identification (Clara) | linear SVM | [`svm`] |
+//! | Algorithm-ID baselines | kNN, decision tree, GBDT | [`knn`], [`tree`], [`gbdt`] |
+//! | Scale-out analysis (Clara) | GBDT regression | [`gbdt`] |
+//! | Colocation ranking (Clara) | LambdaMART-style pairwise ranking | [`rank`] |
+//! | Memory coalescing | K-means | [`kmeans`] |
+//! | Feature visualization (Fig. 10a) | PCA | [`pca`] |
+//! | Data-synthesis fidelity (Table 1) | distribution distances | [`dist`] |
+//!
+//! Everything is deterministic given a seed, uses `f64` throughout, and is
+//! sized for the small/medium datasets Clara works with (10²–10⁵ samples).
+
+pub mod automl;
+pub mod cnn;
+pub mod dataset;
+pub mod dist;
+pub mod gbdt;
+pub mod kmeans;
+pub mod knn;
+pub mod linalg;
+pub mod lstm;
+pub mod metrics;
+pub mod mlp;
+pub mod pca;
+pub mod rank;
+pub mod svm;
+pub mod tree;
+
+pub use dataset::Dataset;
+pub use linalg::Matrix;

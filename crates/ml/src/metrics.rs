@@ -1,0 +1,259 @@
+//! Evaluation metrics used throughout the paper's evaluation.
+
+/// Weighted mean absolute percentage error:
+/// `Σ|y - ŷ| / Σ|y|` — the headline metric of the paper's Section 5.2.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn wmape(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "wmape length mismatch");
+    let denom: f64 = truth.iter().map(|y| y.abs()).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = truth
+        .iter()
+        .zip(pred.iter())
+        .map(|(y, p)| (y - p).abs())
+        .sum();
+    num / denom
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "mae length mismatch");
+    assert!(!truth.is_empty(), "mae of empty slice");
+    truth
+        .iter()
+        .zip(pred.iter())
+        .map(|(y, p)| (y - p).abs())
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Root mean squared error.
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "rmse length mismatch");
+    assert!(!truth.is_empty(), "rmse of empty slice");
+    (truth
+        .iter()
+        .zip(pred.iter())
+        .map(|(y, p)| (y - p) * (y - p))
+        .sum::<f64>()
+        / truth.len() as f64)
+        .sqrt()
+}
+
+/// Binary precision/recall for a positive class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    /// TP / (TP + FP); 1.0 when nothing was predicted positive.
+    pub precision: f64,
+    /// TP / (TP + FN); 1.0 when nothing is actually positive.
+    pub recall: f64,
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+/// Computes precision/recall treating `positive` as the positive class.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn precision_recall(truth: &[usize], pred: &[usize], positive: usize) -> PrecisionRecall {
+    assert_eq!(truth.len(), pred.len(), "precision_recall length mismatch");
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut fn_ = 0;
+    for (&t, &p) in truth.iter().zip(pred.iter()) {
+        match (t == positive, p == positive) {
+            (true, true) => tp += 1,
+            (false, true) => fp += 1,
+            (true, false) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    PrecisionRecall {
+        precision: if tp + fp == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        },
+        recall: if tp + fn_ == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        },
+        tp,
+        fp,
+        fn_,
+    }
+}
+
+/// Micro-averaged precision/recall over all classes except `negative_class`
+/// (the "none of the accelerators" label in algorithm identification).
+pub fn micro_precision_recall(
+    truth: &[usize],
+    pred: &[usize],
+    negative_class: usize,
+) -> PrecisionRecall {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut fn_ = 0;
+    for (&t, &p) in truth.iter().zip(pred.iter()) {
+        if p != negative_class {
+            if t == p {
+                tp += 1;
+            } else {
+                fp += 1;
+                if t != negative_class {
+                    fn_ += 1; // Was a positive of another class, missed.
+                }
+            }
+        } else if t != negative_class {
+            fn_ += 1;
+        }
+    }
+    PrecisionRecall {
+        precision: if tp + fp == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        },
+        recall: if tp + fn_ == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        },
+        tp,
+        fp,
+        fn_,
+    }
+}
+
+/// Classification accuracy.
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+pub fn accuracy(truth: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "accuracy length mismatch");
+    assert!(!truth.is_empty(), "accuracy of empty slice");
+    truth
+        .iter()
+        .zip(pred.iter())
+        .filter(|(t, p)| t == p)
+        .count() as f64
+        / truth.len() as f64
+}
+
+/// Top-k ranking accuracy: does the true best item appear among the
+/// predicted top k? `scores` are predicted (higher = better ranked),
+/// `truth` are ground-truth qualities (higher = actually better).
+pub fn topk_contains_best(truth: &[f64], scores: &[f64], k: usize) -> bool {
+    assert_eq!(truth.len(), scores.len(), "topk length mismatch");
+    if truth.is_empty() {
+        return false;
+    }
+    let best = (0..truth.len())
+        .max_by(|&a, &b| truth[a].partial_cmp(&truth[b]).expect("finite"))
+        .expect("non-empty");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite"));
+    order.iter().take(k).any(|&i| i == best)
+}
+
+/// Kendall tau-a rank correlation between two score vectors.
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "kendall length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            let s = da * db;
+            if s > 0.0 {
+                concordant += 1;
+            } else if s < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wmape_zero_for_perfect_prediction() {
+        assert_eq!(wmape(&[10.0, 20.0], &[10.0, 20.0]), 0.0);
+        assert!((wmape(&[10.0, 10.0], &[11.0, 9.0]) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_and_rmse_basic() {
+        assert_eq!(mae(&[1.0, 3.0], &[2.0, 1.0]), 1.5);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_counts() {
+        let truth = [1, 1, 0, 0, 1];
+        let pred = [1, 0, 1, 0, 1];
+        let pr = precision_recall(&truth, &pred, 1);
+        assert_eq!(pr.tp, 2);
+        assert_eq!(pr.fp, 1);
+        assert_eq!(pr.fn_, 1);
+        assert!((pr.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((pr.recall - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn micro_pr_ignores_true_negatives() {
+        // classes: 0 = none, 1 = crc, 2 = lpm
+        let truth = [0, 1, 2, 0, 1];
+        let pred = [0, 1, 1, 1, 0];
+        let pr = micro_precision_recall(&truth, &pred, 0);
+        // tp: idx1. fp: idx2 (wrong class), idx3 (was none). fn: idx2, idx4.
+        assert_eq!(pr.tp, 1);
+        assert_eq!(pr.fp, 2);
+        assert_eq!(pr.fn_, 2);
+    }
+
+    #[test]
+    fn topk_ranking() {
+        let truth = [0.1, 0.9, 0.5];
+        let scores = [0.3, 0.2, 0.9]; // predicted order: 2, 0, 1
+        assert!(!topk_contains_best(&truth, &scores, 1));
+        assert!(!topk_contains_best(&truth, &scores, 2));
+        assert!(topk_contains_best(&truth, &scores, 3));
+    }
+
+    #[test]
+    fn kendall_tau_extremes() {
+        assert_eq!(kendall_tau(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 1.0);
+        assert_eq!(kendall_tau(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]), -1.0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Multi-layer perceptron ("DNN" baseline of the paper's Figure 8/9).
+//!
+//! A plain fully-connected network over fixed-size feature vectors (Clara
+//! feeds it the bag-of-tokens histogram of a code block, which discards
+//! the sequence information the LSTM exploits — that information loss is
+//! exactly why the paper finds DNNs weaker for instruction prediction).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::{clip_grad, Adam, Matrix};
+
+/// Training objective for [`Mlp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error (regression).
+    Mse,
+    /// Softmax cross-entropy (classification; outputs = class count).
+    Softmax,
+}
+
+/// Hyperparameters for [`Mlp`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Input dimensionality.
+    pub inputs: usize,
+    /// Hidden layer widths (ReLU between layers).
+    pub hidden: Vec<usize>,
+    /// Output dimensionality (1 for scalar regression; classes for softmax).
+    pub outputs: usize,
+    /// Objective.
+    pub loss: Loss,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> MlpConfig {
+        MlpConfig {
+            inputs: 16,
+            hidden: vec![32, 16],
+            outputs: 1,
+            loss: Loss::Mse,
+            lr: 0.01,
+            epochs: 60,
+            seed: 11,
+        }
+    }
+}
+
+/// A fully-connected network with ReLU activations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    cfg: MlpConfig,
+    weights: Vec<Matrix>,
+    biases: Vec<Vec<f64>>,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl Mlp {
+    /// Creates an untrained network.
+    pub fn new(cfg: MlpConfig) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut dims = vec![cfg.inputs];
+        dims.extend(&cfg.hidden);
+        dims.push(cfg.outputs);
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        for w in dims.windows(2) {
+            weights.push(Matrix::xavier(w[1], w[0], &mut rng));
+            biases.push(vec![0.0; w[1]]);
+        }
+        Mlp {
+            cfg,
+            weights,
+            biases,
+            y_mean: 0.0,
+            y_std: 1.0,
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut acts = vec![x.to_vec()];
+        let last = self.weights.len() - 1;
+        for (l, (w, b)) in self.weights.iter().zip(self.biases.iter()).enumerate() {
+            let mut z = w.matvec(acts.last().expect("non-empty"));
+            for (zi, bi) in z.iter_mut().zip(b.iter()) {
+                *zi += bi;
+                if l < last {
+                    *zi = zi.max(0.0); // ReLU on hidden layers only.
+                }
+            }
+            acts.push(z);
+        }
+        let out = acts.pop().expect("has output");
+        (acts, out)
+    }
+
+    /// Regression prediction (de-standardized). For classifiers, returns
+    /// raw logits.
+    pub fn predict(&self, x: &[f64]) -> Vec<f64> {
+        let (_, out) = self.forward(x);
+        match self.cfg.loss {
+            Loss::Mse => out.iter().map(|o| o * self.y_std + self.y_mean).collect(),
+            Loss::Softmax => out,
+        }
+    }
+
+    /// Scalar regression convenience (first output).
+    pub fn predict_scalar(&self, x: &[f64]) -> f64 {
+        self.predict(x)[0]
+    }
+
+    /// Classification: argmax over softmax logits.
+    pub fn classify(&self, x: &[f64]) -> usize {
+        let (_, out) = self.forward(x);
+        argmax(&out)
+    }
+
+    /// Trains the network. For `Loss::Softmax`, labels are class indices
+    /// (`y[i] as usize`); for `Loss::Mse` they are regression targets
+    /// (only `outputs == 1` supported via this entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or shape mismatches.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "x/y mismatch");
+        assert!(!x.is_empty(), "empty training set");
+        assert!(
+            x.iter().all(|r| r.len() == self.cfg.inputs),
+            "input width mismatch"
+        );
+
+        if self.cfg.loss == Loss::Mse {
+            let n = y.len() as f64;
+            self.y_mean = y.iter().sum::<f64>() / n;
+            self.y_std = (y.iter().map(|v| (v - self.y_mean).powi(2)).sum::<f64>() / n)
+                .sqrt()
+                .max(1e-9);
+        }
+
+        let mut opts: Vec<(Adam, Adam)> = self
+            .weights
+            .iter()
+            .zip(self.biases.iter())
+            .map(|(w, b)| {
+                (
+                    Adam::new(w.data.len(), self.cfg.lr),
+                    Adam::new(b.len(), self.cfg.lr),
+                )
+            })
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xabcd);
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        let mut last_loss = f64::INFINITY;
+        const BATCH: usize = 16;
+
+        for _ in 0..self.cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for chunk in order.chunks(BATCH) {
+                let mut g_w: Vec<Matrix> = self
+                    .weights
+                    .iter()
+                    .map(|w| Matrix::zeros(w.rows, w.cols))
+                    .collect();
+                let mut g_b: Vec<Vec<f64>> =
+                    self.biases.iter().map(|b| vec![0.0; b.len()]).collect();
+
+                for &i in chunk {
+                    let (acts, out) = self.forward(&x[i]);
+                    let dout = match self.cfg.loss {
+                        Loss::Mse => {
+                            let t = (y[i] - self.y_mean) / self.y_std;
+                            let d = out[0] - t;
+                            total += d * d;
+                            vec![d]
+                        }
+                        Loss::Softmax => {
+                            let probs = softmax(&out);
+                            let label = y[i] as usize;
+                            total += -probs[label.min(probs.len() - 1)].max(1e-12).ln();
+                            let mut d = probs;
+                            let li = label.min(d.len() - 1);
+                            d[li] -= 1.0;
+                            d
+                        }
+                    };
+                    count += 1;
+                    // Backprop.
+                    let mut delta = dout;
+                    for l in (0..self.weights.len()).rev() {
+                        g_w[l].add_outer(&delta, &acts[l], 1.0);
+                        for (g, d) in g_b[l].iter_mut().zip(delta.iter()) {
+                            *g += d;
+                        }
+                        if l > 0 {
+                            let mut prev = vec![0.0; self.weights[l].cols];
+                            self.weights[l].add_tmatvec(&delta, &mut prev);
+                            // ReLU derivative on the hidden activation.
+                            for (p, a) in prev.iter_mut().zip(acts[l].iter()) {
+                                if *a <= 0.0 {
+                                    *p = 0.0;
+                                }
+                            }
+                            delta = prev;
+                        }
+                    }
+                }
+                let scale = 1.0 / chunk.len().max(1) as f64;
+                for l in 0..self.weights.len() {
+                    g_w[l].data.iter_mut().for_each(|v| *v *= scale);
+                    g_b[l].iter_mut().for_each(|v| *v *= scale);
+                    clip_grad(&mut g_w[l].data, 5.0);
+                    clip_grad(&mut g_b[l], 5.0);
+                    opts[l].0.step(&mut self.weights[l].data, &g_w[l].data);
+                    opts[l].1.step(&mut self.biases[l], &g_b[l]);
+                }
+            }
+            if count > 0 {
+                last_loss = total / count as f64;
+            }
+        }
+        last_loss
+    }
+}
+
+/// Softmax over logits.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|e| e / sum.max(1e-300)).collect()
+}
+
+/// Index of the maximum element.
+///
+/// # Panics
+///
+/// Panics on empty input.
+pub fn argmax(v: &[f64]) -> usize {
+    assert!(!v.is_empty(), "argmax of empty slice");
+    v.iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn regresses_a_linear_function() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 1.0).collect();
+        let mut m = Mlp::new(MlpConfig {
+            inputs: 2,
+            hidden: vec![16],
+            outputs: 1,
+            loss: Loss::Mse,
+            lr: 0.02,
+            epochs: 80,
+            seed: 2,
+        });
+        m.fit(&x, &y);
+        let err = crate::metrics::mae(
+            &y,
+            &x.iter().map(|r| m.predict_scalar(r)).collect::<Vec<_>>(),
+        );
+        assert!(err < 0.2, "mae {err}");
+    }
+
+    #[test]
+    fn classifies_xor() {
+        let x = [
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let y = [0.0, 1.0, 1.0, 0.0];
+        // XOR needs a hidden layer; repeat data for more gradient steps.
+        let xs: Vec<Vec<f64>> = x.iter().cycle().take(200).cloned().collect();
+        let ys: Vec<f64> = y.iter().cycle().take(200).cloned().collect();
+        let mut m = Mlp::new(MlpConfig {
+            inputs: 2,
+            hidden: vec![8],
+            outputs: 2,
+            loss: Loss::Softmax,
+            lr: 0.05,
+            epochs: 60,
+            seed: 3,
+        });
+        m.fit(&xs, &ys);
+        for (xi, yi) in x.iter().zip(y.iter()) {
+            assert_eq!(m.classify(xi), *yi as usize, "at {xi:?}");
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(argmax(&p), 2);
+    }
+}

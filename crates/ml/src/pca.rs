@@ -1,0 +1,166 @@
+//! Principal component analysis (Figure 10a's feature-space projection).
+//!
+//! Components are extracted by power iteration with deflation on the
+//! covariance matrix — ample for the top-2 projections Clara plots.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted PCA projection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pca {
+    /// Feature means subtracted before projection.
+    pub mean: Vec<f64>,
+    /// Principal components (unit vectors), most significant first.
+    pub components: Vec<Vec<f64>>,
+    /// Eigenvalues (explained variance) per component.
+    pub explained: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits `n_components` principal components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or `n_components == 0`.
+    pub fn fit(rows: &[Vec<f64>], n_components: usize) -> Pca {
+        assert!(!rows.is_empty(), "empty data");
+        assert!(n_components > 0, "need at least one component");
+        let d = rows[0].len();
+        let n = rows.len() as f64;
+        let n_components = n_components.min(d);
+
+        let mut mean = vec![0.0; d];
+        for r in rows {
+            for (m, v) in mean.iter_mut().zip(r.iter()) {
+                *m += v;
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= n);
+
+        // Covariance matrix (d x d).
+        let mut cov = vec![vec![0.0; d]; d];
+        for r in rows {
+            let c: Vec<f64> = r.iter().zip(mean.iter()).map(|(v, m)| v - m).collect();
+            for i in 0..d {
+                if c[i] == 0.0 {
+                    continue;
+                }
+                for j in 0..d {
+                    cov[i][j] += c[i] * c[j] / n;
+                }
+            }
+        }
+
+        let mut components = Vec::new();
+        let mut explained = Vec::new();
+        for k in 0..n_components {
+            // Power iteration with a deterministic start.
+            let mut v: Vec<f64> = (0..d).map(|i| if i == k % d { 1.0 } else { 0.1 }).collect();
+            normalize(&mut v);
+            let mut eig = 0.0;
+            for _ in 0..200 {
+                let mut w = vec![0.0; d];
+                for i in 0..d {
+                    for j in 0..d {
+                        w[i] += cov[i][j] * v[j];
+                    }
+                }
+                let nrm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if nrm < 1e-14 {
+                    break; // Null space; keep current v.
+                }
+                eig = nrm;
+                w.iter_mut().for_each(|x| *x /= nrm);
+                let delta: f64 = w.iter().zip(v.iter()).map(|(a, b)| (a - b).abs()).sum();
+                v = w;
+                if delta < 1e-12 {
+                    break;
+                }
+            }
+            // Deflate.
+            for i in 0..d {
+                for j in 0..d {
+                    cov[i][j] -= eig * v[i] * v[j];
+                }
+            }
+            components.push(v);
+            explained.push(eig);
+        }
+        Pca {
+            mean,
+            components,
+            explained,
+        }
+    }
+
+    /// Projects one row onto the fitted components.
+    pub fn project(&self, row: &[f64]) -> Vec<f64> {
+        let c: Vec<f64> = row
+            .iter()
+            .zip(self.mean.iter())
+            .map(|(v, m)| v - m)
+            .collect();
+        self.components
+            .iter()
+            .map(|comp| comp.iter().zip(c.iter()).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if n > 0.0 {
+        v.iter_mut().for_each(|x| *x /= n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_dominant_direction() {
+        // Points along y = 2x with small noise: PC1 ~ (1, 2)/sqrt(5).
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| {
+                let t = (i as f64 - 50.0) / 10.0;
+                vec![t, 2.0 * t + 0.01 * ((i % 7) as f64 - 3.0)]
+            })
+            .collect();
+        let pca = Pca::fit(&rows, 2);
+        let c = &pca.components[0];
+        let expected = [1.0 / 5f64.sqrt(), 2.0 / 5f64.sqrt()];
+        let dot = (c[0] * expected[0] + c[1] * expected[1]).abs();
+        assert!(dot > 0.999, "PC1 {c:?}");
+        assert!(pca.explained[0] > 10.0 * pca.explained[1]);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 5) as f64, (i % 3) as f64 * 2.0, (i % 7) as f64 - 3.0])
+            .collect();
+        let pca = Pca::fit(&rows, 3);
+        for i in 0..3 {
+            let ni: f64 = pca.components[i].iter().map(|x| x * x).sum();
+            assert!((ni - 1.0).abs() < 1e-6, "norm {ni}");
+            for j in (i + 1)..3 {
+                let dot: f64 = pca.components[i]
+                    .iter()
+                    .zip(pca.components[j].iter())
+                    .map(|(a, b)| a * b)
+                    .sum();
+                assert!(dot.abs() < 1e-4, "components {i},{j} dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_centers_data() {
+        let rows = vec![vec![1.0, 1.0], vec![3.0, 3.0]];
+        let pca = Pca::fit(&rows, 1);
+        let p0 = pca.project(&rows[0])[0];
+        let p1 = pca.project(&rows[1])[0];
+        assert!((p0 + p1).abs() < 1e-9, "projections should be symmetric");
+    }
+}

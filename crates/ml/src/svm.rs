@@ -1,0 +1,185 @@
+//! Linear support vector machines (Clara's algorithm-identification model).
+//!
+//! Binary SVMs are trained by SGD on the L2-regularized hinge loss
+//! (Pegasos-style); multi-class classification is one-vs-rest over the
+//! binary machines, which matches the paper's "iterates through all known
+//! accelerators and uses the trained classifiers to label" description.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::dot;
+
+/// Hyperparameters for [`LinearSvm`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SvmConfig {
+    /// L2 regularization strength (λ).
+    pub lambda: f64,
+    /// Number of SGD epochs.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> SvmConfig {
+        SvmConfig {
+            lambda: 1e-3,
+            epochs: 60,
+            seed: 17,
+        }
+    }
+}
+
+/// A binary linear SVM: `f(x) = w·x + b`, positive margin = class +1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearSvm {
+    /// Weight vector.
+    pub w: Vec<f64>,
+    /// Bias.
+    pub b: f64,
+}
+
+impl LinearSvm {
+    /// Trains on ±1 labels via Pegasos SGD.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input, mismatched lengths, or labels not in {-1, 1}.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], cfg: &SvmConfig) -> LinearSvm {
+        assert!(!x.is_empty(), "empty training set");
+        assert_eq!(x.len(), y.len(), "x/y mismatch");
+        assert!(
+            y.iter().all(|&l| l == 1.0 || l == -1.0),
+            "labels must be ±1"
+        );
+        let d = x[0].len();
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        let mut t: u64 = 0;
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                t += 1;
+                let eta = 1.0 / (cfg.lambda * t as f64);
+                let margin = y[i] * (dot(&w, &x[i]) + b);
+                // L2 shrink.
+                let shrink = 1.0 - eta * cfg.lambda;
+                w.iter_mut().for_each(|wi| *wi *= shrink);
+                if margin < 1.0 {
+                    for (wi, xi) in w.iter_mut().zip(x[i].iter()) {
+                        *wi += eta * y[i] * xi;
+                    }
+                    b += eta * y[i];
+                }
+            }
+        }
+        LinearSvm { w, b }
+    }
+
+    /// Decision value (positive = class +1).
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        dot(&self.w, x) + self.b
+    }
+
+    /// Predicted ±1 label.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        if self.decision(x) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+/// One-vs-rest multi-class SVM.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiSvm {
+    machines: Vec<LinearSvm>,
+}
+
+impl MultiSvm {
+    /// Fits one binary machine per class (labels `0..n_classes`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or out-of-range labels.
+    pub fn fit(x: &[Vec<f64>], labels: &[usize], n_classes: usize, cfg: &SvmConfig) -> MultiSvm {
+        assert!(!x.is_empty(), "empty training set");
+        assert!(labels.iter().all(|&l| l < n_classes), "label out of range");
+        let machines = (0..n_classes)
+            .map(|c| {
+                let y: Vec<f64> = labels
+                    .iter()
+                    .map(|&l| if l == c { 1.0 } else { -1.0 })
+                    .collect();
+                LinearSvm::fit(x, &y, cfg)
+            })
+            .collect();
+        MultiSvm { machines }
+    }
+
+    /// Per-class decision values.
+    pub fn scores(&self, x: &[f64]) -> Vec<f64> {
+        self.machines.iter().map(|m| m.decision(x)).collect()
+    }
+
+    /// Predicted class (largest decision value).
+    pub fn classify(&self, x: &[f64]) -> usize {
+        crate::mlp::argmax(&self.scores(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn separates_linearly_separable_data() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..100 {
+            let a: f64 = rng.gen_range(-1.0..1.0);
+            let b: f64 = rng.gen_range(-1.0..1.0);
+            x.push(vec![a, b]);
+            y.push(if a + b > 0.1 { 1.0 } else { -1.0 });
+        }
+        let m = LinearSvm::fit(&x, &y, &SvmConfig::default());
+        let errs = x
+            .iter()
+            .zip(y.iter())
+            .filter(|(xi, yi)| m.predict(xi) != **yi)
+            .count();
+        assert!(errs <= 3, "{errs} errors");
+    }
+
+    #[test]
+    fn multiclass_one_vs_rest() {
+        // Three corner blobs: each class is linearly separable from the
+        // union of the others (a requirement of one-vs-rest).
+        let centers = [(0.0, 0.0), (5.0, 0.0), (0.0, 5.0)];
+        let mut x = Vec::new();
+        let mut labels = Vec::new();
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..30 {
+                x.push(vec![cx + (i % 3) as f64 * 0.1, cy + (i % 5) as f64 * 0.1]);
+                labels.push(c);
+            }
+        }
+        let m = MultiSvm::fit(&x, &labels, 3, &SvmConfig::default());
+        let preds: Vec<usize> = x.iter().map(|r| m.classify(r)).collect();
+        assert!(crate::metrics::accuracy(&labels, &preds) > 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be ±1")]
+    fn rejects_bad_labels() {
+        let _ = LinearSvm::fit(&[vec![1.0]], &[0.5], &SvmConfig::default());
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests over the from-scratch ML building blocks.
+
+use proptest::prelude::*;
+use tinyml::dataset::Standardizer;
+use tinyml::kmeans::KMeans;
+use tinyml::tree::{RegressionTree, TreeConfig};
+
+fn arb_points(rows: std::ops::Range<usize>, dims: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-100.0f64..100.0, dims..=dims),
+        rows,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A regression tree's predictions never leave the range of its
+    /// training targets (leaves are means of target subsets).
+    #[test]
+    fn tree_predictions_stay_in_target_range(
+        x in arb_points(4..40, 3),
+        probe in proptest::collection::vec(-200.0f64..200.0, 3..=3),
+    ) {
+        let y: Vec<f64> = x.iter().map(|r| r[0] - 2.0 * r[1] + r[2] * r[2] / 10.0).collect();
+        let t = RegressionTree::fit(&x, &y, &TreeConfig::default());
+        let lo = y.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let p = t.predict(&probe);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+    }
+
+    /// K-means inertia is (approximately) non-increasing in k: Lloyd's
+    /// algorithm only finds local optima, so the property is checked over
+    /// a best-of-three seeding with a small tolerance.
+    #[test]
+    fn kmeans_inertia_monotone_in_k(x in arb_points(6..30, 2), seed in 0u64..100) {
+        let mut last = f64::INFINITY;
+        for k in 1..=4usize {
+            let km = (0..3)
+                .map(|i| KMeans::fit(&x, k, seed.wrapping_add(i * 7919)))
+                .min_by(|a, b| a.inertia.partial_cmp(&b.inertia).expect("finite"))
+                .expect("three fits");
+            prop_assert!(km.assignment.iter().all(|&a| a < km.k()));
+            prop_assert!(km.inertia <= last * 1.05 + 1e-6,
+                "inertia rose from {last} to {} at k={k}", km.inertia);
+            last = km.inertia.min(last);
+        }
+    }
+
+    /// Standardized data has (near-)zero mean and unit variance per
+    /// feature with nonzero spread.
+    #[test]
+    fn standardizer_centers_features(x in arb_points(4..40, 3)) {
+        let s = Standardizer::fit(&x);
+        let t = s.transform(&x);
+        let n = t.len() as f64;
+        for d in 0..3 {
+            let mean: f64 = t.iter().map(|r| r[d]).sum::<f64>() / n;
+            prop_assert!(mean.abs() < 1e-6, "dim {d} mean {mean}");
+        }
+    }
+
+    /// The distance report of a distribution against itself is zero, and
+    /// against anything else non-negative and symmetric where promised.
+    #[test]
+    fn distance_identities(p in proptest::collection::vec(0.01f64..1.0, 4..12)) {
+        use tinyml::dist;
+        let q: Vec<f64> = p.iter().rev().cloned().collect();
+        prop_assert!(dist::jensen_shannon(&p, &p).abs() < 1e-9);
+        prop_assert!(dist::jensen_shannon(&p, &q) >= 0.0);
+        prop_assert!((dist::jensen_shannon(&p, &q) - dist::jensen_shannon(&q, &p)).abs() < 1e-9);
+        prop_assert!(dist::variational(&p, &q) <= 2.0 + 1e-9);
+        prop_assert!(dist::bhattacharyya(&p, &q) >= -1e-12);
+    }
+}

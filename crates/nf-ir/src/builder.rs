@@ -1,0 +1,326 @@
+//! A convenience builder for constructing well-formed NIR functions.
+
+use crate::inst::{ApiCall, BinOp, CastOp, Inst, MemRef, Operand, Pred, Term, ValueId};
+use crate::module::{Block, BlockId, Function, Ty};
+
+/// Incrementally builds a [`Function`].
+///
+/// Blocks are created up front (allowing forward branch targets), filled by
+/// switching the *current* block, and terminated explicitly. [`finish`]
+/// gives every unterminated block a `ret` so the result always verifies.
+///
+/// [`finish`]: FunctionBuilder::finish
+///
+/// # Examples
+///
+/// ```
+/// use nf_ir::{FunctionBuilder, Ty, Operand, BinOp};
+///
+/// let mut fb = FunctionBuilder::new("double");
+/// let p = fb.param(Ty::I32);
+/// let bb = fb.entry_block();
+/// fb.switch_to(bb);
+/// let r = fb.bin(BinOp::Shl, Ty::I32, p, Operand::imm(1));
+/// fb.ret(Some(r));
+/// let f = fb.finish();
+/// assert_eq!(f.blocks.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    params: Vec<(ValueId, Ty)>,
+    blocks: Vec<(BlockId, Vec<Inst>, Option<Term>)>,
+    current: Option<usize>,
+    next_value: u32,
+    next_slot: u32,
+}
+
+impl FunctionBuilder {
+    /// Creates a builder for a function with the given name.
+    pub fn new(name: impl Into<String>) -> FunctionBuilder {
+        FunctionBuilder {
+            name: name.into(),
+            params: Vec::new(),
+            blocks: Vec::new(),
+            current: None,
+            next_value: 0,
+            next_slot: 0,
+        }
+    }
+
+    /// Declares a parameter and returns it as an operand.
+    pub fn param(&mut self, ty: Ty) -> Operand {
+        let v = self.fresh();
+        self.params.push((v, ty));
+        Operand::Value(v)
+    }
+
+    /// Allocates a fresh stack slot (a stateless local variable).
+    pub fn slot(&mut self) -> u32 {
+        let s = self.next_slot;
+        self.next_slot += 1;
+        s
+    }
+
+    /// Creates the entry block (block 0). Must be called exactly once, first.
+    pub fn entry_block(&mut self) -> BlockId {
+        assert!(self.blocks.is_empty(), "entry block must be created first");
+        self.block()
+    }
+
+    /// Creates a new (empty, unterminated) block and returns its id.
+    pub fn block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push((id, Vec::new(), None));
+        id
+    }
+
+    /// Makes `bb` the current insertion point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bb` was not created by this builder.
+    pub fn switch_to(&mut self, bb: BlockId) {
+        assert!((bb.index()) < self.blocks.len(), "unknown block {:?}", bb);
+        self.current = Some(bb.index());
+    }
+
+    /// The current block, if one is selected.
+    pub fn current_block(&self) -> Option<BlockId> {
+        self.current.map(|i| BlockId(i as u32))
+    }
+
+    fn fresh(&mut self) -> ValueId {
+        let v = ValueId(self.next_value);
+        self.next_value += 1;
+        v
+    }
+
+    fn push(&mut self, inst: Inst) {
+        let idx = self.current.expect("no current block; call switch_to");
+        let (_, insts, term) = &mut self.blocks[idx];
+        assert!(term.is_none(), "current block already terminated");
+        insts.push(inst);
+    }
+
+    fn terminate(&mut self, term: Term) {
+        let idx = self.current.expect("no current block; call switch_to");
+        let slot = &mut self.blocks[idx].2;
+        assert!(slot.is_none(), "block already terminated");
+        *slot = Some(term);
+    }
+
+    /// Emits a binary operation and returns its result.
+    pub fn bin(
+        &mut self,
+        op: BinOp,
+        ty: Ty,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+    ) -> Operand {
+        let dst = self.fresh();
+        self.push(Inst::Bin {
+            dst,
+            op,
+            ty,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        });
+        Operand::Value(dst)
+    }
+
+    /// Emits a comparison and returns its boolean result.
+    pub fn icmp(
+        &mut self,
+        pred: Pred,
+        ty: Ty,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+    ) -> Operand {
+        let dst = self.fresh();
+        self.push(Inst::Icmp {
+            dst,
+            pred,
+            ty,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        });
+        Operand::Value(dst)
+    }
+
+    /// Emits a width cast and returns its result.
+    pub fn cast(&mut self, op: CastOp, from: Ty, to: Ty, src: impl Into<Operand>) -> Operand {
+        let dst = self.fresh();
+        self.push(Inst::Cast {
+            dst,
+            op,
+            from,
+            to,
+            src: src.into(),
+        });
+        Operand::Value(dst)
+    }
+
+    /// Emits a select and returns its result.
+    pub fn select(
+        &mut self,
+        ty: Ty,
+        cond: impl Into<Operand>,
+        on_true: impl Into<Operand>,
+        on_false: impl Into<Operand>,
+    ) -> Operand {
+        let dst = self.fresh();
+        self.push(Inst::Select {
+            dst,
+            ty,
+            cond: cond.into(),
+            on_true: on_true.into(),
+            on_false: on_false.into(),
+        });
+        Operand::Value(dst)
+    }
+
+    /// Emits a load and returns the loaded value.
+    pub fn load(&mut self, ty: Ty, mem: MemRef) -> Operand {
+        let dst = self.fresh();
+        self.push(Inst::Load { dst, ty, mem });
+        Operand::Value(dst)
+    }
+
+    /// Emits a store.
+    pub fn store(&mut self, ty: Ty, val: impl Into<Operand>, mem: MemRef) {
+        self.push(Inst::Store {
+            ty,
+            val: val.into(),
+            mem,
+        });
+    }
+
+    /// Emits a framework API call, returning its result if the API has one.
+    pub fn call(&mut self, api: ApiCall, args: Vec<Operand>) -> Option<Operand> {
+        let dst = if api.has_result() {
+            Some(self.fresh())
+        } else {
+            None
+        };
+        self.push(Inst::Call { dst, api, args });
+        dst.map(Operand::Value)
+    }
+
+    /// Emits a phi node and returns its result.
+    pub fn phi(&mut self, ty: Ty, incomings: Vec<(BlockId, Operand)>) -> Operand {
+        let dst = self.fresh();
+        self.push(Inst::Phi { dst, ty, incomings });
+        Operand::Value(dst)
+    }
+
+    /// Terminates the current block with an unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.terminate(Term::Br { target });
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn cond_br(&mut self, cond: impl Into<Operand>, then_bb: BlockId, else_bb: BlockId) {
+        self.terminate(Term::CondBr {
+            cond: cond.into(),
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, val: Option<Operand>) {
+        self.terminate(Term::Ret { val });
+    }
+
+    /// Finishes construction; unterminated blocks receive `ret`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block was ever created.
+    pub fn finish(self) -> Function {
+        assert!(!self.blocks.is_empty(), "function has no blocks");
+        let blocks = self
+            .blocks
+            .into_iter()
+            .map(|(id, insts, term)| Block {
+                id,
+                insts,
+                term: term.unwrap_or(Term::Ret { val: None }),
+            })
+            .collect();
+        Function {
+            name: self.name,
+            params: self.params,
+            blocks,
+            next_value: self.next_value,
+            next_slot: self.next_slot,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::GlobalId;
+    use crate::verify::verify_function;
+
+    #[test]
+    fn builds_branching_function_that_verifies() {
+        let mut fb = FunctionBuilder::new("branchy");
+        let p = fb.param(Ty::I32);
+        let entry = fb.entry_block();
+        let then_bb = fb.block();
+        let else_bb = fb.block();
+        let join = fb.block();
+
+        fb.switch_to(entry);
+        let c = fb.icmp(Pred::ULt, Ty::I32, p, Operand::imm(10));
+        fb.cond_br(c, then_bb, else_bb);
+
+        fb.switch_to(then_bb);
+        let a = fb.bin(BinOp::Add, Ty::I32, p, Operand::imm(1));
+        fb.br(join);
+
+        fb.switch_to(else_bb);
+        let b = fb.bin(BinOp::Sub, Ty::I32, p, Operand::imm(1));
+        fb.br(join);
+
+        fb.switch_to(join);
+        let r = fb.phi(Ty::I32, vec![(then_bb, a), (else_bb, b)]);
+        fb.ret(Some(r));
+
+        let f = fb.finish();
+        assert_eq!(f.blocks.len(), 4);
+        verify_function(&f).expect("function should verify");
+    }
+
+    #[test]
+    fn finish_terminates_dangling_blocks() {
+        let mut fb = FunctionBuilder::new("dangling");
+        let bb = fb.entry_block();
+        fb.switch_to(bb);
+        let f = fb.finish();
+        assert!(matches!(f.blocks[0].term, Term::Ret { val: None }));
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn pushing_after_terminator_panics() {
+        let mut fb = FunctionBuilder::new("bad");
+        let bb = fb.entry_block();
+        fb.switch_to(bb);
+        fb.ret(None);
+        fb.store(Ty::I32, Operand::imm(0), MemRef::global(GlobalId(0)));
+    }
+
+    #[test]
+    fn slots_are_sequential() {
+        let mut fb = FunctionBuilder::new("slots");
+        assert_eq!(fb.slot(), 0);
+        assert_eq!(fb.slot(), 1);
+        let _ = fb.entry_block();
+        let f = fb.finish();
+        assert_eq!(f.next_slot, 2);
+    }
+}

@@ -1,0 +1,223 @@
+//! Control-flow graph construction and simple structural analyses.
+
+use std::collections::VecDeque;
+
+use crate::module::{BlockId, Function};
+
+/// A control-flow graph over a function's basic blocks.
+///
+/// Nodes are basic blocks; edges are branch/fallthrough relations as in the
+/// paper's program-preparation step (Section 3.1).
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// `succs[b]` = successor blocks of block `b`.
+    pub succs: Vec<Vec<BlockId>>,
+    /// `preds[b]` = predecessor blocks of block `b`.
+    pub preds: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a function.
+    pub fn build(func: &Function) -> Cfg {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for block in &func.blocks {
+            for succ in block.term.successors() {
+                succs[block.id.index()].push(succ);
+                preds[succ.index()].push(block.id);
+            }
+        }
+        Cfg { succs, preds }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True when the graph has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Blocks reachable from the entry, in BFS order.
+    pub fn reachable(&self) -> Vec<BlockId> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let mut seen = vec![false; self.len()];
+        let mut order = Vec::new();
+        let mut queue = VecDeque::from([BlockId(0)]);
+        seen[0] = true;
+        while let Some(b) = queue.pop_front() {
+            order.push(b);
+            for &s in &self.succs[b.index()] {
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    queue.push_back(s);
+                }
+            }
+        }
+        order
+    }
+
+    /// Back edges `(from, to)` where `to` is an ancestor of `from` in a DFS
+    /// spanning tree — each indicates a loop.
+    pub fn back_edges(&self) -> Vec<(BlockId, BlockId)> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let n = self.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut color = vec![Color::White; n];
+        let mut out = Vec::new();
+        // Iterative DFS with an explicit stack of (node, next-successor-index).
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        color[0] = Color::Grey;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < self.succs[node].len() {
+                let succ = self.succs[node][*next].index();
+                *next += 1;
+                match color[succ] {
+                    Color::White => {
+                        color[succ] = Color::Grey;
+                        stack.push((succ, 0));
+                    }
+                    Color::Grey => out.push((BlockId(node as u32), BlockId(succ as u32))),
+                    Color::Black => {}
+                }
+            } else {
+                color[node] = Color::Black;
+                stack.pop();
+            }
+        }
+        out
+    }
+
+    /// Number of loops (back edges) in the function.
+    pub fn loop_count(&self) -> usize {
+        self.back_edges().len()
+    }
+
+    /// Blocks that belong to some loop body (conservatively: blocks on a
+    /// path from a back-edge target to its source).
+    pub fn loop_blocks(&self) -> Vec<BlockId> {
+        let mut in_loop = vec![false; self.len()];
+        for (from, to) in self.back_edges() {
+            // Natural-loop body: `to` (header), `from` (latch), and every
+            // block that reaches `from` without passing through `to`.
+            let mut body = vec![false; self.len()];
+            body[to.index()] = true;
+            body[from.index()] = true;
+            let mut queue = VecDeque::from([from]);
+            while let Some(b) = queue.pop_front() {
+                for &p in &self.preds[b.index()] {
+                    if !body[p.index()] {
+                        body[p.index()] = true;
+                        queue.push_back(p);
+                    }
+                }
+            }
+            for (i, &b) in body.iter().enumerate() {
+                if b {
+                    in_loop[i] = true;
+                }
+            }
+        }
+        in_loop
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(BlockId(i as u32)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, Operand, Pred};
+    use crate::module::Ty;
+
+    fn diamond() -> Function {
+        let mut fb = FunctionBuilder::new("diamond");
+        let p = fb.param(Ty::I32);
+        let e = fb.entry_block();
+        let t = fb.block();
+        let f = fb.block();
+        let j = fb.block();
+        fb.switch_to(e);
+        let c = fb.icmp(Pred::Eq, Ty::I32, p, Operand::imm(0));
+        fb.cond_br(c, t, f);
+        fb.switch_to(t);
+        fb.br(j);
+        fb.switch_to(f);
+        fb.br(j);
+        fb.switch_to(j);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    fn looped() -> Function {
+        let mut fb = FunctionBuilder::new("loop");
+        let p = fb.param(Ty::I32);
+        let e = fb.entry_block();
+        let head = fb.block();
+        let body = fb.block();
+        let exit = fb.block();
+        fb.switch_to(e);
+        fb.br(head);
+        fb.switch_to(head);
+        let c = fb.icmp(Pred::ULt, Ty::I32, p, Operand::imm(8));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let _ = fb.bin(BinOp::Add, Ty::I32, p, Operand::imm(1));
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    #[test]
+    fn diamond_cfg_edges() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.succs[0].len(), 2);
+        assert_eq!(cfg.preds[3].len(), 2);
+        assert_eq!(cfg.reachable().len(), 4);
+        assert_eq!(cfg.loop_count(), 0);
+    }
+
+    #[test]
+    fn loop_detection() {
+        let f = looped();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.loop_count(), 1);
+        let loop_blocks = cfg.loop_blocks();
+        // Header (bb1) and latch (bb2) are in the loop; entry and exit not.
+        assert!(loop_blocks.contains(&BlockId(1)));
+        assert!(loop_blocks.contains(&BlockId(2)));
+        assert!(!loop_blocks.contains(&BlockId(0)));
+        assert!(!loop_blocks.contains(&BlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_excluded() {
+        let mut fb = FunctionBuilder::new("unreach");
+        let e = fb.entry_block();
+        let dead = fb.block();
+        fb.switch_to(e);
+        fb.ret(None);
+        fb.switch_to(dead);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.reachable().len(), 1);
+    }
+}

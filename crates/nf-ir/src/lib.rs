@@ -1,0 +1,57 @@
+//! NIR: a typed, SSA-form intermediate representation for network functions.
+//!
+//! NIR is this repository's substitute for LLVM IR in the Clara pipeline
+//! (SOSP 2021). It deliberately mirrors the subset of LLVM that Clara's
+//! analyses consume:
+//!
+//! - typed SSA values and the usual integer compute instructions
+//!   ([`Inst::Bin`], [`Inst::Icmp`], [`Inst::Cast`], [`Inst::Select`]);
+//! - explicit memory instructions ([`Inst::Load`], [`Inst::Store`]) whose
+//!   [`MemRef`] distinguishes *stateless* stack slots, *stateful* global
+//!   data structures, and packet data — the distinction at the heart of
+//!   Clara's Section 3.2 analysis;
+//! - NF-framework API calls ([`Inst::Call`] with an [`ApiCall`]), which
+//!   Clara handles by reverse porting instead of instruction prediction;
+//! - basic blocks with explicit terminators, from which a control-flow
+//!   graph ([`cfg::Cfg`]) is derived.
+//!
+//! The crate also provides the *vocabulary compaction* step of the paper
+//! ([`abstraction`]): concrete operands are abstracted into a small closed
+//! vocabulary ("add i32 VAR, IMM8") suitable for one-hot encoding and
+//! sequence models.
+//!
+//! # Examples
+//!
+//! ```
+//! use nf_ir::{FunctionBuilder, Ty, Operand, MemRef, PktField};
+//!
+//! let mut fb = FunctionBuilder::new("inc_ttl");
+//! let bb0 = fb.entry_block();
+//! fb.switch_to(bb0);
+//! let ttl = fb.load(Ty::I8, MemRef::pkt(PktField::IpTtl));
+//! let dec = fb.bin(nf_ir::BinOp::Sub, Ty::I8, ttl, Operand::imm(1));
+//! fb.store(Ty::I8, dec, MemRef::pkt(PktField::IpTtl));
+//! fb.ret(Some(dec));
+//! let func = fb.finish();
+//! assert!(nf_ir::verify::verify_function(&func).is_ok());
+//! ```
+
+pub mod abstraction;
+pub mod builder;
+pub mod cfg;
+pub mod inst;
+pub mod module;
+pub mod opt;
+pub mod parse;
+pub mod print;
+pub mod stats;
+pub mod verify;
+
+pub use abstraction::{abstract_inst, abstract_term, AbstractToken, Vocabulary};
+pub use builder::FunctionBuilder;
+pub use cfg::Cfg;
+pub use inst::{
+    ApiCall, BinOp, CastOp, Inst, InstClass, MemRef, Operand, PktField, Pred, Term, ValueId,
+};
+pub use module::{Block, BlockId, Function, GlobalDef, GlobalId, Module, StateKind, Ty};
+pub use stats::ModuleStats;

@@ -1,0 +1,324 @@
+//! Modules, functions, blocks, globals, and the primitive type system.
+
+use serde::{Deserialize, Serialize};
+
+use crate::inst::{Inst, Term, ValueId};
+
+/// Primitive integer types supported by NIR.
+///
+/// NIR has no pointer type: address arithmetic is expressed through
+/// [`crate::MemRef`] operands, which keeps the memory-region classification
+/// (stack vs. global vs. packet) syntactically evident, as Clara's analyses
+/// require.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Ty {
+    /// 1-bit boolean (comparison results).
+    I1,
+    /// 8-bit integer.
+    I8,
+    /// 16-bit integer.
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+}
+
+impl Ty {
+    /// Size of the type in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            Ty::I1 => 1,
+            Ty::I8 => 8,
+            Ty::I16 => 16,
+            Ty::I32 => 32,
+            Ty::I64 => 64,
+        }
+    }
+
+    /// Size of the type in bytes, rounded up.
+    pub fn bytes(self) -> u32 {
+        self.bits().div_ceil(8)
+    }
+
+    /// Textual name as used by the printer (`i32` etc.).
+    pub fn name(self) -> &'static str {
+        match self {
+            Ty::I1 => "i1",
+            Ty::I8 => "i8",
+            Ty::I16 => "i16",
+            Ty::I32 => "i32",
+            Ty::I64 => "i64",
+        }
+    }
+
+    /// Parses a type name produced by [`Ty::name`].
+    pub fn from_name(s: &str) -> Option<Ty> {
+        match s {
+            "i1" => Some(Ty::I1),
+            "i8" => Some(Ty::I8),
+            "i16" => Some(Ty::I16),
+            "i32" => Some(Ty::I32),
+            "i64" => Some(Ty::I64),
+            _ => None,
+        }
+    }
+
+    /// All types, in increasing width order.
+    pub const ALL: [Ty; 5] = [Ty::I1, Ty::I8, Ty::I16, Ty::I32, Ty::I64];
+}
+
+/// Identifier for a basic block within a function.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Index usable for dense per-block tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier for a global (stateful) data structure within a module.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct GlobalId(pub u32);
+
+impl GlobalId {
+    /// Index usable for dense per-global tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The flavour of a stateful data structure.
+///
+/// Clara's reverse-porting step (Section 3.3 of the paper) cares about the
+/// *kind* of Click data structure because host and SmartNIC implementations
+/// walk them differently (linear probing vs. fixed bucket sets, elastic
+/// vectors vs. tombstoned fixed arrays).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StateKind {
+    /// A plain scalar or small fixed struct (e.g., a counter).
+    Scalar,
+    /// A fixed-size array indexed by a computed offset.
+    Array,
+    /// A hash map keyed by flow tuples (`HashMap` in Click).
+    HashMap,
+    /// An elastically sized vector (`Vector` in Click).
+    Vector,
+    /// A sketch / probabilistic structure (rows x columns of counters).
+    Sketch,
+    /// A trie used for longest-prefix matching.
+    Trie,
+}
+
+impl StateKind {
+    /// Short lowercase name used by the printer.
+    pub fn name(self) -> &'static str {
+        match self {
+            StateKind::Scalar => "scalar",
+            StateKind::Array => "array",
+            StateKind::HashMap => "hashmap",
+            StateKind::Vector => "vector",
+            StateKind::Sketch => "sketch",
+            StateKind::Trie => "trie",
+        }
+    }
+
+    /// Parses a name produced by [`StateKind::name`].
+    pub fn from_name(s: &str) -> Option<StateKind> {
+        match s {
+            "scalar" => Some(StateKind::Scalar),
+            "array" => Some(StateKind::Array),
+            "hashmap" => Some(StateKind::HashMap),
+            "vector" => Some(StateKind::Vector),
+            "sketch" => Some(StateKind::Sketch),
+            "trie" => Some(StateKind::Trie),
+            _ => None,
+        }
+    }
+}
+
+/// Definition of a global (stateful, cross-packet) data structure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalDef {
+    /// Identifier referenced by [`crate::MemRef::Global`] operands.
+    pub id: GlobalId,
+    /// Human-readable name (`flow_table`, `pkt_counter`, ...).
+    pub name: String,
+    /// Structure kind; drives reverse porting and placement heuristics.
+    pub kind: StateKind,
+    /// Size in bytes of one entry.
+    pub entry_bytes: u32,
+    /// Number of entries (pre-sized — baremetal NICs lack `malloc`).
+    pub entries: u32,
+}
+
+impl GlobalDef {
+    /// Total size of the structure in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        u64::from(self.entry_bytes) * u64::from(self.entries)
+    }
+}
+
+/// A basic block: a straight-line instruction sequence plus one terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// This block's id; equals its position in [`Function::blocks`].
+    pub id: BlockId,
+    /// Non-terminator instructions in program order.
+    pub insts: Vec<Inst>,
+    /// The sole terminator.
+    pub term: Term,
+}
+
+impl Block {
+    /// Number of instructions including the terminator.
+    pub fn len(&self) -> usize {
+        self.insts.len() + 1
+    }
+
+    /// A block always contains at least its terminator.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A function: parameters plus a list of basic blocks, entry first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name (unique within a module).
+    pub name: String,
+    /// Formal parameters: SSA values live on entry.
+    pub params: Vec<(ValueId, Ty)>,
+    /// Basic blocks; `blocks[i].id == BlockId(i)`, entry is `blocks[0]`.
+    pub blocks: Vec<Block>,
+    /// Number of SSA values allocated (all `ValueId`s are `< next_value`).
+    pub next_value: u32,
+    /// Number of stack slots allocated.
+    pub next_slot: u32,
+}
+
+impl Function {
+    /// The entry block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function has no blocks (an unfinished builder state).
+    pub fn entry(&self) -> &Block {
+        &self.blocks[0]
+    }
+
+    /// Looks up a block by id.
+    pub fn block(&self, id: BlockId) -> Option<&Block> {
+        self.blocks.get(id.index())
+    }
+
+    /// Total instruction count including terminators.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(Block::len).sum()
+    }
+}
+
+/// A module: global data structures plus functions.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name (typically the NF element name).
+    pub name: String,
+    /// Stateful data structures; `globals[i].id == GlobalId(i)`.
+    pub globals: Vec<GlobalDef>,
+    /// Functions; by convention the packet handler is first.
+    pub funcs: Vec<Function>,
+}
+
+impl Module {
+    /// Creates an empty module with the given name.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            globals: Vec::new(),
+            funcs: Vec::new(),
+        }
+    }
+
+    /// Registers a global data structure and returns its id.
+    pub fn add_global(
+        &mut self,
+        name: impl Into<String>,
+        kind: StateKind,
+        entry_bytes: u32,
+        entries: u32,
+    ) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(GlobalDef {
+            id,
+            name: name.into(),
+            kind,
+            entry_bytes,
+            entries,
+        });
+        id
+    }
+
+    /// Looks up a global definition.
+    pub fn global(&self, id: GlobalId) -> Option<&GlobalDef> {
+        self.globals.get(id.index())
+    }
+
+    /// Looks up a function by name.
+    pub fn func(&self, name: &str) -> Option<&Function> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// The packet-handler function (first function by convention).
+    pub fn handler(&self) -> Option<&Function> {
+        self.funcs.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ty_sizes_are_consistent() {
+        assert_eq!(Ty::I1.bytes(), 1);
+        assert_eq!(Ty::I8.bytes(), 1);
+        assert_eq!(Ty::I16.bytes(), 2);
+        assert_eq!(Ty::I32.bytes(), 4);
+        assert_eq!(Ty::I64.bytes(), 8);
+        for ty in Ty::ALL {
+            assert_eq!(Ty::from_name(ty.name()), Some(ty));
+        }
+    }
+
+    #[test]
+    fn state_kind_names_round_trip() {
+        for kind in [
+            StateKind::Scalar,
+            StateKind::Array,
+            StateKind::HashMap,
+            StateKind::Vector,
+            StateKind::Sketch,
+            StateKind::Trie,
+        ] {
+            assert_eq!(StateKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(StateKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn module_global_registration_assigns_sequential_ids() {
+        let mut m = Module::new("test");
+        let a = m.add_global("a", StateKind::Scalar, 4, 1);
+        let b = m.add_global("b", StateKind::HashMap, 16, 1024);
+        assert_eq!(a, GlobalId(0));
+        assert_eq!(b, GlobalId(1));
+        assert_eq!(m.global(b).unwrap().total_bytes(), 16 * 1024);
+        assert!(m.global(GlobalId(7)).is_none());
+    }
+}

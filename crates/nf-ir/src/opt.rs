@@ -1,0 +1,443 @@
+//! Lightweight IR optimization passes.
+//!
+//! Clara analyzes NFs with "most LLVM optimizations disabled" so the IR
+//! stays close to the source (Section 3.1) — but a production IR library
+//! still wants the basics for its other users (the synthesizer's output,
+//! user-written frontends). Provided passes:
+//!
+//! - [`const_fold`]: evaluates instructions with all-constant operands;
+//! - [`simplify_branches`]: turns constant conditional branches into
+//!   unconditional ones;
+//! - [`dce`]: removes side-effect-free instructions whose results are
+//!   never used;
+//! - [`remove_unreachable`]: drops blocks unreachable from the entry;
+//! - [`optimize`]: runs all of the above to a (bounded) fixed point.
+//!
+//! Every pass preserves the interpreter-observable semantics; the crate's
+//! property tests check optimized modules against the originals
+//! instruction by instruction via `click-model`'s interpreter.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::inst::{BinOp, CastOp, Inst, Operand, Pred, Term, ValueId};
+use crate::module::{BlockId, Function, Module, Ty};
+
+fn mask(v: u64, ty: Ty) -> u64 {
+    match ty {
+        Ty::I1 => v & 1,
+        Ty::I8 => v & 0xff,
+        Ty::I16 => v & 0xffff,
+        Ty::I32 => v & 0xffff_ffff,
+        Ty::I64 => v,
+    }
+}
+
+fn to_signed(v: u64, ty: Ty) -> i64 {
+    let bits = ty.bits();
+    if bits >= 64 {
+        return v as i64;
+    }
+    let shift = 64 - bits;
+    ((v << shift) as i64) >> shift
+}
+
+/// Evaluates a binary op exactly as the interpreter does.
+pub fn eval_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> u64 {
+    let a = mask(a, ty);
+    let b = mask(b, ty);
+    let r = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::UDiv => a.checked_div(b).unwrap_or(0),
+        BinOp::URem => a.checked_rem(b).unwrap_or(0),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+        BinOp::LShr => a.wrapping_shr((b & 63) as u32),
+        BinOp::AShr => (to_signed(a, ty) >> (b & 63).min(63)) as u64,
+    };
+    mask(r, ty)
+}
+
+/// Evaluates a comparison exactly as the interpreter does.
+pub fn eval_icmp(pred: Pred, ty: Ty, a: u64, b: u64) -> bool {
+    let a = mask(a, ty);
+    let b = mask(b, ty);
+    match pred {
+        Pred::Eq => a == b,
+        Pred::Ne => a != b,
+        Pred::ULt => a < b,
+        Pred::ULe => a <= b,
+        Pred::UGt => a > b,
+        Pred::UGe => a >= b,
+        Pred::SLt => to_signed(a, ty) < to_signed(b, ty),
+        Pred::SGt => to_signed(a, ty) > to_signed(b, ty),
+    }
+}
+
+fn subst(op: &mut Operand, consts: &HashMap<ValueId, i64>) {
+    if let Operand::Value(v) = op {
+        if let Some(&c) = consts.get(v) {
+            *op = Operand::Const(c);
+        }
+    }
+}
+
+fn subst_inst(inst: &mut Inst, consts: &HashMap<ValueId, i64>) {
+    match inst {
+        Inst::Bin { lhs, rhs, .. } | Inst::Icmp { lhs, rhs, .. } => {
+            subst(lhs, consts);
+            subst(rhs, consts);
+        }
+        Inst::Cast { src, .. } => subst(src, consts),
+        Inst::Select {
+            cond,
+            on_true,
+            on_false,
+            ..
+        } => {
+            subst(cond, consts);
+            subst(on_true, consts);
+            subst(on_false, consts);
+        }
+        Inst::Load { mem, .. } => {
+            if let crate::inst::MemRef::Global {
+                index: Some(idx), ..
+            } = mem
+            {
+                subst(idx, consts);
+            }
+        }
+        Inst::Store { val, mem, .. } => {
+            subst(val, consts);
+            if let crate::inst::MemRef::Global {
+                index: Some(idx), ..
+            } = mem
+            {
+                subst(idx, consts);
+            }
+        }
+        Inst::Call { args, .. } => {
+            for a in args {
+                subst(a, consts);
+            }
+        }
+        Inst::Phi { incomings, .. } => {
+            for (_, v) in incomings {
+                subst(v, consts);
+            }
+        }
+    }
+}
+
+/// Constant folding: replaces all-constant compute instructions with the
+/// constant they evaluate to. Returns the number of folded instructions.
+pub fn const_fold(func: &mut Function) -> usize {
+    let mut consts: HashMap<ValueId, i64> = HashMap::new();
+    let mut folded = 0;
+    // One forward sweep per call; `optimize` iterates to a fixed point.
+    for b in &mut func.blocks {
+        for inst in &mut b.insts {
+            subst_inst(inst, &consts);
+            let value = match inst {
+                Inst::Bin {
+                    dst,
+                    op,
+                    ty,
+                    lhs: Operand::Const(a),
+                    rhs: Operand::Const(c),
+                } => Some((*dst, eval_bin(*op, *ty, *a as u64, *c as u64) as i64)),
+                Inst::Icmp {
+                    dst,
+                    pred,
+                    ty,
+                    lhs: Operand::Const(a),
+                    rhs: Operand::Const(c),
+                } => Some((*dst, i64::from(eval_icmp(*pred, *ty, *a as u64, *c as u64)))),
+                Inst::Cast {
+                    dst,
+                    op,
+                    from,
+                    to,
+                    src: Operand::Const(a),
+                } => {
+                    let v = mask(*a as u64, *from);
+                    let r = match op {
+                        CastOp::Zext => v,
+                        CastOp::Trunc => mask(v, *to),
+                        CastOp::Sext => mask(to_signed(v, *from) as u64, *to),
+                    };
+                    Some((*dst, mask(r, *to) as i64))
+                }
+                Inst::Select {
+                    dst,
+                    cond: Operand::Const(c),
+                    on_true,
+                    on_false,
+                    ..
+                } => match if *c & 1 != 0 { on_true } else { on_false } {
+                    Operand::Const(v) => Some((*dst, *v)),
+                    Operand::Value(_) => None,
+                },
+                _ => None,
+            };
+            if let Some((dst, v)) = value {
+                consts.insert(dst, v);
+                folded += 1;
+            }
+        }
+        match &mut b.term {
+            Term::CondBr { cond, .. } => subst(cond, &consts),
+            Term::Ret { val: Some(v) } => subst(v, &consts),
+            _ => {}
+        }
+    }
+    // Remove the folded instructions (their uses are now constants).
+    if folded > 0 {
+        for b in &mut func.blocks {
+            b.insts
+                .retain(|i| i.dst().is_none_or(|d| !consts.contains_key(&d)));
+        }
+    }
+    folded
+}
+
+/// Turns `condbr` on a constant into `br`. Returns rewrites performed.
+pub fn simplify_branches(func: &mut Function) -> usize {
+    let mut n = 0;
+    for b in &mut func.blocks {
+        if let Term::CondBr {
+            cond: Operand::Const(c),
+            then_bb,
+            else_bb,
+        } = b.term
+        {
+            let target = if c & 1 != 0 { then_bb } else { else_bb };
+            b.term = Term::Br { target };
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Dead-code elimination: removes side-effect-free instructions whose
+/// results are never used. Returns the number removed.
+pub fn dce(func: &mut Function) -> usize {
+    let mut used: HashSet<ValueId> = HashSet::new();
+    for b in &func.blocks {
+        for inst in &b.insts {
+            for op in inst.operands() {
+                if let Operand::Value(v) = op {
+                    used.insert(v);
+                }
+            }
+        }
+        match &b.term {
+            Term::CondBr {
+                cond: Operand::Value(v),
+                ..
+            } => {
+                used.insert(*v);
+            }
+            Term::Ret {
+                val: Some(Operand::Value(v)),
+            } => {
+                used.insert(*v);
+            }
+            _ => {}
+        }
+    }
+    let mut removed = 0;
+    for b in &mut func.blocks {
+        let before = b.insts.len();
+        b.insts.retain(|inst| {
+            let side_effect = matches!(inst, Inst::Store { .. } | Inst::Call { .. });
+            side_effect || inst.dst().is_none_or(|d| used.contains(&d))
+        });
+        removed += before - b.insts.len();
+    }
+    removed
+}
+
+/// Removes blocks unreachable from the entry, renumbering the survivors.
+/// Returns the number of blocks removed.
+pub fn remove_unreachable(func: &mut Function) -> usize {
+    let cfg = crate::cfg::Cfg::build(func);
+    let reachable: HashSet<BlockId> = cfg.reachable().into_iter().collect();
+    if reachable.len() == func.blocks.len() {
+        return 0;
+    }
+    let mut remap: HashMap<BlockId, BlockId> = HashMap::new();
+    let mut kept = Vec::new();
+    for b in func.blocks.drain(..) {
+        if reachable.contains(&b.id) {
+            remap.insert(b.id, BlockId(kept.len() as u32));
+            kept.push(b);
+        }
+    }
+    let removed = remap.len().abs_diff(reachable.len()) + (cfg.len() - kept.len());
+    for b in &mut kept {
+        b.id = remap[&b.id];
+        for inst in &mut b.insts {
+            if let Inst::Phi { incomings, .. } = inst {
+                incomings.retain(|(bb, _)| remap.contains_key(bb));
+                for (bb, _) in incomings {
+                    *bb = remap[bb];
+                }
+            }
+        }
+        match &mut b.term {
+            Term::Br { target } => *target = remap[target],
+            Term::CondBr {
+                then_bb, else_bb, ..
+            } => {
+                *then_bb = remap[then_bb];
+                *else_bb = remap[else_bb];
+            }
+            Term::Ret { .. } => {}
+        }
+    }
+    func.blocks = kept;
+    removed
+}
+
+/// Statistics from one [`optimize`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Instructions constant-folded away.
+    pub folded: usize,
+    /// Constant branches rewritten.
+    pub branches: usize,
+    /// Dead instructions removed.
+    pub dead: usize,
+    /// Unreachable blocks removed.
+    pub blocks: usize,
+}
+
+/// Runs all passes to a bounded fixed point over every function.
+pub fn optimize(module: &mut Module) -> OptStats {
+    let mut total = OptStats::default();
+    for f in &mut module.funcs {
+        for _ in 0..8 {
+            let folded = const_fold(f);
+            let branches = simplify_branches(f);
+            let blocks = remove_unreachable(f);
+            let dead = dce(f);
+            total.folded += folded;
+            total.branches += branches;
+            total.blocks += blocks;
+            total.dead += dead;
+            if folded + branches + blocks + dead == 0 {
+                break;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{ApiCall, MemRef, PktField};
+    use crate::verify::verify_module;
+
+    #[test]
+    fn folds_constant_arithmetic_chains() {
+        let mut m = Module::new("fold");
+        let mut fb = FunctionBuilder::new("f");
+        let bb = fb.entry_block();
+        fb.switch_to(bb);
+        let a = fb.bin(BinOp::Add, Ty::I32, Operand::imm(40), Operand::imm(2));
+        let b = fb.bin(BinOp::Mul, Ty::I32, a, Operand::imm(3));
+        fb.ret(Some(b));
+        m.funcs.push(fb.finish());
+
+        let stats = optimize(&mut m);
+        assert_eq!(stats.folded, 2);
+        assert!(m.funcs[0].blocks[0].insts.is_empty());
+        assert_eq!(
+            m.funcs[0].blocks[0].term,
+            Term::Ret {
+                val: Some(Operand::Const(126))
+            }
+        );
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn folding_matches_interpreter_masking() {
+        // 8-bit wraparound: 200 + 100 = 44 (mod 256).
+        assert_eq!(eval_bin(BinOp::Add, Ty::I8, 200, 100), 44);
+        // Arithmetic shift respects the sign of the narrow type.
+        assert_eq!(eval_bin(BinOp::AShr, Ty::I8, 0x80, 1), 0xc0);
+        // Division by zero is defined as zero.
+        assert_eq!(eval_bin(BinOp::UDiv, Ty::I32, 7, 0), 0);
+        assert!(eval_icmp(Pred::SLt, Ty::I8, 0xff, 0x01)); // -1 < 1
+        assert!(!eval_icmp(Pred::ULt, Ty::I8, 0xff, 0x01));
+    }
+
+    #[test]
+    fn constant_branch_prunes_dead_block() {
+        let mut m = Module::new("prune");
+        let mut fb = FunctionBuilder::new("f");
+        let e = fb.entry_block();
+        let t = fb.block();
+        let f_bb = fb.block();
+        fb.switch_to(e);
+        let c = fb.icmp(Pred::ULt, Ty::I32, Operand::imm(1), Operand::imm(2));
+        fb.cond_br(c, t, f_bb);
+        fb.switch_to(t);
+        fb.ret(Some(Operand::imm(1)));
+        fb.switch_to(f_bb);
+        let _ = fb.call(ApiCall::PktDrop, vec![]);
+        fb.ret(Some(Operand::imm(0)));
+        m.funcs.push(fb.finish());
+
+        let stats = optimize(&mut m);
+        assert_eq!(stats.branches, 1);
+        assert_eq!(stats.blocks, 1);
+        assert_eq!(m.funcs[0].blocks.len(), 2);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn dce_keeps_side_effects() {
+        let mut m = Module::new("dce");
+        let g = m.add_global("ctr", crate::module::StateKind::Scalar, 4, 1);
+        let mut fb = FunctionBuilder::new("f");
+        let bb = fb.entry_block();
+        fb.switch_to(bb);
+        let dead = fb.load(Ty::I16, MemRef::pkt(PktField::IpLen)); // Unused.
+        let _ = dead;
+        fb.store(Ty::I32, Operand::imm(1), MemRef::global(g)); // Side effect.
+        let _ = fb.call(ApiCall::PktSend, vec![Operand::imm(0)]); // Side effect.
+        fb.ret(None);
+        m.funcs.push(fb.finish());
+
+        let stats = optimize(&mut m);
+        assert_eq!(stats.dead, 1);
+        assert_eq!(m.funcs[0].blocks[0].insts.len(), 2);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        let mut m = Module::new("idem");
+        let mut fb = FunctionBuilder::new("f");
+        let bb = fb.entry_block();
+        fb.switch_to(bb);
+        let x = fb.bin(BinOp::Xor, Ty::I32, Operand::imm(0xff), Operand::imm(0x0f));
+        let y = fb.load(Ty::I32, MemRef::pkt(PktField::IpSrc));
+        let z = fb.bin(BinOp::Add, Ty::I32, x, y);
+        fb.ret(Some(z));
+        m.funcs.push(fb.finish());
+        let _ = optimize(&mut m);
+        let snapshot = m.clone();
+        let again = optimize(&mut m);
+        assert_eq!(again, OptStats::default());
+        assert_eq!(m, snapshot);
+    }
+}

@@ -1,0 +1,680 @@
+//! Parser for the textual NIR format emitted by [`crate::print`].
+
+use std::fmt;
+
+use crate::inst::{ApiCall, BinOp, CastOp, Inst, MemRef, Operand, PktField, Pred, Term, ValueId};
+use crate::module::{Block, BlockId, Function, GlobalId, Module, StateKind, Ty};
+
+/// A parse failure with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: msg.into(),
+    })
+}
+
+/// Parses a module from its textual form.
+///
+/// The accepted grammar is exactly what [`crate::print::module`] emits;
+/// `print(parse(print(m))) == print(m)` holds for every valid module (see
+/// the crate's property tests).
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    let mut module = Module::default();
+    let mut lines = text.lines().enumerate().peekable();
+
+    // Header.
+    let (ln, first) = match lines.next() {
+        Some(pair) => pair,
+        None => return err(1, "empty input"),
+    };
+    let first = first.trim();
+    let name = first
+        .strip_prefix("module @")
+        .and_then(|rest| rest.strip_suffix(" {"))
+        .ok_or_else(|| ParseError {
+            line: ln + 1,
+            message: "expected `module @name {`".into(),
+        })?;
+    module.name = name.to_string();
+
+    while let Some(&(ln, raw)) = lines.peek() {
+        let line = raw.trim();
+        if line.is_empty() {
+            lines.next();
+            continue;
+        }
+        if line == "}" {
+            lines.next();
+            return Ok(module);
+        }
+        if line.starts_with("global ") {
+            lines.next();
+            let g = parse_global(ln + 1, line)?;
+            if g.id.index() != module.globals.len() {
+                return err(ln + 1, "globals must appear in id order");
+            }
+            module.globals.push(g);
+        } else if line.starts_with("func @") {
+            lines.next();
+            let func = parse_function(ln + 1, line, &mut lines)?;
+            module.funcs.push(func);
+        } else {
+            return err(ln + 1, format!("unexpected line: {line}"));
+        }
+    }
+    err(text.lines().count(), "unterminated module (missing `}`)")
+}
+
+fn parse_global(ln: usize, line: &str) -> Result<crate::module::GlobalDef, ParseError> {
+    // global @0 name : kind entry=16 n=1024
+    let rest = line.strip_prefix("global @").unwrap_or(line);
+    let mut parts = rest.split_whitespace();
+    let id: u32 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ParseError {
+            line: ln,
+            message: "bad global id".into(),
+        })?;
+    let name = parts.next().unwrap_or_default().to_string();
+    if parts.next() != Some(":") {
+        return err(ln, "expected `:` in global");
+    }
+    let kind = parts
+        .next()
+        .and_then(StateKind::from_name)
+        .ok_or_else(|| ParseError {
+            line: ln,
+            message: "bad state kind".into(),
+        })?;
+    let entry_bytes = parse_kv(ln, parts.next(), "entry")?;
+    let entries = parse_kv(ln, parts.next(), "n")?;
+    Ok(crate::module::GlobalDef {
+        id: GlobalId(id),
+        name,
+        kind,
+        entry_bytes,
+        entries,
+    })
+}
+
+fn parse_kv(ln: usize, item: Option<&str>, key: &str) -> Result<u32, ParseError> {
+    item.and_then(|s| s.strip_prefix(key))
+        .and_then(|s| s.strip_prefix('='))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ParseError {
+            line: ln,
+            message: format!("expected `{key}=<u32>`"),
+        })
+}
+
+fn parse_function<'a>(
+    header_ln: usize,
+    header: &str,
+    lines: &mut std::iter::Peekable<impl Iterator<Item = (usize, &'a str)>>,
+) -> Result<Function, ParseError> {
+    // func @name(%0: i32, %1: i16) slots=2 values=9 {
+    let rest = header.strip_prefix("func @").unwrap_or(header);
+    let paren = rest.find('(').ok_or_else(|| ParseError {
+        line: header_ln,
+        message: "missing `(`".into(),
+    })?;
+    let name = rest[..paren].to_string();
+    let close = rest.find(')').ok_or_else(|| ParseError {
+        line: header_ln,
+        message: "missing `)`".into(),
+    })?;
+    let mut params = Vec::new();
+    let param_str = &rest[paren + 1..close];
+    if !param_str.trim().is_empty() {
+        for p in param_str.split(',') {
+            let p = p.trim();
+            let (v, ty) = p.split_once(": ").ok_or_else(|| ParseError {
+                line: header_ln,
+                message: "bad parameter".into(),
+            })?;
+            let vid = parse_value(header_ln, v)?;
+            let ty = Ty::from_name(ty).ok_or_else(|| ParseError {
+                line: header_ln,
+                message: "bad param type".into(),
+            })?;
+            params.push((vid, ty));
+        }
+    }
+    let tail = &rest[close + 1..];
+    let mut slots = 0;
+    let mut values = 0;
+    for tok in tail.split_whitespace() {
+        if let Some(v) = tok.strip_prefix("slots=") {
+            slots = v.parse().map_err(|_| ParseError {
+                line: header_ln,
+                message: "bad slots".into(),
+            })?;
+        } else if let Some(v) = tok.strip_prefix("values=") {
+            values = v.parse().map_err(|_| ParseError {
+                line: header_ln,
+                message: "bad values".into(),
+            })?;
+        }
+    }
+
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut cur: Option<(BlockId, Vec<Inst>, Option<Term>)> = None;
+    loop {
+        let (ln, raw) = match lines.next() {
+            Some(pair) => pair,
+            None => return err(header_ln, "unterminated function"),
+        };
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "}" {
+            if let Some((id, insts, term)) = cur.take() {
+                blocks.push(finish_block(ln + 1, id, insts, term)?);
+            }
+            break;
+        }
+        if let Some(bb) = line.strip_prefix("bb").and_then(|s| s.strip_suffix(':')) {
+            let id: u32 = bb.parse().map_err(|_| ParseError {
+                line: ln + 1,
+                message: "bad block label".into(),
+            })?;
+            if let Some((pid, insts, term)) = cur.take() {
+                blocks.push(finish_block(ln + 1, pid, insts, term)?);
+            }
+            cur = Some((BlockId(id), Vec::new(), None));
+            continue;
+        }
+        let slot = match &mut cur {
+            Some(s) => s,
+            None => return err(ln + 1, "instruction outside block"),
+        };
+        if let Some(t) = try_parse_term(ln + 1, line)? {
+            if slot.2.is_some() {
+                return err(ln + 1, "block has two terminators");
+            }
+            slot.2 = Some(t);
+        } else {
+            if slot.2.is_some() {
+                return err(ln + 1, "instruction after terminator");
+            }
+            slot.1.push(parse_inst(ln + 1, line)?);
+        }
+    }
+    Ok(Function {
+        name,
+        params,
+        blocks,
+        next_value: values,
+        next_slot: slots,
+    })
+}
+
+fn finish_block(
+    ln: usize,
+    id: BlockId,
+    insts: Vec<Inst>,
+    term: Option<Term>,
+) -> Result<Block, ParseError> {
+    match term {
+        Some(term) => Ok(Block { id, insts, term }),
+        None => err(ln, format!("bb{} lacks a terminator", id.0)),
+    }
+}
+
+fn parse_value(ln: usize, s: &str) -> Result<ValueId, ParseError> {
+    s.strip_prefix('%')
+        .and_then(|n| n.parse().ok())
+        .map(ValueId)
+        .ok_or_else(|| ParseError {
+            line: ln,
+            message: format!("expected %value, got `{s}`"),
+        })
+}
+
+fn parse_operand(ln: usize, s: &str) -> Result<Operand, ParseError> {
+    let s = s.trim();
+    if let Some(n) = s.strip_prefix('%') {
+        return n
+            .parse()
+            .map(|v| Operand::Value(ValueId(v)))
+            .map_err(|_| ParseError {
+                line: ln,
+                message: format!("bad value `{s}`"),
+            });
+    }
+    s.parse().map(Operand::Const).map_err(|_| ParseError {
+        line: ln,
+        message: format!("bad operand `{s}`"),
+    })
+}
+
+fn parse_mem(ln: usize, s: &str) -> Result<MemRef, ParseError> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix("slot[") {
+        let n = rest.strip_suffix(']').ok_or_else(|| ParseError {
+            line: ln,
+            message: "bad slot ref".into(),
+        })?;
+        return Ok(MemRef::Stack {
+            slot: n.parse().map_err(|_| ParseError {
+                line: ln,
+                message: "bad slot number".into(),
+            })?,
+        });
+    }
+    if let Some(rest) = s.strip_prefix("pkt.") {
+        let field = PktField::from_name(rest).ok_or_else(|| ParseError {
+            line: ln,
+            message: format!("unknown packet field `{rest}`"),
+        })?;
+        return Ok(MemRef::Pkt { field });
+    }
+    if let Some(rest) = s.strip_prefix('@') {
+        // Forms: @2 | @2[+8] | @2[%5] | @2[%5+8]
+        if let Some(br) = rest.find('[') {
+            let gid: u32 = rest[..br].parse().map_err(|_| ParseError {
+                line: ln,
+                message: "bad global id".into(),
+            })?;
+            let inner = rest[br + 1..].strip_suffix(']').ok_or_else(|| ParseError {
+                line: ln,
+                message: "missing `]`".into(),
+            })?;
+            if let Some(off) = inner.strip_prefix('+') {
+                return Ok(MemRef::Global {
+                    global: GlobalId(gid),
+                    index: None,
+                    offset: off.parse().map_err(|_| ParseError {
+                        line: ln,
+                        message: "bad offset".into(),
+                    })?,
+                });
+            }
+            let (idx_s, off) = match inner.rfind('+') {
+                Some(plus) => (
+                    &inner[..plus],
+                    inner[plus + 1..].parse().map_err(|_| ParseError {
+                        line: ln,
+                        message: "bad offset".into(),
+                    })?,
+                ),
+                None => (inner, 0u32),
+            };
+            return Ok(MemRef::Global {
+                global: GlobalId(gid),
+                index: Some(parse_operand(ln, idx_s)?),
+                offset: off,
+            });
+        }
+        let gid: u32 = rest.parse().map_err(|_| ParseError {
+            line: ln,
+            message: "bad global id".into(),
+        })?;
+        return Ok(MemRef::Global {
+            global: GlobalId(gid),
+            index: None,
+            offset: 0,
+        });
+    }
+    err(ln, format!("bad memory reference `{s}`"))
+}
+
+fn try_parse_term(ln: usize, line: &str) -> Result<Option<Term>, ParseError> {
+    if let Some(rest) = line.strip_prefix("br bb") {
+        let id: u32 = rest.parse().map_err(|_| ParseError {
+            line: ln,
+            message: "bad branch target".into(),
+        })?;
+        return Ok(Some(Term::Br {
+            target: BlockId(id),
+        }));
+    }
+    if let Some(rest) = line.strip_prefix("condbr ") {
+        let parts: Vec<&str> = rest.split(", ").collect();
+        if parts.len() != 3 {
+            return err(ln, "condbr needs cond and two targets");
+        }
+        let cond = parse_operand(ln, parts[0])?;
+        let t = parse_bb(ln, parts[1])?;
+        let e = parse_bb(ln, parts[2])?;
+        return Ok(Some(Term::CondBr {
+            cond,
+            then_bb: t,
+            else_bb: e,
+        }));
+    }
+    if line == "ret" {
+        return Ok(Some(Term::Ret { val: None }));
+    }
+    if let Some(rest) = line.strip_prefix("ret ") {
+        return Ok(Some(Term::Ret {
+            val: Some(parse_operand(ln, rest)?),
+        }));
+    }
+    Ok(None)
+}
+
+fn parse_bb(ln: usize, s: &str) -> Result<BlockId, ParseError> {
+    s.trim()
+        .strip_prefix("bb")
+        .and_then(|n| n.parse().ok())
+        .map(BlockId)
+        .ok_or_else(|| ParseError {
+            line: ln,
+            message: format!("bad block ref `{s}`"),
+        })
+}
+
+fn parse_api(ln: usize, s: &str) -> Result<ApiCall, ParseError> {
+    let (name, gid) = match s.split_once('@') {
+        Some((n, g)) => (
+            n,
+            Some(GlobalId(g.parse().map_err(|_| ParseError {
+                line: ln,
+                message: "bad api global".into(),
+            })?)),
+        ),
+        None => (s, None),
+    };
+    let need = |api: fn(GlobalId) -> ApiCall| -> Result<ApiCall, ParseError> {
+        match gid {
+            Some(g) => Ok(api(g)),
+            None => err(ln, format!("api `{name}` needs a @global")),
+        }
+    };
+    match name {
+        "ip_header" => Ok(ApiCall::IpHeader),
+        "tcp_header" => Ok(ApiCall::TcpHeader),
+        "udp_header" => Ok(ApiCall::UdpHeader),
+        "eth_header" => Ok(ApiCall::EthHeader),
+        "pkt_len" => Ok(ApiCall::PktLen),
+        "hashmap_find" => need(ApiCall::HashMapFind),
+        "hashmap_insert" => need(ApiCall::HashMapInsert),
+        "hashmap_erase" => need(ApiCall::HashMapErase),
+        "vector_get" => need(ApiCall::VectorGet),
+        "vector_push" => need(ApiCall::VectorPush),
+        "vector_delete" => need(ApiCall::VectorDelete),
+        "pkt_send" => Ok(ApiCall::PktSend),
+        "pkt_drop" => Ok(ApiCall::PktDrop),
+        "checksum_update" => Ok(ApiCall::ChecksumUpdate),
+        "checksum_full" => Ok(ApiCall::ChecksumFull),
+        "timestamp" => Ok(ApiCall::Timestamp),
+        "random" => Ok(ApiCall::Random),
+        _ => err(ln, format!("unknown api `{name}`")),
+    }
+}
+
+fn parse_inst(ln: usize, line: &str) -> Result<Inst, ParseError> {
+    // Instructions with no destination.
+    if let Some(rest) = line.strip_prefix("store ") {
+        // store <ty> <val>, <mem>
+        let (ty_s, rest) = rest.split_once(' ').ok_or_else(|| ParseError {
+            line: ln,
+            message: "bad store".into(),
+        })?;
+        let ty = parse_ty(ln, ty_s)?;
+        let (val_s, mem_s) = rest.split_once(", ").ok_or_else(|| ParseError {
+            line: ln,
+            message: "store needs value and address".into(),
+        })?;
+        return Ok(Inst::Store {
+            ty,
+            val: parse_operand(ln, val_s)?,
+            mem: parse_mem(ln, mem_s)?,
+        });
+    }
+    if let Some(rest) = line.strip_prefix("call ") {
+        let (api, args) = parse_call_body(ln, rest)?;
+        return Ok(Inst::Call {
+            dst: None,
+            api,
+            args,
+        });
+    }
+
+    // `%N = ...` forms.
+    let (dst_s, rest) = line.split_once(" = ").ok_or_else(|| ParseError {
+        line: ln,
+        message: format!("unrecognized instruction `{line}`"),
+    })?;
+    let dst = parse_value(ln, dst_s)?;
+    let (op_s, rest) = rest.split_once(' ').ok_or_else(|| ParseError {
+        line: ln,
+        message: "truncated instruction".into(),
+    })?;
+
+    if let Some(op) = BinOp::from_name(op_s) {
+        let (ty_s, rest) = rest.split_once(' ').ok_or_else(|| ParseError {
+            line: ln,
+            message: "bad binop".into(),
+        })?;
+        let ty = parse_ty(ln, ty_s)?;
+        let (l, r) = rest.split_once(", ").ok_or_else(|| ParseError {
+            line: ln,
+            message: "binop needs two operands".into(),
+        })?;
+        return Ok(Inst::Bin {
+            dst,
+            op,
+            ty,
+            lhs: parse_operand(ln, l)?,
+            rhs: parse_operand(ln, r)?,
+        });
+    }
+    match op_s {
+        "icmp" => {
+            let mut it = rest.splitn(3, ' ');
+            let pred = it
+                .next()
+                .and_then(Pred::from_name)
+                .ok_or_else(|| ParseError {
+                    line: ln,
+                    message: "bad predicate".into(),
+                })?;
+            let ty = parse_ty(ln, it.next().unwrap_or_default())?;
+            let ops = it.next().unwrap_or_default();
+            let (l, r) = ops.split_once(", ").ok_or_else(|| ParseError {
+                line: ln,
+                message: "icmp needs two operands".into(),
+            })?;
+            Ok(Inst::Icmp {
+                dst,
+                pred,
+                ty,
+                lhs: parse_operand(ln, l)?,
+                rhs: parse_operand(ln, r)?,
+            })
+        }
+        "zext" | "sext" | "trunc" => {
+            let op = CastOp::from_name(op_s).expect("matched above");
+            // <from> <src> to <to>
+            let mut it = rest.split(' ');
+            let from = parse_ty(ln, it.next().unwrap_or_default())?;
+            let src = parse_operand(ln, it.next().unwrap_or_default())?;
+            if it.next() != Some("to") {
+                return err(ln, "cast missing `to`");
+            }
+            let to = parse_ty(ln, it.next().unwrap_or_default())?;
+            Ok(Inst::Cast {
+                dst,
+                op,
+                from,
+                to,
+                src,
+            })
+        }
+        "select" => {
+            let (ty_s, rest) = rest.split_once(' ').ok_or_else(|| ParseError {
+                line: ln,
+                message: "bad select".into(),
+            })?;
+            let ty = parse_ty(ln, ty_s)?;
+            let parts: Vec<&str> = rest.split(", ").collect();
+            if parts.len() != 3 {
+                return err(ln, "select needs three operands");
+            }
+            Ok(Inst::Select {
+                dst,
+                ty,
+                cond: parse_operand(ln, parts[0])?,
+                on_true: parse_operand(ln, parts[1])?,
+                on_false: parse_operand(ln, parts[2])?,
+            })
+        }
+        "load" => {
+            // <ty>, <mem>
+            let (ty_s, mem_s) = rest.split_once(", ").ok_or_else(|| ParseError {
+                line: ln,
+                message: "bad load".into(),
+            })?;
+            Ok(Inst::Load {
+                dst,
+                ty: parse_ty(ln, ty_s)?,
+                mem: parse_mem(ln, mem_s)?,
+            })
+        }
+        "call" => {
+            let (api, args) = parse_call_body(ln, rest)?;
+            Ok(Inst::Call {
+                dst: Some(dst),
+                api,
+                args,
+            })
+        }
+        "phi" => {
+            let (ty_s, rest) = rest.split_once(' ').ok_or_else(|| ParseError {
+                line: ln,
+                message: "bad phi".into(),
+            })?;
+            let ty = parse_ty(ln, ty_s)?;
+            let mut incomings = Vec::new();
+            for part in rest.split("], ") {
+                let part = part.trim_start_matches('[').trim_end_matches(']');
+                let (bb_s, v_s) = part.split_once(": ").ok_or_else(|| ParseError {
+                    line: ln,
+                    message: "bad phi incoming".into(),
+                })?;
+                incomings.push((parse_bb(ln, bb_s)?, parse_operand(ln, v_s)?));
+            }
+            Ok(Inst::Phi { dst, ty, incomings })
+        }
+        other => err(ln, format!("unknown opcode `{other}`")),
+    }
+}
+
+fn parse_call_body(ln: usize, s: &str) -> Result<(ApiCall, Vec<Operand>), ParseError> {
+    let open = s.find('(').ok_or_else(|| ParseError {
+        line: ln,
+        message: "call missing `(`".into(),
+    })?;
+    let api = parse_api(ln, &s[..open])?;
+    let inner = s[open + 1..].strip_suffix(')').ok_or_else(|| ParseError {
+        line: ln,
+        message: "call missing `)`".into(),
+    })?;
+    let mut args = Vec::new();
+    if !inner.trim().is_empty() {
+        for a in inner.split(", ") {
+            args.push(parse_operand(ln, a)?);
+        }
+    }
+    Ok((api, args))
+}
+
+fn parse_ty(ln: usize, s: &str) -> Result<Ty, ParseError> {
+    Ty::from_name(s.trim()).ok_or_else(|| ParseError {
+        line: ln,
+        message: format!("bad type `{s}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::print;
+
+    #[test]
+    fn round_trips_a_small_module() {
+        let mut m = Module::new("nat");
+        let g = m.add_global("flow_table", StateKind::HashMap, 16, 1024);
+        let mut fb = FunctionBuilder::new("process");
+        let p = fb.param(Ty::I32);
+        let e = fb.entry_block();
+        let hit = fb.block();
+        let miss = fb.block();
+        fb.switch_to(e);
+        let len = fb.load(Ty::I16, MemRef::pkt(PktField::IpLen));
+        let key = fb.bin(BinOp::Xor, Ty::I32, p, len);
+        let f = fb.call(ApiCall::HashMapFind(g), vec![key]).unwrap();
+        let ok = fb.icmp(Pred::Ne, Ty::I32, f, Operand::imm(0));
+        fb.cond_br(ok, hit, miss);
+        fb.switch_to(hit);
+        fb.store(Ty::I32, f, MemRef::pkt(PktField::IpDst));
+        let _ = fb.call(ApiCall::PktSend, vec![Operand::imm(1)]);
+        fb.ret(None);
+        fb.switch_to(miss);
+        let _ = fb.call(ApiCall::PktDrop, vec![]);
+        fb.ret(None);
+        m.funcs.push(fb.finish());
+
+        let text = print::module(&m);
+        let parsed = parse_module(&text).expect("should parse");
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_module("nonsense").is_err());
+        assert!(parse_module("module @x {\n  bogus line\n}\n").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let text =
+            "module @x {\n  func @f() slots=0 values=1 {\n  bb0:\n    %0 = add i32 1, 2\n  }\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert!(e.message.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn parses_memrefs() {
+        assert_eq!(parse_mem(1, "slot[3]").unwrap(), MemRef::stack(3));
+        assert_eq!(
+            parse_mem(1, "@2[%5+8]").unwrap(),
+            MemRef::global_at(GlobalId(2), ValueId(5), 8)
+        );
+        assert_eq!(
+            parse_mem(1, "@2[+8]").unwrap(),
+            MemRef::Global {
+                global: GlobalId(2),
+                index: None,
+                offset: 8
+            }
+        );
+        assert_eq!(parse_mem(1, "@7").unwrap(), MemRef::global(GlobalId(7)));
+        assert_eq!(
+            parse_mem(1, "pkt.tcp_seq").unwrap(),
+            MemRef::pkt(PktField::TcpSeq)
+        );
+        assert!(parse_mem(1, "heap[0]").is_err());
+    }
+}

@@ -1,0 +1,283 @@
+//! Textual printer for NIR modules (round-trips with [`crate::parse`]).
+
+use std::fmt::Write as _;
+
+use crate::inst::{ApiCall, Inst, MemRef, Operand, Term};
+use crate::module::{Block, Function, Module};
+
+/// Renders an operand (`%3` or an integer literal).
+pub fn operand(op: Operand) -> String {
+    match op {
+        Operand::Value(v) => format!("%{}", v.0),
+        Operand::Const(c) => c.to_string(),
+    }
+}
+
+/// Renders a memory reference (`slot[0]`, `@2[%5+4]`, `pkt.ip_len`).
+pub fn mem_ref(mem: &MemRef) -> String {
+    match mem {
+        MemRef::Stack { slot } => format!("slot[{slot}]"),
+        MemRef::Global {
+            global,
+            index,
+            offset,
+        } => match (index, offset) {
+            (None, 0) => format!("@{}", global.0),
+            (None, off) => format!("@{}[+{off}]", global.0),
+            (Some(idx), 0) => format!("@{}[{}]", global.0, operand(*idx)),
+            (Some(idx), off) => format!("@{}[{}+{off}]", global.0, operand(*idx)),
+        },
+        MemRef::Pkt { field } => format!("pkt.{}", field.name()),
+    }
+}
+
+fn call_name(api: &ApiCall) -> String {
+    match api.state_global() {
+        Some(g) => format!("{}@{}", api.name(), g.0),
+        None => api.name().to_string(),
+    }
+}
+
+/// Renders a single instruction.
+pub fn inst(i: &Inst) -> String {
+    match i {
+        Inst::Bin {
+            dst,
+            op,
+            ty,
+            lhs,
+            rhs,
+        } => format!(
+            "%{} = {} {} {}, {}",
+            dst.0,
+            op.name(),
+            ty.name(),
+            operand(*lhs),
+            operand(*rhs)
+        ),
+        Inst::Icmp {
+            dst,
+            pred,
+            ty,
+            lhs,
+            rhs,
+        } => format!(
+            "%{} = icmp {} {} {}, {}",
+            dst.0,
+            pred.name(),
+            ty.name(),
+            operand(*lhs),
+            operand(*rhs)
+        ),
+        Inst::Cast {
+            dst,
+            op,
+            from,
+            to,
+            src,
+        } => format!(
+            "%{} = {} {} {} to {}",
+            dst.0,
+            op.name(),
+            from.name(),
+            operand(*src),
+            to.name()
+        ),
+        Inst::Select {
+            dst,
+            ty,
+            cond,
+            on_true,
+            on_false,
+        } => format!(
+            "%{} = select {} {}, {}, {}",
+            dst.0,
+            ty.name(),
+            operand(*cond),
+            operand(*on_true),
+            operand(*on_false)
+        ),
+        Inst::Load { dst, ty, mem } => {
+            format!("%{} = load {}, {}", dst.0, ty.name(), mem_ref(mem))
+        }
+        Inst::Store { ty, val, mem } => {
+            format!("store {} {}, {}", ty.name(), operand(*val), mem_ref(mem))
+        }
+        Inst::Call { dst, api, args } => {
+            let args: Vec<String> = args.iter().map(|a| operand(*a)).collect();
+            match dst {
+                Some(d) => format!("%{} = call {}({})", d.0, call_name(api), args.join(", ")),
+                None => format!("call {}({})", call_name(api), args.join(", ")),
+            }
+        }
+        Inst::Phi { dst, ty, incomings } => {
+            let inc: Vec<String> = incomings
+                .iter()
+                .map(|(bb, v)| format!("[bb{}: {}]", bb.0, operand(*v)))
+                .collect();
+            format!("%{} = phi {} {}", dst.0, ty.name(), inc.join(", "))
+        }
+    }
+}
+
+/// Renders a terminator.
+pub fn term(t: &Term) -> String {
+    match t {
+        Term::Br { target } => format!("br bb{}", target.0),
+        Term::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!(
+            "condbr {}, bb{}, bb{}",
+            operand(*cond),
+            then_bb.0,
+            else_bb.0
+        ),
+        Term::Ret { val: Some(v) } => format!("ret {}", operand(*v)),
+        Term::Ret { val: None } => "ret".to_string(),
+    }
+}
+
+fn block(out: &mut String, b: &Block) {
+    let _ = writeln!(out, "  bb{}:", b.id.0);
+    for i in &b.insts {
+        let _ = writeln!(out, "    {}", inst(i));
+    }
+    let _ = writeln!(out, "    {}", term(&b.term));
+}
+
+/// Renders a function.
+pub fn function(f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|(v, ty)| format!("%{}: {}", v.0, ty.name()))
+        .collect();
+    let _ = writeln!(
+        out,
+        "  func @{}({}) slots={} values={} {{",
+        f.name,
+        params.join(", "),
+        f.next_slot,
+        f.next_value
+    );
+    for b in &f.blocks {
+        block(&mut out, b);
+    }
+    let _ = writeln!(out, "  }}");
+    out
+}
+
+/// Renders a whole module.
+pub fn module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module @{} {{", m.name);
+    for g in &m.globals {
+        let _ = writeln!(
+            out,
+            "  global @{} {} : {} entry={} n={}",
+            g.id.0,
+            g.name,
+            g.kind.name(),
+            g.entry_bytes,
+            g.entries
+        );
+    }
+    for f in &m.funcs {
+        out.push_str(&function(f));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, PktField, Pred, ValueId};
+    use crate::module::{BlockId, GlobalId, Ty};
+
+    #[test]
+    fn renders_instructions() {
+        let i = Inst::Bin {
+            dst: ValueId(3),
+            op: BinOp::Xor,
+            ty: Ty::I32,
+            lhs: Operand::Value(ValueId(1)),
+            rhs: Operand::Const(255),
+        };
+        assert_eq!(inst(&i), "%3 = xor i32 %1, 255");
+
+        let l = Inst::Load {
+            dst: ValueId(4),
+            ty: Ty::I16,
+            mem: MemRef::pkt(PktField::IpLen),
+        };
+        assert_eq!(inst(&l), "%4 = load i16, pkt.ip_len");
+
+        let s = Inst::Store {
+            ty: Ty::I32,
+            val: Operand::Value(ValueId(4)),
+            mem: MemRef::global_at(GlobalId(2), ValueId(1), 8),
+        };
+        assert_eq!(inst(&s), "store i32 %4, @2[%1+8]");
+    }
+
+    #[test]
+    fn renders_phi_and_terms() {
+        let p = Inst::Phi {
+            dst: ValueId(9),
+            ty: Ty::I32,
+            incomings: vec![
+                (BlockId(1), Operand::Value(ValueId(2))),
+                (BlockId(2), Operand::Const(0)),
+            ],
+        };
+        assert_eq!(inst(&p), "%9 = phi i32 [bb1: %2], [bb2: 0]");
+        assert_eq!(
+            term(&Term::CondBr {
+                cond: Operand::Value(ValueId(1)),
+                then_bb: BlockId(1),
+                else_bb: BlockId(2)
+            }),
+            "condbr %1, bb1, bb2"
+        );
+    }
+
+    #[test]
+    fn renders_calls_with_state_global() {
+        let c = Inst::Call {
+            dst: Some(ValueId(7)),
+            api: ApiCall::HashMapFind(GlobalId(0)),
+            args: vec![Operand::Value(ValueId(5))],
+        };
+        assert_eq!(inst(&c), "%7 = call hashmap_find@0(%5)");
+        let v = Inst::Call {
+            dst: None,
+            api: ApiCall::PktSend,
+            args: vec![Operand::Const(1)],
+        };
+        assert_eq!(inst(&v), "call pkt_send(1)");
+    }
+
+    #[test]
+    fn renders_comparisons_and_casts() {
+        let c = Inst::Icmp {
+            dst: ValueId(2),
+            pred: Pred::ULt,
+            ty: Ty::I16,
+            lhs: Operand::Value(ValueId(0)),
+            rhs: Operand::Const(1500),
+        };
+        assert_eq!(inst(&c), "%2 = icmp ult i16 %0, 1500");
+        let z = Inst::Cast {
+            dst: ValueId(3),
+            op: crate::inst::CastOp::Zext,
+            from: Ty::I8,
+            to: Ty::I32,
+            src: Operand::Value(ValueId(2)),
+        };
+        assert_eq!(inst(&z), "%3 = zext i8 %2 to i32");
+    }
+}

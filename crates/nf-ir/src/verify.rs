@@ -1,0 +1,380 @@
+//! Structural well-formedness checks for NIR.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::inst::{Inst, Operand, Term, ValueId};
+use crate::module::{BlockId, Function, Module};
+
+/// A verification failure, with enough context to locate the problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A function has no blocks.
+    NoBlocks {
+        /// Function name.
+        func: String,
+    },
+    /// `blocks[i].id != i`.
+    MisnumberedBlock {
+        /// Function name.
+        func: String,
+        /// Position in the block list.
+        position: usize,
+    },
+    /// A branch targets a block that does not exist.
+    BadBranchTarget {
+        /// Function name.
+        func: String,
+        /// Source block.
+        block: BlockId,
+        /// The bogus target.
+        target: BlockId,
+    },
+    /// An SSA value is defined more than once.
+    Redefined {
+        /// Function name.
+        func: String,
+        /// The value.
+        value: ValueId,
+    },
+    /// An operand references a value that is never defined.
+    UndefinedUse {
+        /// Function name.
+        func: String,
+        /// Block of the offending use.
+        block: BlockId,
+        /// The undefined value.
+        value: ValueId,
+    },
+    /// A phi's incoming block is not a predecessor (or doesn't exist).
+    BadPhiIncoming {
+        /// Function name.
+        func: String,
+        /// Block containing the phi.
+        block: BlockId,
+        /// The bogus incoming block.
+        incoming: BlockId,
+    },
+    /// A phi appears after a non-phi instruction in its block.
+    PhiNotAtTop {
+        /// Function name.
+        func: String,
+        /// Offending block.
+        block: BlockId,
+    },
+    /// A global reference points past the module's global table.
+    BadGlobalRef {
+        /// Function name.
+        func: String,
+        /// Offending block.
+        block: BlockId,
+        /// The bogus global index.
+        global: u32,
+    },
+    /// A stack slot reference exceeds the function's slot count.
+    BadSlotRef {
+        /// Function name.
+        func: String,
+        /// Offending block.
+        block: BlockId,
+        /// The bogus slot.
+        slot: u32,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::NoBlocks { func } => write!(f, "function {func} has no blocks"),
+            VerifyError::MisnumberedBlock { func, position } => {
+                write!(f, "{func}: block at position {position} is misnumbered")
+            }
+            VerifyError::BadBranchTarget {
+                func,
+                block,
+                target,
+            } => write!(
+                f,
+                "{func}: bb{} branches to nonexistent bb{}",
+                block.0, target.0
+            ),
+            VerifyError::Redefined { func, value } => {
+                write!(f, "{func}: %{} defined more than once", value.0)
+            }
+            VerifyError::UndefinedUse { func, block, value } => {
+                write!(f, "{func}: bb{} uses undefined %{}", block.0, value.0)
+            }
+            VerifyError::BadPhiIncoming {
+                func,
+                block,
+                incoming,
+            } => write!(
+                f,
+                "{func}: phi in bb{} has non-predecessor incoming bb{}",
+                block.0, incoming.0
+            ),
+            VerifyError::PhiNotAtTop { func, block } => {
+                write!(f, "{func}: phi not at top of bb{}", block.0)
+            }
+            VerifyError::BadGlobalRef {
+                func,
+                block,
+                global,
+            } => write!(f, "{func}: bb{} references unknown @g{}", block.0, global),
+            VerifyError::BadSlotRef { func, block, slot } => {
+                write!(f, "{func}: bb{} references unknown slot {}", block.0, slot)
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies a single function's structural invariants.
+///
+/// Checked invariants: block numbering, branch-target validity, single
+/// definition per SSA value, all uses defined somewhere in the function
+/// (NIR does not require dominance, matching the lenient form Clara needs
+/// for analysis), phi placement and incoming-edge validity, and stack-slot
+/// bounds.
+pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
+    verify_function_in(func, None)
+}
+
+/// Verifies a function, also checking global references against `module`.
+pub fn verify_function_in(func: &Function, module: Option<&Module>) -> Result<(), VerifyError> {
+    let name = || func.name.clone();
+    if func.blocks.is_empty() {
+        return Err(VerifyError::NoBlocks { func: name() });
+    }
+    for (i, b) in func.blocks.iter().enumerate() {
+        if b.id.index() != i {
+            return Err(VerifyError::MisnumberedBlock {
+                func: name(),
+                position: i,
+            });
+        }
+    }
+    let nblocks = func.blocks.len();
+
+    // Collect definitions.
+    let mut defined: HashSet<ValueId> = HashSet::new();
+    for (p, _) in &func.params {
+        if !defined.insert(*p) {
+            return Err(VerifyError::Redefined {
+                func: name(),
+                value: *p,
+            });
+        }
+    }
+    for b in &func.blocks {
+        for inst in &b.insts {
+            if let Some(dst) = inst.dst() {
+                if !defined.insert(dst) {
+                    return Err(VerifyError::Redefined {
+                        func: name(),
+                        value: dst,
+                    });
+                }
+            }
+        }
+    }
+
+    // Predecessor sets for phi checking.
+    let cfg = crate::cfg::Cfg::build(func);
+
+    for b in &func.blocks {
+        // Branch targets.
+        for target in b.term.successors() {
+            if target.index() >= nblocks {
+                return Err(VerifyError::BadBranchTarget {
+                    func: name(),
+                    block: b.id,
+                    target,
+                });
+            }
+        }
+        // Uses, phi placement, memory references.
+        let mut seen_non_phi = false;
+        for inst in &b.insts {
+            match inst {
+                Inst::Phi { incomings, .. } => {
+                    if seen_non_phi {
+                        return Err(VerifyError::PhiNotAtTop {
+                            func: name(),
+                            block: b.id,
+                        });
+                    }
+                    for (in_bb, _) in incomings {
+                        if in_bb.index() >= nblocks || !cfg.preds[b.id.index()].contains(in_bb) {
+                            return Err(VerifyError::BadPhiIncoming {
+                                func: name(),
+                                block: b.id,
+                                incoming: *in_bb,
+                            });
+                        }
+                    }
+                }
+                _ => seen_non_phi = true,
+            }
+            for op in inst.operands() {
+                check_use(op, &defined, &name, b.id)?;
+            }
+            check_mem(inst, func, module, &name, b.id)?;
+        }
+        match &b.term {
+            Term::CondBr { cond, .. } => check_use(*cond, &defined, &name, b.id)?,
+            Term::Ret { val: Some(v) } => check_use(*v, &defined, &name, b.id)?,
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn check_use(
+    op: Operand,
+    defined: &HashSet<ValueId>,
+    name: &impl Fn() -> String,
+    block: BlockId,
+) -> Result<(), VerifyError> {
+    if let Operand::Value(v) = op {
+        if !defined.contains(&v) {
+            return Err(VerifyError::UndefinedUse {
+                func: name(),
+                block,
+                value: v,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_mem(
+    inst: &Inst,
+    func: &Function,
+    module: Option<&Module>,
+    name: &impl Fn() -> String,
+    block: BlockId,
+) -> Result<(), VerifyError> {
+    use crate::inst::MemRef;
+    let mem = match inst {
+        Inst::Load { mem, .. } | Inst::Store { mem, .. } => mem,
+        _ => return Ok(()),
+    };
+    match mem {
+        MemRef::Stack { slot } => {
+            if *slot >= func.next_slot {
+                return Err(VerifyError::BadSlotRef {
+                    func: name(),
+                    block,
+                    slot: *slot,
+                });
+            }
+        }
+        MemRef::Global { global, .. } => {
+            if let Some(m) = module {
+                if m.global(*global).is_none() {
+                    return Err(VerifyError::BadGlobalRef {
+                        func: name(),
+                        block,
+                        global: global.0,
+                    });
+                }
+            }
+        }
+        MemRef::Pkt { .. } => {}
+    }
+    Ok(())
+}
+
+/// Verifies every function in a module, including global references.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for func in &module.funcs {
+        verify_function_in(func, Some(module))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, MemRef, Operand};
+    use crate::module::{StateKind, Ty};
+
+    #[test]
+    fn detects_undefined_use() {
+        let mut fb = FunctionBuilder::new("bad");
+        let bb = fb.entry_block();
+        fb.switch_to(bb);
+        // Manually craft a use of an unknown value by adding two params' worth.
+        let _ = fb.bin(
+            BinOp::Add,
+            Ty::I32,
+            Operand::Value(ValueId(99)),
+            Operand::imm(1),
+        );
+        fb.ret(None);
+        let f = fb.finish();
+        assert!(matches!(
+            verify_function(&f),
+            Err(VerifyError::UndefinedUse { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_bad_slot() {
+        let mut fb = FunctionBuilder::new("slots");
+        let bb = fb.entry_block();
+        fb.switch_to(bb);
+        let _ = fb.load(Ty::I32, MemRef::stack(3)); // never allocated
+        fb.ret(None);
+        let f = fb.finish();
+        assert!(matches!(
+            verify_function(&f),
+            Err(VerifyError::BadSlotRef { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_bad_global_in_module() {
+        let mut m = Module::new("m");
+        let _g = m.add_global("tbl", StateKind::Array, 4, 16);
+        let mut fb = FunctionBuilder::new("f");
+        let bb = fb.entry_block();
+        fb.switch_to(bb);
+        let _ = fb.load(Ty::I32, MemRef::global(crate::module::GlobalId(5)));
+        fb.ret(None);
+        m.funcs.push(fb.finish());
+        assert!(matches!(
+            verify_module(&m),
+            Err(VerifyError::BadGlobalRef { .. })
+        ));
+    }
+
+    #[test]
+    fn accepts_valid_module() {
+        let mut m = Module::new("m");
+        let g = m.add_global("tbl", StateKind::Array, 4, 16);
+        let mut fb = FunctionBuilder::new("f");
+        let p = fb.param(Ty::I32);
+        let bb = fb.entry_block();
+        fb.switch_to(bb);
+        let v = fb.load(Ty::I32, MemRef::global_at(g, p, 0));
+        let w = fb.bin(BinOp::Add, Ty::I32, v, Operand::imm(1));
+        fb.store(Ty::I32, w, MemRef::global_at(g, p, 0));
+        fb.ret(None);
+        m.funcs.push(fb.finish());
+        verify_module(&m).expect("valid module");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = VerifyError::UndefinedUse {
+            func: "f".into(),
+            block: BlockId(2),
+            value: ValueId(7),
+        };
+        assert_eq!(e.to_string(), "f: bb2 uses undefined %7");
+    }
+}

@@ -1,0 +1,219 @@
+//! Property tests: random well-formed functions verify and round-trip
+//! through the printer/parser.
+
+use proptest::prelude::*;
+
+use nf_ir::{
+    print, verify, ApiCall, BinOp, CastOp, FunctionBuilder, MemRef, Module, Operand, PktField,
+    Pred, StateKind, Ty,
+};
+
+/// A recipe for one random instruction inside a straight-line region.
+#[derive(Debug, Clone)]
+enum InstRecipe {
+    Bin(BinOp, Ty, i64),
+    Icmp(Pred, Ty, i64),
+    Cast(CastOp, Ty, Ty),
+    LoadPkt(PktField, Ty),
+    LoadGlobal(u8, Ty),
+    StoreGlobal(u8, Ty),
+    LoadStack(u8, Ty),
+    StoreStack(u8, Ty),
+    Call(u8),
+    Select(Ty),
+}
+
+fn arb_ty() -> impl Strategy<Value = Ty> {
+    prop_oneof![Just(Ty::I8), Just(Ty::I16), Just(Ty::I32), Just(Ty::I64),]
+}
+
+fn arb_field() -> impl Strategy<Value = PktField> {
+    prop_oneof![
+        proptest::sample::select(PktField::HEADER_FIELDS.to_vec()),
+        (0u16..64).prop_map(PktField::Payload),
+    ]
+}
+
+fn arb_recipe() -> impl Strategy<Value = InstRecipe> {
+    prop_oneof![
+        (
+            proptest::sample::select(BinOp::ALL.to_vec()),
+            arb_ty(),
+            -100_000i64..1_000_000
+        )
+            .prop_map(|(op, ty, c)| InstRecipe::Bin(op, ty, c)),
+        (
+            proptest::sample::select(Pred::ALL.to_vec()),
+            arb_ty(),
+            0i64..70_000
+        )
+            .prop_map(|(p, ty, c)| InstRecipe::Icmp(p, ty, c)),
+        (arb_ty(), arb_ty()).prop_map(|(a, b)| InstRecipe::Cast(
+            if a.bits() < b.bits() {
+                CastOp::Zext
+            } else {
+                CastOp::Trunc
+            },
+            a,
+            b
+        )),
+        (arb_field(), arb_ty()).prop_map(|(f, ty)| InstRecipe::LoadPkt(f, ty)),
+        (0u8..3, arb_ty()).prop_map(|(g, ty)| InstRecipe::LoadGlobal(g, ty)),
+        (0u8..3, arb_ty()).prop_map(|(g, ty)| InstRecipe::StoreGlobal(g, ty)),
+        (0u8..4, arb_ty()).prop_map(|(s, ty)| InstRecipe::LoadStack(s, ty)),
+        (0u8..4, arb_ty()).prop_map(|(s, ty)| InstRecipe::StoreStack(s, ty)),
+        (0u8..5).prop_map(InstRecipe::Call),
+        arb_ty().prop_map(InstRecipe::Select),
+    ]
+}
+
+/// Builds a random module: a diamond CFG whose blocks hold random
+/// instructions, with a couple of globals and stack slots.
+fn build_module(name: &str, recipes: &[Vec<InstRecipe>]) -> Module {
+    let mut m = Module::new(name.to_string());
+    let g0 = m.add_global("tbl", StateKind::HashMap, 16, 256);
+    let g1 = m.add_global("ctr", StateKind::Scalar, 4, 1);
+    let g2 = m.add_global("vec", StateKind::Vector, 8, 64);
+    let globals = [g0, g1, g2];
+
+    let mut fb = FunctionBuilder::new("process");
+    let p = fb.param(Ty::I32);
+    let slots: Vec<u32> = (0..4).map(|_| fb.slot()).collect();
+
+    let nblocks = recipes.len().max(1);
+    let blocks: Vec<_> = (0..nblocks).map(|_| fb.block()).collect();
+
+    let mut last_val = p;
+    for (i, bb) in blocks.iter().enumerate() {
+        fb.switch_to(*bb);
+        let mut last_bool: Option<Operand> = None;
+        for r in recipes.get(i).map(|v| v.as_slice()).unwrap_or(&[]) {
+            match r {
+                InstRecipe::Bin(op, ty, c) => {
+                    last_val = fb.bin(*op, *ty, last_val, Operand::imm(*c));
+                }
+                InstRecipe::Icmp(pr, ty, c) => {
+                    last_bool = Some(fb.icmp(*pr, *ty, last_val, Operand::imm(*c)));
+                }
+                InstRecipe::Cast(op, a, b) => {
+                    last_val = fb.cast(*op, *a, *b, last_val);
+                }
+                InstRecipe::LoadPkt(f, ty) => {
+                    last_val = fb.load(*ty, MemRef::pkt(*f));
+                }
+                InstRecipe::LoadGlobal(g, ty) => {
+                    let g = globals[*g as usize % globals.len()];
+                    last_val = fb.load(*ty, MemRef::global_at(g, last_val, 0));
+                }
+                InstRecipe::StoreGlobal(g, ty) => {
+                    let g = globals[*g as usize % globals.len()];
+                    fb.store(*ty, last_val, MemRef::global(g));
+                }
+                InstRecipe::LoadStack(s, ty) => {
+                    let s = slots[*s as usize % slots.len()];
+                    last_val = fb.load(*ty, MemRef::stack(s));
+                }
+                InstRecipe::StoreStack(s, ty) => {
+                    let s = slots[*s as usize % slots.len()];
+                    fb.store(*ty, last_val, MemRef::stack(s));
+                }
+                InstRecipe::Call(which) => {
+                    let api = match which % 5 {
+                        0 => ApiCall::IpHeader,
+                        1 => ApiCall::HashMapFind(g0),
+                        2 => ApiCall::ChecksumUpdate,
+                        3 => ApiCall::Timestamp,
+                        _ => ApiCall::VectorGet(g2),
+                    };
+                    if let Some(v) = fb.call(api, vec![last_val]) {
+                        last_val = v;
+                    }
+                }
+                InstRecipe::Select(ty) => {
+                    if let Some(b) = last_bool {
+                        last_val = fb.select(*ty, b, last_val, Operand::imm(0));
+                    }
+                }
+            }
+        }
+        // Chain blocks linearly; last returns.
+        if i + 1 < nblocks {
+            match last_bool {
+                Some(c) if i + 2 < nblocks => {
+                    fb.cond_br(c, blocks[i + 1], blocks[i + 2]);
+                }
+                _ => fb.br(blocks[i + 1]),
+            }
+        } else {
+            fb.ret(Some(last_val));
+        }
+    }
+    // Conditional skips may leave middle blocks unreached but they are
+    // still structurally valid; every block got a terminator or finish()
+    // adds ret.
+    m.funcs.push(fb.finish());
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_functions_verify(recipes in proptest::collection::vec(
+        proptest::collection::vec(arb_recipe(), 0..12), 1..6)) {
+        let m = build_module("prop", &recipes);
+        verify::verify_module(&m).expect("random module should verify");
+    }
+
+    #[test]
+    fn print_parse_round_trip(recipes in proptest::collection::vec(
+        proptest::collection::vec(arb_recipe(), 0..12), 1..6)) {
+        let m = build_module("prop", &recipes);
+        let text = print::module(&m);
+        let parsed = nf_ir::parse::parse_module(&text).expect("printed module should parse");
+        prop_assert_eq!(&parsed, &m);
+        // Printing again is a fixed point.
+        prop_assert_eq!(print::module(&parsed), text);
+    }
+
+    #[test]
+    fn abstraction_is_name_independent(recipes in proptest::collection::vec(
+        proptest::collection::vec(arb_recipe(), 1..12), 1..4)) {
+        // Two modules with identical shapes but different names abstract
+        // to identical token sequences.
+        let a = build_module("alpha", &recipes);
+        let b = build_module("beta", &recipes);
+        let sa = nf_ir::ModuleStats::of_module(&a);
+        let sb = nf_ir::ModuleStats::of_module(&b);
+        prop_assert_eq!(sa.token_histogram, sb.token_histogram);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser never panics on arbitrary input — it returns errors.
+    #[test]
+    fn parser_is_total_on_garbage(input in ".{0,400}") {
+        let _ = nf_ir::parse::parse_module(&input);
+    }
+
+    /// Mutating single lines of valid IR text never panics the parser.
+    #[test]
+    fn parser_is_total_on_mutations(
+        recipes in proptest::collection::vec(
+            proptest::collection::vec(arb_recipe(), 0..8), 1..4),
+        line in 0usize..64,
+        junk in "[ -~]{0,30}",
+    ) {
+        let m = build_module("mut", &recipes);
+        let text = print::module(&m);
+        let mut lines: Vec<&str> = text.lines().collect();
+        let junk_line = junk.as_str();
+        if line < lines.len() {
+            lines[line] = junk_line;
+        }
+        let mutated = lines.join("\n");
+        let _ = nf_ir::parse::parse_module(&mutated);
+    }
+}

@@ -1,0 +1,44 @@
+//! Modules serialize to JSON and back without loss (model persistence).
+
+use nf_ir::{
+    ApiCall, BinOp, FunctionBuilder, MemRef, Module, Operand, PktField, Pred, StateKind, Ty,
+};
+
+fn sample() -> Module {
+    let mut m = Module::new("serde");
+    let g = m.add_global("tbl", StateKind::HashMap, 16, 128);
+    let mut fb = FunctionBuilder::new("process");
+    let e = fb.entry_block();
+    let hit = fb.block();
+    let miss = fb.block();
+    fb.switch_to(e);
+    let src = fb.load(Ty::I32, MemRef::pkt(PktField::IpSrc));
+    let f = fb.call(ApiCall::HashMapFind(g), vec![src]).unwrap();
+    let ok = fb.icmp(Pred::Ne, Ty::I32, f, Operand::imm(0));
+    fb.cond_br(ok, hit, miss);
+    fb.switch_to(hit);
+    let s = fb.bin(BinOp::Sub, Ty::I32, f, Operand::imm(1));
+    let v = fb.load(Ty::I32, MemRef::global_at(g, s, 8));
+    fb.ret(Some(v));
+    fb.switch_to(miss);
+    fb.ret(None);
+    m.funcs.push(fb.finish());
+    m
+}
+
+#[test]
+fn json_round_trip_preserves_module() {
+    let m = sample();
+    let json = serde_json::to_string(&m).expect("serializes");
+    let back: Module = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(m, back);
+    nf_ir::verify::verify_module(&back).expect("still verifies");
+}
+
+#[test]
+fn textual_and_json_forms_agree() {
+    let m = sample();
+    let json = serde_json::to_string(&m).unwrap();
+    let back: Module = serde_json::from_str(&json).unwrap();
+    assert_eq!(nf_ir::print::module(&m), nf_ir::print::module(&back));
+}

@@ -1,0 +1,73 @@
+//! Property tests: the vendor compiler upholds its contracts on random
+//! well-formed programs.
+
+use nf_ir::InstClass;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Stateful and packet memory instructions map 1:1 onto NIC memory
+    /// commands — the invariant behind the paper's 96.4-100% counting
+    /// accuracy.
+    #[test]
+    fn mem_cmds_match_ir_memory_ops(seed in 0u64..10_000) {
+        let m = nf_synth::synth_corpus(1, true, seed).remove(0);
+        let nic = nfcc::compile_module(&m);
+        for (f, nf) in m.funcs.iter().zip(nic.funcs.iter()) {
+            for (b, nb) in f.blocks.iter().zip(nf.blocks.iter()) {
+                let ir_mem = b
+                    .insts
+                    .iter()
+                    .filter(|i| matches!(
+                        i.class(),
+                        InstClass::StatefulMem | InstClass::PacketMem
+                    ))
+                    .count() as u32;
+                prop_assert_eq!(
+                    nb.mem_cmd_count(),
+                    ir_mem,
+                    "block {:?} of {}", b.id, m.name
+                );
+            }
+        }
+    }
+
+    /// Compilation is deterministic and every block costs at least its
+    /// terminator.
+    #[test]
+    fn deterministic_and_nonempty(seed in 0u64..10_000) {
+        let m = nf_synth::synth_corpus(1, true, seed).remove(0);
+        let a = nfcc::compile_module(&m);
+        let b = nfcc::compile_module(&m);
+        for (fa, fb) in a.funcs.iter().zip(b.funcs.iter()) {
+            prop_assert_eq!(&fa.reg_slots, &fb.reg_slots);
+            for (ba, bb) in fa.blocks.iter().zip(fb.blocks.iter()) {
+                prop_assert_eq!(&ba.insts, &bb.insts);
+                prop_assert!(ba.issue_cycles() >= 1);
+            }
+        }
+    }
+
+    /// Library calls never count as compute or memory (they are costed by
+    /// reverse porting), and the printer renders every instruction.
+    #[test]
+    fn classification_partitions_instructions(seed in 0u64..10_000) {
+        let m = nf_synth::synth_corpus(1, true, seed).remove(0);
+        let nic = nfcc::compile_module(&m);
+        for nf in &nic.funcs {
+            for nb in &nf.blocks {
+                let libcalls =
+                    nb.insts.iter().filter(|i| i.is_libcall()).count() as u32;
+                prop_assert_eq!(
+                    nb.compute_count() + nb.mem_count() + libcalls,
+                    nb.insts.len() as u32
+                );
+                for i in &nb.insts {
+                    prop_assert!(!i.mnemonic().is_empty());
+                }
+            }
+            prop_assert!(!nfcc::print_asm(nf).is_empty());
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Scratch sweep for tuning the contention model constants.
+use nic_sim::profile::WorkloadProfile;
+use nic_sim::{solve_perf, NicConfig, PortConfig};
+use std::collections::BTreeMap;
+
+fn synthetic(compute: f64, emem: f64, ws: u64) -> WorkloadProfile {
+    let mut ebg = BTreeMap::new();
+    let mut wset = BTreeMap::new();
+    if emem > 0.0 {
+        ebg.insert(nf_ir::GlobalId(0), emem);
+        wset.insert(nf_ir::GlobalId(0), ws);
+    }
+    WorkloadProfile {
+        pkts: 1000,
+        compute,
+        fixed_accesses: [0.0, 2.0, 0.0, 0.0],
+        global_access: ebg,
+        working_set: wset,
+        mean_pkt_size: 128.0,
+    }
+}
+
+fn knee(wp: &WorkloadProfile, cfg: &NicConfig) -> (u32, Vec<f64>) {
+    let pts: Vec<_> = (1..=60)
+        .map(|c| solve_perf(wp, cfg, &PortConfig::naive(), c))
+        .collect();
+    let k = pts
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.ratio().partial_cmp(&b.1.ratio()).unwrap())
+        .unwrap()
+        .0 as u32
+        + 1;
+    (k, pts.iter().map(|p| p.throughput_mpps).collect())
+}
+
+fn main() {
+    let cfg = NicConfig::default();
+    for (name, wp) in [
+        ("memheavy c200 a8 miss", synthetic(200.0, 8.0, 1 << 30)),
+        ("memheavy c150 a10 miss", synthetic(150.0, 10.0, 1 << 30)),
+        ("hits c400 a6", synthetic(400.0, 6.0, 64 * 1024)),
+        ("miss c400 a6", synthetic(400.0, 6.0, 1 << 30)),
+        ("compute c2000 a0.5", synthetic(2000.0, 0.5, 1 << 20)),
+    ] {
+        let (k, t) = knee(&wp, &cfg);
+        println!(
+            "{name:24} knee={k:2}  t1={:7.3} t8={:7.3} t40={:7.3} t58={:7.3} t60={:7.3}",
+            t[0], t[7], t[39], t[57], t[59]
+        );
+        let l8 = solve_perf(&wp, &cfg, &PortConfig::naive(), 8).latency_us;
+        let l60 = solve_perf(&wp, &cfg, &PortConfig::naive(), 60).latency_us;
+        println!("{:24} l8={l8:.2}us l60={l60:.2}us", "");
+    }
+}

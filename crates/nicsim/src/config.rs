@@ -1,0 +1,184 @@
+//! NIC hardware configuration (Netronome Agilio CX-like defaults).
+
+use serde::{Deserialize, Serialize};
+
+/// The NIC memory hierarchy levels, fastest/smallest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MemLevel {
+    /// Cluster local scratch (per-island SRAM).
+    Cls,
+    /// Cluster target memory (packet-centric SRAM).
+    Ctm,
+    /// Internal memory (on-chip SRAM).
+    Imem,
+    /// External memory (DRAM, fronted by an SRAM cache).
+    Emem,
+}
+
+impl MemLevel {
+    /// All levels, fastest first.
+    pub const ALL: [MemLevel; 4] = [MemLevel::Cls, MemLevel::Ctm, MemLevel::Imem, MemLevel::Emem];
+
+    /// Dense index for per-level tables.
+    pub fn index(self) -> usize {
+        match self {
+            MemLevel::Cls => 0,
+            MemLevel::Ctm => 1,
+            MemLevel::Imem => 2,
+            MemLevel::Emem => 3,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemLevel::Cls => "CLS",
+            MemLevel::Ctm => "CTM",
+            MemLevel::Imem => "IMEM",
+            MemLevel::Emem => "EMEM",
+        }
+    }
+}
+
+/// One memory level's parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemLevelCfg {
+    /// Capacity in bytes available for NF state.
+    pub capacity: u64,
+    /// Unloaded access latency in core cycles.
+    pub latency: u32,
+    /// Peak service rate in accesses per cycle (chip-wide).
+    pub bandwidth: f64,
+}
+
+/// Full NIC configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NicConfig {
+    /// Number of packet-processing cores.
+    pub cores: u32,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Memory levels, indexed by [`MemLevel::index`].
+    pub levels: [MemLevelCfg; 4],
+    /// SRAM cache capacity in front of EMEM, bytes.
+    pub emem_cache_bytes: u64,
+    /// EMEM cache-hit latency in cycles.
+    pub emem_cache_latency: u32,
+    /// EMEM-cache service rate in accesses per cycle.
+    pub emem_cache_bandwidth: f64,
+    /// Packet-IO engine ceiling in Mpps (64-byte line rate for 40 GbE).
+    pub max_io_mpps: f64,
+    /// Line rate in Gbps (caps throughput for large packets).
+    pub line_rate_gbps: f64,
+    /// Software checksum cost in cycles (general-purpose cores).
+    pub csum_sw_cycles: u32,
+    /// Accelerated checksum cost in cycles (ingress engine).
+    pub csum_accel_cycles: u32,
+    /// CRC engine base cost in cycles.
+    pub crc_accel_base: u32,
+    /// CRC engine incremental cost per collapsed loop iteration.
+    pub crc_accel_per_iter: f64,
+    /// LPM flow-cache (CAM) hit cost in cycles.
+    pub cam_hit_cycles: u32,
+    /// LPM flow-cache insert cost in cycles.
+    pub cam_insert_cycles: u32,
+    /// Flow-cache capacity in flows.
+    pub cam_entries: u32,
+    /// Per-API fixed overhead of vendor library calls, in cycles.
+    pub libcall_overhead: u32,
+}
+
+impl Default for NicConfig {
+    fn default() -> NicConfig {
+        NicConfig {
+            cores: 60,
+            freq_ghz: 1.2,
+            levels: [
+                // CLS: per-island scratch, ~25 cycles.
+                MemLevelCfg {
+                    capacity: 128 * 1024,
+                    latency: 25,
+                    bandwidth: 2.5,
+                },
+                // CTM: packet-centric SRAM, ~55 cycles.
+                MemLevelCfg {
+                    capacity: 1024 * 1024,
+                    latency: 55,
+                    bandwidth: 1.8,
+                },
+                // IMEM: on-chip SRAM, ~150 cycles.
+                MemLevelCfg {
+                    capacity: 4 * 1024 * 1024,
+                    latency: 150,
+                    bandwidth: 0.45,
+                },
+                // EMEM: DRAM, ~500 cycles uncached; random-access
+                // bandwidth is the scarce chip-wide resource.
+                MemLevelCfg {
+                    capacity: 2 * 1024 * 1024 * 1024,
+                    latency: 500,
+                    bandwidth: 0.085,
+                },
+            ],
+            emem_cache_bytes: 3 * 1024 * 1024,
+            emem_cache_latency: 130,
+            emem_cache_bandwidth: 0.40,
+            max_io_mpps: 59.5,
+            line_rate_gbps: 40.0,
+            csum_sw_cycles: 2000,
+            csum_accel_cycles: 300,
+            crc_accel_base: 30,
+            crc_accel_per_iter: 0.25,
+            cam_hit_cycles: 50,
+            cam_insert_cycles: 120,
+            cam_entries: 65536,
+            libcall_overhead: 12,
+        }
+    }
+}
+
+impl NicConfig {
+    /// Level parameters by level.
+    pub fn level(&self, l: MemLevel) -> &MemLevelCfg {
+        &self.levels[l.index()]
+    }
+
+    /// Line-rate packet ceiling for a mean packet size, in Mpps.
+    pub fn line_rate_mpps(&self, mean_pkt_bytes: f64) -> f64 {
+        let wire = mean_pkt_bytes + 20.0; // Preamble + IFG.
+        (self.line_rate_gbps * 1e9 / (wire * 8.0) / 1e6).min(self.max_io_mpps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered_by_latency_and_capacity() {
+        let c = NicConfig::default();
+        for w in MemLevel::ALL.windows(2) {
+            assert!(c.level(w[0]).latency < c.level(w[1]).latency);
+            assert!(c.level(w[0]).capacity < c.level(w[1]).capacity);
+            assert!(c.level(w[0]).bandwidth > c.level(w[1]).bandwidth);
+        }
+    }
+
+    #[test]
+    fn line_rate_depends_on_packet_size() {
+        let c = NicConfig::default();
+        let small = c.line_rate_mpps(64.0);
+        let large = c.line_rate_mpps(1500.0);
+        assert!(small > 10.0 * large);
+        assert!(small <= c.max_io_mpps);
+        // 40 GbE at 64 B ≈ 59.5 Mpps.
+        assert!((small - 59.5).abs() < 0.5, "{small}");
+    }
+
+    #[test]
+    fn indices_round_trip() {
+        for l in MemLevel::ALL {
+            assert_eq!(MemLevel::ALL[l.index()], l);
+        }
+    }
+}

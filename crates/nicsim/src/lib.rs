@@ -1,0 +1,46 @@
+//! `nic-sim`: a cycle-level SoC SmartNIC simulator (Netronome Agilio-like).
+//!
+//! This crate substitutes for the physical 40 Gbps Netronome Agilio CX of
+//! the Clara paper. It models the mechanisms the paper's evaluation
+//! depends on, so the *shape* of every result (who wins, where knees and
+//! crossovers fall) reproduces even though absolute Mpps differ from
+//! silicon:
+//!
+//! - **many wimpy cores** (60 × 1.2 GHz) processing packets
+//!   run-to-completion;
+//! - a **four-level memory hierarchy** — CLS, CTM, IMEM, EMEM — with
+//!   increasing capacities and latencies, and an SRAM cache in front of
+//!   DRAM-backed EMEM whose hit rate depends on the workload's working
+//!   set (few large flows hit, many small flows miss);
+//! - **per-level bandwidth with queueing contention**: adding cores
+//!   raises throughput until a memory level saturates, after which
+//!   latency climbs — producing the scale-out knees of Figure 11 and the
+//!   colocation interference of Figure 14;
+//! - **ASIC accelerators**: a checksum engine (~300 cycles vs ~2000 in
+//!   software), a CRC engine, and an LPM flow cache (CAM), enabling the
+//!   Figure 10 experiments;
+//! - a **vendor library** cost model for reverse-ported framework calls
+//!   (hash-map probes, vector ops, header parses).
+//!
+//! The simulator consumes the execution traces produced by
+//! [`click_model::Machine`] plus the per-block issue costs produced by
+//! [`nfcc`], under a [`PortConfig`] describing porting decisions (state
+//! placement, accelerator substitution, coalescing, core count).
+
+pub mod config;
+pub mod model;
+pub mod port;
+pub mod profile;
+pub mod sim;
+
+pub use config::{MemLevel, MemLevelCfg, NicConfig};
+pub use model::{solve_colocated, solve_perf, PerfPoint};
+pub use port::{Accel, CoalescePlan, PortConfig};
+pub use profile::{
+    profile_recorded, profile_workload, record_workload, PacketProfile, RecordedWorkload,
+    WorkloadProfile,
+};
+pub use sim::{
+    chain_global, merge_stage_profiles, optimal_cores, profile_chain, profile_chain_stages,
+    simulate, simulate_colocated, sweep_cores, Simulation, CHAIN_STRIDE,
+};

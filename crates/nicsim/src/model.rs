@@ -1,0 +1,404 @@
+//! The analytic performance model: cores + memory-channel queueing.
+//!
+//! Packet processing is run-to-completion, so with `n` cores the system
+//! is closed with `n` packets in flight: the packet arrival rate at each
+//! memory channel is `n / S` packets per cycle (Little's law), where `S`
+//! is the per-packet service time — which itself depends on channel
+//! queueing. The model iterates this fixed point. Throughput saturates
+//! when a channel's utilization approaches 1 (or the packet-IO/line-rate
+//! ceiling binds), and past that point extra cores only add queueing
+//! latency — exactly the knee behaviour of the paper's Figure 11.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::NicConfig;
+use crate::port::PortConfig;
+use crate::profile::{WorkloadProfile, CHANNELS, CH_EMEM_CACHE};
+
+/// A solved operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfPoint {
+    /// Cores assigned.
+    pub cores: u32,
+    /// Sustained throughput in Mpps.
+    pub throughput_mpps: f64,
+    /// Per-packet latency in microseconds (ingress to egress).
+    pub latency_us: f64,
+    /// Per-packet service time in cycles.
+    pub service_cycles: f64,
+    /// Utilization of the busiest memory channel.
+    pub max_channel_util: f64,
+}
+
+impl PerfPoint {
+    /// Throughput/latency ratio (the Figure 11c/d objective).
+    pub fn ratio(&self) -> f64 {
+        if self.latency_us <= 0.0 {
+            0.0
+        } else {
+            self.throughput_mpps / self.latency_us
+        }
+    }
+}
+
+/// Model channels: the memory channels plus the packet-IO engine, which
+/// is itself a queue — latency climbs as throughput approaches the line
+/// rate, so "use all cores" costs latency even for IO-bound NFs.
+const NCH: usize = CHANNELS + 1;
+/// Index of the packet-IO channel.
+const CH_IO: usize = CHANNELS;
+/// Unloaded packet-IO (ingress+egress DMA) latency in cycles.
+const IO_LATENCY: f64 = 120.0;
+
+fn channel_params(cfg: &NicConfig) -> ([f64; NCH], [f64; NCH]) {
+    let mut lat = [0.0; NCH];
+    let mut bw = [f64::INFINITY; NCH];
+    for (i, l) in crate::config::MemLevel::ALL.iter().enumerate() {
+        lat[i] = f64::from(cfg.level(*l).latency);
+        bw[i] = cfg.level(*l).bandwidth;
+    }
+    lat[CH_EMEM_CACHE] = f64::from(cfg.emem_cache_latency);
+    bw[CH_EMEM_CACHE] = cfg.emem_cache_bandwidth;
+    lat[CH_IO] = IO_LATENCY;
+    // IO bandwidth is workload-dependent (line rate at the mean packet
+    // size); filled per solve.
+    (lat, bw)
+}
+
+fn full_demand(base: [f64; CHANNELS]) -> [f64; NCH] {
+    let mut d = [0.0; NCH];
+    d[..CHANNELS].copy_from_slice(&base);
+    d[CH_IO] = 1.0; // Every packet crosses the IO engine once.
+    d
+}
+
+/// Loaded-latency inflation factor: memory banks and the IO engine serve
+/// at their *unloaded* latency when idle, inflating as utilization rises
+/// (the classic loaded-latency curve). 0.35 sets the curve's knee
+/// sharpness.
+const LOAD_FACTOR: f64 = 0.35;
+
+/// Service time at a given total per-channel utilization `rho`.
+fn service_time(
+    compute: f64,
+    demand: &[f64; NCH],
+    lat: &[f64; NCH],
+    _bw: &[f64; NCH],
+    rho: &[f64; NCH],
+) -> f64 {
+    let mut s = compute;
+    for k in 0..NCH {
+        if demand[k] <= 0.0 {
+            continue;
+        }
+        let r = rho[k].min(0.995);
+        s += demand[k] * lat[k] * (1.0 + LOAD_FACTOR * r / (1.0 - r));
+    }
+    s.max(1.0)
+}
+
+/// Solves the closed-system fixed point for one NF running alone.
+///
+/// The packet rate `λ` satisfies `λ = min(n / S(λ), cap)`, where `S` is
+/// increasing in `λ` (queueing); the right-hand side is therefore
+/// decreasing, so the unique fixed point is found by bisection.
+pub fn solve_perf(
+    wp: &WorkloadProfile,
+    cfg: &NicConfig,
+    port: &PortConfig,
+    cores: u32,
+) -> PerfPoint {
+    let demand = full_demand(wp.channel_demand(cfg, port));
+    let (lat, mut bw) = channel_params(cfg);
+    let n = f64::from(cores.max(1));
+    bw[CH_IO] = cfg.line_rate_mpps(wp.mean_pkt_size) * 1e6 / (cfg.freq_ghz * 1e9);
+
+    let rho_of = |lambda: f64| -> [f64; NCH] {
+        let mut rho = [0.0; NCH];
+        for k in 0..NCH {
+            rho[k] = lambda * demand[k] / bw[k];
+        }
+        rho
+    };
+    // Upper bound: min over channels of the saturation rate.
+    let mut hi = f64::INFINITY;
+    for k in 0..NCH {
+        if demand[k] > 0.0 {
+            hi = hi.min(0.995 * bw[k] / demand[k]);
+        }
+    }
+    let mut lo = 0.0f64;
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        let s = service_time(wp.compute, &demand, &lat, &bw, &rho_of(mid));
+        if n / s > mid {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let lambda = 0.5 * (lo + hi);
+    let rho = rho_of(lambda);
+    let s = service_time(wp.compute, &demand, &lat, &bw, &rho);
+    let max_util = rho.iter().copied().fold(0.0, f64::max);
+    PerfPoint {
+        cores,
+        throughput_mpps: lambda * cfg.freq_ghz * 1e9 / 1e6,
+        latency_us: s / (cfg.freq_ghz * 1e3),
+        service_cycles: s,
+        max_channel_util: max_util,
+    }
+}
+
+/// Solves two colocated NFs sharing the memory channels.
+///
+/// Each NF `i` gets `cores[i]` cores; channel utilization sums both NFs'
+/// demands, so a memory-hungry neighbour inflates the other's latency —
+/// the interference mechanism behind Figure 14.
+pub fn solve_colocated(
+    wps: &[&WorkloadProfile],
+    cfg: &NicConfig,
+    ports: &[&PortConfig],
+    cores: &[u32],
+) -> Vec<PerfPoint> {
+    assert_eq!(wps.len(), cores.len(), "profiles/cores mismatch");
+    assert_eq!(wps.len(), ports.len(), "profiles/ports mismatch");
+    let (lat, mut bw) = channel_params(cfg);
+    let demands: Vec<[f64; NCH]> = wps
+        .iter()
+        .zip(ports.iter())
+        .map(|(w, p)| full_demand(w.channel_demand(cfg, p)))
+        .collect();
+    // One shared line: the IO channel's bandwidth reflects the smallest
+    // tenant packet size (conservative).
+    let min_size = wps
+        .iter()
+        .map(|w| w.mean_pkt_size)
+        .fold(f64::INFINITY, f64::min);
+    bw[CH_IO] = cfg.line_rate_mpps(min_size) * 1e6 / (cfg.freq_ghz * 1e9);
+
+    let mut lambda: Vec<f64> = vec![0.0; wps.len()];
+    // Gauss–Seidel over tenants: given the others' rates, each tenant's
+    // rate is a one-dimensional monotone fixed point solved by bisection.
+    for _round in 0..60 {
+        for i in 0..wps.len() {
+            let others_rho = |k: usize| -> f64 {
+                lambda
+                    .iter()
+                    .zip(demands.iter())
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, (l, d))| l * d[k] / bw[k])
+                    .sum()
+            };
+            let mut hi = f64::INFINITY;
+            for k in 0..NCH {
+                if demands[i][k] > 0.0 {
+                    let free = (0.995 - others_rho(k)).max(1e-6);
+                    hi = hi.min(free * bw[k] / demands[i][k]);
+                }
+            }
+            let n = f64::from(cores[i].max(1));
+            let mut lo = 0.0f64;
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                let mut rho = [0.0; NCH];
+                for (k, r) in rho.iter_mut().enumerate() {
+                    *r = others_rho(k) + mid * demands[i][k] / bw[k];
+                }
+                let s = service_time(wps[i].compute, &demands[i], &lat, &bw, &rho);
+                if n / s > mid {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            lambda[i] = 0.5 * (lo + hi);
+        }
+    }
+
+    // Final shared utilization and per-tenant service times.
+    let mut rho = [0.0f64; NCH];
+    for (k, r) in rho.iter_mut().enumerate() {
+        *r = lambda
+            .iter()
+            .zip(demands.iter())
+            .map(|(l, d)| l * d[k] / bw[k])
+            .sum();
+    }
+    let max_util = rho.iter().copied().fold(0.0, f64::max);
+    (0..wps.len())
+        .map(|i| {
+            let s = service_time(wps[i].compute, &demands[i], &lat, &bw, &rho);
+            PerfPoint {
+                cores: cores[i],
+                throughput_mpps: lambda[i] * cfg.freq_ghz * 1e9 / 1e6,
+                latency_us: s / (cfg.freq_ghz * 1e3),
+                service_cycles: s,
+                max_channel_util: max_util,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn synthetic(compute: f64, emem: f64, ws_bytes: u64) -> WorkloadProfile {
+        let mut global_access = BTreeMap::new();
+        let mut working_set = BTreeMap::new();
+        if emem > 0.0 {
+            global_access.insert(nf_ir::GlobalId(0), emem);
+            working_set.insert(nf_ir::GlobalId(0), ws_bytes);
+        }
+        WorkloadProfile {
+            pkts: 1000,
+            compute,
+            fixed_accesses: [0.0, 2.0, 0.0, 0.0],
+            global_access,
+            working_set,
+            mean_pkt_size: 128.0,
+        }
+    }
+
+    fn naive() -> PortConfig {
+        PortConfig::naive()
+    }
+
+    #[test]
+    fn throughput_increases_then_plateaus() {
+        let cfg = NicConfig::default();
+        // Memory-heavy NF with a big working set (all misses).
+        let wp = synthetic(200.0, 8.0, 1 << 30);
+        let t: Vec<f64> = [1u32, 4, 16, 50, 60]
+            .iter()
+            .map(|&c| solve_perf(&wp, &cfg, &naive(), c).throughput_mpps)
+            .collect();
+        assert!(t[1] > 2.0 * t[0], "should scale early: {t:?}");
+        let plateau = (t[4] - t[3]).abs() / t[3];
+        assert!(plateau < 0.10, "should plateau late: {t:?}");
+    }
+
+    #[test]
+    fn latency_grows_past_knee() {
+        let cfg = NicConfig::default();
+        let wp = synthetic(200.0, 8.0, 1 << 30);
+        let l8 = solve_perf(&wp, &cfg, &naive(), 8).latency_us;
+        let l60 = solve_perf(&wp, &cfg, &naive(), 60).latency_us;
+        assert!(l60 > 1.3 * l8, "latency should climb: {l8} vs {l60}");
+    }
+
+    #[test]
+    fn ratio_peaks_at_interior_core_count_for_memory_bound() {
+        let cfg = NicConfig::default();
+        let wp = synthetic(150.0, 10.0, 1 << 30);
+        let ratios: Vec<f64> = (1..=60)
+            .map(|c| solve_perf(&wp, &cfg, &naive(), c).ratio())
+            .collect();
+        let mut best = 1usize;
+        for (i, r) in ratios.iter().enumerate() {
+            if *r > ratios[best - 1] * (1.0 + 1e-9) {
+                best = i + 1;
+            }
+        }
+        assert!(
+            (2..60).contains(&best),
+            "knee should be interior, got {best}"
+        );
+    }
+
+    #[test]
+    fn compute_bound_with_cache_hits_peaks_earlier() {
+        let cfg = NicConfig::default();
+        // Cache-resident state (small working set) vs DRAM-resident.
+        let hits = synthetic(400.0, 6.0, 64 * 1024);
+        let misses = synthetic(400.0, 6.0, 1 << 30);
+        let knee = |wp: &WorkloadProfile| -> u32 {
+            // First maximum: the fewest cores reaching the peak ratio.
+            let mut best = (1u32, solve_perf(wp, &cfg, &naive(), 1).ratio());
+            for c in 2..=60 {
+                let r = solve_perf(wp, &cfg, &naive(), c).ratio();
+                if r > best.1 * (1.0 + 1e-9) {
+                    best = (c, r);
+                }
+            }
+            best.0
+        };
+        assert!(
+            knee(&hits) < knee(&misses),
+            "cache-hit workload should knee earlier: {} vs {}",
+            knee(&hits),
+            knee(&misses)
+        );
+    }
+
+    #[test]
+    fn colocation_degrades_both_tenants() {
+        let cfg = NicConfig::default();
+        let a = synthetic(150.0, 9.0, 1 << 30);
+        let b = synthetic(150.0, 9.0, 1 << 30);
+        let solo = solve_perf(&a, &cfg, &naive(), 30);
+        let pair = solve_colocated(&[&a, &b], &cfg, &[&naive(), &naive()], &[30, 30]);
+        assert!(
+            pair[0].throughput_mpps < solo.throughput_mpps,
+            "colocation should cost throughput: {} vs {}",
+            pair[0].throughput_mpps,
+            solo.throughput_mpps
+        );
+        assert!(pair[0].latency_us > solo.latency_us);
+    }
+
+    #[test]
+    fn compute_bound_neighbour_interferes_less() {
+        let cfg = NicConfig::default();
+        let victim = synthetic(150.0, 9.0, 1 << 30);
+        let mem_hog = synthetic(100.0, 12.0, 1 << 30);
+        let compute_nf = synthetic(2000.0, 0.5, 1 << 20);
+        let with_hog =
+            solve_colocated(&[&victim, &mem_hog], &cfg, &[&naive(), &naive()], &[30, 30]);
+        let with_compute = solve_colocated(
+            &[&victim, &compute_nf],
+            &cfg,
+            &[&naive(), &naive()],
+            &[30, 30],
+        );
+        assert!(
+            with_compute[0].throughput_mpps > with_hog[0].throughput_mpps,
+            "friendly neighbour should hurt less: {} vs {}",
+            with_compute[0].throughput_mpps,
+            with_hog[0].throughput_mpps
+        );
+    }
+
+    #[test]
+    fn three_tenants_share_channels() {
+        let cfg = NicConfig::default();
+        let a = synthetic(150.0, 6.0, 1 << 30);
+        let b = synthetic(150.0, 6.0, 1 << 30);
+        let c = synthetic(150.0, 6.0, 1 << 30);
+        let two = solve_colocated(&[&a, &b], &cfg, &[&naive(), &naive()], &[20, 20]);
+        let three = solve_colocated(
+            &[&a, &b, &c],
+            &cfg,
+            &[&naive(), &naive(), &naive()],
+            &[20, 20, 20],
+        );
+        assert_eq!(three.len(), 3);
+        // A third identical tenant can only hurt the first one.
+        assert!(three[0].throughput_mpps <= two[0].throughput_mpps + 1e-9);
+        assert!(three[0].latency_us >= two[0].latency_us - 1e-9);
+        // Identical tenants converge to identical operating points.
+        assert!((three[0].throughput_mpps - three[1].throughput_mpps).abs() < 1e-6);
+        assert!((three[1].throughput_mpps - three[2].throughput_mpps).abs() < 1e-6);
+    }
+
+    #[test]
+    fn line_rate_caps_tiny_workloads() {
+        let cfg = NicConfig::default();
+        let wp = synthetic(50.0, 0.0, 0);
+        let p = solve_perf(&wp, &cfg, &naive(), 60);
+        assert!(p.throughput_mpps <= cfg.max_io_mpps + 1e-6);
+    }
+}

@@ -1,0 +1,165 @@
+//! Porting decisions: everything a developer (or Clara) chooses when
+//! cross-porting an NF to the NIC.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use nf_ir::{BlockId, GlobalId, Module};
+use serde::{Deserialize, Serialize};
+
+use crate::config::MemLevel;
+
+/// An ASIC accelerator on the NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Accel {
+    /// CRC/hash engine.
+    Crc,
+    /// Longest-prefix-match flow cache (CAM).
+    Lpm,
+}
+
+/// A variable-packing plan for memory-access coalescing (Section 4.4).
+///
+/// Variables are identified as `(global, offset)` pairs. Accesses to
+/// variables in the same cluster within one basic-block visit are fetched
+/// with a single coalesced access sized to the cluster.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoalescePlan {
+    /// Clusters of co-allocated variables.
+    pub clusters: Vec<Vec<(GlobalId, u32)>>,
+}
+
+impl CoalescePlan {
+    /// The cluster index of a variable, if it is packed.
+    pub fn cluster_of(&self, global: GlobalId, offset: u32) -> Option<usize> {
+        self.clusters
+            .iter()
+            .position(|c| c.contains(&(global, offset)))
+    }
+
+    /// Total bytes of a cluster assuming 4-byte variables.
+    pub fn cluster_bytes(&self, idx: usize) -> u32 {
+        (self.clusters.get(idx).map_or(0, Vec::len) as u32) * 4
+    }
+}
+
+/// A complete porting configuration for one NF.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PortConfig {
+    /// State placement: memory level per global (default: all EMEM — the
+    /// "naive port" baseline of Section 5.5).
+    pub placement: BTreeMap<GlobalId, MemLevel>,
+    /// Blocks replaced by an accelerator invocation.
+    pub accel_blocks: BTreeMap<BlockId, Accel>,
+    /// Use the ingress checksum engine for `checksum_*` API calls.
+    pub csum_accel: bool,
+    /// Variable packing plan.
+    pub coalesce: CoalescePlan,
+}
+
+impl PortConfig {
+    /// The naive port: original logic, all state in EMEM, no accelerators.
+    pub fn naive() -> PortConfig {
+        PortConfig::default()
+    }
+
+    /// Memory level where a global lives under this port.
+    pub fn level_of(&self, g: GlobalId) -> MemLevel {
+        self.placement.get(&g).copied().unwrap_or(MemLevel::Emem)
+    }
+
+    /// Sets the placement of one global.
+    pub fn place(mut self, g: GlobalId, level: MemLevel) -> PortConfig {
+        self.placement.insert(g, level);
+        self
+    }
+
+    /// Marks a set of blocks as replaced by an accelerator.
+    pub fn accelerate(
+        mut self,
+        blocks: impl IntoIterator<Item = BlockId>,
+        accel: Accel,
+    ) -> PortConfig {
+        for b in blocks {
+            self.accel_blocks.insert(b, accel);
+        }
+        self
+    }
+
+    /// Enables the checksum engine.
+    pub fn with_csum_accel(mut self) -> PortConfig {
+        self.csum_accel = true;
+        self
+    }
+
+    /// Sets the coalescing plan.
+    pub fn with_coalesce(mut self, plan: CoalescePlan) -> PortConfig {
+        self.coalesce = plan;
+        self
+    }
+
+    /// Checks that the placement fits each level's capacity for the given
+    /// module; returns the set of violated levels.
+    pub fn capacity_violations(
+        &self,
+        module: &Module,
+        cfg: &crate::config::NicConfig,
+    ) -> BTreeSet<MemLevel> {
+        let mut used = [0u64; 4];
+        for g in &module.globals {
+            used[self.level_of(g.id).index()] += g.total_bytes();
+        }
+        MemLevel::ALL
+            .into_iter()
+            .filter(|l| used[l.index()] > cfg.level(*l).capacity)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NicConfig;
+    use nf_ir::StateKind;
+
+    #[test]
+    fn naive_port_puts_everything_in_emem() {
+        let p = PortConfig::naive();
+        assert_eq!(p.level_of(GlobalId(0)), MemLevel::Emem);
+        assert_eq!(p.level_of(GlobalId(9)), MemLevel::Emem);
+    }
+
+    #[test]
+    fn placement_builder_applies() {
+        let p = PortConfig::naive()
+            .place(GlobalId(1), MemLevel::Cls)
+            .with_csum_accel();
+        assert_eq!(p.level_of(GlobalId(1)), MemLevel::Cls);
+        assert_eq!(p.level_of(GlobalId(2)), MemLevel::Emem);
+        assert!(p.csum_accel);
+    }
+
+    #[test]
+    fn capacity_violations_detected() {
+        let mut m = Module::new("m");
+        let g = m.add_global("huge", StateKind::Array, 1024, 1024); // 1 MB
+        let cfg = NicConfig::default();
+        let bad = PortConfig::naive().place(g, MemLevel::Cls);
+        assert!(bad.capacity_violations(&m, &cfg).contains(&MemLevel::Cls));
+        let ok = PortConfig::naive().place(g, MemLevel::Imem);
+        assert!(ok.capacity_violations(&m, &cfg).is_empty());
+    }
+
+    #[test]
+    fn coalesce_plan_lookup() {
+        let plan = CoalescePlan {
+            clusters: vec![
+                vec![(GlobalId(0), 0), (GlobalId(1), 0)],
+                vec![(GlobalId(2), 4)],
+            ],
+        };
+        assert_eq!(plan.cluster_of(GlobalId(1), 0), Some(0));
+        assert_eq!(plan.cluster_of(GlobalId(2), 4), Some(1));
+        assert_eq!(plan.cluster_of(GlobalId(2), 0), None);
+        assert_eq!(plan.cluster_bytes(0), 8);
+    }
+}

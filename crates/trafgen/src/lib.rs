@@ -1,0 +1,31 @@
+//! Deterministic workload and packet-trace generation.
+//!
+//! This crate stands in for the `trafgen` packet generator and the pcap
+//! traces used by the Clara paper. A [`WorkloadSpec`] captures the workload
+//! axes the paper varies — number of concurrent flows, flow-size
+//! distribution, packet sizes, SYN mix — and [`Trace::generate`] expands it
+//! into a deterministic, seeded packet sequence.
+//!
+//! The two named profiles from the paper's Section 5.4 are provided:
+//! [`WorkloadSpec::large_flows`] (few flows, many packets each — mostly
+//! cache hits on the NIC) and [`WorkloadSpec::small_flows`] (many flows —
+//! mostly cache misses).
+//!
+//! # Examples
+//!
+//! ```
+//! use trafgen::{Trace, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec::large_flows();
+//! let trace = Trace::generate(&spec, 1000, 42);
+//! assert_eq!(trace.pkts.len(), 1000);
+//! assert!(trace.unique_flows() <= spec.flows as usize);
+//! ```
+
+pub mod packet;
+pub mod spec;
+pub mod trace;
+
+pub use packet::{FlowKey, Packet, Proto, TCP_ACK, TCP_FIN, TCP_PSH, TCP_RST, TCP_SYN};
+pub use spec::{FlowDist, PktSizeDist, WorkloadSpec};
+pub use trace::Trace;

@@ -1,0 +1,202 @@
+//! Packet descriptors: flow keys, protocols, and deterministic payloads.
+
+use serde::{Deserialize, Serialize};
+
+/// TCP SYN flag bit.
+pub const TCP_SYN: u8 = 0x02;
+/// TCP ACK flag bit.
+pub const TCP_ACK: u8 = 0x10;
+/// TCP FIN flag bit.
+pub const TCP_FIN: u8 = 0x01;
+/// TCP RST flag bit.
+pub const TCP_RST: u8 = 0x04;
+/// TCP PSH flag bit.
+pub const TCP_PSH: u8 = 0x08;
+
+/// Transport protocol of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Proto {
+    /// TCP (IP protocol 6).
+    Tcp,
+    /// UDP (IP protocol 17).
+    Udp,
+}
+
+impl Proto {
+    /// The IP protocol number.
+    pub fn number(self) -> u8 {
+        match self {
+            Proto::Tcp => 6,
+            Proto::Udp => 17,
+        }
+    }
+}
+
+/// The 5-tuple identifying a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Proto,
+}
+
+impl FlowKey {
+    /// A stable 32-bit mix of the 5-tuple (useful as a hash-table key).
+    pub fn mix(&self) -> u32 {
+        let mut h = self
+            .src_ip
+            .wrapping_mul(0x9e37_79b9)
+            .rotate_left(13)
+            .wrapping_add(self.dst_ip);
+        h ^= u32::from(self.src_port) << 16 | u32::from(self.dst_port);
+        h = h.wrapping_mul(0x85eb_ca6b);
+        h ^= u32::from(self.proto.number());
+        h ^ (h >> 16)
+    }
+
+    /// The reverse-direction key (src/dst swapped).
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+}
+
+/// One packet of a trace.
+///
+/// Header fields are stored explicitly; payload bytes are synthesized
+/// deterministically from `payload_seed` on demand so traces stay compact
+/// regardless of packet size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Flow 5-tuple.
+    pub flow: FlowKey,
+    /// Dense id of the flow within its trace (0-based).
+    pub flow_id: u32,
+    /// Total packet length in bytes (Ethernet frame, 64..=1518).
+    pub size: u16,
+    /// TCP flags (0 for UDP).
+    pub tcp_flags: u8,
+    /// TCP sequence number (0 for UDP).
+    pub seq: u32,
+    /// IPv4 TTL.
+    pub ttl: u8,
+    /// Seed for deterministic payload synthesis.
+    pub payload_seed: u64,
+}
+
+impl Packet {
+    /// Payload length in bytes (size minus Ethernet/IP/TCP-or-UDP headers).
+    pub fn payload_len(&self) -> u16 {
+        let hdr = 14 + 20 + if self.flow.proto == Proto::Tcp { 20 } else { 8 };
+        self.size.saturating_sub(hdr)
+    }
+
+    /// Deterministic payload byte at `off` (0 past the payload end).
+    pub fn payload_byte(&self, off: u16) -> u8 {
+        if off >= self.payload_len() {
+            return 0;
+        }
+        let x = self
+            .payload_seed
+            .wrapping_add(u64::from(off).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        (x >> 32) as u8
+    }
+
+    /// Deterministic 32-bit payload word at byte offset `off` (big-endian).
+    pub fn payload_word(&self, off: u16) -> u32 {
+        u32::from_be_bytes([
+            self.payload_byte(off),
+            self.payload_byte(off.saturating_add(1)),
+            self.payload_byte(off.saturating_add(2)),
+            self.payload_byte(off.saturating_add(3)),
+        ])
+    }
+
+    /// Is the SYN flag set?
+    pub fn is_syn(&self) -> bool {
+        self.tcp_flags & TCP_SYN != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> FlowKey {
+        FlowKey {
+            src_ip: 0x0a00_0001,
+            dst_ip: 0xc0a8_0101,
+            src_port: 3333,
+            dst_port: 80,
+            proto: Proto::Tcp,
+        }
+    }
+
+    #[test]
+    fn flow_mix_is_stable_and_spreads() {
+        let a = key().mix();
+        let mut other = key();
+        other.src_port = 3334;
+        assert_ne!(a, other.mix());
+        assert_eq!(a, key().mix());
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let r = key().reversed();
+        assert_eq!(r.src_ip, key().dst_ip);
+        assert_eq!(r.dst_port, key().src_port);
+        assert_eq!(r.reversed(), key());
+    }
+
+    #[test]
+    fn payload_is_deterministic_and_bounded() {
+        let p = Packet {
+            flow: key(),
+            flow_id: 0,
+            size: 128,
+            tcp_flags: TCP_ACK,
+            seq: 1,
+            ttl: 64,
+            payload_seed: 7,
+        };
+        assert_eq!(p.payload_len(), 128 - 54);
+        assert_eq!(p.payload_byte(5), p.payload_byte(5));
+        assert_eq!(p.payload_byte(5000), 0); // past end
+        let q = Packet {
+            payload_seed: 8,
+            ..p
+        };
+        assert_ne!(p.payload_word(0), q.payload_word(0));
+    }
+
+    #[test]
+    fn udp_payload_headers_are_shorter() {
+        let mut k = key();
+        k.proto = Proto::Udp;
+        let p = Packet {
+            flow: k,
+            flow_id: 0,
+            size: 64,
+            tcp_flags: 0,
+            seq: 0,
+            ttl: 64,
+            payload_seed: 0,
+        };
+        assert_eq!(p.payload_len(), 64 - 42);
+        assert!(!p.is_syn());
+    }
+}

@@ -1,0 +1,238 @@
+//! Trace generation: expanding a [`WorkloadSpec`] into packets.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::packet::{FlowKey, Packet, Proto, TCP_ACK, TCP_SYN};
+use crate::spec::{FlowDist, PktSizeDist, WorkloadSpec};
+
+/// A generated packet trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    /// The specification this trace was generated from.
+    pub spec: WorkloadSpec,
+    /// Packets in arrival order.
+    pub pkts: Vec<Packet>,
+}
+
+impl Trace {
+    /// Generates `n` packets for `spec`, deterministically from `seed`.
+    pub fn generate(spec: &WorkloadSpec, n: usize, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flows = flow_table(spec, &mut rng);
+        let cdf = popularity_cdf(spec, flows.len());
+        let mut seen_syn: HashSet<u32> = HashSet::new();
+        let mut pkts = Vec::with_capacity(n);
+        for i in 0..n {
+            let flow_id = sample_flow(&cdf, &mut rng) as u32;
+            let flow = flows[flow_id as usize];
+            let size = sample_size(&spec.pkt_size, &mut rng);
+            let tcp_flags = if flow.proto == Proto::Tcp {
+                // First packet of a flow is a SYN; later ones are SYN with
+                // probability `syn_ratio` (flow re-setup), else ACK/data.
+                if seen_syn.insert(flow_id) || rng.gen_bool(spec.syn_ratio.clamp(0.0, 1.0)) {
+                    TCP_SYN
+                } else {
+                    TCP_ACK
+                }
+            } else {
+                0
+            };
+            pkts.push(Packet {
+                flow,
+                flow_id,
+                size,
+                tcp_flags,
+                seq: i as u32,
+                ttl: 64,
+                payload_seed: seed.wrapping_mul(0x1000_0000_01b3).wrapping_add(i as u64),
+            });
+        }
+        Trace {
+            spec: spec.clone(),
+            pkts,
+        }
+    }
+
+    /// Number of distinct flows that actually appear in the trace.
+    pub fn unique_flows(&self) -> usize {
+        self.pkts
+            .iter()
+            .map(|p| p.flow_id)
+            .collect::<HashSet<_>>()
+            .len()
+    }
+
+    /// Mean packet size over the trace.
+    pub fn mean_size(&self) -> f64 {
+        if self.pkts.is_empty() {
+            return 0.0;
+        }
+        self.pkts.iter().map(|p| f64::from(p.size)).sum::<f64>() / self.pkts.len() as f64
+    }
+
+    /// Fraction of packets with the SYN flag set.
+    pub fn syn_fraction(&self) -> f64 {
+        if self.pkts.is_empty() {
+            return 0.0;
+        }
+        self.pkts.iter().filter(|p| p.is_syn()).count() as f64 / self.pkts.len() as f64
+    }
+}
+
+fn flow_table(spec: &WorkloadSpec, rng: &mut StdRng) -> Vec<FlowKey> {
+    let n = spec.flows.max(1) as usize;
+    let mut flows = Vec::with_capacity(n);
+    for i in 0..n {
+        let proto = if rng.gen_bool(spec.tcp_ratio.clamp(0.0, 1.0)) {
+            Proto::Tcp
+        } else {
+            Proto::Udp
+        };
+        // Internal 10.0.0.0/8 clients talking to external servers, with the
+        // flow index mixed into the address bits so IPs are distinct.
+        flows.push(FlowKey {
+            src_ip: 0x0a00_0000 | (i as u32 & 0x00ff_ffff),
+            dst_ip: rng.gen::<u32>() | 0x4000_0000,
+            src_port: 1024 + (i as u16 % 60000),
+            dst_port: *[80u16, 443, 53, 8080]
+                .get(rng.gen_range(0..4))
+                .expect("index in range"),
+            proto,
+        });
+    }
+    flows
+}
+
+fn popularity_cdf(spec: &WorkloadSpec, n: usize) -> Vec<f64> {
+    let weights: Vec<f64> = match spec.flow_dist {
+        FlowDist::Uniform => vec![1.0; n],
+        FlowDist::Zipf { s } => (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect(),
+    };
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+fn sample_flow(cdf: &[f64], rng: &mut StdRng) -> usize {
+    let x: f64 = rng.gen();
+    match cdf.binary_search_by(|p| p.partial_cmp(&x).expect("finite cdf")) {
+        Ok(i) | Err(i) => i.min(cdf.len() - 1),
+    }
+}
+
+fn sample_size(dist: &PktSizeDist, rng: &mut StdRng) -> u16 {
+    match *dist {
+        PktSizeDist::Fixed(s) => s,
+        PktSizeDist::Bimodal {
+            small,
+            large,
+            small_frac,
+        } => {
+            if rng.gen_bool(small_frac.clamp(0.0, 1.0)) {
+                small
+            } else {
+                large
+            }
+        }
+        PktSizeDist::Uniform { min, max } => rng.gen_range(min..=max.max(min)),
+    }
+    .clamp(64, 1518)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::large_flows();
+        let a = Trace::generate(&spec, 500, 7);
+        let b = Trace::generate(&spec, 500, 7);
+        assert_eq!(a.pkts, b.pkts);
+        let c = Trace::generate(&spec, 500, 8);
+        assert_ne!(a.pkts, c.pkts);
+    }
+
+    #[test]
+    fn zipf_concentrates_traffic() {
+        let uni = WorkloadSpec {
+            flow_dist: FlowDist::Uniform,
+            ..WorkloadSpec::large_flows().with_flows(1000)
+        };
+        let zipf = WorkloadSpec {
+            flow_dist: FlowDist::Zipf { s: 1.3 },
+            ..WorkloadSpec::large_flows().with_flows(1000)
+        };
+        let tu = Trace::generate(&uni, 5000, 1);
+        let tz = Trace::generate(&zipf, 5000, 1);
+        let top_share = |t: &Trace| {
+            let mut counts = vec![0usize; 1000];
+            for p in &t.pkts {
+                counts[p.flow_id as usize] += 1;
+            }
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            counts[..10].iter().sum::<usize>() as f64 / t.pkts.len() as f64
+        };
+        assert!(
+            top_share(&tz) > 2.0 * top_share(&tu),
+            "zipf {} vs uniform {}",
+            top_share(&tz),
+            top_share(&tu)
+        );
+    }
+
+    #[test]
+    fn first_packet_per_tcp_flow_is_syn() {
+        let spec = WorkloadSpec {
+            syn_ratio: 0.0,
+            tcp_ratio: 1.0,
+            ..WorkloadSpec::large_flows()
+        };
+        let t = Trace::generate(&spec, 2000, 3);
+        let mut seen = HashSet::new();
+        for p in &t.pkts {
+            if seen.insert(p.flow_id) {
+                assert!(p.is_syn(), "first packet of flow {} not SYN", p.flow_id);
+            } else {
+                assert!(!p.is_syn());
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_respect_distribution() {
+        let spec = WorkloadSpec::min_size();
+        let t = Trace::generate(&spec, 300, 11);
+        assert!(t.pkts.iter().all(|p| p.size == 64));
+        assert_eq!(t.mean_size(), 64.0);
+
+        let spec = WorkloadSpec {
+            pkt_size: PktSizeDist::Uniform { min: 64, max: 128 },
+            ..WorkloadSpec::large_flows()
+        };
+        let t = Trace::generate(&spec, 300, 11);
+        assert!(t.pkts.iter().all(|p| (64..=128).contains(&p.size)));
+    }
+
+    #[test]
+    fn syn_fraction_tracks_ratio() {
+        let spec = WorkloadSpec {
+            syn_ratio: 0.5,
+            tcp_ratio: 1.0,
+            ..WorkloadSpec::small_flows().with_flows(10)
+        };
+        let t = Trace::generate(&spec, 4000, 5);
+        let f = t.syn_fraction();
+        assert!((0.4..0.6).contains(&f), "syn fraction {f}");
+    }
+}

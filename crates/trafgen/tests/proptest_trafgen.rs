@@ -1,0 +1,72 @@
+//! Property tests over the workload generator.
+
+use proptest::prelude::*;
+use trafgen::{FlowDist, PktSizeDist, Trace, WorkloadSpec};
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        1u32..5000,
+        prop_oneof![
+            Just(FlowDist::Uniform),
+            (0.5f64..2.0).prop_map(|s| FlowDist::Zipf { s })
+        ],
+        prop_oneof![
+            (64u16..1500).prop_map(PktSizeDist::Fixed),
+            (64u16..400, 500u16..1500, 0.0f64..1.0).prop_map(|(s, l, f)| {
+                PktSizeDist::Bimodal {
+                    small: s,
+                    large: l,
+                    small_frac: f,
+                }
+            }),
+        ],
+        0.0f64..1.0,
+        0.0f64..1.0,
+    )
+        .prop_map(
+            |(flows, flow_dist, pkt_size, syn_ratio, tcp_ratio)| WorkloadSpec {
+                name: "prop".into(),
+                flows,
+                flow_dist,
+                pkt_size,
+                syn_ratio,
+                tcp_ratio,
+                rate_mpps: 10.0,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn traces_are_deterministic_and_well_formed(spec in arb_spec(), seed in 0u64..1000) {
+        let a = Trace::generate(&spec, 120, seed);
+        let b = Trace::generate(&spec, 120, seed);
+        prop_assert_eq!(&a.pkts, &b.pkts);
+        prop_assert_eq!(a.pkts.len(), 120);
+        for p in &a.pkts {
+            // Frame sizes stay within Ethernet bounds.
+            prop_assert!((64..=1518).contains(&p.size));
+            // Flow ids index the flow table.
+            prop_assert!(p.flow_id < spec.flows.max(1));
+            // UDP packets never carry TCP flags.
+            if p.flow.proto == trafgen::Proto::Udp {
+                prop_assert_eq!(p.tcp_flags, 0);
+            }
+        }
+        prop_assert!(a.unique_flows() <= spec.flows.max(1) as usize);
+    }
+
+    #[test]
+    fn payload_bytes_are_pure(seed in 0u64..1000, off in 0u16..600) {
+        let spec = WorkloadSpec::imix();
+        let t = Trace::generate(&spec, 3, seed);
+        for p in &t.pkts {
+            prop_assert_eq!(p.payload_byte(off), p.payload_byte(off));
+            if off >= p.payload_len() {
+                prop_assert_eq!(p.payload_byte(off), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! NIC explorer: inspect what the substrate layers produce for one NF.
+//!
+//! Run with: `cargo run --release --example nic_explorer -- [element]`
+//!
+//! Prints, for the chosen element (default `aggcounter`):
+//! - its NIR (the uniform IR Clara analyzes),
+//! - the vendor compiler's micro-engine assembly with per-block counts,
+//! - an execution trace summary for one packet,
+//! - the workload profile the performance model consumes.
+
+use clara_repro::click::Machine;
+use clara_repro::nicsim::{self, PortConfig};
+use clara_repro::trafgen::{Trace, WorkloadSpec};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "aggcounter".into());
+    let e = clara_repro::click::corpus()
+        .into_iter()
+        .find(|e| e.name() == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown element `{name}`; try one of:");
+            for e in clara_repro::click::corpus() {
+                eprintln!("  {}", e.name());
+            }
+            std::process::exit(1);
+        });
+
+    println!("=== {} — {} ===\n", e.name(), e.meta.description);
+
+    println!("--- NIR (uniform IR) ---");
+    print!("{}", clara_repro::ir::print::module(&e.module));
+
+    println!("\n--- vendor compiler output (micro-engine assembly) ---");
+    let nic = clara_repro::nfcc::compile_module(&e.module);
+    print!("{}", clara_repro::nfcc::print_asm(nic.handler()));
+
+    println!("\n--- one packet through the interpreter ---");
+    let spec = WorkloadSpec::large_flows();
+    let trace = Trace::generate(&spec, 1, 3);
+    let mut machine = Machine::new(&e.module).expect("verifies");
+    let t = machine.run(&trace.pkts[0]).expect("runs");
+    println!("interpreted {} IR steps", t.steps);
+    println!("block visits: {:?}", t.block_visits());
+    println!(
+        "stateful accesses: {}, API events: {}",
+        t.state_access_count(None),
+        t.api_events().count()
+    );
+
+    println!("\n--- workload profile (2000 packets, naive port) ---");
+    let trace = Trace::generate(&spec, 2000, 3);
+    let cfg = nicsim::NicConfig::default();
+    let port = PortConfig::naive();
+    let wp = nicsim::profile_workload(&e.module, &trace, &port, &cfg, |_| {});
+    println!("compute cycles/pkt: {:.1}", wp.compute);
+    println!("channel demand/pkt: {:?}", wp.channel_demand(&cfg, &port));
+    for (g, a) in &wp.global_access {
+        let gname = e.module.global(*g).map_or("?", |d| d.name.as_str());
+        println!(
+            "  {gname}: {a:.2} accesses/pkt, working set {} B",
+            wp.working_set.get(g).copied().unwrap_or(0)
+        );
+    }
+    let p = nicsim::solve_perf(&wp, &cfg, &port, 16);
+    println!(
+        "\nat 16 cores: {:.2} Mpps, {:.2} us latency",
+        p.throughput_mpps, p.latency_us
+    );
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the Clara reproduction.
+#
+# Usage: scripts/reproduce.sh [outdir]
+# Set CLARA_QUICK=1 for a fast smoke run with reduced training budgets.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-results}"
+mkdir -p "$OUT"
+
+cargo build --release -p clara-bench --bins
+
+EXPERIMENTS=(
+  tab01_synthesis
+  tab02_inventory
+  fig01_variability
+  fig09_algid
+  fig10_accel
+  fig11_scaleout
+  fig12_placement
+  fig13_coalescing
+  fig14_colocation
+  fig15_expert_placement
+  fig16_expert_coalescing
+  ablations
+)
+for exp in "${EXPERIMENTS[@]}"; do
+  echo "=== $exp ==="
+  ./target/release/"$exp" | tee "$OUT/$exp.txt"
+done
+
+echo "=== fig08_prediction (with vocabulary ablation) ==="
+./target/release/fig08_prediction --ablate-vocab | tee "$OUT/fig08_prediction.txt"
+
+echo "All experiment outputs written to $OUT/"

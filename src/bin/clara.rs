@@ -1,0 +1,217 @@
+//! `clara` — command-line offloading-insight tool.
+//!
+//! ```console
+//! $ clara list                         # show the NF corpus
+//! $ clara analyze mazunat              # full insight bundle for one NF
+//! $ clara analyze cmsketch --small-flows --packets 4000
+//! $ clara ir iplookup                  # print the NF's IR
+//! $ clara asm iplookup                 # print the vendor compiler output
+//! $ clara sweep mazunat                # core-count sweep table
+//! ```
+
+use clara_repro::clara::{Clara, ClaraConfig};
+use clara_repro::click::NfElement;
+use clara_repro::nicsim::{self, PortConfig};
+use clara_repro::trafgen::{Trace, WorkloadSpec};
+
+fn pool() -> Vec<NfElement> {
+    clara_repro::click::extended_corpus()
+}
+
+fn find(name: &str) -> NfElement {
+    pool()
+        .into_iter()
+        .find(|e| e.name() == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown element `{name}`; run `clara list`");
+            std::process::exit(2);
+        })
+}
+
+fn usage() -> ! {
+    eprintln!("usage: clara <list|analyze|ir|asm|sweep> [element] [options]");
+    eprintln!("  options: --small-flows  --packets N  --seed N  --cores N  --model FILE");
+    std::process::exit(2);
+}
+
+struct Opts {
+    small_flows: bool,
+    packets: usize,
+    seed: u64,
+    cores: Option<u32>,
+    model: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        small_flows: false,
+        packets: 3000,
+        seed: 42,
+        cores: None,
+        model: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--small-flows" => o.small_flows = true,
+            "--packets" => {
+                o.packets = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                o.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--cores" => {
+                o.cores = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--model" => o.model = it.next().cloned().or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    o
+}
+
+fn trace_of(o: &Opts) -> Trace {
+    let spec = if o.small_flows {
+        WorkloadSpec::small_flows().with_flows(8192)
+    } else {
+        WorkloadSpec::large_flows()
+    };
+    Trace::generate(&spec, o.packets, o.seed)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => usage(),
+    };
+    match cmd {
+        "list" => {
+            println!("{:<14} {:<6} DESCRIPTION", "NAME", "STATE");
+            for e in pool() {
+                println!(
+                    "{:<14} {:<6} {}",
+                    e.name(),
+                    if e.meta.stateful { "yes" } else { "no" },
+                    e.meta.description
+                );
+            }
+        }
+        "ir" => {
+            let (name, _) = rest.split_first().unwrap_or_else(|| usage());
+            print!("{}", clara_repro::ir::print::module(&find(name).module));
+        }
+        "asm" => {
+            let (name, _) = rest.split_first().unwrap_or_else(|| usage());
+            let nic = clara_repro::nfcc::compile_module(&find(name).module);
+            print!("{}", clara_repro::nfcc::print_asm(nic.handler()));
+        }
+        "sweep" => {
+            let (name, opt_args) = rest.split_first().unwrap_or_else(|| usage());
+            let o = parse_opts(opt_args);
+            let e = find(name);
+            let trace = trace_of(&o);
+            let cfg = nicsim::NicConfig::default();
+            let wp =
+                nicsim::profile_workload(&e.module, &trace, &PortConfig::naive(), &cfg, |_| {});
+            println!(
+                "{:>5} {:>10} {:>12} {:>8}",
+                "cores", "Mpps", "latency(us)", "ratio"
+            );
+            for c in [1u32, 2, 4, 8, 12, 16, 24, 32, 40, 48, 56, 60] {
+                let p = nicsim::solve_perf(&wp, &cfg, &PortConfig::naive(), c);
+                println!(
+                    "{c:>5} {:>10.2} {:>12.2} {:>8.3}",
+                    p.throughput_mpps,
+                    p.latency_us,
+                    p.ratio()
+                );
+            }
+        }
+        "analyze" => {
+            let (name, opt_args) = rest.split_first().unwrap_or_else(|| usage());
+            let o = parse_opts(opt_args);
+            let e = find(name);
+            let trace = trace_of(&o);
+            // Reuse a previously trained pipeline when --model points at
+            // an existing file; train (and save) otherwise.
+            let clara = match &o.model {
+                Some(path) if std::path::Path::new(path).exists() => {
+                    eprintln!("loading trained model from {path}...");
+                    Clara::load(path).unwrap_or_else(|e| {
+                        eprintln!("failed to load {path}: {e}");
+                        std::process::exit(1);
+                    })
+                }
+                other => {
+                    eprintln!("training Clara (one-time, ~a minute in release mode)...");
+                    let c = Clara::train(&ClaraConfig::fast(o.seed));
+                    if let Some(path) = other {
+                        if let Err(e) = c.save(path) {
+                            eprintln!("warning: could not save model to {path}: {e}");
+                        } else {
+                            eprintln!("saved trained model to {path}");
+                        }
+                    }
+                    c
+                }
+            };
+            let insights = clara.analyze(&e.module, &trace);
+            println!("== insights for `{}` ==", e.name());
+            println!(
+                "predicted compute instructions/packet: {:.0}",
+                insights.predicted_compute
+            );
+            println!(
+                "counted memory accesses: {} ({:.1}% fidelity)",
+                insights.counted_mem, insights.mem_count_accuracy
+            );
+            match &insights.accel {
+                Some((c, region)) => {
+                    println!("accelerator: {} over blocks {:?}", c.name(), region)
+                }
+                None => println!("accelerator: none identified"),
+            }
+            println!("suggested cores: {}", insights.suggested_cores);
+            for (g, l) in &insights.placement {
+                println!(
+                    "place {} -> {}",
+                    e.module.global(*g).map_or("?", |d| d.name.as_str()),
+                    l.name()
+                );
+            }
+            for (i, cl) in insights.coalesce.clusters.iter().enumerate() {
+                let names: Vec<&str> = cl
+                    .iter()
+                    .map(|(g, _)| e.module.global(*g).map_or("?", |d| d.name.as_str()))
+                    .collect();
+                println!("pack cluster {i}: {}", names.join(" + "));
+            }
+            let cores = o.cores.unwrap_or(insights.suggested_cores);
+            let naive =
+                nicsim::simulate(&e.module, &trace, &PortConfig::naive(), &clara.nic, cores);
+            let tuned = nicsim::simulate(
+                &e.module,
+                &trace,
+                &insights.port_config(),
+                &clara.nic,
+                cores,
+            );
+            println!(
+                "at {cores} cores: naive {:.2} Mpps / {:.2} us -> Clara {:.2} Mpps / {:.2} us",
+                naive.throughput_mpps, naive.latency_us, tuned.throughput_mpps, tuned.latency_us
+            );
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the Clara reproduction workspace.
+//!
+//! Re-exports the member crates so that examples and integration tests can
+//! use a single dependency. See `clara_core` for the main entry points.
+
+pub use clara_core as clara;
+pub use click_model as click;
+pub use ilp_solver as ilp;
+pub use nf_ir as ir;
+pub use nf_synth as synth;
+pub use nfcc;
+pub use nic_sim as nicsim;
+pub use tinyml as ml;
+pub use trafgen;

@@ -1,0 +1,115 @@
+//! Cross-crate property tests: random synthesized NFs flow through the
+//! compiler, interpreter, profiler, and performance model while
+//! preserving system invariants.
+
+use proptest::prelude::*;
+
+use clara_repro::nicsim::{self, MemLevel, NicConfig, PortConfig};
+use clara_repro::trafgen::{Trace, WorkloadSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Synthesized programs compile and run end to end; costs are finite
+    /// and positive.
+    #[test]
+    fn synthesized_nfs_flow_through_the_stack(seed in 0u64..5000) {
+        let m = nf_synth::synth_corpus(1, true, seed).remove(0);
+        let nic = clara_repro::nfcc::compile_module(&m);
+        prop_assert!(nic.handler().total_compute() > 0);
+        let trace = Trace::generate(&WorkloadSpec::imix(), 40, seed);
+        let cfg = NicConfig::default();
+        let wp = nicsim::profile_workload(&m, &trace, &PortConfig::naive(), &cfg, |_| {});
+        prop_assert!(wp.compute.is_finite() && wp.compute > 0.0);
+        let p = nicsim::solve_perf(&wp, &cfg, &PortConfig::naive(), 16);
+        prop_assert!(p.throughput_mpps > 0.0 && p.throughput_mpps.is_finite());
+        prop_assert!(p.latency_us > 0.0 && p.latency_us.is_finite());
+    }
+
+    /// Recording traces once and re-costing equals direct profiling.
+    #[test]
+    fn recorded_profile_equals_direct_profile(seed in 0u64..2000) {
+        let m = nf_synth::synth_corpus(1, true, seed).remove(0);
+        let trace = Trace::generate(&WorkloadSpec::large_flows(), 30, seed);
+        let cfg = NicConfig::default();
+        let port = PortConfig::naive();
+        let direct = nicsim::profile_workload(&m, &trace, &port, &cfg, |_| {});
+        let rec = nicsim::record_workload(&m, &trace, |_| {});
+        let replayed = nicsim::profile_recorded(&m, &rec, &port, &cfg);
+        prop_assert_eq!(direct, replayed);
+    }
+
+    /// Clara's placement never violates memory capacities.
+    #[test]
+    fn suggested_placements_fit_capacities(seed in 0u64..2000) {
+        let m = nf_synth::synth_corpus(1, true, seed).remove(0);
+        let trace = Trace::generate(&WorkloadSpec::small_flows().with_flows(512), 60, seed);
+        let cfg = NicConfig::default();
+        let wp = nicsim::profile_workload(&m, &trace, &PortConfig::naive(), &cfg, |_| {});
+        if let Some(placement) =
+            clara_repro::clara::placement::suggest_placement(&m, &wp, &cfg)
+        {
+            let mut used = [0u64; 4];
+            for g in &m.globals {
+                used[placement[&g.id].index()] += g.total_bytes();
+            }
+            for l in MemLevel::ALL {
+                prop_assert!(
+                    used[l.index()] <= cfg.level(l).capacity,
+                    "{} overfull", l.name()
+                );
+            }
+        }
+    }
+
+    /// Coalescing plans suggested by Clara never increase channel demand.
+    #[test]
+    fn coalescing_never_hurts(seed in 0u64..1000) {
+        let m = nf_synth::synth_corpus(1, true, seed).remove(0);
+        let trace = Trace::generate(&WorkloadSpec::large_flows(), 80, seed);
+        let cfg = NicConfig::default();
+        let plan = clara_repro::clara::coalesce::suggest_coalescing(&m, &trace, seed);
+        let base = clara_repro::clara::coalesce::eval_plan(
+            &m, &trace, &cfg, &nicsim::CoalescePlan::default());
+        let packed = clara_repro::clara::coalesce::eval_plan(&m, &trace, &cfg, &plan);
+        prop_assert!(packed <= base + 1e-9, "packed {packed} > base {base}");
+    }
+
+    /// Optimized modules are semantically identical to the originals:
+    /// same return values and verdicts on every packet of a shared trace.
+    #[test]
+    fn optimizer_preserves_interpreter_semantics(seed in 0u64..3000) {
+        let original = nf_synth::synth_corpus(1, true, seed).remove(0);
+        let mut optimized = original.clone();
+        let _ = clara_repro::ir::opt::optimize(&mut optimized);
+        clara_repro::ir::verify::verify_module(&optimized).expect("optimized verifies");
+
+        let trace = Trace::generate(&WorkloadSpec::imix(), 40, seed ^ 0xbeef);
+        let mut m1 = clara_repro::click::Machine::new(&original).expect("verifies");
+        let mut m2 = clara_repro::click::Machine::new(&optimized).expect("verifies");
+        for p in &trace.pkts {
+            let mut v1 = clara_repro::click::PacketView::new(p);
+            let mut v2 = clara_repro::click::PacketView::new(p);
+            let (t1, verdict1) = m1.run_view(&mut v1).expect("runs");
+            let (t2, verdict2) = m2.run_view(&mut v2).expect("runs");
+            prop_assert_eq!(t1.ret, t2.ret, "return value diverged");
+            prop_assert_eq!(verdict1, verdict2, "verdict diverged");
+        }
+    }
+
+    /// Colocating with any neighbour never *improves* a tenant's
+    /// performance vs running alone on the same cores.
+    #[test]
+    fn colocation_never_helps(seed in 0u64..1000) {
+        let mods = nf_synth::synth_corpus(2, true, seed);
+        let trace = Trace::generate(&WorkloadSpec::small_flows().with_flows(1024), 60, seed);
+        let cfg = NicConfig::default();
+        let port = PortConfig::naive();
+        let wa = nicsim::profile_workload(&mods[0], &trace, &port, &cfg, |_| {});
+        let wb = nicsim::profile_workload(&mods[1], &trace, &port, &cfg, |_| {});
+        let solo = nicsim::solve_perf(&wa, &cfg, &port, 30);
+        let pair = nicsim::solve_colocated(&[&wa, &wb], &cfg, &[&port, &port], &[30, 30]);
+        prop_assert!(pair[0].throughput_mpps <= solo.throughput_mpps * (1.0 + 1e-6));
+        prop_assert!(pair[0].latency_us >= solo.latency_us * (1.0 - 1e-6));
+    }
+}

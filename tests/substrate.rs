@@ -1,0 +1,113 @@
+//! Cross-crate integration: every corpus element flows through the whole
+//! substrate stack (IR → vendor compiler → interpreter → profiler →
+//! performance model) without inconsistency.
+
+use clara_repro::nicsim::{self, NicConfig, PortConfig};
+use clara_repro::trafgen::{Trace, WorkloadSpec};
+
+#[test]
+fn corpus_flows_through_the_full_stack() {
+    let cfg = NicConfig::default();
+    let specs = [
+        WorkloadSpec::large_flows(),
+        WorkloadSpec::small_flows().with_flows(1024),
+        WorkloadSpec::imix(),
+    ];
+    for e in clara_repro::click::corpus() {
+        // Vendor compiler produces nonempty code for every block.
+        let nic = clara_repro::nfcc::compile_module(&e.module);
+        for (i, b) in nic.handler().blocks.iter().enumerate() {
+            assert!(
+                b.issue_cycles() > 0,
+                "{} bb{i} compiled to nothing",
+                e.name()
+            );
+        }
+        for (si, spec) in specs.iter().enumerate() {
+            let trace = Trace::generate(spec, 150, si as u64 + 1);
+            let wp =
+                nicsim::profile_workload(&e.module, &trace, &PortConfig::naive(), &cfg, |_| {});
+            assert!(wp.compute > 0.0, "{} has no compute cost", e.name());
+            let p1 = nicsim::solve_perf(&wp, &cfg, &PortConfig::naive(), 1);
+            let p60 = nicsim::solve_perf(&wp, &cfg, &PortConfig::naive(), 60);
+            assert!(
+                p60.throughput_mpps >= p1.throughput_mpps,
+                "{}: more cores lost throughput ({} vs {})",
+                e.name(),
+                p60.throughput_mpps,
+                p1.throughput_mpps
+            );
+            assert!(p1.latency_us > 0.0 && p1.latency_us.is_finite());
+        }
+    }
+}
+
+#[test]
+fn throughput_is_monotone_in_cores_for_every_element() {
+    let cfg = NicConfig::default();
+    let trace = Trace::generate(&WorkloadSpec::large_flows(), 200, 9);
+    for e in clara_repro::click::corpus().into_iter().take(6) {
+        let wp = nicsim::profile_workload(&e.module, &trace, &PortConfig::naive(), &cfg, |_| {});
+        let mut last = 0.0;
+        for cores in [1u32, 2, 4, 8, 16, 32, 60] {
+            let p = nicsim::solve_perf(&wp, &cfg, &PortConfig::naive(), cores);
+            assert!(
+                p.throughput_mpps >= last - 1e-9,
+                "{}: non-monotone at {cores} cores",
+                e.name()
+            );
+            last = p.throughput_mpps;
+        }
+    }
+}
+
+#[test]
+fn cls_placement_of_small_state_never_hurts() {
+    // CLS is strictly faster than every other path (including the EMEM
+    // cache), so moving small structures there must not worsen latency.
+    // (IMEM is *not* universally better than EMEM: cache-resident DRAM
+    // state can be faster — the Section 5.8 expert insight.)
+    use clara_repro::nicsim::MemLevel;
+    let cfg = NicConfig::default();
+    let trace = Trace::generate(&WorkloadSpec::small_flows().with_flows(2048), 400, 3);
+    for name in ["aggcounter", "udpcount", "timefilter"] {
+        let e = clara_repro::click::corpus()
+            .into_iter()
+            .find(|e| e.name() == name)
+            .expect("known element");
+        let wp = nicsim::profile_workload(&e.module, &trace, &PortConfig::naive(), &cfg, |_| {});
+        let naive = nicsim::solve_perf(&wp, &cfg, &PortConfig::naive(), 16);
+        let mut fast_port = PortConfig::naive();
+        for g in &e.module.globals {
+            if g.total_bytes() <= cfg.level(MemLevel::Cls).capacity / 4 {
+                fast_port = fast_port.place(g.id, MemLevel::Cls);
+            }
+        }
+        let fast = nicsim::solve_perf(&wp, &cfg, &fast_port, 16);
+        assert!(
+            fast.latency_us <= naive.latency_us + 1e-9,
+            "{name}: faster placement raised latency ({} vs {})",
+            fast.latency_us,
+            naive.latency_us
+        );
+    }
+}
+
+#[test]
+fn interpreter_and_static_analysis_agree_on_structure() {
+    // Blocks visited at runtime are a subset of the blocks the static
+    // analysis knows, for every element and workload.
+    let trace = Trace::generate(&WorkloadSpec::imix(), 60, 4);
+    for e in clara_repro::click::corpus() {
+        let prepared = clara_repro::clara::prepare_module(&e.module);
+        let known: std::collections::HashSet<u32> =
+            prepared.blocks.iter().map(|b| b.id.0).collect();
+        let mut machine = clara_repro::click::Machine::new(&e.module).expect("verifies");
+        for p in &trace.pkts {
+            let t = machine.run(p).expect("runs");
+            for b in t.block_visits() {
+                assert!(known.contains(&b.0), "{}: unknown block {}", e.name(), b.0);
+            }
+        }
+    }
+}
