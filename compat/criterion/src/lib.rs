@@ -1,0 +1,88 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the tiny API surface the workspace benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each bench runs a
+//! short calibration pass, then enough iterations to fill a fixed
+//! measurement window, and prints mean wall-clock time per iteration.
+//! There is no statistical analysis, HTML report, or baseline storage.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time spent measuring each benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(400);
+
+/// Benchmark registry/driver handed to each group function.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Upstream parses CLI filters here; the stand-in runs everything.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Measures `f` (which calls [`Bencher::iter`]) and prints the result.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / u32::try_from(b.iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+        };
+        println!("bench {id:<32} {:>12} iters  {per_iter:>12.3?}/iter", b.iters);
+        self
+    }
+}
+
+/// Timing handle passed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: find how many iterations fit in the window.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(50));
+        let target = (MEASURE_WINDOW.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = target;
+    }
+}
+
+/// Declares a group runner, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($bench:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($bench(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -14,6 +14,7 @@
 
 use clara_bench::{banner, f2, nic, scaled, table, trace_len};
 use clara_core::coalesce::{access_vectors, eval_plan, suggest_coalescing};
+use clara_core::engine;
 use clara_core::placement::{apply_placement, suggest_placement};
 use nf_ir::GlobalId;
 use nic_sim::{solve_perf, CoalescePlan, MemLevel, NicConfig, PortConfig};
@@ -24,6 +25,7 @@ fn main() {
     ablate_reverse_porting();
     ablate_ilp_vs_greedy();
     ablate_kmeans_vs_frequency();
+    println!("\n{}", engine::EngineStats::snapshot());
 }
 
 /// 1. Reverse porting: what if Clara predicted API-call costs with the
@@ -49,11 +51,11 @@ fn ablate_reverse_porting() {
     // LSTM's guess for the calling block (which cannot see probe counts,
     // hit/miss behaviour, or payload sizes).
     let cfg = nic();
-    let mut rows = Vec::new();
-    for name in ["iprewriter", "dnsproxy", "mazunat", "udpipencap"] {
+    let names = ["iprewriter", "dnsproxy", "mazunat", "udpipencap"];
+    let rows = engine::par_map("ablate-reverse-port", &names, |_, name| {
         let e = clara_bench::element(name);
         let trace = Trace::generate(&WorkloadSpec::large_flows(), trace_len(), 8);
-        let wp = nic_sim::profile_workload(&e.module, &trace, &PortConfig::naive(), &cfg, |_| {});
+        let wp = engine::profile_cached(&e.module, &trace, &PortConfig::naive(), &cfg);
         // Clara: predicted body compute + library profile for APIs (the
         // profile *is* wp.compute's API share, so Clara's estimate is the
         // body prediction plus the true library cycles).
@@ -72,16 +74,16 @@ fn ablate_reverse_porting() {
         // visitation, approximated by the profiled mean compute.
         let truth = wp.compute;
         let clara_total = body_pred
-            + (truth - f64::from(nfcc::compile_module(&e.module).handler().total_compute()))
+            + (truth - f64::from(engine::compile_cached(&e.module).handler().total_compute()))
                 .max(0.0); // Library share of the true cycles.
         let err = |est: f64| (est - truth).abs() / truth * 100.0;
-        rows.push(vec![
+        vec![
             name.to_string(),
             f2(truth),
             format!("{:.0}%", err(clara_total)),
             format!("{:.0}%", err(ablated_total)),
-        ]);
-    }
+        ]
+    });
     table(
         &["NF", "true cycles/pkt", "Clara err", "no-reverse-port err"],
         &rows,
@@ -194,14 +196,13 @@ fn ablate_ilp_vs_greedy() {
         ..WorkloadSpec::small_flows().with_flows(8192)
     };
     let trace = Trace::generate(&spec, trace_len().max(6000), 9);
-    let mut rows = Vec::new();
     let mut pool: Vec<click_model::NfElement> = ["mazunat", "dnsproxy", "webgen"]
         .iter()
         .map(|n| clara_bench::element(n))
         .collect();
     pool.push(greedy_killer_nf());
-    for e in &pool {
-        let wp = nic_sim::profile_workload(&e.module, &trace, &PortConfig::naive(), &cfg, |_| {});
+    let rows = engine::par_map("ablate-placement", &pool, |_, e| {
+        let wp = engine::profile_cached(&e.module, &trace, &PortConfig::naive(), &cfg);
         let ilp = suggest_placement(&e.module, &wp, &cfg).expect("feasible");
         let greedy = greedy_placement(&e.module, &wp, &cfg);
         let point = |m: &std::collections::BTreeMap<GlobalId, MemLevel>| {
@@ -209,14 +210,14 @@ fn ablate_ilp_vs_greedy() {
         };
         let pi = point(&ilp);
         let pg = point(&greedy);
-        rows.push(vec![
+        vec![
             e.name().to_string(),
             f2(pi.throughput_mpps),
             f2(pg.throughput_mpps),
             f2(pi.latency_us),
             f2(pg.latency_us),
-        ]);
-    }
+        ]
+    });
     table(
         &["NF", "ILP Mpps", "greedy Mpps", "ILP us", "greedy us"],
         &rows,

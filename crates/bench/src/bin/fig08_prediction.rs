@@ -6,6 +6,7 @@
 //! the paper discusses in Section 6.
 
 use clara_bench::{banner, pct, scaled, table};
+use clara_core::engine::EngineStats;
 use clara_core::predict::{
     block_samples, memory_count_accuracy, InstructionPredictor, PredictTrainConfig, PredictorKind,
 };
@@ -110,4 +111,6 @@ fn main() {
             "Paper: \"applying LSTM without vocabulary compaction shows much lower performance\"."
         );
     }
+
+    println!("\n{}", EngineStats::snapshot());
 }

@@ -6,6 +6,7 @@
 
 use clara_bench::{banner, crc_port, f2, lpm_port, nic, scaled, table, trace_len};
 use clara_core::algid::{labeled_corpus, AlgoClass, AlgoIdentifier, ClassifierKind};
+use clara_core::engine;
 use nf_ir::GlobalId;
 use nic_sim::PortConfig;
 use tinyml::pca::Pca;
@@ -16,6 +17,7 @@ fn main() {
     part_a();
     part_b();
     part_c();
+    println!("\n{}", engine::EngineStats::snapshot());
 }
 
 /// (a) PCA of the feature space: per-class centroids and separation.
@@ -59,12 +61,12 @@ fn part_b() {
     let cores = 20;
     let spec = WorkloadSpec::min_size();
     let trace = Trace::generate(&spec, trace_len(), 32);
-    let mut rows = Vec::new();
-    for name in ["cmsketch", "wepdecap"] {
+    let names = ["cmsketch", "wepdecap"];
+    let rows = engine::par_map("fig10-crc", &names, |_, name| {
         let e = clara_bench::element(name);
         let naive = nic_sim::simulate(&e.module, &trace, &PortConfig::naive(), &cfg, cores);
         let accel = nic_sim::simulate(&e.module, &trace, &crc_port(&e), &cfg, cores);
-        rows.push(vec![
+        vec![
             name.to_string(),
             f2(naive.throughput_mpps),
             f2(accel.throughput_mpps),
@@ -75,8 +77,8 @@ fn part_b() {
                 "{:.0}%",
                 (1.0 - accel.latency_us / naive.latency_us) * 100.0
             ),
-        ]);
-    }
+        ]
+    });
     table(
         &[
             "NF",
@@ -96,8 +98,8 @@ fn part_c() {
     println!("\n(c) LPM accelerator benefit vs rule count (paper: ~an order of magnitude)");
     let cfg = nic();
     let cores = 20;
-    let mut rows = Vec::new();
-    for exp in 4..=10u32 {
+    let exps: Vec<u32> = (4..=10).collect();
+    let rows = engine::par_map("fig10-lpm", &exps, |_, &exp| {
         let rules = 1usize << exp;
         let e = click_model::elements::iplookup(4 * rules as u32 + 64);
         let spec = WorkloadSpec::small_flows().with_flows(rules as u32);
@@ -118,7 +120,7 @@ fn part_c() {
         };
         let naive = run(&PortConfig::naive());
         let accel = run(&lpm_port(&e));
-        rows.push(vec![
+        vec![
             format!("2^{exp}"),
             f2(naive.throughput_mpps),
             f2(accel.throughput_mpps),
@@ -126,8 +128,8 @@ fn part_c() {
             f2(naive.latency_us),
             f2(accel.latency_us),
             format!("{:.1}x", naive.latency_us / accel.latency_us),
-        ]);
-    }
+        ]
+    });
     table(
         &[
             "rules",

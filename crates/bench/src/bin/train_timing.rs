@@ -1,0 +1,47 @@
+//! Wall-clock comparison for `Clara::train(&ClaraConfig::fast(99))`:
+//! single engine worker vs a multi-worker pool, with engine statistics.
+//!
+//! This is the ISSUE's before/after measurement. The determinism tests
+//! guarantee both runs produce bit-identical models, so the only thing
+//! that changes between the two columns is wall-clock time.
+//!
+//! Usage: `train_timing [threads]` (default: 4, or `CLARA_THREADS`).
+
+use std::time::{Duration, Instant};
+
+use clara_core::clara::{Clara, ClaraConfig};
+use clara_core::engine;
+
+fn run(threads: usize) -> Duration {
+    engine::set_threads(threads);
+    engine::clear_caches();
+    engine::EngineStats::reset();
+    let t = Instant::now();
+    let clara = Clara::train(&ClaraConfig::fast(99));
+    let wall = t.elapsed();
+    // Keep the model alive so the compiler can't discard training.
+    drop(clara);
+    println!("\n== {threads} worker(s): {:.2}s ==", wall.as_secs_f64());
+    println!("{}", engine::EngineStats::snapshot());
+    wall
+}
+
+fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| engine::threads().max(4));
+    println!(
+        "Clara::train(fast(99)) wall-clock, serial vs {threads}-worker engine \
+         (host has {} CPU(s))",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let serial = run(1);
+    let parallel = run(threads);
+    println!(
+        "\nserial {:.2}s -> parallel {:.2}s ({:.2}x)",
+        serial.as_secs_f64(),
+        parallel.as_secs_f64(),
+        serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9)
+    );
+}

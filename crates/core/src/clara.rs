@@ -10,6 +10,7 @@ use trafgen::Trace;
 
 use crate::algid::{AlgoClass, AlgoIdentifier, ClassifierKind};
 use crate::coalesce;
+use crate::engine;
 use crate::placement;
 use crate::predict::{
     block_samples, memory_count_accuracy, InstructionPredictor, PredictTrainConfig, PredictorKind,
@@ -118,26 +119,56 @@ impl Insights {
 
 impl Clara {
     /// Trains the full pipeline from synthesized corpora.
+    ///
+    /// The corpus compiles and the corpus × workload profiling matrix
+    /// fan out across [`crate::engine`]'s worker pool (`CLARA_THREADS`
+    /// workers); results are bit-identical to a serial run.
     pub fn train(cfg: &ClaraConfig) -> Clara {
         // Instruction prediction: synthesized program/assembly pairs.
-        let train_modules = nf_synth::synth_corpus(cfg.predict_programs, true, cfg.seed);
-        let samples = block_samples(&train_modules);
-        let predictor = InstructionPredictor::train(
-            PredictorKind::ClaraLstm,
-            &samples,
-            &PredictTrainConfig {
-                epochs: cfg.epochs,
-                seed: cfg.seed,
-                ..Default::default()
-            },
-        );
+        let train_predictor = || {
+            let train_modules = nf_synth::synth_corpus(cfg.predict_programs, true, cfg.seed);
+            let samples = block_samples(&train_modules);
+            engine::time_stage("train-predict", || {
+                InstructionPredictor::train(
+                    PredictorKind::ClaraLstm,
+                    &samples,
+                    &PredictTrainConfig {
+                        epochs: cfg.epochs,
+                        seed: cfg.seed,
+                        ..Default::default()
+                    },
+                )
+            })
+        };
         // Algorithm identification.
-        let corpus = crate::algid::labeled_corpus(cfg.algid_per_class, cfg.seed ^ 0xa1);
-        let algid = AlgoIdentifier::train(&corpus, ClassifierKind::ClaraSvm, cfg.seed);
+        let train_algid = || {
+            engine::time_stage("train-algid", || {
+                let corpus = crate::algid::labeled_corpus(cfg.algid_per_class, cfg.seed ^ 0xa1);
+                AlgoIdentifier::train(&corpus, ClassifierKind::ClaraSvm, cfg.seed)
+            })
+        };
         // Scale-out analysis.
-        let so_data =
-            crate::scaleout::training_set(cfg.scaleout_programs, cfg.seed ^ 0x50, &cfg.nic);
-        let scaleout = ScaleoutModel::train(ScaleoutKind::ClaraGbdt, &so_data, &cfg.nic, cfg.seed);
+        let train_scaleout = || {
+            let so_data =
+                crate::scaleout::training_set(cfg.scaleout_programs, cfg.seed ^ 0x50, &cfg.nic);
+            engine::time_stage("train-scaleout", || {
+                ScaleoutModel::train(ScaleoutKind::ClaraGbdt, &so_data, &cfg.nic, cfg.seed)
+            })
+        };
+        // The three models are independent; with more than one engine
+        // worker they train concurrently (each branch also fans out
+        // internally). Either path assembles the same three results, so
+        // the worker count never changes the trained pipeline.
+        let (predictor, algid, scaleout) = if engine::threads() > 1 {
+            std::thread::scope(|s| {
+                let a = s.spawn(train_algid);
+                let so = s.spawn(train_scaleout);
+                let p = train_predictor();
+                (p, a.join().expect("algid"), so.join().expect("scaleout"))
+            })
+        } else {
+            (train_predictor(), train_algid(), train_scaleout())
+        };
         Clara {
             predictor,
             algid,
@@ -181,9 +212,10 @@ impl Clara {
                 Some((class, region))
             }
         };
-        // Host-side profiling for the workload-specific insights.
+        // Host-side profiling for the workload-specific insights, memoized
+        // so repeat analyses of the same NF + trace reuse the run.
         let naive = PortConfig::naive();
-        let profile = nic_sim::profile_workload(module, trace, &naive, &self.nic, |_| {});
+        let profile = engine::profile_cached(module, trace, &naive, &self.nic);
         let placement =
             placement::suggest_placement(module, &profile, &self.nic).unwrap_or_default();
         let coalesce = coalesce::suggest_coalescing(module, trace, 7);

@@ -102,14 +102,23 @@ pub fn suggest_coalescing(module: &Module, trace: &Trace, seed: u64) -> Coalesce
     let mut best_cost = eval_recorded(module, &rec, &cfg, &best);
     for k in 1..=av.vars.len().min(6) {
         let km = KMeans::fit(&av.vectors, k, seed);
-        let mut clusters: BTreeMap<usize, Vec<(GlobalId, u32)>> = BTreeMap::new();
-        for (v, &c) in av.vars.iter().zip(km.assignment.iter()) {
-            clusters.entry(c).or_default().push((v.0, 0));
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (vi, &c) in km.assignment.iter().enumerate() {
+            groups.entry(c).or_default().push(vi);
         }
-        let plan = CoalescePlan {
-            // Only multi-variable clusters are worth packing.
-            clusters: clusters.into_values().filter(|c| c.len() >= 2).collect(),
-        };
+        // Variables never accessed in the same blocks must not share a
+        // pack (the paper's good_pkt/bad_pkt example), even where the
+        // beat-granular cost model is indifferent to the extra bytes.
+        let mut clusters: Vec<Vec<(GlobalId, u32)>> = Vec::new();
+        for members in groups.values() {
+            for comp in co_access_components(members, &av.vectors) {
+                // Only multi-variable clusters are worth packing.
+                if comp.len() >= 2 {
+                    clusters.push(comp.into_iter().map(|vi| (av.vars[vi].0, 0)).collect());
+                }
+            }
+        }
+        let plan = CoalescePlan { clusters };
         let cost = eval_recorded(module, &rec, &cfg, &plan);
         if cost < best_cost {
             best_cost = cost;
@@ -117,6 +126,40 @@ pub fn suggest_coalescing(module: &Module, trace: &Trace, seed: u64) -> Coalesce
         }
     }
     best
+}
+
+/// Splits a candidate cluster into connected components of co-access:
+/// two variables are linked when their access vectors overlap (they are
+/// accessed from at least one common block).
+fn co_access_components(members: &[usize], vectors: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let overlap = |a: usize, b: usize| {
+        vectors[a]
+            .iter()
+            .zip(vectors[b].iter())
+            .any(|(x, y)| *x > 0.0 && *y > 0.0)
+    };
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    let mut seen = vec![false; members.len()];
+    for start in 0..members.len() {
+        if seen[start] {
+            continue;
+        }
+        let mut comp = vec![members[start]];
+        seen[start] = true;
+        let mut frontier = vec![start];
+        while let Some(i) = frontier.pop() {
+            for (j, seen_j) in seen.iter_mut().enumerate() {
+                if !*seen_j && overlap(members[i], members[j]) {
+                    *seen_j = true;
+                    comp.push(members[j]);
+                    frontier.push(j);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
 }
 
 /// Expert emulation (Section 5.8): exhaustively tries every partition of

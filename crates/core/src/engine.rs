@@ -1,0 +1,401 @@
+//! Deterministic parallel corpus-evaluation engine.
+//!
+//! Clara's training pipeline spends nearly all of its time in two
+//! embarrassingly parallel fan-outs: compiling a synthesized corpus with
+//! the vendor compiler (`nfcc`) and profiling a corpus × workload matrix
+//! on the simulator (`nic-sim`). This module provides the shared
+//! machinery all of them run through:
+//!
+//! - **a fixed worker pool** ([`par_map`]) built on `std::thread::scope`
+//!   — no work-stealing runtime, no dependency. Worker count comes from
+//!   the `CLARA_THREADS` environment variable, falling back to the
+//!   machine's available parallelism; [`set_threads`] overrides both
+//!   (used by tests to compare serial and parallel runs in-process);
+//! - **a compile memo cache** ([`compile_cached`]): each distinct module
+//!   is compiled at most once per process, keyed on its content
+//!   fingerprint ([`nic_sim::module_fingerprint`]);
+//! - **a profile cache** ([`profile_cached`]): setup-free profiling runs
+//!   are memoized on `(module, trace, port, NIC config)` fingerprints,
+//!   so `Clara::train`, `Clara::analyze`, and the bench binaries reuse
+//!   each other's profiling work within a process;
+//! - **[`EngineStats`]**: per-stage task counts and wall/CPU time plus
+//!   cache hit rates, printed by the bench binaries.
+//!
+//! # Determinism
+//!
+//! Parallel runs are bit-identical to serial runs. [`par_map`] assigns
+//! tasks by index and returns results in input order, so the only
+//! nondeterminism a worker pool could introduce — result ordering — is
+//! removed; every task is a pure function of its input (vendor compiles
+//! and profiling runs share no mutable state), and both caches key on
+//! the full input content, so a cache hit returns exactly what
+//! recomputation would. `tests/engine_determinism.rs` asserts the
+//! bit-identity end to end.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use nf_ir::Module;
+use nfcc::NicModule;
+use nic_sim::{module_fingerprint, NicConfig, PortConfig, WorkloadProfile};
+use serde::Serialize;
+use trafgen::{Trace, WorkloadSpec};
+
+// ---- worker pool -------------------------------------------------------
+
+/// `set_threads` override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces the worker count for this process, overriding `CLARA_THREADS`
+/// and the detected parallelism. `0` removes the override.
+///
+/// The knob also drives [`tinyml::parallel`], the in-training pool the
+/// LSTM uses for gradient lanes, so one setting governs all workers.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+    tinyml::parallel::set_threads(n);
+}
+
+/// The worker count the engine will use: [`set_threads`] override, else
+/// `CLARA_THREADS`, else the machine's available parallelism.
+pub fn threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("CLARA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `items` on the worker pool, returning results in input
+/// order (bit-identical to a serial map). `stage` labels the work in
+/// [`EngineStats`].
+pub fn par_map<T, R, F>(stage: &'static str, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let started = Instant::now();
+    let workers = threads().min(items.len().max(1));
+    let busy_ns = AtomicU64::new(0);
+    let timed = |i: usize, t: &T| {
+        let t0 = Instant::now();
+        let r = f(i, t);
+        busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        r
+    };
+
+    let out = if workers <= 1 {
+        items.iter().enumerate().map(|(i, t)| timed(i, t)).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, timed(i, item)));
+                    }
+                    collected.lock().expect("worker poisoned").extend(local);
+                });
+            }
+        });
+        let mut pairs = collected.into_inner().expect("worker poisoned");
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        pairs.into_iter().map(|(_, r)| r).collect()
+    };
+
+    record_stage(
+        stage,
+        items.len() as u64,
+        started.elapsed(),
+        Duration::from_nanos(busy_ns.into_inner()),
+    );
+    out
+}
+
+/// Times a serial stage under a label in [`EngineStats`].
+pub fn time_stage<R>(stage: &'static str, f: impl FnOnce() -> R) -> R {
+    let started = Instant::now();
+    let r = f();
+    let wall = started.elapsed();
+    record_stage(stage, 1, wall, wall);
+    r
+}
+
+// ---- caches ------------------------------------------------------------
+
+static COMPILE_CACHE: OnceLock<Mutex<HashMap<u64, Arc<NicModule>>>> = OnceLock::new();
+/// (module fp, trace fp, port fp, nic-config fp) → profile.
+type ProfileKey = (u64, u64, u64, u64);
+static PROFILE_CACHE: OnceLock<Mutex<HashMap<ProfileKey, WorkloadProfile>>> = OnceLock::new();
+static COMPILE_HITS: AtomicU64 = AtomicU64::new(0);
+static COMPILE_MISSES: AtomicU64 = AtomicU64::new(0);
+static PROFILE_HITS: AtomicU64 = AtomicU64::new(0);
+static PROFILE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Content fingerprint of any serializable value (for cache keys).
+pub fn value_fingerprint<T: Serialize>(v: &T) -> u64 {
+    let json = serde_json::to_string(v).unwrap_or_default();
+    nic_sim::fingerprint_bytes(json.as_bytes())
+}
+
+/// Memoized [`nfcc::compile_module`]: each distinct module compiles once
+/// per process; repeat calls share the compiled result.
+///
+/// Compilation runs outside the cache lock, so concurrent misses on
+/// *different* modules still compile in parallel. Two threads racing on
+/// the *same* module may both compile it; the results are identical and
+/// the first insert wins.
+pub fn compile_cached(module: &Module) -> Arc<NicModule> {
+    let fp = module_fingerprint(module);
+    let cache = COMPILE_CACHE.get_or_init(Mutex::default);
+    if let Some(nic) = cache.lock().expect("cache poisoned").get(&fp) {
+        COMPILE_HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(nic);
+    }
+    COMPILE_MISSES.fetch_add(1, Ordering::Relaxed);
+    let nic = nfcc::compile_module_shared(module);
+    let mut guard = cache.lock().expect("cache poisoned");
+    Arc::clone(guard.entry(fp).or_insert(nic))
+}
+
+/// Memoized setup-free profiling: [`nic_sim::profile_workload`] with the
+/// result cached on `(module, trace, port, cfg)` content fingerprints,
+/// and the vendor compile shared through [`compile_cached`].
+///
+/// Only profiling runs with **no machine setup** are cacheable this way;
+/// callers that install state first (LPM rules, firewall entries) must
+/// keep calling [`nic_sim::profile_workload`] with their setup closure.
+pub fn profile_cached(
+    module: &Module,
+    trace: &Trace,
+    port: &PortConfig,
+    cfg: &NicConfig,
+) -> WorkloadProfile {
+    let key = (
+        module_fingerprint(module),
+        value_fingerprint(trace),
+        value_fingerprint(port),
+        value_fingerprint(cfg),
+    );
+    let cache = PROFILE_CACHE.get_or_init(Mutex::default);
+    if let Some(wp) = cache.lock().expect("cache poisoned").get(&key) {
+        PROFILE_HITS.fetch_add(1, Ordering::Relaxed);
+        return wp.clone();
+    }
+    PROFILE_MISSES.fetch_add(1, Ordering::Relaxed);
+    let rec = nic_sim::record_workload(module, trace, |_| {});
+    let nic = compile_cached(module);
+    let wp = nic_sim::profile_recorded_compiled(module, &nic, &rec, port, cfg);
+    cache
+        .lock()
+        .expect("cache poisoned")
+        .entry(key)
+        .or_insert_with(|| wp.clone());
+    wp
+}
+
+/// Drops both memo caches (tests use this to exercise cold paths).
+pub fn clear_caches() {
+    if let Some(c) = COMPILE_CACHE.get() {
+        c.lock().expect("cache poisoned").clear();
+    }
+    if let Some(c) = PROFILE_CACHE.get() {
+        c.lock().expect("cache poisoned").clear();
+    }
+}
+
+// ---- corpus × workload matrix ------------------------------------------
+
+/// Profiles every `(module, workload)` pair of a corpus × workload
+/// matrix on the worker pool, returning profiles in row-major order
+/// (module-major, workload-minor).
+///
+/// Each cell gets a deterministic trace seed `seed ^ (i * W + j)` (`i`
+/// module index, `j` workload index, `W` workload count), so the matrix
+/// is a pure function of `(modules, workloads, pkts, seed, port, cfg)`
+/// regardless of worker count or schedule.
+pub fn profile_matrix(
+    modules: &[Module],
+    workloads: &[WorkloadSpec],
+    pkts: usize,
+    seed: u64,
+    port: &PortConfig,
+    cfg: &NicConfig,
+) -> Vec<WorkloadProfile> {
+    let w = workloads.len();
+    let cells: Vec<(usize, usize)> = (0..modules.len())
+        .flat_map(|i| (0..w).map(move |j| (i, j)))
+        .collect();
+    par_map("profile-matrix", &cells, |_, &(i, j)| {
+        let trace = Trace::generate(&workloads[j], pkts, seed ^ ((i * w + j) as u64));
+        profile_cached(&modules[i], &trace, port, cfg)
+    })
+}
+
+// ---- statistics --------------------------------------------------------
+
+/// Accumulated cost of one engine stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStat {
+    /// Tasks executed under this label.
+    pub tasks: u64,
+    /// Wall-clock time spent in the stage.
+    pub wall: Duration,
+    /// Summed task execution time across workers (≈ CPU time; exceeds
+    /// `wall` when the stage ran in parallel).
+    pub cpu: Duration,
+}
+
+static STAGES: OnceLock<Mutex<BTreeMap<&'static str, StageStat>>> = OnceLock::new();
+
+fn record_stage(stage: &'static str, tasks: u64, wall: Duration, cpu: Duration) {
+    let mut guard = STAGES
+        .get_or_init(Mutex::default)
+        .lock()
+        .expect("stats poisoned");
+    let s = guard.entry(stage).or_default();
+    s.tasks += tasks;
+    s.wall += wall;
+    s.cpu += cpu;
+}
+
+/// A snapshot of the engine's counters, printable via `Display`.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Worker count the engine is configured for.
+    pub threads: usize,
+    /// Compile-cache hits.
+    pub compile_hits: u64,
+    /// Compile-cache misses (actual vendor compiles run).
+    pub compile_misses: u64,
+    /// Profile-cache hits.
+    pub profile_hits: u64,
+    /// Profile-cache misses (actual profiling runs).
+    pub profile_misses: u64,
+    /// Per-stage task counts and times, sorted by stage name.
+    pub stages: Vec<(&'static str, StageStat)>,
+}
+
+impl EngineStats {
+    /// Reads the current counters.
+    pub fn snapshot() -> EngineStats {
+        let stages = STAGES
+            .get_or_init(Mutex::default)
+            .lock()
+            .expect("stats poisoned")
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        EngineStats {
+            threads: threads(),
+            compile_hits: COMPILE_HITS.load(Ordering::Relaxed),
+            compile_misses: COMPILE_MISSES.load(Ordering::Relaxed),
+            profile_hits: PROFILE_HITS.load(Ordering::Relaxed),
+            profile_misses: PROFILE_MISSES.load(Ordering::Relaxed),
+            stages,
+        }
+    }
+
+    /// Zeroes all counters and stage records (caches stay warm).
+    pub fn reset() {
+        COMPILE_HITS.store(0, Ordering::Relaxed);
+        COMPILE_MISSES.store(0, Ordering::Relaxed);
+        PROFILE_HITS.store(0, Ordering::Relaxed);
+        PROFILE_MISSES.store(0, Ordering::Relaxed);
+        if let Some(s) = STAGES.get() {
+            s.lock().expect("stats poisoned").clear();
+        }
+    }
+
+    /// Total wall-clock time across stages.
+    pub fn total_wall(&self) -> Duration {
+        self.stages.iter().map(|(_, s)| s.wall).sum()
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "engine: {} thread(s); compile cache {} hit / {} miss; profile cache {} hit / {} miss",
+            self.threads,
+            self.compile_hits,
+            self.compile_misses,
+            self.profile_hits,
+            self.profile_misses
+        )?;
+        for (name, s) in &self.stages {
+            writeln!(
+                f,
+                "  stage {name:<18} {:>6} tasks  wall {:>9.3?}  cpu {:>9.3?}",
+                s.tasks, s.wall, s.cpu
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial_order() {
+        let items: Vec<u64> = (0..103).collect();
+        set_threads(1);
+        let serial = par_map("test-order", &items, |i, &x| x * 3 + i as u64);
+        set_threads(4);
+        let parallel = par_map("test-order", &items, |i, &x| x * 3 + i as u64);
+        set_threads(0);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn compile_cache_hits_on_repeat() {
+        let m = click_model::elements::udpcount().module;
+        let a = compile_cached(&m);
+        let before = COMPILE_HITS.load(Ordering::Relaxed);
+        let b = compile_cached(&m);
+        assert!(COMPILE_HITS.load(Ordering::Relaxed) > before);
+        assert_eq!(a.handler().total_compute(), b.handler().total_compute());
+    }
+
+    #[test]
+    fn profile_cache_returns_identical_profile() {
+        let m = click_model::elements::udpcount().module;
+        let trace = Trace::generate(&WorkloadSpec::large_flows(), 60, 9);
+        let port = PortConfig::naive();
+        let cfg = NicConfig::default();
+        let direct = nic_sim::profile_workload(&m, &trace, &port, &cfg, |_| {});
+        let cold = profile_cached(&m, &trace, &port, &cfg);
+        let warm = profile_cached(&m, &trace, &port, &cfg);
+        assert_eq!(direct, cold);
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn stats_snapshot_accumulates_stages() {
+        par_map("test-stat", &[1, 2, 3], |_, x| x + 1);
+        let stats = EngineStats::snapshot();
+        let (_, s) = stats
+            .stages
+            .iter()
+            .find(|(n, _)| *n == "test-stat")
+            .expect("stage recorded");
+        assert!(s.tasks >= 3);
+    }
+}

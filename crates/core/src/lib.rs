@@ -40,6 +40,7 @@ pub mod algid;
 pub mod clara;
 pub mod coalesce;
 pub mod coloc;
+pub mod engine;
 pub mod partial;
 pub mod placement;
 pub mod predict;

@@ -18,7 +18,7 @@ use tinyml::mlp::{Loss, Mlp, MlpConfig};
 
 /// One training sample: a block's token sequence and its ground-truth
 /// NIC instruction counts (from compiling with `nfcc`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockSample {
     /// Abstract tokens of the block.
     pub tokens: Vec<nf_ir::AbstractToken>,
@@ -30,10 +30,14 @@ pub struct BlockSample {
 
 /// Extracts `(token sequence, NIC counts)` samples from modules by
 /// compiling each with the vendor compiler.
+///
+/// Compiles fan out across the engine's worker pool and are memoized per
+/// module content, so a corpus element sampled twice compiles once.
+/// Sample order matches a serial loop over `modules` exactly.
 pub fn block_samples(modules: &[Module]) -> Vec<BlockSample> {
-    let mut out = Vec::new();
-    for m in modules {
-        let nic = nfcc::compile_module(m);
+    let per_module = crate::engine::par_map("predict-samples", modules, |_, m| {
+        let nic = crate::engine::compile_cached(m);
+        let mut out = Vec::new();
         for (f, nf) in m.funcs.iter().zip(nic.funcs.iter()) {
             for (b, nb) in f.blocks.iter().zip(nf.blocks.iter()) {
                 out.push(BlockSample {
@@ -43,8 +47,9 @@ pub fn block_samples(modules: &[Module]) -> Vec<BlockSample> {
                 });
             }
         }
-    }
-    out
+        out
+    });
+    per_module.into_iter().flatten().collect()
 }
 
 /// The model family used for prediction (Figure 8's contenders).
@@ -252,7 +257,7 @@ impl InstructionPredictor {
 /// the memory instructions `nfcc` actually emitted, per block
 /// (1 − WMAPE, as a percentage).
 pub fn memory_count_accuracy(module: &Module) -> f64 {
-    let nic = nfcc::compile_module(module);
+    let nic = crate::engine::compile_cached(module);
     let mut truth = Vec::new();
     let mut counted = Vec::new();
     for (f, nf) in module.funcs.iter().zip(nic.funcs.iter()) {

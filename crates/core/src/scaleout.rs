@@ -13,7 +13,10 @@ use tinyml::gbdt::{GbdtConfig, GbdtRegressor};
 use tinyml::knn::Knn;
 use tinyml::mlp::{Loss, Mlp, MlpConfig};
 use tinyml::Dataset;
-use trafgen::{Trace, WorkloadSpec};
+use trafgen::WorkloadSpec;
+
+#[cfg(test)]
+use trafgen::Trace;
 
 /// Feature vector of one (NF workload-profile, NIC) pair.
 pub fn features_of(wp: &WorkloadProfile, cfg: &NicConfig, port: &PortConfig) -> Vec<f64> {
@@ -94,14 +97,17 @@ pub fn training_set(programs: usize, seed: u64, cfg: &NicConfig) -> Dataset {
         WorkloadSpec::min_size(),
     ];
     let port = PortConfig::naive();
+    // The corpus × workload matrix fans out across the engine's worker
+    // pool; profiles come back in the same (module-major) order the old
+    // serial loop produced, so the dataset is bit-identical.
+    let profiles = crate::engine::profile_matrix(&modules, &workloads, 400, seed, &port, cfg);
+    let rows = crate::engine::par_map("scaleout-label", &profiles, |_, wp| {
+        let label = optimal_by_sweep(wp, cfg, &port);
+        (features_of(wp, cfg, &port), f64::from(label))
+    });
     let mut data = Dataset::default();
-    for (i, m) in modules.iter().enumerate() {
-        for (j, spec) in workloads.iter().enumerate() {
-            let trace = Trace::generate(spec, 400, seed ^ ((i * 3 + j) as u64));
-            let wp = nic_sim::profile_workload(m, &trace, &port, cfg, |_| {});
-            let label = optimal_by_sweep(&wp, cfg, &port);
-            data.push(features_of(&wp, cfg, &port), f64::from(label));
-        }
+    for (x, y) in rows {
+        data.push(x, y);
     }
     data
 }

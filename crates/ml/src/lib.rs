@@ -31,6 +31,7 @@ pub mod linalg;
 pub mod lstm;
 pub mod metrics;
 pub mod mlp;
+pub mod parallel;
 pub mod pca;
 pub mod rank;
 pub mod svm;

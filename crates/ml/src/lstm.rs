@@ -78,6 +78,54 @@ struct StepCache {
     tanh_c: Vec<f64>,
 }
 
+/// Gradient accumulator for (a lane of) one minibatch.
+struct BatchGrads {
+    wx: Matrix,
+    wh: Matrix,
+    b: Vec<f64>,
+    w1: Matrix,
+    b1: Vec<f64>,
+    w2: Matrix,
+    b2: Vec<f64>,
+    se: f64,
+    count: usize,
+}
+
+impl BatchGrads {
+    fn zeros(m: &LstmRegressor) -> BatchGrads {
+        BatchGrads {
+            wx: Matrix::zeros(m.wx.rows, m.wx.cols),
+            wh: Matrix::zeros(m.wh.rows, m.wh.cols),
+            b: vec![0.0; m.b.len()],
+            w1: Matrix::zeros(m.w1.rows, m.w1.cols),
+            b1: vec![0.0; m.b1.len()],
+            w2: Matrix::zeros(m.w2.rows, m.w2.cols),
+            b2: vec![0.0; m.b2.len()],
+            se: 0.0,
+            count: 0,
+        }
+    }
+
+    fn merge(&mut self, o: &BatchGrads) {
+        let pairs: [(&mut Vec<f64>, &Vec<f64>); 7] = [
+            (&mut self.wx.data, &o.wx.data),
+            (&mut self.wh.data, &o.wh.data),
+            (&mut self.b, &o.b),
+            (&mut self.w1.data, &o.w1.data),
+            (&mut self.b1, &o.b1),
+            (&mut self.w2.data, &o.w2.data),
+            (&mut self.b2, &o.b2),
+        ];
+        for (a, b) in pairs {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+        self.se += o.se;
+        self.count += o.count;
+    }
+}
+
 impl LstmRegressor {
     /// Creates an untrained model.
     pub fn new(cfg: LstmConfig) -> LstmRegressor {
@@ -199,7 +247,6 @@ impl LstmRegressor {
             })
             .collect();
 
-        let h = self.cfg.hidden;
         let mut opt_wx = Adam::new(self.wx.data.len(), self.cfg.lr);
         let mut opt_wh = Adam::new(self.wh.data.len(), self.cfg.lr);
         let mut opt_b = Adam::new(self.b.len(), self.cfg.lr);
@@ -213,6 +260,11 @@ impl LstmRegressor {
         let mut last_mse = f64::INFINITY;
 
         const BATCH: usize = 16;
+        // Each minibatch splits into a FIXED number of lanes whose partial
+        // gradients merge in lane order. The reduction tree depends only on
+        // the data — never on the worker count — so a 1-worker and an
+        // N-worker run produce bit-identical weights.
+        const LANES: usize = 4;
         for _epoch in 0..self.cfg.epochs {
             use rand::seq::SliceRandom;
             order.shuffle(&mut rng);
@@ -220,110 +272,120 @@ impl LstmRegressor {
             let mut count = 0usize;
 
             for chunk in order.chunks(BATCH) {
-                let mut g_wx = Matrix::zeros(self.wx.rows, self.wx.cols);
-                let mut g_wh = Matrix::zeros(self.wh.rows, self.wh.cols);
-                let mut g_b = vec![0.0; self.b.len()];
-                let mut g_w1 = Matrix::zeros(self.w1.rows, self.w1.cols);
-                let mut g_b1 = vec![0.0; self.b1.len()];
-                let mut g_w2 = Matrix::zeros(self.w2.rows, self.w2.cols);
-                let mut g_b2 = vec![0.0; self.b2.len()];
-
-                for &si in chunk {
-                    let seq = &seqs[si];
-                    if seq.is_empty() {
-                        continue;
-                    }
-                    let y = &ys[si];
-                    let (caches, h_last, z1, out) = self.forward(seq);
-
-                    // Output gradient (MSE).
-                    let dout: Vec<f64> = out.iter().zip(y.iter()).map(|(o, t)| o - t).collect();
-                    epoch_se += dout.iter().map(|d| d * d).sum::<f64>();
-                    count += 1;
-
-                    // FC head backward.
-                    g_w2.add_outer(&dout, &z1, 1.0);
-                    for (g, d) in g_b2.iter_mut().zip(dout.iter()) {
-                        *g += d;
-                    }
-                    let mut dz1 = vec![0.0; z1.len()];
-                    self.w2.add_tmatvec(&dout, &mut dz1);
-                    for (d, z) in dz1.iter_mut().zip(z1.iter()) {
-                        if *z <= 0.0 {
-                            *d = 0.0; // ReLU gate
-                        }
-                    }
-                    g_w1.add_outer(&dz1, &h_last, 1.0);
-                    for (g, d) in g_b1.iter_mut().zip(dz1.iter()) {
-                        *g += d;
-                    }
-                    let mut dh = vec![0.0; h];
-                    self.w1.add_tmatvec(&dz1, &mut dh);
-
-                    // BPTT.
-                    let mut dc = vec![0.0; h];
-                    for (t, cache) in caches.iter().enumerate().rev() {
-                        let tok = seq[t].min(self.cfg.vocab - 1);
-                        let gates = &cache.gates;
-                        let mut dpre = vec![0.0; 4 * h];
-                        for j in 0..h {
-                            let i_g = gates[j];
-                            let f_g = gates[h + j];
-                            let g_g = gates[2 * h + j];
-                            let o_g = gates[3 * h + j];
-                            let tc = cache.tanh_c[j];
-                            // dh -> o gate and c.
-                            let do_ = dh[j] * tc;
-                            let dc_t = dc[j] + dh[j] * o_g * (1.0 - tc * tc);
-                            let di = dc_t * g_g;
-                            let df = dc_t * cache.c[j];
-                            let dg = dc_t * i_g;
-                            dpre[j] = di * i_g * (1.0 - i_g);
-                            dpre[h + j] = df * f_g * (1.0 - f_g);
-                            dpre[2 * h + j] = dg * (1.0 - g_g * g_g);
-                            dpre[3 * h + j] = do_ * o_g * (1.0 - o_g);
-                            dc[j] = dc_t * f_g; // Carry to t-1.
-                        }
-                        // Parameter gradients.
-                        for r in 0..4 * h {
-                            *g_wx.get_mut(r, tok) += dpre[r];
-                            g_b[r] += dpre[r];
-                        }
-                        g_wh.add_outer(&dpre, &cache.h, 1.0);
-                        // dh for t-1.
-                        let mut dh_prev = vec![0.0; h];
-                        self.wh.add_tmatvec(&dpre, &mut dh_prev);
-                        dh = dh_prev;
-                    }
+                let lane_size = chunk.len().div_ceil(LANES);
+                let lanes: Vec<&[usize]> = chunk.chunks(lane_size).collect();
+                let partials =
+                    crate::parallel::map_ordered(&lanes, |lane| self.grad_lane(lane, seqs, &ys));
+                let mut g = BatchGrads::zeros(self);
+                for p in &partials {
+                    g.merge(p);
                 }
+                epoch_se += g.se;
+                count += g.count;
 
                 // Clip and apply.
                 let scale = 1.0 / chunk.len().max(1) as f64;
-                for g in [
-                    &mut g_wx.data,
-                    &mut g_wh.data,
-                    &mut g_b,
-                    &mut g_w1.data,
-                    &mut g_b1,
-                    &mut g_w2.data,
-                    &mut g_b2,
+                for gr in [
+                    &mut g.wx.data,
+                    &mut g.wh.data,
+                    &mut g.b,
+                    &mut g.w1.data,
+                    &mut g.b1,
+                    &mut g.w2.data,
+                    &mut g.b2,
                 ] {
-                    g.iter_mut().for_each(|v| *v *= scale);
-                    clip_grad(g, self.cfg.clip);
+                    gr.iter_mut().for_each(|v| *v *= scale);
+                    clip_grad(gr, self.cfg.clip);
                 }
-                opt_wx.step(&mut self.wx.data, &g_wx.data);
-                opt_wh.step(&mut self.wh.data, &g_wh.data);
-                opt_b.step(&mut self.b, &g_b);
-                opt_w1.step(&mut self.w1.data, &g_w1.data);
-                opt_b1.step(&mut self.b1, &g_b1);
-                opt_w2.step(&mut self.w2.data, &g_w2.data);
-                opt_b2.step(&mut self.b2, &g_b2);
+                opt_wx.step(&mut self.wx.data, &g.wx.data);
+                opt_wh.step(&mut self.wh.data, &g.wh.data);
+                opt_b.step(&mut self.b, &g.b);
+                opt_w1.step(&mut self.w1.data, &g.w1.data);
+                opt_b1.step(&mut self.b1, &g.b1);
+                opt_w2.step(&mut self.w2.data, &g.w2.data);
+                opt_b2.step(&mut self.b2, &g.b2);
             }
             if count > 0 {
                 last_mse = epoch_se / count as f64;
             }
         }
         last_mse
+    }
+
+    /// Forward + backward over one lane of a minibatch, against the
+    /// *pre-step* parameters (`&self`). Pure, so lanes run concurrently.
+    fn grad_lane(&self, lane: &[usize], seqs: &[Vec<usize>], ys: &[Vec<f64>]) -> BatchGrads {
+        let h = self.cfg.hidden;
+        let mut g = BatchGrads::zeros(self);
+        for &si in lane {
+            let seq = &seqs[si];
+            if seq.is_empty() {
+                continue;
+            }
+            let y = &ys[si];
+            let (caches, h_last, z1, out) = self.forward(seq);
+
+            // Output gradient (MSE).
+            let dout: Vec<f64> = out.iter().zip(y.iter()).map(|(o, t)| o - t).collect();
+            g.se += dout.iter().map(|d| d * d).sum::<f64>();
+            g.count += 1;
+
+            // FC head backward.
+            g.w2.add_outer(&dout, &z1, 1.0);
+            for (gv, d) in g.b2.iter_mut().zip(dout.iter()) {
+                *gv += d;
+            }
+            let mut dz1 = vec![0.0; z1.len()];
+            self.w2.add_tmatvec(&dout, &mut dz1);
+            for (d, z) in dz1.iter_mut().zip(z1.iter()) {
+                if *z <= 0.0 {
+                    *d = 0.0; // ReLU gate
+                }
+            }
+            g.w1.add_outer(&dz1, &h_last, 1.0);
+            for (gv, d) in g.b1.iter_mut().zip(dz1.iter()) {
+                *gv += d;
+            }
+            let mut dh = vec![0.0; h];
+            self.w1.add_tmatvec(&dz1, &mut dh);
+
+            // BPTT.
+            let mut dc = vec![0.0; h];
+            for (t, cache) in caches.iter().enumerate().rev() {
+                let tok = seq[t].min(self.cfg.vocab - 1);
+                let gates = &cache.gates;
+                let mut dpre = vec![0.0; 4 * h];
+                for j in 0..h {
+                    let i_g = gates[j];
+                    let f_g = gates[h + j];
+                    let g_g = gates[2 * h + j];
+                    let o_g = gates[3 * h + j];
+                    let tc = cache.tanh_c[j];
+                    // dh -> o gate and c.
+                    let do_ = dh[j] * tc;
+                    let dc_t = dc[j] + dh[j] * o_g * (1.0 - tc * tc);
+                    let di = dc_t * g_g;
+                    let df = dc_t * cache.c[j];
+                    let dg = dc_t * i_g;
+                    dpre[j] = di * i_g * (1.0 - i_g);
+                    dpre[h + j] = df * f_g * (1.0 - f_g);
+                    dpre[2 * h + j] = dg * (1.0 - g_g * g_g);
+                    dpre[3 * h + j] = do_ * o_g * (1.0 - o_g);
+                    dc[j] = dc_t * f_g; // Carry to t-1.
+                }
+                // Parameter gradients.
+                for (r, &d) in dpre.iter().enumerate() {
+                    *g.wx.get_mut(r, tok) += d;
+                    g.b[r] += d;
+                }
+                g.wh.add_outer(&dpre, &cache.h, 1.0);
+                // dh for t-1.
+                let mut dh_prev = vec![0.0; h];
+                self.wh.add_tmatvec(&dpre, &mut dh_prev);
+                dh = dh_prev;
+            }
+        }
+        g
     }
 }
 

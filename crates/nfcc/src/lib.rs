@@ -208,12 +208,31 @@ impl NicModule {
 }
 
 /// Compiles a whole module.
+///
+/// Compilation is a pure function of the module: no global state is read
+/// or written, so concurrent calls from multiple threads are safe and
+/// identical inputs always produce identical output. `clara-core`'s
+/// evaluation engine relies on both properties to memoize compiles
+/// across threads.
 pub fn compile_module(module: &Module) -> NicModule {
     NicModule {
         name: module.name.clone(),
         funcs: module.funcs.iter().map(compile_function).collect(),
     }
 }
+
+/// Compiles a module into a shareable handle, the entry point used by
+/// parallel callers that fan one compile out to many consumers.
+pub fn compile_module_shared(module: &Module) -> std::sync::Arc<NicModule> {
+    std::sync::Arc::new(compile_module(module))
+}
+
+// The engine moves compiled modules across worker threads; keep the
+// output type thread-safe by construction.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<NicModule>();
+};
 
 /// Compiles one function.
 pub fn compile_function(func: &Function) -> NicFunction {

@@ -1,0 +1,50 @@
+//! Cheap content fingerprints for memoization keys.
+//!
+//! `clara-core`'s evaluation engine memoizes vendor compiles and
+//! profiling runs across threads. The cache keys come from here: a
+//! module is fingerprinted by hashing its canonical printed IR, which is
+//! a total function of everything the compiler and profiler consume
+//! (globals, functions, blocks, instructions, in order).
+
+use nf_ir::Module;
+
+/// FNV-1a over a byte string — stable across runs and platforms, unlike
+/// `std`'s randomized `DefaultHasher`.
+pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Content fingerprint of a module: equal printed IR ⇒ equal fingerprint.
+///
+/// Printing is linear in module size and far cheaper than a compile or a
+/// profiling run, which is what makes it usable as a memo key.
+pub fn module_fingerprint(module: &Module) -> u64 {
+    fingerprint_bytes(nf_ir::print::module(module).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_modules_collide_and_different_modules_do_not() {
+        let a = click_model::elements::cmsketch().module;
+        let b = click_model::elements::cmsketch().module;
+        let c = click_model::elements::aggcounter().module;
+        assert_eq!(module_fingerprint(&a), module_fingerprint(&b));
+        assert_ne!(module_fingerprint(&a), module_fingerprint(&c));
+    }
+
+    #[test]
+    fn fingerprint_is_stable() {
+        // Pin the FNV-1a constants: a silent change would invalidate any
+        // externally persisted cache keyed on these fingerprints.
+        assert_eq!(fingerprint_bytes(b""), 0xcbf29ce484222325);
+        assert_eq!(fingerprint_bytes(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

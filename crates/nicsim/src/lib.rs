@@ -28,17 +28,19 @@
 //! placement, accelerator substitution, coalescing, core count).
 
 pub mod config;
+pub mod fingerprint;
 pub mod model;
 pub mod port;
 pub mod profile;
 pub mod sim;
 
 pub use config::{MemLevel, MemLevelCfg, NicConfig};
+pub use fingerprint::{fingerprint_bytes, module_fingerprint};
 pub use model::{solve_colocated, solve_perf, PerfPoint};
 pub use port::{Accel, CoalescePlan, PortConfig};
 pub use profile::{
-    profile_recorded, profile_workload, record_workload, PacketProfile, RecordedWorkload,
-    WorkloadProfile,
+    profile_recorded, profile_recorded_compiled, profile_workload, record_workload, PacketProfile,
+    RecordedWorkload, WorkloadProfile,
 };
 pub use sim::{
     chain_global, merge_stage_profiles, optimal_cores, profile_chain, profile_chain_stages,

@@ -151,12 +151,25 @@ pub fn profile_recorded(
     cfg: &NicConfig,
 ) -> WorkloadProfile {
     let nic = nfcc::compile_module(module);
+    profile_recorded_compiled(module, &nic, rec, port, cfg)
+}
+
+/// [`profile_recorded`] with a pre-compiled NIC module supplied by the
+/// caller, so a compile memoized elsewhere (e.g. `clara-core`'s engine
+/// cache) is reused instead of recompiling per profiling run.
+pub fn profile_recorded_compiled(
+    module: &Module,
+    nic: &NicModule,
+    rec: &RecordedWorkload,
+    port: &PortConfig,
+    cfg: &NicConfig,
+) -> WorkloadProfile {
     let mut agg = WorkloadProfile::default();
     let mut touched: BTreeMap<GlobalId, BTreeSet<u64>> = BTreeMap::new();
     let mut cam = CamState::new(cfg.cam_entries as usize);
 
     for (flow_id, size, t) in &rec.entries {
-        let p = cost_packet(t, &nic, module, port, cfg, *flow_id, &mut cam, &mut touched);
+        let p = cost_packet(t, nic, module, port, cfg, *flow_id, &mut cam, &mut touched);
         agg.pkts += 1;
         agg.compute += p.compute_cycles;
         for (a, b) in agg.fixed_accesses.iter_mut().zip(p.fixed_accesses.iter()) {

@@ -598,7 +598,7 @@ impl GenCtx {
             }
         }
         // Materialize a value of the right type from packet data.
-        let v = fb.load(ty, MemRef::pkt(PktField::Payload(rng.gen_range(0..16) * 4)));
+        let v = fb.load(ty, MemRef::pkt(PktField::Payload(rng.gen_range(0u16..16) * 4)));
         self.put(ty, v);
         v
     }

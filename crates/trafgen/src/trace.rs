@@ -99,7 +99,7 @@ fn flow_table(spec: &WorkloadSpec, rng: &mut StdRng) -> Vec<FlowKey> {
             dst_ip: rng.gen::<u32>() | 0x4000_0000,
             src_port: 1024 + (i as u16 % 60000),
             dst_port: *[80u16, 443, 53, 8080]
-                .get(rng.gen_range(0..4))
+                .get(rng.gen_range(0usize..4))
                 .expect("index in range"),
             proto,
         });

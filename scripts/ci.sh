@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: release build, test suite, zero clippy warnings.
+# Run from the repository root: ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy -- -D warnings

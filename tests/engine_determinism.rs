@@ -1,0 +1,133 @@
+//! The engine's parallel execution is bit-identical to a serial run.
+//!
+//! ISSUE requirement: for 3 corpus elements × 2 workloads × 2 seeds, the
+//! outputs computed with a multi-worker pool must equal — bit for bit —
+//! the outputs of the same computation on a single worker. Determinism
+//! comes from index-assigned tasks and order-restoring merges, not from
+//! luck: these tests run both modes in one process (via
+//! [`engine::set_threads`]) and compare both the values and their
+//! serialized fingerprints.
+
+use std::sync::Mutex;
+
+use clara_repro::clara::engine;
+use clara_repro::clara::predict::block_samples;
+use clara_repro::clara::scaleout::training_set;
+use clara_repro::ir::Module;
+use clara_repro::nicsim::{NicConfig, PortConfig};
+use clara_repro::trafgen::WorkloadSpec;
+
+/// `set_threads` is a process global; tests in this binary run on
+/// separate threads, so every test that flips it holds this lock.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Three corpus elements of different character: CRC loops, plain
+/// stateful counting, and an LPM table.
+fn elements() -> Vec<Module> {
+    ["cmsketch", "aggcounter", "mazunat"]
+        .iter()
+        .map(|name| {
+            clara_repro::click::corpus()
+                .into_iter()
+                .find(|e| e.name() == *name)
+                .expect("known corpus element")
+                .module
+        })
+        .collect()
+}
+
+/// Runs `f` serially, then with a 4-worker pool, caches cleared in
+/// between, and returns both results.
+fn serial_then_parallel<R>(f: impl Fn() -> R) -> (R, R) {
+    engine::set_threads(1);
+    engine::clear_caches();
+    let serial = f();
+    engine::set_threads(4);
+    engine::clear_caches();
+    let parallel = f();
+    engine::set_threads(0); // back to CLARA_THREADS / machine default
+    (serial, parallel)
+}
+
+#[test]
+fn profile_matrix_is_bit_identical_across_worker_counts() {
+    let _g = THREADS_LOCK.lock().unwrap();
+    let modules = elements();
+    let workloads = [
+        WorkloadSpec::large_flows(),
+        WorkloadSpec::small_flows().with_flows(512),
+    ];
+    let cfg = NicConfig::default();
+    let port = PortConfig::naive();
+    for seed in [11u64, 42] {
+        let (serial, parallel) = serial_then_parallel(|| {
+            engine::profile_matrix(&modules, &workloads, 120, seed, &port, &cfg)
+        });
+        assert_eq!(serial.len(), modules.len() * workloads.len());
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(s, p, "profile cell {i} diverged for seed {seed}");
+            // Bit-identical serialized form, not just PartialEq.
+            assert_eq!(
+                engine::value_fingerprint(s),
+                engine::value_fingerprint(p),
+                "profile cell {i} fingerprint diverged for seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn block_samples_are_bit_identical_across_worker_counts() {
+    let _g = THREADS_LOCK.lock().unwrap();
+    for seed in [3u64, 8] {
+        let modules = clara_repro::synth::synth_corpus(10, true, seed);
+        let (serial, parallel) = serial_then_parallel(|| block_samples(&modules));
+        assert_eq!(serial, parallel, "block samples diverged for seed {seed}");
+    }
+}
+
+#[test]
+fn scaleout_training_set_is_bit_identical_across_worker_counts() {
+    let _g = THREADS_LOCK.lock().unwrap();
+    let cfg = NicConfig::default();
+    for seed in [5u64, 21] {
+        let (serial, parallel) = serial_then_parallel(|| training_set(6, seed, &cfg));
+        assert_eq!(serial.x, parallel.x, "features diverged for seed {seed}");
+        assert_eq!(serial.y, parallel.y, "labels diverged for seed {seed}");
+    }
+}
+
+#[test]
+fn trained_pipeline_is_bit_identical_across_worker_counts() {
+    use clara_repro::clara::{Clara, ClaraConfig};
+    let _g = THREADS_LOCK.lock().unwrap();
+    let cfg = ClaraConfig {
+        predict_programs: 12,
+        algid_per_class: 8,
+        scaleout_programs: 4,
+        epochs: 4,
+        ..ClaraConfig::fast(17)
+    };
+    let (serial, parallel) = serial_then_parallel(|| Clara::train(&cfg));
+    // Whole-model comparison via the serialized form: every weight of
+    // every sub-model must match bit for bit.
+    assert_eq!(
+        engine::value_fingerprint(&serial),
+        engine::value_fingerprint(&parallel),
+        "trained pipeline diverged between 1 and 4 workers"
+    );
+}
+
+#[test]
+fn par_map_preserves_input_order() {
+    let _g = THREADS_LOCK.lock().unwrap();
+    engine::set_threads(4);
+    let items: Vec<u64> = (0..257).collect();
+    let out = engine::par_map("order-test", &items, |i, &x| (i as u64, x * x));
+    engine::set_threads(0);
+    for (i, (idx, sq)) in out.iter().enumerate() {
+        assert_eq!(*idx, i as u64);
+        assert_eq!(*sq, (i as u64) * (i as u64));
+    }
+}

@@ -1,0 +1,55 @@
+//! Golden-file test pinning `nfcc::compile_module` output over the full
+//! Click corpus.
+//!
+//! The engine's compile cache assumes compilation is a pure function of
+//! the module; this test pins what that function produces — handler
+//! block count and per-block issue cycles for every corpus element — so
+//! an accidental change to the lowering shows up as a readable diff.
+//!
+//! Regenerate after an *intentional* compiler change with:
+//!
+//! ```sh
+//! CLARA_BLESS=1 cargo test --test golden_nfcc
+//! ```
+
+use std::fmt::Write as _;
+
+fn rendered() -> String {
+    let mut out = String::from("# nfcc corpus golden: <element> blocks=<handler blocks> issue=<total> per_block=<cycles,...>\n");
+    for e in clara_repro::click::corpus() {
+        let nic = clara_repro::nfcc::compile_module(&e.module);
+        let h = nic.handler();
+        let per_block: Vec<String> = h
+            .blocks
+            .iter()
+            .map(|b| b.issue_cycles().to_string())
+            .collect();
+        let issue: u32 = h.blocks.iter().map(|b| b.issue_cycles()).sum();
+        writeln!(
+            out,
+            "{} blocks={} issue={} per_block={}",
+            e.name(),
+            h.blocks.len(),
+            issue,
+            per_block.join(",")
+        )
+        .expect("write to string");
+    }
+    out
+}
+
+#[test]
+fn compiled_corpus_matches_golden() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/nfcc_corpus.txt");
+    let got = rendered();
+    if std::env::var("CLARA_BLESS").is_ok() {
+        std::fs::write(path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(path)
+        .expect("golden file missing; regenerate with CLARA_BLESS=1 cargo test --test golden_nfcc");
+    assert_eq!(
+        got, want,
+        "nfcc output changed; if intentional, regenerate with CLARA_BLESS=1 cargo test --test golden_nfcc"
+    );
+}

@@ -1,0 +1,35 @@
+//! Property test: the engine's profile cache is invisible to callers.
+//!
+//! For any synthesized NF, trace, and port, a cache-miss `profile_cached`
+//! call, the subsequent cache-hit call, and a direct `profile_workload`
+//! all return the same `WorkloadProfile`.
+
+use proptest::prelude::*;
+
+use clara_repro::clara::engine;
+use clara_repro::nicsim::{self, NicConfig, PortConfig};
+use clara_repro::trafgen::{Trace, WorkloadSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn cache_hit_equals_cache_miss_equals_direct(seed in 0u64..3000) {
+        let m = clara_repro::synth::synth_corpus(1, true, seed).remove(0);
+        let trace = Trace::generate(&WorkloadSpec::imix(), 60, seed);
+        let cfg = NicConfig::default();
+        let port = PortConfig::naive();
+
+        engine::clear_caches();
+        let stats0 = engine::EngineStats::snapshot();
+        let direct = nicsim::profile_workload(&m, &trace, &port, &cfg, |_| {});
+        let miss = engine::profile_cached(&m, &trace, &port, &cfg);
+        let hit = engine::profile_cached(&m, &trace, &port, &cfg);
+        let stats1 = engine::EngineStats::snapshot();
+
+        prop_assert_eq!(&direct, &miss, "cache miss diverged from direct profiling");
+        prop_assert_eq!(&miss, &hit, "cache hit diverged from cache miss");
+        prop_assert!(stats1.profile_hits > stats0.profile_hits, "second call did not hit");
+        prop_assert!(stats1.profile_misses > stats0.profile_misses, "first call did not miss");
+    }
+}
