@@ -21,6 +21,7 @@ use nic_sim::{solve_perf, CoalescePlan, MemLevel, NicConfig, PortConfig};
 use trafgen::{Trace, WorkloadSpec};
 
 fn main() {
+    let _report = clara_bench::report_scope("ablations");
     banner("Ablations", "Clara design choices, one at a time");
     ablate_reverse_porting();
     ablate_ilp_vs_greedy();

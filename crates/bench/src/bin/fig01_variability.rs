@@ -12,6 +12,7 @@ use nic_sim::{Accel, MemLevel, NicConfig, PortConfig};
 use trafgen::{FlowDist, Trace, WorkloadSpec};
 
 fn main() {
+    let _report = clara_bench::report_scope("fig01_variability");
     banner(
         "Figure 1",
         "performance variability of five NFs (2-4 variants each)",

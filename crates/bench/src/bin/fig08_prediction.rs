@@ -12,6 +12,7 @@ use clara_core::predict::{
 };
 
 fn main() {
+    let _report = clara_bench::report_scope("fig08_prediction");
     let ablate = std::env::args().any(|a| a == "--ablate-vocab");
     banner(
         "Figure 8",

@@ -6,6 +6,7 @@ use clara_core::algid::{labeled_corpus, AlgoClass, AlgoIdentifier, ClassifierKin
 use tinyml::metrics::micro_precision_recall;
 
 fn main() {
+    let _report = clara_bench::report_scope("fig09_algid");
     banner("Figure 9", "algorithm identification: precision / recall");
     let train = labeled_corpus(scaled(60), 21);
     let test = labeled_corpus(scaled(20), 22);

@@ -13,6 +13,7 @@ use tinyml::pca::Pca;
 use trafgen::{Trace, WorkloadSpec};
 
 fn main() {
+    let _report = clara_bench::report_scope("fig10_accel");
     banner("Figure 10", "accelerator identification and its benefits");
     part_a();
     part_b();

@@ -12,6 +12,7 @@ use nic_sim::{solve_perf, NicConfig, PortConfig, WorkloadProfile};
 use trafgen::{Trace, WorkloadSpec};
 
 fn main() {
+    let _report = clara_bench::report_scope("fig11_scaleout");
     banner("Figure 11", "multicore scale-out analysis");
     let cfg = nic();
 
@@ -57,7 +58,9 @@ fn main() {
             &run_cfg,
             &port,
         );
-        let suggested = clara.predict(&small, &run_cfg, &port);
+        let suggested = clara
+            .predict(&small, &run_cfg, &port)
+            .expect("finite prediction");
         let optimal = optimal_by_sweep(&small, &run_cfg, &port);
         let ratio_sugg = solve_perf(&small, &run_cfg, &port, suggested).ratio();
         let ratio_opt = solve_perf(&small, &run_cfg, &port, optimal).ratio();
@@ -110,7 +113,9 @@ fn main() {
         .filter(|t| t.0 == "mazunat" || t.0 == "webgen")
     {
         let port = PortConfig::naive().with_csum_accel();
-        let suggested = clara.predict(&t.2, &run_cfg, &port);
+        let suggested = clara
+            .predict(&t.2, &run_cfg, &port)
+            .expect("finite prediction");
         println!("  {} (Clara suggests {suggested} cores):", t.0);
         let mut rows = Vec::new();
         for c in [1u32, 8, 16, 24, 32, 40, 48, 56, 60] {

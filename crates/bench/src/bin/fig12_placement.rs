@@ -7,6 +7,7 @@ use nic_sim::{solve_perf, NicConfig, PortConfig};
 use trafgen::{Trace, WorkloadSpec};
 
 fn main() {
+    let _report = clara_bench::report_scope("fig12_placement");
     banner(
         "Figure 12",
         "NF state placement: Clara ILP vs all-EMEM baseline",

@@ -16,6 +16,7 @@ fn cores_to_saturate(pts: &[PerfPoint]) -> u32 {
 }
 
 fn main() {
+    let _report = clara_bench::report_scope("fig13_coalescing");
     banner(
         "Figure 13",
         "memory access coalescing: cores-to-saturation and latency",

@@ -14,6 +14,7 @@ use nic_sim::{solve_colocated, solve_perf, NicConfig, PortConfig};
 use trafgen::{Trace, WorkloadSpec};
 
 fn main() {
+    let _report = clara_bench::report_scope("fig14_colocation");
     banner("Figure 14", "NF colocation ranking");
     let cfg = NicConfig {
         emem_cache_bytes: 64 * 1024,

@@ -11,6 +11,7 @@ use nic_sim::{solve_perf, NicConfig, PortConfig};
 use trafgen::{Trace, WorkloadSpec};
 
 fn main() {
+    let _report = clara_bench::report_scope("fig15_expert_placement");
     banner(
         "Figure 15",
         "state placement: Clara ILP vs expert exhaustive sweep",

@@ -14,6 +14,7 @@ fn cores_to_saturate(pts: &[PerfPoint]) -> u32 {
 }
 
 fn main() {
+    let _report = clara_bench::report_scope("fig16_expert_coalescing");
     banner(
         "Figure 16",
         "memory coalescing: Clara K-means vs expert exhaustive sweep",

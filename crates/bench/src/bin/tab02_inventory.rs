@@ -9,6 +9,7 @@ use clara_bench::{banner, table};
 use nf_ir::ModuleStats;
 
 fn main() {
+    let _report = clara_bench::report_scope("tab02_inventory");
     banner("Table 2", "evaluated Click programs");
     let mut rows = Vec::new();
     for e in click_model::corpus() {

@@ -27,6 +27,7 @@ fn run(threads: usize) -> Duration {
 }
 
 fn main() {
+    let _report = clara_bench::report_scope("train_timing");
     let threads: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())

@@ -5,10 +5,58 @@
 //! `cargo run --release -p clara-bench --bin <experiment>`; set
 //! `CLARA_QUICK=1` to downscale training budgets for smoke runs.
 
+use clara_obs as obs;
 use click_model::NfElement;
 use nf_ir::BlockId;
 use nic_sim::{Accel, NicConfig, PortConfig};
 use trafgen::{Trace, WorkloadSpec};
+
+/// RAII run-report sink for a bench binary: armed by `--report [path]`
+/// on the command line or the `CLARA_REPORT` environment variable, and
+/// written (as `BENCH_<name>.json` unless an explicit path is given)
+/// when the binary finishes.
+///
+/// With neither source set, telemetry stays disabled and the guard does
+/// nothing.
+pub struct ReportScope {
+    name: &'static str,
+    sink: Option<String>,
+}
+
+impl Drop for ReportScope {
+    fn drop(&mut self) {
+        let Some(raw) = self.sink.take() else { return };
+        let path = obs::resolve_sink(&raw, &format!("BENCH_{}.json", self.name));
+        match obs::RunReport::capture().write(&path) {
+            Ok(()) => println!("run report written to {}", path.display()),
+            Err(e) => eprintln!("warning: could not write run report to {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Arms the experiment's run-report sink; keep the returned guard alive
+/// for the whole `main`.
+pub fn report_scope(name: &'static str) -> ReportScope {
+    let mut args = std::env::args().skip(1);
+    let mut sink = None;
+    while let Some(a) = args.next() {
+        if a == "--report" {
+            // A following non-flag argument is the sink path; bare
+            // `--report` means "default file in the working directory".
+            sink = Some(match args.next() {
+                Some(p) if !p.starts_with("--") => p,
+                _ => "1".to_string(),
+            });
+        } else if let Some(p) = a.strip_prefix("--report=") {
+            sink = Some(p.to_string());
+        }
+    }
+    let sink = sink.or_else(obs::sink_from_env);
+    if sink.is_some() {
+        obs::enable();
+    }
+    ReportScope { name, sink }
+}
 
 /// True when `CLARA_QUICK=1` is set (smoke-test scaling).
 pub fn quick() -> bool {

@@ -1,16 +1,32 @@
 //! The Clara facade: train once, analyze any NF.
+//!
+//! Facade API conventions:
+//!
+//! - configuration is built from the [`ClaraConfig::full`]/
+//!   [`ClaraConfig::fast`] presets or the fluent
+//!   [`ClaraConfig::builder`]; the struct itself is `#[non_exhaustive]`
+//!   so fields can be added without breaking downstream builds;
+//! - user-input failures surface as [`ClaraError`], never panics;
+//! - [`Clara::save`]/[`Clara::load`] write a versioned JSON envelope so
+//!   trained pipelines persist across bench runs and reject files from
+//!   incompatible builds;
+//! - with a `CLARA_REPORT` sink configured, [`Clara::train`] and
+//!   [`Clara::analyze`] record a [`clara_obs`] span tree and write a
+//!   JSON run report when they finish.
 
 use std::collections::BTreeMap;
 use std::path::Path;
 
+use clara_obs as obs;
 use nf_ir::{BlockId, GlobalId, Module};
 use nic_sim::{Accel, CoalescePlan, MemLevel, NicConfig, PortConfig, WorkloadProfile};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use trafgen::Trace;
 
 use crate::algid::{AlgoClass, AlgoIdentifier, ClassifierKind};
 use crate::coalesce;
 use crate::engine;
+use crate::error::ClaraError;
 use crate::placement;
 use crate::predict::{
     block_samples, memory_count_accuracy, InstructionPredictor, PredictTrainConfig, PredictorKind,
@@ -18,8 +34,23 @@ use crate::predict::{
 use crate::prepare::prepare_module;
 use crate::scaleout::{ScaleoutKind, ScaleoutModel};
 
+/// Format version written by [`Clara::save`] and required by
+/// [`Clara::load`].
+pub const MODEL_FORMAT_VERSION: u64 = 1;
+
 /// Training budget for the whole Clara pipeline.
+///
+/// Construct via the presets ([`ClaraConfig::full`], [`ClaraConfig::fast`])
+/// or the fluent builder:
+///
+/// ```
+/// use clara_core::ClaraConfig;
+/// let cfg = ClaraConfig::builder().predict_programs(240).seed(7).build();
+/// assert_eq!(cfg.predict_programs, 240);
+/// assert_eq!(cfg.seed, 7);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ClaraConfig {
     /// Synthesized programs for instruction-prediction training.
     pub predict_programs: usize,
@@ -58,6 +89,80 @@ impl ClaraConfig {
             seed,
             nic: NicConfig::default(),
         }
+    }
+
+    /// Fluent builder seeded with the [`ClaraConfig::full`] defaults.
+    pub fn builder() -> ClaraConfigBuilder {
+        ClaraConfigBuilder {
+            cfg: ClaraConfig::full(0),
+        }
+    }
+
+    /// Builder pre-populated from this configuration (tweak a preset).
+    pub fn to_builder(&self) -> ClaraConfigBuilder {
+        ClaraConfigBuilder { cfg: self.clone() }
+    }
+}
+
+/// Fluent builder for [`ClaraConfig`] (the only way to assemble a custom
+/// configuration now that the struct is `#[non_exhaustive]`).
+#[derive(Debug, Clone)]
+pub struct ClaraConfigBuilder {
+    cfg: ClaraConfig,
+}
+
+impl ClaraConfigBuilder {
+    /// Sets the instruction-prediction corpus size.
+    #[must_use]
+    pub fn predict_programs(mut self, n: usize) -> Self {
+        self.cfg.predict_programs = n;
+        self
+    }
+
+    /// Sets the labeled variants per algorithm class.
+    #[must_use]
+    pub fn algid_per_class(mut self, n: usize) -> Self {
+        self.cfg.algid_per_class = n;
+        self
+    }
+
+    /// Sets the scale-out training corpus size.
+    #[must_use]
+    pub fn scaleout_programs(mut self, n: usize) -> Self {
+        self.cfg.scaleout_programs = n;
+        self
+    }
+
+    /// Sets the neural-model training epochs.
+    #[must_use]
+    pub fn epochs(mut self, n: usize) -> Self {
+        self.cfg.epochs = n;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the NIC hardware configuration.
+    #[must_use]
+    pub fn nic(mut self, nic: NicConfig) -> Self {
+        self.cfg.nic = nic;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> ClaraConfig {
+        self.cfg
+    }
+}
+
+impl Default for ClaraConfigBuilder {
+    fn default() -> Self {
+        ClaraConfig::builder()
     }
 }
 
@@ -124,8 +229,26 @@ impl Clara {
     /// fan out across [`crate::engine`]'s worker pool (`CLARA_THREADS`
     /// workers); results are bit-identical to a serial run.
     pub fn train(cfg: &ClaraConfig) -> Clara {
+        let sink = obs::sink_from_env();
+        if sink.is_some() {
+            obs::enable();
+        }
+        let root = obs::span!(
+            "clara-train",
+            "predict={} algid={} scaleout={} epochs={} seed={}",
+            cfg.predict_programs,
+            cfg.algid_per_class,
+            cfg.scaleout_programs,
+            cfg.epochs,
+            cfg.seed
+        );
+        // Branches may run on spawned threads; parenting them explicitly
+        // under the root handle keeps the span tree identical to a
+        // serial run.
+        let rh = root.handle();
         // Instruction prediction: synthesized program/assembly pairs.
         let train_predictor = || {
+            let _branch = obs::span_under(rh, "train-predict-branch");
             let train_modules = nf_synth::synth_corpus(cfg.predict_programs, true, cfg.seed);
             let samples = block_samples(&train_modules);
             engine::time_stage("train-predict", || {
@@ -142,6 +265,7 @@ impl Clara {
         };
         // Algorithm identification.
         let train_algid = || {
+            let _branch = obs::span_under(rh, "train-algid-branch");
             engine::time_stage("train-algid", || {
                 let corpus = crate::algid::labeled_corpus(cfg.algid_per_class, cfg.seed ^ 0xa1);
                 AlgoIdentifier::train(&corpus, ClassifierKind::ClaraSvm, cfg.seed)
@@ -149,6 +273,7 @@ impl Clara {
         };
         // Scale-out analysis.
         let train_scaleout = || {
+            let _branch = obs::span_under(rh, "train-scaleout-branch");
             let so_data =
                 crate::scaleout::training_set(cfg.scaleout_programs, cfg.seed ^ 0x50, &cfg.nic);
             engine::time_stage("train-scaleout", || {
@@ -169,42 +294,145 @@ impl Clara {
         } else {
             (train_predictor(), train_algid(), train_scaleout())
         };
-        Clara {
+        let clara = Clara {
             predictor,
             algid,
             scaleout,
             nic: cfg.nic.clone(),
+        };
+        drop(root);
+        if let Some(raw) = sink {
+            write_report(&raw, "clara_train.json");
         }
+        clara
     }
 
-    /// Serializes the trained pipeline to a JSON file (train once, reuse
-    /// across runs).
+    /// Serializes the trained pipeline to a versioned JSON envelope
+    /// (`{format_version, nic_config, models}`), so it can be reloaded
+    /// by any build that reads the same [`MODEL_FORMAT_VERSION`].
     ///
     /// # Errors
     ///
-    /// Returns any I/O or serialization error.
-    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
-        std::fs::write(path, json)
+    /// Returns [`ClaraError::Io`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ClaraError> {
+        let path = path.as_ref();
+        let envelope = Value::Map(vec![
+            (
+                "format_version".to_string(),
+                MODEL_FORMAT_VERSION.to_value(),
+            ),
+            ("nic_config".to_string(), self.nic.to_value()),
+            (
+                "models".to_string(),
+                Value::Map(vec![
+                    ("predictor".to_string(), self.predictor.to_value()),
+                    ("algid".to_string(), self.algid.to_value()),
+                    ("scaleout".to_string(), self.scaleout.to_value()),
+                ]),
+            ),
+        ]);
+        let json = serde_json::to_string(&envelope).map_err(|e| ClaraError::Format {
+            path: Some(path.to_path_buf()),
+            detail: e.to_string(),
+        })?;
+        std::fs::write(path, json).map_err(|source| ClaraError::Io {
+            path: path.to_path_buf(),
+            source,
+        })
     }
 
     /// Loads a pipeline previously written by [`Clara::save`].
     ///
     /// # Errors
     ///
-    /// Returns any I/O or deserialization error.
-    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Clara> {
-        let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(std::io::Error::other)
+    /// Returns [`ClaraError::Io`] when the file cannot be read,
+    /// [`ClaraError::Format`] when it is not a Clara model envelope, and
+    /// [`ClaraError::UnsupportedVersion`] when it was written by an
+    /// incompatible format version.
+    pub fn load(path: impl AsRef<Path>) -> Result<Clara, ClaraError> {
+        let path = path.as_ref();
+        let format = |detail: String| ClaraError::Format {
+            path: Some(path.to_path_buf()),
+            detail,
+        };
+        let json = std::fs::read_to_string(path).map_err(|source| ClaraError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        let v = serde_json::parse_value(&json).map_err(|e| format(e.to_string()))?;
+        let found = match v.get("format_version") {
+            Some(Value::Int(i)) if *i >= 0 => *i as u64,
+            Some(Value::UInt(u)) => *u,
+            _ => {
+                return Err(format(
+                    "missing `format_version` — not a Clara model file (or written by a \
+                     pre-versioning build)"
+                        .to_string(),
+                ))
+            }
+        };
+        if found != MODEL_FORMAT_VERSION {
+            return Err(ClaraError::UnsupportedVersion {
+                found,
+                supported: MODEL_FORMAT_VERSION,
+            });
+        }
+        let models = v
+            .get("models")
+            .ok_or_else(|| format("missing `models` section".to_string()))?;
+        let field = |name: &str| {
+            models
+                .get(name)
+                .ok_or_else(|| format(format!("missing `models.{name}` section")))
+        };
+        Ok(Clara {
+            predictor: InstructionPredictor::from_value(field("predictor")?)
+                .map_err(|e| format(e.to_string()))?,
+            algid: AlgoIdentifier::from_value(field("algid")?)
+                .map_err(|e| format(e.to_string()))?,
+            scaleout: ScaleoutModel::from_value(field("scaleout")?)
+                .map_err(|e| format(e.to_string()))?,
+            nic: NicConfig::from_value(
+                v.get("nic_config")
+                    .ok_or_else(|| format("missing `nic_config` section".to_string()))?,
+            )
+            .map_err(|e| format(e.to_string()))?,
+        })
     }
 
     /// Analyzes an unported NF against a workload trace, producing the
     /// full insight bundle.
-    pub fn analyze(&self, module: &Module, trace: &Trace) -> Insights {
-        let prepared = prepare_module(module);
-        let predicted_compute = self.predictor.predict_module_compute(module);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClaraError::EmptyTrace`] for a packet-less trace,
+    /// [`ClaraError::InvalidModule`] when the module fails IR
+    /// verification, and [`ClaraError::Prediction`] when a trained model
+    /// produces an unusable estimate.
+    pub fn analyze(&self, module: &Module, trace: &Trace) -> Result<Insights, ClaraError> {
+        if trace.pkts.is_empty() {
+            return Err(ClaraError::EmptyTrace);
+        }
+        nf_ir::verify::verify_module(module).map_err(|e| ClaraError::InvalidModule {
+            name: module.name.clone(),
+            detail: e.to_string(),
+        })?;
+        let sink = obs::sink_from_env();
+        if sink.is_some() {
+            obs::enable();
+        }
+        let root = obs::span!("clara-analyze", "nf={} pkts={}", module.name, trace.pkts.len());
+        let prepared = {
+            let _s = obs::span("analyze-prepare");
+            prepare_module(module)
+        };
+        let predicted_compute = {
+            let _s = obs::span("analyze-predict-compute");
+            self.predictor.predict_module_compute(module)
+        };
         let counted_mem = prepared.counted_mem();
         let accel = {
+            let _s = obs::span("analyze-algid");
             let (class, region) = self.algid.identify(module);
             if class == AlgoClass::None || region.is_empty() {
                 None
@@ -215,12 +443,27 @@ impl Clara {
         // Host-side profiling for the workload-specific insights, memoized
         // so repeat analyses of the same NF + trace reuse the run.
         let naive = PortConfig::naive();
-        let profile = engine::profile_cached(module, trace, &naive, &self.nic);
-        let placement =
-            placement::suggest_placement(module, &profile, &self.nic).unwrap_or_default();
-        let coalesce = coalesce::suggest_coalescing(module, trace, 7);
-        let suggested_cores = self.scaleout.predict(&profile, &self.nic, &naive);
-        Insights {
+        let profile = {
+            let _s = obs::span("analyze-profile");
+            engine::profile_cached(module, trace, &naive, &self.nic)
+        };
+        let placement = {
+            let _s = obs::span("analyze-placement");
+            placement::suggest_placement(module, &profile, &self.nic).unwrap_or_default()
+        };
+        let coalesce = {
+            let _s = obs::span("analyze-coalesce");
+            coalesce::suggest_coalescing(module, trace, 7)
+        };
+        let suggested_cores = {
+            let _s = obs::span("analyze-scaleout");
+            self.scaleout.predict(&profile, &self.nic, &naive)?
+        };
+        drop(root);
+        if let Some(raw) = sink {
+            write_report(&raw, "clara_analyze.json");
+        }
+        Ok(Insights {
             predicted_compute,
             counted_mem,
             mem_count_accuracy: memory_count_accuracy(module),
@@ -229,7 +472,16 @@ impl Clara {
             placement,
             coalesce,
             profile,
-        }
+        })
+    }
+}
+
+/// Best-effort run-report write for the facade's `CLARA_REPORT` sink
+/// (telemetry must never fail the pipeline).
+fn write_report(raw_sink: &str, default_name: &str) {
+    let path = obs::resolve_sink(raw_sink, default_name);
+    if let Err(e) = obs::RunReport::capture().write(&path) {
+        eprintln!("warning: could not write run report to {}: {e}", path.display());
     }
 }
 
@@ -243,7 +495,7 @@ mod tests {
         let clara = Clara::train(&ClaraConfig::fast(1));
         let e = click_model::elements::cmsketch();
         let trace = Trace::generate(&WorkloadSpec::large_flows(), 300, 2);
-        let insights = clara.analyze(&e.module, &trace);
+        let insights = clara.analyze(&e.module, &trace).expect("analysis succeeds");
 
         assert!(insights.predicted_compute > 0.0);
         assert!(insights.counted_mem > 0);
@@ -277,8 +529,8 @@ mod tests {
 
         let e = click_model::elements::iplookup(256);
         let trace = Trace::generate(&WorkloadSpec::large_flows(), 200, 6);
-        let a = clara.analyze(&e.module, &trace);
-        let b = loaded.analyze(&e.module, &trace);
+        let a = clara.analyze(&e.module, &trace).expect("analysis succeeds");
+        let b = loaded.analyze(&e.module, &trace).expect("analysis succeeds");
         assert_eq!(a.predicted_compute, b.predicted_compute);
         assert_eq!(a.suggested_cores, b.suggested_cores);
         assert_eq!(a.accel, b.accel);
@@ -290,9 +542,14 @@ mod tests {
         let clara = Clara::train(&ClaraConfig::fast(3));
         let e = click_model::elements::tcpack();
         let trace = Trace::generate(&WorkloadSpec::large_flows(), 100, 4);
-        let insights = clara.analyze(&e.module, &trace);
+        let insights = clara.analyze(&e.module, &trace).expect("analysis succeeds");
         assert!(insights.placement.is_empty());
         assert!(insights.coalesce.clusters.is_empty());
         assert!(insights.accel.is_none(), "{:?}", insights.accel);
+        let empty = Trace::generate(&WorkloadSpec::large_flows(), 0, 4);
+        assert!(matches!(
+            clara.analyze(&e.module, &empty),
+            Err(ClaraError::EmptyTrace)
+        ));
     }
 }

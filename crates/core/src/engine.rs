@@ -21,6 +21,17 @@
 //! - **[`EngineStats`]**: per-stage task counts and wall/CPU time plus
 //!   cache hit rates, printed by the bench binaries.
 //!
+//! # Observability
+//!
+//! The engine is wired through [`clara_obs`]: every stage opens a span
+//! (visible in [`clara_obs::RunReport`] when recording is enabled), the
+//! cache hit/miss counts live in the `engine.compile_cache.*` /
+//! `engine.profile_cache.*` counters (which [`EngineStats`] reads), and
+//! each stage adds `engine.stage.<name>.tasks` plus volatile
+//! `wall_ns`/`cpu_ns` and per-worker `engine.worker.<i>.tasks` counters.
+//! With recording disabled the only residual cost is the always-on cache
+//! counters — four relaxed atomic adds per cached call.
+//!
 //! # Determinism
 //!
 //! Parallel runs are bit-identical to serial runs. [`par_map`] assigns
@@ -37,6 +48,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use clara_obs as obs;
 use nf_ir::Module;
 use nfcc::NicModule;
 use nic_sim::{module_fingerprint, NicConfig, PortConfig, WorkloadProfile};
@@ -84,6 +96,11 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    let _span = obs::span!(stage, "tasks={}", items.len());
+    // Workers attach their span context here so task-opened spans
+    // (compiles, profiling runs, model fits) nest under this stage
+    // exactly as they would on the calling thread.
+    let span_parent = _span.handle();
     let started = Instant::now();
     let workers = threads().min(items.len().max(1));
     let busy_ns = AtomicU64::new(0);
@@ -95,18 +112,30 @@ where
     };
 
     let out = if workers <= 1 {
-        items.iter().enumerate().map(|(i, t)| timed(i, t)).collect()
+        let out: Vec<R> = items.iter().enumerate().map(|(i, t)| timed(i, t)).collect();
+        if obs::enabled() {
+            obs::volatile_counter("engine.worker.0.tasks").add(items.len() as u64);
+        }
+        out
     } else {
         let next = AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
         std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| {
+            for w in 0..workers {
+                let next = &next;
+                let collected = &collected;
+                let timed = &timed;
+                s.spawn(move || {
+                    let _ctx = obs::attach(span_parent);
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
                         local.push((i, timed(i, item)));
+                    }
+                    if obs::enabled() {
+                        obs::volatile_counter(&format!("engine.worker.{w}.tasks"))
+                            .add(local.len() as u64);
                     }
                     collected.lock().expect("worker poisoned").extend(local);
                 });
@@ -126,8 +155,9 @@ where
     out
 }
 
-/// Times a serial stage under a label in [`EngineStats`].
+/// Times a serial stage under a label in [`EngineStats`], with a span.
 pub fn time_stage<R>(stage: &'static str, f: impl FnOnce() -> R) -> R {
+    let _span = obs::span(stage);
     let started = Instant::now();
     let r = f();
     let wall = started.elapsed();
@@ -137,14 +167,42 @@ pub fn time_stage<R>(stage: &'static str, f: impl FnOnce() -> R) -> R {
 
 // ---- caches ------------------------------------------------------------
 
-static COMPILE_CACHE: OnceLock<Mutex<HashMap<u64, Arc<NicModule>>>> = OnceLock::new();
+/// Each entry is a single-flight slot: the map lock is only held to look
+/// the slot up, and the slot's `OnceLock` guarantees exactly one thread
+/// runs the expensive computation while racing threads block on it —
+/// which both avoids duplicate work and keeps the hit/miss counters a
+/// pure function of the work requested (a property the deterministic
+/// run-report test relies on).
+type Slot<V> = Arc<OnceLock<V>>;
+static COMPILE_CACHE: OnceLock<Mutex<HashMap<u64, Slot<Arc<NicModule>>>>> = OnceLock::new();
 /// (module fp, trace fp, port fp, nic-config fp) → profile.
 type ProfileKey = (u64, u64, u64, u64);
-static PROFILE_CACHE: OnceLock<Mutex<HashMap<ProfileKey, WorkloadProfile>>> = OnceLock::new();
-static COMPILE_HITS: AtomicU64 = AtomicU64::new(0);
-static COMPILE_MISSES: AtomicU64 = AtomicU64::new(0);
-static PROFILE_HITS: AtomicU64 = AtomicU64::new(0);
-static PROFILE_MISSES: AtomicU64 = AtomicU64::new(0);
+static PROFILE_CACHE: OnceLock<Mutex<HashMap<ProfileKey, Slot<WorkloadProfile>>>> = OnceLock::new();
+
+/// Cache hit/miss counts live in the obs registry so run reports and
+/// [`EngineStats`] read the same cells; the `OnceLock`-cached handles
+/// make the steady-state cost one relaxed atomic add.
+fn cache_counter(cell: &'static OnceLock<obs::Counter>, name: &'static str) -> &'static obs::Counter {
+    cell.get_or_init(|| obs::counter(name))
+}
+
+static COMPILE_HITS: OnceLock<obs::Counter> = OnceLock::new();
+static COMPILE_MISSES: OnceLock<obs::Counter> = OnceLock::new();
+static PROFILE_HITS: OnceLock<obs::Counter> = OnceLock::new();
+static PROFILE_MISSES: OnceLock<obs::Counter> = OnceLock::new();
+
+fn compile_hits() -> &'static obs::Counter {
+    cache_counter(&COMPILE_HITS, "engine.compile_cache.hits")
+}
+fn compile_misses() -> &'static obs::Counter {
+    cache_counter(&COMPILE_MISSES, "engine.compile_cache.misses")
+}
+fn profile_hits() -> &'static obs::Counter {
+    cache_counter(&PROFILE_HITS, "engine.profile_cache.hits")
+}
+fn profile_misses() -> &'static obs::Counter {
+    cache_counter(&PROFILE_MISSES, "engine.profile_cache.misses")
+}
 
 /// Content fingerprint of any serializable value (for cache keys).
 pub fn value_fingerprint<T: Serialize>(v: &T) -> u64 {
@@ -152,24 +210,31 @@ pub fn value_fingerprint<T: Serialize>(v: &T) -> u64 {
     nic_sim::fingerprint_bytes(json.as_bytes())
 }
 
-/// Memoized [`nfcc::compile_module`]: each distinct module compiles once
-/// per process; repeat calls share the compiled result.
+/// Memoized [`nfcc::compile_module`]: each distinct module compiles
+/// exactly once per process; repeat calls share the compiled result.
 ///
 /// Compilation runs outside the cache lock, so concurrent misses on
-/// *different* modules still compile in parallel. Two threads racing on
-/// the *same* module may both compile it; the results are identical and
-/// the first insert wins.
+/// *different* modules still compile in parallel. Threads racing on the
+/// *same* module single-flight on the entry's `OnceLock`: one compiles
+/// (counted as the miss), the rest block and count as hits.
 pub fn compile_cached(module: &Module) -> Arc<NicModule> {
     let fp = module_fingerprint(module);
     let cache = COMPILE_CACHE.get_or_init(Mutex::default);
-    if let Some(nic) = cache.lock().expect("cache poisoned").get(&fp) {
-        COMPILE_HITS.fetch_add(1, Ordering::Relaxed);
-        return Arc::clone(nic);
+    let slot = {
+        let mut guard = cache.lock().expect("cache poisoned");
+        Arc::clone(guard.entry(fp).or_default())
+    };
+    let mut compiled = false;
+    let nic = Arc::clone(slot.get_or_init(|| {
+        compiled = true;
+        nfcc::compile_module_shared(module)
+    }));
+    if compiled {
+        compile_misses().incr();
+    } else {
+        compile_hits().incr();
     }
-    COMPILE_MISSES.fetch_add(1, Ordering::Relaxed);
-    let nic = nfcc::compile_module_shared(module);
-    let mut guard = cache.lock().expect("cache poisoned");
-    Arc::clone(guard.entry(fp).or_insert(nic))
+    nic
 }
 
 /// Memoized setup-free profiling: [`nic_sim::profile_workload`] with the
@@ -192,19 +257,24 @@ pub fn profile_cached(
         value_fingerprint(cfg),
     );
     let cache = PROFILE_CACHE.get_or_init(Mutex::default);
-    if let Some(wp) = cache.lock().expect("cache poisoned").get(&key) {
-        PROFILE_HITS.fetch_add(1, Ordering::Relaxed);
-        return wp.clone();
+    let slot = {
+        let mut guard = cache.lock().expect("cache poisoned");
+        Arc::clone(guard.entry(key).or_default())
+    };
+    let mut profiled = false;
+    let wp = slot
+        .get_or_init(|| {
+            profiled = true;
+            let rec = nic_sim::record_workload(module, trace, |_| {});
+            let nic = compile_cached(module);
+            nic_sim::profile_recorded_compiled(module, &nic, &rec, port, cfg)
+        })
+        .clone();
+    if profiled {
+        profile_misses().incr();
+    } else {
+        profile_hits().incr();
     }
-    PROFILE_MISSES.fetch_add(1, Ordering::Relaxed);
-    let rec = nic_sim::record_workload(module, trace, |_| {});
-    let nic = compile_cached(module);
-    let wp = nic_sim::profile_recorded_compiled(module, &nic, &rec, port, cfg);
-    cache
-        .lock()
-        .expect("cache poisoned")
-        .entry(key)
-        .or_insert_with(|| wp.clone());
     wp
 }
 
@@ -263,14 +333,24 @@ pub struct StageStat {
 static STAGES: OnceLock<Mutex<BTreeMap<&'static str, StageStat>>> = OnceLock::new();
 
 fn record_stage(stage: &'static str, tasks: u64, wall: Duration, cpu: Duration) {
-    let mut guard = STAGES
-        .get_or_init(Mutex::default)
-        .lock()
-        .expect("stats poisoned");
-    let s = guard.entry(stage).or_default();
-    s.tasks += tasks;
-    s.wall += wall;
-    s.cpu += cpu;
+    {
+        let mut guard = STAGES
+            .get_or_init(Mutex::default)
+            .lock()
+            .expect("stats poisoned");
+        let s = guard.entry(stage).or_default();
+        s.tasks += tasks;
+        s.wall += wall;
+        s.cpu += cpu;
+    }
+    // Mirror into the obs registry only while recording: the formatted
+    // names allocate, and a disabled layer must stay allocation-free.
+    if obs::enabled() {
+        obs::counter(&format!("engine.stage.{stage}.tasks")).add(tasks);
+        obs::volatile_counter(&format!("engine.stage.{stage}.wall_ns"))
+            .add(wall.as_nanos() as u64);
+        obs::volatile_counter(&format!("engine.stage.{stage}.cpu_ns")).add(cpu.as_nanos() as u64);
+    }
 }
 
 /// A snapshot of the engine's counters, printable via `Display`.
@@ -302,20 +382,20 @@ impl EngineStats {
             .collect();
         EngineStats {
             threads: threads(),
-            compile_hits: COMPILE_HITS.load(Ordering::Relaxed),
-            compile_misses: COMPILE_MISSES.load(Ordering::Relaxed),
-            profile_hits: PROFILE_HITS.load(Ordering::Relaxed),
-            profile_misses: PROFILE_MISSES.load(Ordering::Relaxed),
+            compile_hits: compile_hits().value(),
+            compile_misses: compile_misses().value(),
+            profile_hits: profile_hits().value(),
+            profile_misses: profile_misses().value(),
             stages,
         }
     }
 
-    /// Zeroes all counters and stage records (caches stay warm).
+    /// Zeroes all counters and stage records (caches stay warm). This
+    /// also resets the whole [`clara_obs`] registry — spans and every
+    /// metric across the workspace — so one reset yields one clean run
+    /// report.
     pub fn reset() {
-        COMPILE_HITS.store(0, Ordering::Relaxed);
-        COMPILE_MISSES.store(0, Ordering::Relaxed);
-        PROFILE_HITS.store(0, Ordering::Relaxed);
-        PROFILE_MISSES.store(0, Ordering::Relaxed);
+        obs::reset();
         if let Some(s) = STAGES.get() {
             s.lock().expect("stats poisoned").clear();
         }
@@ -368,9 +448,9 @@ mod tests {
     fn compile_cache_hits_on_repeat() {
         let m = click_model::elements::udpcount().module;
         let a = compile_cached(&m);
-        let before = COMPILE_HITS.load(Ordering::Relaxed);
+        let before = compile_hits().value();
         let b = compile_cached(&m);
-        assert!(COMPILE_HITS.load(Ordering::Relaxed) > before);
+        assert!(compile_hits().value() > before);
         assert_eq!(a.handler().total_compute(), b.handler().total_compute());
     }
 

@@ -1,0 +1,89 @@
+//! Error type for the Clara facade.
+//!
+//! The facade's public entry points ([`crate::Clara::analyze`],
+//! [`crate::Clara::save`]/[`crate::Clara::load`],
+//! [`crate::scaleout::ScaleoutModel::predict`]) never panic on user
+//! input; every user-visible failure funnels into [`ClaraError`], which
+//! the CLI binaries render and map to a nonzero exit code.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// `Result` alias for facade operations.
+pub type Result<T> = std::result::Result<T, ClaraError>;
+
+/// Everything that can go wrong at the Clara facade boundary.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClaraError {
+    /// A filesystem operation failed.
+    Io {
+        /// Path being read or written.
+        path: PathBuf,
+        /// Underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A file or value had the wrong shape (bad JSON, missing fields).
+    Format {
+        /// Path of the offending file, when one is involved.
+        path: Option<PathBuf>,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A model file was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u64,
+        /// Version this build reads and writes.
+        supported: u64,
+    },
+    /// The module under analysis failed IR verification.
+    InvalidModule {
+        /// Module name.
+        name: String,
+        /// Verifier diagnostic.
+        detail: String,
+    },
+    /// The workload trace has no packets to analyze.
+    EmptyTrace,
+    /// A trained model produced an unusable estimate.
+    Prediction {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ClaraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClaraError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            ClaraError::Format { path: Some(p), detail } => {
+                write!(f, "{}: {detail}", p.display())
+            }
+            ClaraError::Format { path: None, detail } => write!(f, "{detail}"),
+            ClaraError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "model format version {found} is not supported (this build reads version \
+                 {supported}); re-train and re-save the model"
+            ),
+            ClaraError::InvalidModule { name, detail } => {
+                write!(f, "module `{name}` failed verification: {detail}")
+            }
+            ClaraError::EmptyTrace => {
+                write!(f, "workload trace is empty; generate at least one packet")
+            }
+            ClaraError::Prediction { detail } => write!(f, "prediction failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClaraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClaraError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -25,28 +25,41 @@
 //! # Examples
 //!
 //! ```no_run
-//! use clara_core::{Clara, ClaraConfig};
+//! use clara_core::{Clara, ClaraConfig, ClaraError};
 //! use trafgen::{Trace, WorkloadSpec};
 //!
+//! # fn main() -> Result<(), ClaraError> {
 //! let clara = Clara::train(&ClaraConfig::fast(1));
 //! let nf = click_model::elements::cmsketch();
 //! let trace = Trace::generate(&WorkloadSpec::large_flows(), 500, 7);
-//! let insights = clara.analyze(&nf.module, &trace);
+//! let insights = clara.analyze(&nf.module, &trace)?;
 //! println!("predicted compute/pkt: {}", insights.predicted_compute);
 //! println!("suggested cores: {}", insights.suggested_cores);
+//! # Ok(())
+//! # }
 //! ```
+//!
+//! # Observability
+//!
+//! With the `CLARA_REPORT` environment variable set (or a bench binary's
+//! `--report` flag), [`Clara::train`] and [`Clara::analyze`] record a
+//! [`clara_obs`] span tree plus engine/compiler/simulator/ML counters and
+//! write a JSON run report when they finish. Without a sink the
+//! instrumentation is atomics-only and does not perturb results.
 
 pub mod algid;
 pub mod clara;
 pub mod coalesce;
 pub mod coloc;
 pub mod engine;
+pub mod error;
 pub mod partial;
 pub mod placement;
 pub mod predict;
 pub mod prepare;
 pub mod scaleout;
 
-pub use clara::{Clara, ClaraConfig, Insights};
+pub use clara::{Clara, ClaraConfig, ClaraConfigBuilder, Insights, MODEL_FORMAT_VERSION};
+pub use error::ClaraError;
 pub use predict::{BlockSample, InstructionPredictor, PredictorKind};
 pub use prepare::{prepare_module, PreparedBlock, PreparedModule};

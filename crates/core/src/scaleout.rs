@@ -7,6 +7,8 @@
 //! (compute vs memory to different regions) and workload shape.
 
 use nic_sim::{optimal_cores, solve_perf, NicConfig, PortConfig, WorkloadProfile};
+
+use crate::error::ClaraError;
 use serde::{Deserialize, Serialize};
 use tinyml::automl::AutoMlRegressor;
 use tinyml::gbdt::{GbdtConfig, GbdtRegressor};
@@ -163,7 +165,17 @@ impl ScaleoutModel {
     }
 
     /// Predicts the optimal core count for a profiled workload.
-    pub fn predict(&self, wp: &WorkloadProfile, cfg: &NicConfig, port: &PortConfig) -> u32 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClaraError::Prediction`] when the regressor produces a
+    /// non-finite estimate (a corrupt or out-of-domain model).
+    pub fn predict(
+        &self,
+        wp: &WorkloadProfile,
+        cfg: &NicConfig,
+        port: &PortConfig,
+    ) -> Result<u32, ClaraError> {
         let f = features_of(wp, cfg, port);
         let raw = match &self.model {
             SoModel::Gbdt(m) => m.predict(&f),
@@ -171,7 +183,15 @@ impl ScaleoutModel {
             SoModel::Dnn(m) => m.predict_scalar(&f),
             SoModel::AutoMl(m) => m.predict(&f),
         };
-        (raw.round().max(1.0) as u32).min(self.max_cores)
+        if !raw.is_finite() {
+            return Err(ClaraError::Prediction {
+                detail: format!(
+                    "{} scale-out model returned a non-finite core estimate ({raw})",
+                    self.kind.name()
+                ),
+            });
+        }
+        Ok((raw.round().max(1.0) as u32).min(self.max_cores))
     }
 
     /// Mean absolute error (in cores) on a labeled dataset.
@@ -218,7 +238,9 @@ mod tests {
         let e = click_model::elements::aggcounter();
         let trace = Trace::generate(&WorkloadSpec::large_flows(), 200, 4);
         let wp = nic_sim::profile_workload(&e.module, &trace, &PortConfig::naive(), &cfg, |_| {});
-        let c = m.predict(&wp, &cfg, &PortConfig::naive());
+        let c = m
+            .predict(&wp, &cfg, &PortConfig::naive())
+            .expect("finite prediction");
         assert!((1..=cfg.cores).contains(&c), "{c}");
     }
 

@@ -54,7 +54,10 @@ impl GbdtRegressor {
         let base = y.iter().sum::<f64>() / y.len() as f64;
         let mut pred = vec![base; y.len()];
         let mut trees = Vec::with_capacity(cfg.rounds);
+        let _fit_span = clara_obs::span!("gbdt-fit", "rows={} rounds={}", x.len(), cfg.rounds);
+        let rounds_ctr = clara_obs::counter("ml.gbdt.rounds");
         for _ in 0..cfg.rounds {
+            rounds_ctr.incr();
             let resid: Vec<f64> = y.iter().zip(pred.iter()).map(|(t, p)| t - p).collect();
             let tree = RegressionTree::fit(x, &resid, &cfg.tree);
             for (p, xi) in pred.iter_mut().zip(x.iter()) {

@@ -6,6 +6,7 @@
 //! compiler would emit for the block. Training is full BPTT with Adam and
 //! gradient clipping; targets are standardized internally.
 
+use clara_obs as obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -265,8 +266,13 @@ impl LstmRegressor {
         // the data — never on the worker count — so a 1-worker and an
         // N-worker run produce bit-identical weights.
         const LANES: usize = 4;
+        let _fit_span = obs::span!("lstm-fit", "seqs={} epochs={}", seqs.len(), self.cfg.epochs);
+        let epochs_ctr = obs::counter("ml.lstm.epochs");
+        let epoch_mse_hist = obs::histogram("ml.lstm.epoch_mse");
+        let epoch_ns = obs::volatile_counter("ml.lstm.epoch_ns");
         for _epoch in 0..self.cfg.epochs {
             use rand::seq::SliceRandom;
+            let t0 = obs::enabled().then(std::time::Instant::now);
             order.shuffle(&mut rng);
             let mut epoch_se = 0.0;
             let mut count = 0usize;
@@ -307,6 +313,11 @@ impl LstmRegressor {
             }
             if count > 0 {
                 last_mse = epoch_se / count as f64;
+            }
+            epochs_ctr.incr();
+            epoch_mse_hist.observe(last_mse);
+            if let Some(t0) = t0 {
+                epoch_ns.add(t0.elapsed().as_nanos() as u64);
             }
         }
         last_mse

@@ -164,7 +164,10 @@ impl Mlp {
         let mut last_loss = f64::INFINITY;
         const BATCH: usize = 16;
 
+        let _fit_span = clara_obs::span!("mlp-fit", "rows={} epochs={}", x.len(), self.cfg.epochs);
+        let epochs_ctr = clara_obs::counter("ml.mlp.epochs");
         for _ in 0..self.cfg.epochs {
+            epochs_ctr.incr();
             order.shuffle(&mut rng);
             let mut total = 0.0;
             let mut count = 0usize;

@@ -47,9 +47,30 @@
 //! ```
 
 use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
+use std::time::Instant;
 
+use clara_obs as obs;
 use nf_ir::{BinOp, CastOp, Function, GlobalId, Inst, MemRef, Module, Operand, Term, Ty, ValueId};
 use serde::Serialize;
+
+/// Lazily registered counter handle (registration takes the registry
+/// lock; compiles on the hot path only touch the cached atomic).
+fn ctr(cell: &'static OnceLock<obs::Counter>, name: &'static str) -> &'static obs::Counter {
+    cell.get_or_init(|| obs::counter(name))
+}
+
+fn vctr(cell: &'static OnceLock<obs::Counter>, name: &'static str) -> &'static obs::Counter {
+    cell.get_or_init(|| obs::volatile_counter(name))
+}
+
+static MODULES: OnceLock<obs::Counter> = OnceLock::new();
+static FUNCTIONS: OnceLock<obs::Counter> = OnceLock::new();
+static BLOCKS: OnceLock<obs::Counter> = OnceLock::new();
+static INSTRUCTIONS: OnceLock<obs::Counter> = OnceLock::new();
+static ISSUE_CYCLES: OnceLock<obs::Counter> = OnceLock::new();
+static REGALLOC_NS: OnceLock<obs::Counter> = OnceLock::new();
+static LOWER_NS: OnceLock<obs::Counter> = OnceLock::new();
 
 /// Number of stack slots that fit in general-purpose registers.
 pub const GPR_SLOTS: usize = 10;
@@ -215,6 +236,8 @@ impl NicModule {
 /// evaluation engine relies on both properties to memoize compiles
 /// across threads.
 pub fn compile_module(module: &Module) -> NicModule {
+    let _span = obs::span!("nfcc-compile", "module={}", module.name);
+    ctr(&MODULES, "nfcc.modules_compiled").incr();
     NicModule {
         name: module.name.clone(),
         funcs: module.funcs.iter().map(compile_function).collect(),
@@ -236,6 +259,11 @@ const _: fn() = || {
 
 /// Compiles one function.
 pub fn compile_function(func: &Function) -> NicFunction {
+    ctr(&FUNCTIONS, "nfcc.functions_compiled").incr();
+    // Per-phase wall clock is volatile telemetry: only measured with a
+    // report sink active, and excluded from deterministic reports.
+    let timed = obs::enabled();
+    let t0 = timed.then(Instant::now);
     // Register allocation: rank stack slots by static use count; the top
     // GPR_SLOTS live in registers, the rest spill to local memory.
     let mut slot_uses: HashMap<u32, u32> = HashMap::new();
@@ -284,11 +312,21 @@ pub fn compile_function(func: &Function) -> NicFunction {
         }
     }
 
-    let blocks = func
+    let t1 = timed.then(Instant::now);
+    let blocks: Vec<NicBlock> = func
         .blocks
         .iter()
         .map(|b| lower_block(b, &reg_set, &use_counts))
         .collect();
+    if let (Some(t0), Some(t1)) = (t0, t1) {
+        vctr(&REGALLOC_NS, "nfcc.phase.regalloc_ns").add((t1 - t0).as_nanos() as u64);
+        vctr(&LOWER_NS, "nfcc.phase.lower_ns").add(t1.elapsed().as_nanos() as u64);
+    }
+    ctr(&BLOCKS, "nfcc.blocks_lowered").add(blocks.len() as u64);
+    ctr(&INSTRUCTIONS, "nfcc.instructions")
+        .add(blocks.iter().map(|b| b.insts.len() as u64).sum());
+    ctr(&ISSUE_CYCLES, "nfcc.issue_cycles")
+        .add(blocks.iter().map(|b| u64::from(b.issue_cycles())).sum());
     NicFunction {
         name: func.name.clone(),
         blocks,

@@ -1,7 +1,9 @@
 //! Converting execution traces into per-packet NIC cost profiles.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::sync::OnceLock;
 
+use clara_obs as obs;
 use click_model::{ApiEvent, Event, ExecTrace, Machine};
 use nf_ir::{ApiCall, GlobalId, Module};
 use nfcc::NicModule;
@@ -17,6 +19,54 @@ pub const CHANNELS: usize = 5;
 /// Channel index of the EMEM SRAM cache.
 pub const CH_EMEM_CACHE: usize = 4;
 
+/// Process-global simulator counters, registered once and cached so the
+/// profiling hot loop only touches atomics.
+struct SimCounters {
+    profile_runs: obs::Counter,
+    pkts_profiled: obs::Counter,
+    compute_cycles: obs::Counter,
+    /// Per-hierarchy-level access totals, indexed by [`MemLevel::index`].
+    mem: [obs::Counter; 4],
+    pkt_drops: obs::Counter,
+    record_runs: obs::Counter,
+    pkts_recorded: obs::Counter,
+}
+
+fn counters() -> &'static SimCounters {
+    static CELL: OnceLock<SimCounters> = OnceLock::new();
+    CELL.get_or_init(|| SimCounters {
+        profile_runs: obs::counter("nicsim.profile_runs"),
+        pkts_profiled: obs::counter("nicsim.pkts_profiled"),
+        compute_cycles: obs::counter("nicsim.compute_cycles"),
+        mem: [
+            obs::counter("nicsim.mem.cls"),
+            obs::counter("nicsim.mem.ctm"),
+            obs::counter("nicsim.mem.imem"),
+            obs::counter("nicsim.mem.emem"),
+        ],
+        pkt_drops: obs::counter("nicsim.pkt_drops"),
+        record_runs: obs::counter("nicsim.record_runs"),
+        pkts_recorded: obs::counter("nicsim.pkts_recorded"),
+    })
+}
+
+impl SimCounters {
+    /// Records one profiling run from its raw (pre-normalization) sums.
+    fn record_profile(&self, agg: &WorkloadProfile, port: &PortConfig, drops: f64) {
+        self.profile_runs.incr();
+        self.pkts_profiled.add(agg.pkts as u64);
+        self.compute_cycles.add(agg.compute.round() as u64);
+        let mut levels = agg.fixed_accesses;
+        for (g, a) in &agg.global_access {
+            levels[port.level_of(*g).index()] += a;
+        }
+        for (c, total) in self.mem.iter().zip(levels) {
+            c.add(total.round() as u64);
+        }
+        self.pkt_drops.add(drops.round() as u64);
+    }
+}
+
 /// Costs of processing one packet on the NIC.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PacketProfile {
@@ -26,6 +76,8 @@ pub struct PacketProfile {
     pub fixed_accesses: [f64; 4],
     /// Stateful accesses by global (level assigned later by placement).
     pub global_access: BTreeMap<GlobalId, f64>,
+    /// Packets dropped by the NF (`PktDrop` library calls).
+    pub drops: f64,
 }
 
 /// Aggregated workload profile: what the performance model consumes.
@@ -130,9 +182,10 @@ pub fn record_workload(
     trace: &Trace,
     setup: impl FnOnce(&mut Machine),
 ) -> RecordedWorkload {
+    let _span = obs::span!("nicsim-record", "module={} pkts={}", module.name, trace.pkts.len());
     let mut machine = Machine::new(module).expect("module must verify");
     setup(&mut machine);
-    let entries = trace
+    let entries: Vec<(u32, u16, ExecTrace)> = trace
         .pkts
         .iter()
         .map(|pkt| {
@@ -140,6 +193,9 @@ pub fn record_workload(
             (pkt.flow_id, pkt.size, t)
         })
         .collect();
+    let c = counters();
+    c.record_runs.incr();
+    c.pkts_recorded.add(entries.len() as u64);
     RecordedWorkload { entries }
 }
 
@@ -164,9 +220,11 @@ pub fn profile_recorded_compiled(
     port: &PortConfig,
     cfg: &NicConfig,
 ) -> WorkloadProfile {
+    let _span = obs::span!("nicsim-profile", "module={} pkts={}", module.name, rec.entries.len());
     let mut agg = WorkloadProfile::default();
     let mut touched: BTreeMap<GlobalId, BTreeSet<u64>> = BTreeMap::new();
     let mut cam = CamState::new(cfg.cam_entries as usize);
+    let mut drops_total = 0.0;
 
     for (flow_id, size, t) in &rec.entries {
         let p = cost_packet(t, nic, module, port, cfg, *flow_id, &mut cam, &mut touched);
@@ -179,7 +237,14 @@ pub fn profile_recorded_compiled(
             *agg.global_access.entry(g).or_insert(0.0) += a;
         }
         agg.mean_pkt_size += f64::from(*size);
+        drops_total += p.drops;
     }
+
+    // Flush the raw (pre-normalization) totals to the metrics registry.
+    // Each total is a pure function of the profiling inputs and is
+    // rounded to a whole count per run, so the counters reconcile
+    // bit-identically across worker layouts.
+    counters().record_profile(&agg, port, drops_total);
 
     let n = agg.pkts.max(1) as f64;
     agg.compute /= n;
@@ -397,7 +462,12 @@ fn cost_api(
             p.compute_cycles += ovh + 4.0;
             charge(p, port.level_of(*g), Some(*g), 1.0);
         }
-        ApiCall::PktSend | ApiCall::PktDrop => {
+        ApiCall::PktSend => {
+            p.compute_cycles += ovh;
+            charge(p, MemLevel::Ctm, None, 1.0);
+        }
+        ApiCall::PktDrop => {
+            p.drops += 1.0;
             p.compute_cycles += ovh;
             charge(p, MemLevel::Ctm, None, 1.0);
         }

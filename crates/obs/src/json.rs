@@ -1,0 +1,59 @@
+//! Minimal JSON emission.
+//!
+//! Byte-compatible with the workspace's `serde_json` stand-in compact
+//! renderer (same float formatting via `{:?}`, same escape set), so a
+//! report parsed with `serde_json::parse_value` and re-rendered with
+//! `serde_json::to_string` reproduces the original bytes — the round-trip
+//! property `tests/observability.rs` pins. Kept local because `clara-obs`
+//! is dependency-free by design.
+
+use std::fmt::Write as _;
+
+/// Appends a JSON string literal.
+pub(crate) fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON number for an `f64` (`{:?}` is Rust's shortest exact
+/// round-trip form; non-finite values become strings, matching the
+/// `serde_json` stand-in).
+pub(crate) fn push_f64(out: &mut String, f: f64) {
+    if f.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if f == f64::INFINITY {
+        out.push_str("\"inf\"");
+    } else if f == f64::NEG_INFINITY {
+        out.push_str("\"-inf\"");
+    } else {
+        let _ = write!(out, "{f:?}");
+    }
+}
+
+/// Appends a JSON number for a `u64`.
+pub(crate) fn push_u64(out: &mut String, u: u64) {
+    let _ = write!(out, "{u}");
+}
+
+/// Appends `,` between elements and `"key":` before a value.
+pub(crate) fn push_key(out: &mut String, first: &mut bool, key: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    push_str(out, key);
+    out.push(':');
+}

@@ -1,0 +1,249 @@
+//! Process-global metrics registry: counters, gauges, histograms.
+//!
+//! Handles are cheap `Arc` clones of the registered cell; hot code caches
+//! them in `OnceLock` statics so the steady-state cost of a counter
+//! update is a single relaxed atomic add — no lock, no allocation.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonic counter. Always live, even when the layer is disabled.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge holding an `f64`. Always live.
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.cell.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram of `f64` samples, summarized as `p50`/`p95`/`max` in run
+/// reports. Samples are only recorded while the layer is enabled
+/// (recording allocates).
+#[derive(Clone)]
+pub struct Histogram {
+    samples: Arc<Mutex<Vec<f64>>>,
+}
+
+impl Histogram {
+    /// Records a sample (no-op while the layer is disabled).
+    pub fn observe(&self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.samples.lock().expect("histogram poisoned").push(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.lock().expect("histogram poisoned").len()
+    }
+
+    /// Summary of the recorded samples, or `None` when empty.
+    pub fn summary(&self) -> Option<HistSummary> {
+        HistSummary::from_samples(&self.samples.lock().expect("histogram poisoned"))
+    }
+}
+
+/// Order-independent summary of a histogram's samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSummary {
+    /// Sample count.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean (summed in sorted order, so schedule-independent).
+    pub mean: f64,
+    /// Median (nearest-rank on the sorted samples).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+}
+
+impl HistSummary {
+    /// Computes a summary from raw samples; `None` when empty.
+    ///
+    /// The samples are sorted first, which makes every derived statistic
+    /// — including the mean's floating-point summation order — a pure
+    /// function of the sample *multiset*, not the arrival order.
+    pub fn from_samples(samples: &[f64]) -> Option<HistSummary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = sorted.len();
+        let rank = |q: f64| sorted[((q * (n - 1) as f64).round() as usize).min(n - 1)];
+        Some(HistSummary {
+            count: n as u64,
+            min: sorted[0],
+            max: sorted[n - 1],
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            p50: rank(0.50),
+            p95: rank(0.95),
+        })
+    }
+}
+
+// ---- registry ----------------------------------------------------------
+
+struct Registered<T> {
+    cell: T,
+    volatile: bool,
+}
+
+type Registry<T> = OnceLock<Mutex<BTreeMap<String, Registered<T>>>>;
+
+static COUNTERS: Registry<Arc<AtomicU64>> = OnceLock::new();
+static GAUGES: Registry<Arc<AtomicU64>> = OnceLock::new();
+static HISTOGRAMS: Registry<Arc<Mutex<Vec<f64>>>> = OnceLock::new();
+
+fn register<T: Clone>(reg: &Registry<T>, name: &str, volatile: bool, fresh: impl FnOnce() -> T) -> T {
+    let mut guard = reg.get_or_init(Mutex::default).lock().expect("registry poisoned");
+    if let Some(r) = guard.get(name) {
+        return r.cell.clone();
+    }
+    let cell = fresh();
+    guard.insert(
+        name.to_string(),
+        Registered {
+            cell: cell.clone(),
+            volatile,
+        },
+    );
+    cell
+}
+
+/// Registers (or looks up) a **deterministic** counter: its value must be
+/// a pure function of the work performed, never of timing or scheduling.
+pub fn counter(name: &str) -> Counter {
+    Counter {
+        cell: register(&COUNTERS, name, false, || Arc::new(AtomicU64::new(0))),
+    }
+}
+
+/// Registers (or looks up) a **volatile** counter (timings, per-worker
+/// attribution); excluded from deterministic run reports.
+pub fn volatile_counter(name: &str) -> Counter {
+    Counter {
+        cell: register(&COUNTERS, name, true, || Arc::new(AtomicU64::new(0))),
+    }
+}
+
+/// Registers (or looks up) a deterministic gauge.
+pub fn gauge(name: &str) -> Gauge {
+    Gauge {
+        cell: register(&GAUGES, name, false, || Arc::new(AtomicU64::new(0))),
+    }
+}
+
+/// Registers (or looks up) a volatile gauge.
+pub fn volatile_gauge(name: &str) -> Gauge {
+    Gauge {
+        cell: register(&GAUGES, name, true, || Arc::new(AtomicU64::new(0))),
+    }
+}
+
+/// Registers (or looks up) a deterministic histogram.
+pub fn histogram(name: &str) -> Histogram {
+    Histogram {
+        samples: register(&HISTOGRAMS, name, false, || Arc::new(Mutex::new(Vec::new()))),
+    }
+}
+
+/// Registers (or looks up) a volatile histogram.
+pub fn volatile_histogram(name: &str) -> Histogram {
+    Histogram {
+        samples: register(&HISTOGRAMS, name, true, || Arc::new(Mutex::new(Vec::new()))),
+    }
+}
+
+/// Zeroes all cells in place; registered handles stay valid.
+pub(crate) fn reset_all() {
+    if let Some(m) = COUNTERS.get() {
+        for r in m.lock().expect("registry poisoned").values() {
+            r.cell.store(0, Ordering::Relaxed);
+        }
+    }
+    if let Some(m) = GAUGES.get() {
+        for r in m.lock().expect("registry poisoned").values() {
+            r.cell.store(0f64.to_bits(), Ordering::Relaxed);
+        }
+    }
+    if let Some(m) = HISTOGRAMS.get() {
+        for r in m.lock().expect("registry poisoned").values() {
+            r.cell.lock().expect("histogram poisoned").clear();
+        }
+    }
+}
+
+/// Name-sorted `(name, value, volatile)` snapshot of all counters.
+pub(crate) fn counters_snapshot() -> Vec<(String, u64, bool)> {
+    let Some(m) = COUNTERS.get() else { return Vec::new() };
+    m.lock()
+        .expect("registry poisoned")
+        .iter()
+        .map(|(k, r)| (k.clone(), r.cell.load(Ordering::Relaxed), r.volatile))
+        .collect()
+}
+
+/// Name-sorted `(name, value, volatile)` snapshot of all gauges.
+pub(crate) fn gauges_snapshot() -> Vec<(String, f64, bool)> {
+    let Some(m) = GAUGES.get() else { return Vec::new() };
+    m.lock()
+        .expect("registry poisoned")
+        .iter()
+        .map(|(k, r)| (k.clone(), f64::from_bits(r.cell.load(Ordering::Relaxed)), r.volatile))
+        .collect()
+}
+
+/// Name-sorted `(name, summary, volatile)` snapshot of all non-empty
+/// histograms.
+pub(crate) fn histograms_snapshot() -> Vec<(String, HistSummary, bool)> {
+    let Some(m) = HISTOGRAMS.get() else { return Vec::new() };
+    m.lock()
+        .expect("registry poisoned")
+        .iter()
+        .filter_map(|(k, r)| {
+            HistSummary::from_samples(&r.cell.lock().expect("histogram poisoned"))
+                .map(|s| (k.clone(), s, r.volatile))
+        })
+        .collect()
+}

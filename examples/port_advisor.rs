@@ -25,7 +25,9 @@ fn main() {
         "NF", "pred.cyc", "mem", "accel", "cores", "placement"
     );
     for e in clara_repro::click::corpus() {
-        let insights = clara.analyze(&e.module, &trace);
+        let insights = clara
+            .analyze(&e.module, &trace)
+            .expect("corpus element analyzes cleanly");
         let accel = insights
             .accel
             .as_ref()

@@ -24,7 +24,9 @@ fn main() {
     let nf = clara_repro::click::elements::cmsketch();
     let spec = WorkloadSpec::large_flows();
     let trace = Trace::generate(&spec, 2000, 42);
-    let insights = clara.analyze(&nf.module, &trace);
+    let insights = clara
+        .analyze(&nf.module, &trace)
+        .expect("corpus element analyzes cleanly");
 
     println!("\ninsights for `{}`:", nf.name());
     println!(

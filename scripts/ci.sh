@@ -1,9 +1,17 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: release build, test suite, zero clippy warnings.
+# Tier-1 CI gate: release build, test suite, zero clippy warnings, zero
+# rustdoc warnings, plus a quick instrumented bench run that leaves a
+# BENCH_train_timing.json run report behind as a build artifact.
 # Run from the repository root: ./scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
-cargo clippy -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+# Smoke-run the timing bench with telemetry on; CLARA_REPORT=1 drops the
+# run report (spans + metrics JSON) next to the checkout for upload.
+CLARA_QUICK=1 CLARA_REPORT=1 cargo run --release -p clara-bench --bin train_timing 2
+test -s BENCH_train_timing.json

@@ -9,9 +9,10 @@
 //! $ clara sweep mazunat                # core-count sweep table
 //! ```
 
-use clara_repro::clara::{Clara, ClaraConfig};
+use clara_repro::clara::{Clara, ClaraConfig, ClaraError};
 use clara_repro::click::NfElement;
 use clara_repro::nicsim::{self, PortConfig};
+use clara_repro::obs;
 use clara_repro::trafgen::{Trace, WorkloadSpec};
 
 fn pool() -> Vec<NfElement> {
@@ -30,7 +31,10 @@ fn find(name: &str) -> NfElement {
 
 fn usage() -> ! {
     eprintln!("usage: clara <list|analyze|ir|asm|sweep> [element] [options]");
-    eprintln!("  options: --small-flows  --packets N  --seed N  --cores N  --model FILE");
+    eprintln!(
+        "  options: --small-flows  --packets N  --seed N  --cores N  --model FILE  \
+         --report FILE"
+    );
     std::process::exit(2);
 }
 
@@ -40,6 +44,7 @@ struct Opts {
     seed: u64,
     cores: Option<u32>,
     model: Option<String>,
+    report: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -49,6 +54,8 @@ fn parse_opts(args: &[String]) -> Opts {
         seed: 42,
         cores: None,
         model: None,
+        // The CLARA_REPORT environment variable arms the sink too.
+        report: obs::sink_from_env(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -74,6 +81,7 @@ fn parse_opts(args: &[String]) -> Opts {
                 )
             }
             "--model" => o.model = it.next().cloned().or_else(|| usage()),
+            "--report" => o.report = it.next().cloned().or_else(|| usage()),
             _ => usage(),
         }
     }
@@ -90,6 +98,13 @@ fn trace_of(o: &Opts) -> Trace {
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("clara: error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), ClaraError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
@@ -141,6 +156,9 @@ fn main() {
         "analyze" => {
             let (name, opt_args) = rest.split_first().unwrap_or_else(|| usage());
             let o = parse_opts(opt_args);
+            if o.report.is_some() {
+                obs::enable();
+            }
             let e = find(name);
             let trace = trace_of(&o);
             // Reuse a previously trained pipeline when --model points at
@@ -148,10 +166,7 @@ fn main() {
             let clara = match &o.model {
                 Some(path) if std::path::Path::new(path).exists() => {
                     eprintln!("loading trained model from {path}...");
-                    Clara::load(path).unwrap_or_else(|e| {
-                        eprintln!("failed to load {path}: {e}");
-                        std::process::exit(1);
-                    })
+                    Clara::load(path)?
                 }
                 other => {
                     eprintln!("training Clara (one-time, ~a minute in release mode)...");
@@ -166,7 +181,7 @@ fn main() {
                     c
                 }
             };
-            let insights = clara.analyze(&e.module, &trace);
+            let insights = clara.analyze(&e.module, &trace)?;
             println!("== insights for `{}` ==", e.name());
             println!(
                 "predicted compute instructions/packet: {:.0}",
@@ -211,7 +226,18 @@ fn main() {
                 "at {cores} cores: naive {:.2} Mpps / {:.2} us -> Clara {:.2} Mpps / {:.2} us",
                 naive.throughput_mpps, naive.latency_us, tuned.throughput_mpps, tuned.latency_us
             );
+            if let Some(raw) = &o.report {
+                let path = obs::resolve_sink(raw, "clara_cli.json");
+                match obs::RunReport::capture().write(&path) {
+                    Ok(()) => eprintln!("run report written to {}", path.display()),
+                    Err(e) => eprintln!(
+                        "warning: could not write run report to {}: {e}",
+                        path.display()
+                    ),
+                }
+            }
         }
         _ => usage(),
     }
+    Ok(())
 }

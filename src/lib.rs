@@ -4,6 +4,7 @@
 //! use a single dependency. See `clara_core` for the main entry points.
 
 pub use clara_core as clara;
+pub use clara_obs as obs;
 pub use click_model as click;
 pub use ilp_solver as ilp;
 pub use nf_ir as ir;

@@ -102,13 +102,13 @@ fn scaleout_training_set_is_bit_identical_across_worker_counts() {
 fn trained_pipeline_is_bit_identical_across_worker_counts() {
     use clara_repro::clara::{Clara, ClaraConfig};
     let _g = THREADS_LOCK.lock().unwrap();
-    let cfg = ClaraConfig {
-        predict_programs: 12,
-        algid_per_class: 8,
-        scaleout_programs: 4,
-        epochs: 4,
-        ..ClaraConfig::fast(17)
-    };
+    let cfg = ClaraConfig::fast(17)
+        .to_builder()
+        .predict_programs(12)
+        .algid_per_class(8)
+        .scaleout_programs(4)
+        .epochs(4)
+        .build();
     let (serial, parallel) = serial_then_parallel(|| Clara::train(&cfg));
     // Whole-model comparison via the serialized form: every weight of
     // every sub-model must match bit for bit.
@@ -116,6 +116,39 @@ fn trained_pipeline_is_bit_identical_across_worker_counts() {
         engine::value_fingerprint(&serial),
         engine::value_fingerprint(&parallel),
         "trained pipeline diverged between 1 and 4 workers"
+    );
+}
+
+#[test]
+fn deterministic_run_report_is_byte_identical_across_worker_counts() {
+    let _g = THREADS_LOCK.lock().unwrap();
+    let modules = elements();
+    let workloads = [WorkloadSpec::large_flows()];
+    let cfg = NicConfig::default();
+    let port = PortConfig::naive();
+    // One full telemetry capture per worker count: same work-derived
+    // counters and span tree, so the deterministic rendering (volatile
+    // metrics and timestamps stripped, siblings sorted) must not change
+    // by a single byte.
+    let capture = |threads: usize| {
+        engine::set_threads(threads);
+        engine::clear_caches();
+        clara_repro::obs::enable();
+        clara_repro::obs::reset();
+        let profiles = engine::profile_matrix(&modules, &workloads, 80, 7, &port, &cfg);
+        assert_eq!(profiles.len(), modules.len());
+        let json = clara_repro::obs::RunReport::capture().to_json_deterministic();
+        clara_repro::obs::disable();
+        json
+    };
+    let serial = capture(1);
+    let parallel = capture(4);
+    engine::set_threads(0);
+    assert!(serial.contains("nicsim.profile_runs"), "{serial}");
+    assert!(serial.contains("nfcc.modules_compiled"), "{serial}");
+    assert_eq!(
+        serial, parallel,
+        "deterministic run report diverged between 1 and 4 workers"
     );
 }
 

@@ -18,7 +18,7 @@ fn clara_port_beats_naive_port_on_accelerator_elements() {
             .into_iter()
             .find(|e| e.name() == name)
             .expect("known");
-        let insights = clara.analyze(&e.module, &trace);
+        let insights = clara.analyze(&e.module, &trace).expect("analysis succeeds");
         let cores = insights.suggested_cores;
         let naive = nicsim::simulate(&e.module, &trace, &PortConfig::naive(), &clara.nic, cores);
         let tuned = nicsim::simulate(
@@ -48,7 +48,7 @@ fn insights_are_internally_consistent() {
     let clara = trained();
     let trace = Trace::generate(&WorkloadSpec::small_flows().with_flows(1024), 800, 2);
     for e in clara_repro::click::corpus() {
-        let insights = clara.analyze(&e.module, &trace);
+        let insights = clara.analyze(&e.module, &trace).expect("analysis succeeds");
         // Core suggestions in range.
         assert!(
             (1..=clara.nic.cores).contains(&insights.suggested_cores),
