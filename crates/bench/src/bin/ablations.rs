@@ -56,7 +56,7 @@ fn ablate_reverse_porting() {
     let rows = engine::par_map("ablate-reverse-port", &names, |_, name| {
         let e = clara_bench::element(name);
         let trace = Trace::generate(&WorkloadSpec::large_flows(), trace_len(), 8);
-        let wp = engine::profile_cached(&e.module, &trace, &PortConfig::naive(), &cfg);
+        let wp = engine::Engine::new().profile_cached(&e.module, &trace, &PortConfig::naive(), &cfg);
         // Clara: predicted body compute + library profile for APIs (the
         // profile *is* wp.compute's API share, so Clara's estimate is the
         // body prediction plus the true library cycles).
@@ -75,7 +75,7 @@ fn ablate_reverse_porting() {
         // visitation, approximated by the profiled mean compute.
         let truth = wp.compute;
         let clara_total = body_pred
-            + (truth - f64::from(engine::compile_cached(&e.module).handler().total_compute()))
+            + (truth - f64::from(engine::Engine::new().compile_cached(&e.module).handler().total_compute()))
                 .max(0.0); // Library share of the true cycles.
         let err = |est: f64| (est - truth).abs() / truth * 100.0;
         vec![
@@ -203,7 +203,7 @@ fn ablate_ilp_vs_greedy() {
         .collect();
     pool.push(greedy_killer_nf());
     let rows = engine::par_map("ablate-placement", &pool, |_, e| {
-        let wp = engine::profile_cached(&e.module, &trace, &PortConfig::naive(), &cfg);
+        let wp = engine::Engine::new().profile_cached(&e.module, &trace, &PortConfig::naive(), &cfg);
         let ilp = suggest_placement(&e.module, &wp, &cfg).expect("feasible");
         let greedy = greedy_placement(&e.module, &wp, &cfg);
         let point = |m: &std::collections::BTreeMap<GlobalId, MemLevel>| {

@@ -14,10 +14,10 @@ use clara_core::engine;
 
 fn run(threads: usize) -> Duration {
     engine::set_threads(threads);
-    engine::clear_caches();
+    engine::Engine::new().clear_caches();
     engine::EngineStats::reset();
     let t = Instant::now();
-    let clara = Clara::train(&ClaraConfig::fast(99));
+    let clara = Clara::train(&ClaraConfig::fast(99)).expect("training degraded");
     let wall = t.elapsed();
     // Keep the model alive so the compiler can't discard training.
     drop(clara);

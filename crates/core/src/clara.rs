@@ -29,7 +29,7 @@ use crate::engine;
 use crate::error::ClaraError;
 use crate::placement;
 use crate::predict::{
-    block_samples, memory_count_accuracy, InstructionPredictor, PredictTrainConfig, PredictorKind,
+    memory_count_accuracy, InstructionPredictor, PredictTrainConfig, PredictorKind,
 };
 use crate::prepare::prepare_module;
 use crate::scaleout::{ScaleoutKind, ScaleoutModel};
@@ -64,6 +64,9 @@ pub struct ClaraConfig {
     pub seed: u64,
     /// NIC hardware configuration.
     pub nic: NicConfig,
+    /// Engine behaviour: workers, retries, deadlines, fault injection,
+    /// persistent cache. Installed process-wide when training starts.
+    pub engine: engine::EngineOptions,
 }
 
 impl ClaraConfig {
@@ -76,6 +79,7 @@ impl ClaraConfig {
             epochs: 35,
             seed,
             nic: NicConfig::default(),
+            engine: engine::EngineOptions::default(),
         }
     }
 
@@ -88,6 +92,7 @@ impl ClaraConfig {
             epochs: 15,
             seed,
             nic: NicConfig::default(),
+            engine: engine::EngineOptions::default(),
         }
     }
 
@@ -151,6 +156,14 @@ impl ClaraConfigBuilder {
     #[must_use]
     pub fn nic(mut self, nic: NicConfig) -> Self {
         self.cfg.nic = nic;
+        self
+    }
+
+    /// Sets the engine options (workers, retries, stage deadline, fault
+    /// injection, persistent cache directory).
+    #[must_use]
+    pub fn engine(mut self, opts: engine::EngineOptions) -> Self {
+        self.cfg.engine = opts;
         self
     }
 
@@ -226,9 +239,21 @@ impl Clara {
     /// Trains the full pipeline from synthesized corpora.
     ///
     /// The corpus compiles and the corpus × workload profiling matrix
-    /// fan out across [`crate::engine`]'s worker pool (`CLARA_THREADS`
-    /// workers); results are bit-identical to a serial run.
-    pub fn train(cfg: &ClaraConfig) -> Clara {
+    /// fan out across [`crate::engine`]'s worker pool
+    /// ([`crate::engine::EngineOptions::workers`] / `CLARA_THREADS`
+    /// workers); results are bit-identical to a serial run. Engine tasks
+    /// that fail — panics, injected faults — retry within the configured
+    /// budget; faulted runs whose failures all retry out are likewise
+    /// bit-identical to a fault-free run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClaraError::Degraded`] when any engine task exhausted
+    /// its retry budget (or hit a stage deadline): the pipeline is then
+    /// incomplete and no `Clara` is produced, but the run report (when a
+    /// sink is configured) is still written with the failure counters.
+    pub fn train(cfg: &ClaraConfig) -> Result<Clara, ClaraError> {
+        engine::configure(&cfg.engine);
         let sink = obs::sink_from_env();
         if sink.is_some() {
             obs::enable();
@@ -244,14 +269,18 @@ impl Clara {
         );
         // Branches may run on spawned threads; parenting them explicitly
         // under the root handle keeps the span tree identical to a
-        // serial run.
+        // serial run. Each branch reports (model, failures, tasks) so a
+        // degraded run can be surfaced with exact counts.
         let rh = root.handle();
+        type Branch<M> = (Option<M>, Vec<engine::TaskFailure>, usize);
         // Instruction prediction: synthesized program/assembly pairs.
-        let train_predictor = || {
+        let train_predictor = || -> Branch<InstructionPredictor> {
             let _branch = obs::span_under(rh, "train-predict-branch");
             let train_modules = nf_synth::synth_corpus(cfg.predict_programs, true, cfg.seed);
-            let samples = block_samples(&train_modules);
-            engine::time_stage("train-predict", || {
+            let (samples, mut failures, mut total) =
+                crate::predict::try_block_samples(&train_modules);
+            total += 1;
+            let fit = engine::try_time_stage("train-predict", || {
                 InstructionPredictor::train(
                     PredictorKind::ClaraLstm,
                     &samples,
@@ -261,50 +290,80 @@ impl Clara {
                         ..Default::default()
                     },
                 )
-            })
+            });
+            match fit {
+                Ok(p) => (Some(p), failures, total),
+                Err(f) => {
+                    failures.push(f);
+                    (None, failures, total)
+                }
+            }
         };
         // Algorithm identification.
-        let train_algid = || {
+        let train_algid = || -> Branch<AlgoIdentifier> {
             let _branch = obs::span_under(rh, "train-algid-branch");
-            engine::time_stage("train-algid", || {
+            let fit = engine::try_time_stage("train-algid", || {
                 let corpus = crate::algid::labeled_corpus(cfg.algid_per_class, cfg.seed ^ 0xa1);
                 AlgoIdentifier::train(&corpus, ClassifierKind::ClaraSvm, cfg.seed)
-            })
+            });
+            match fit {
+                Ok(a) => (Some(a), Vec::new(), 1),
+                Err(f) => (None, vec![f], 1),
+            }
         };
         // Scale-out analysis.
-        let train_scaleout = || {
+        let train_scaleout = || -> Branch<ScaleoutModel> {
             let _branch = obs::span_under(rh, "train-scaleout-branch");
-            let so_data =
-                crate::scaleout::training_set(cfg.scaleout_programs, cfg.seed ^ 0x50, &cfg.nic);
-            engine::time_stage("train-scaleout", || {
+            let (so_data, mut failures, mut total) = crate::scaleout::try_training_set(
+                cfg.scaleout_programs,
+                cfg.seed ^ 0x50,
+                &cfg.nic,
+            );
+            total += 1;
+            let fit = engine::try_time_stage("train-scaleout", || {
                 ScaleoutModel::train(ScaleoutKind::ClaraGbdt, &so_data, &cfg.nic, cfg.seed)
-            })
+            });
+            match fit {
+                Ok(so) => (Some(so), failures, total),
+                Err(f) => {
+                    failures.push(f);
+                    (None, failures, total)
+                }
+            }
         };
         // The three models are independent; with more than one engine
         // worker they train concurrently (each branch also fans out
         // internally). Either path assembles the same three results, so
         // the worker count never changes the trained pipeline.
-        let (predictor, algid, scaleout) = if engine::threads() > 1 {
-            std::thread::scope(|s| {
-                let a = s.spawn(train_algid);
-                let so = s.spawn(train_scaleout);
-                let p = train_predictor();
-                (p, a.join().expect("algid"), so.join().expect("scaleout"))
-            })
-        } else {
-            (train_predictor(), train_algid(), train_scaleout())
-        };
-        let clara = Clara {
-            predictor,
-            algid,
-            scaleout,
-            nic: cfg.nic.clone(),
-        };
+        let ((predictor, pf, pt), (algid, af, at), (scaleout, sf, st)) =
+            if engine::threads() > 1 {
+                std::thread::scope(|s| {
+                    let a = s.spawn(train_algid);
+                    let so = s.spawn(train_scaleout);
+                    let p = train_predictor();
+                    (p, a.join().expect("algid"), so.join().expect("scaleout"))
+                })
+            } else {
+                (train_predictor(), train_algid(), train_scaleout())
+            };
+        let failed = pf.len() + af.len() + sf.len();
+        let total = pt + at + st;
         drop(root);
+        // The report is written even for degraded runs — it is where the
+        // engine.task_failures / engine.retries counters land, and a
+        // degraded run is exactly when they matter.
         if let Some(raw) = sink {
             write_report(&raw, "clara_train.json");
         }
-        clara
+        match (predictor, algid, scaleout) {
+            (Some(predictor), Some(algid), Some(scaleout)) if failed == 0 => Ok(Clara {
+                predictor,
+                algid,
+                scaleout,
+                nic: cfg.nic.clone(),
+            }),
+            _ => Err(ClaraError::Degraded { failed, total }),
+        }
     }
 
     /// Serializes the trained pipeline to a versioned JSON envelope
@@ -407,8 +466,10 @@ impl Clara {
     ///
     /// Returns [`ClaraError::EmptyTrace`] for a packet-less trace,
     /// [`ClaraError::InvalidModule`] when the module fails IR
-    /// verification, and [`ClaraError::Prediction`] when a trained model
-    /// produces an unusable estimate.
+    /// verification, [`ClaraError::Prediction`] when a trained model
+    /// produces an unusable estimate, and [`ClaraError::Degraded`] when
+    /// the profiling task failed permanently (exhausted retries or hit a
+    /// stage deadline).
     pub fn analyze(&self, module: &Module, trace: &Trace) -> Result<Insights, ClaraError> {
         if trace.pkts.is_empty() {
             return Err(ClaraError::EmptyTrace);
@@ -441,11 +502,21 @@ impl Clara {
             }
         };
         // Host-side profiling for the workload-specific insights, memoized
-        // so repeat analyses of the same NF + trace reuse the run.
+        // so repeat analyses of the same NF + trace reuse the run. This
+        // is the one engine task in the analyze path, so it runs under
+        // the fault-tolerance machinery (retries, deadline, injection).
         let naive = PortConfig::naive();
-        let profile = {
-            let _s = obs::span("analyze-profile");
-            engine::profile_cached(module, trace, &naive, &self.nic)
+        let profile = match engine::try_time_stage("analyze-profile", || {
+            engine::Engine::new().profile_cached(module, trace, &naive, &self.nic)
+        }) {
+            Ok(p) => p,
+            Err(_) => {
+                drop(root);
+                if let Some(raw) = sink {
+                    write_report(&raw, "clara_analyze.json");
+                }
+                return Err(ClaraError::Degraded { failed: 1, total: 1 });
+            }
         };
         let placement = {
             let _s = obs::span("analyze-placement");
@@ -492,7 +563,7 @@ mod tests {
 
     #[test]
     fn end_to_end_insights_for_cmsketch() {
-        let clara = Clara::train(&ClaraConfig::fast(1));
+        let clara = Clara::train(&ClaraConfig::fast(1)).expect("train");
         let e = click_model::elements::cmsketch();
         let trace = Trace::generate(&WorkloadSpec::large_flows(), 300, 2);
         let insights = clara.analyze(&e.module, &trace).expect("analysis succeeds");
@@ -521,7 +592,7 @@ mod tests {
 
     #[test]
     fn save_load_round_trip_preserves_predictions() {
-        let clara = Clara::train(&ClaraConfig::fast(5));
+        let clara = Clara::train(&ClaraConfig::fast(5)).expect("train");
         let dir = std::env::temp_dir().join("clara_model_test.json");
         clara.save(&dir).expect("saves");
         let loaded = Clara::load(&dir).expect("loads");
@@ -539,7 +610,7 @@ mod tests {
 
     #[test]
     fn stateless_nf_gets_no_placement_or_accel() {
-        let clara = Clara::train(&ClaraConfig::fast(3));
+        let clara = Clara::train(&ClaraConfig::fast(3)).expect("train");
         let e = click_model::elements::tcpack();
         let trace = Trace::generate(&WorkloadSpec::large_flows(), 100, 4);
         let insights = clara.analyze(&e.module, &trace).expect("analysis succeeds");

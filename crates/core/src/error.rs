@@ -51,6 +51,44 @@ pub enum ClaraError {
         /// Human-readable description.
         detail: String,
     },
+    /// A persistent cache artifact failed verification (bad header,
+    /// checksum mismatch, or unreadable body).
+    ///
+    /// The engine itself never surfaces this — corrupt artifacts fall
+    /// back to recomputation silently — but explicit integrity checks
+    /// ([`crate::engine::Engine::verify_disk_cache`], `clara
+    /// cache-verify`) report what they found.
+    CacheCorrupt {
+        /// Path of the offending artifact.
+        path: PathBuf,
+        /// What failed to verify.
+        detail: String,
+    },
+    /// The run completed with partial results: some engine tasks
+    /// exhausted their retry budget (or hit a stage deadline) and were
+    /// dropped from the output.
+    Degraded {
+        /// Tasks that failed permanently.
+        failed: usize,
+        /// Tasks the run attempted in total.
+        total: usize,
+    },
+}
+
+impl ClaraError {
+    /// The CLI process exit code for this error.
+    ///
+    /// The mapping is part of the CLI contract (documented in `--help`):
+    /// `2` usage errors, `3` degraded runs, `4` cache corruption, `5`
+    /// I/O failures, `1` everything else.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            ClaraError::Degraded { .. } => 3,
+            ClaraError::CacheCorrupt { .. } => 4,
+            ClaraError::Io { .. } => 5,
+            _ => 1,
+        }
+    }
 }
 
 impl fmt::Display for ClaraError {
@@ -75,6 +113,14 @@ impl fmt::Display for ClaraError {
                 write!(f, "workload trace is empty; generate at least one packet")
             }
             ClaraError::Prediction { detail } => write!(f, "prediction failed: {detail}"),
+            ClaraError::CacheCorrupt { path, detail } => {
+                write!(f, "corrupt cache artifact {}: {detail}", path.display())
+            }
+            ClaraError::Degraded { failed, total } => write!(
+                f,
+                "run degraded: {failed} of {total} engine tasks failed permanently \
+                 (see the run report's engine.task_failures counter)"
+            ),
         }
     }
 }
@@ -85,5 +131,30 @@ impl std::error::Error for ClaraError {
             ClaraError::Io { source, .. } => Some(source),
             _ => None,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_documented() {
+        let degraded = ClaraError::Degraded { failed: 1, total: 4 };
+        let corrupt = ClaraError::CacheCorrupt {
+            path: PathBuf::from("x.clc"),
+            detail: "checksum mismatch".into(),
+        };
+        let io = ClaraError::Io {
+            path: PathBuf::from("y"),
+            source: std::io::Error::other("boom"),
+        };
+        let other = ClaraError::EmptyTrace;
+        assert_eq!(degraded.exit_code(), 3);
+        assert_eq!(corrupt.exit_code(), 4);
+        assert_eq!(io.exit_code(), 5);
+        assert_eq!(other.exit_code(), 1);
+        assert!(degraded.to_string().contains("1 of 4"));
+        assert!(corrupt.to_string().contains("x.clc"));
     }
 }

@@ -29,7 +29,7 @@
 //! use trafgen::{Trace, WorkloadSpec};
 //!
 //! # fn main() -> Result<(), ClaraError> {
-//! let clara = Clara::train(&ClaraConfig::fast(1));
+//! let clara = Clara::train(&ClaraConfig::fast(1))?;
 //! let nf = click_model::elements::cmsketch();
 //! let trace = Trace::generate(&WorkloadSpec::large_flows(), 500, 7);
 //! let insights = clara.analyze(&nf.module, &trace)?;
@@ -51,8 +51,10 @@ pub mod algid;
 pub mod clara;
 pub mod coalesce;
 pub mod coloc;
+mod diskcache;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod partial;
 pub mod placement;
 pub mod predict;
@@ -60,6 +62,8 @@ pub mod prepare;
 pub mod scaleout;
 
 pub use clara::{Clara, ClaraConfig, ClaraConfigBuilder, Insights, MODEL_FORMAT_VERSION};
+pub use engine::{Engine, EngineOptions, EngineOptionsBuilder};
 pub use error::ClaraError;
+pub use faults::{FaultKind, FaultPlan};
 pub use predict::{BlockSample, InstructionPredictor, PredictorKind};
 pub use prepare::{prepare_module, PreparedBlock, PreparedModule};

@@ -34,9 +34,32 @@ pub struct BlockSample {
 /// Compiles fan out across the engine's worker pool and are memoized per
 /// module content, so a corpus element sampled twice compiles once.
 /// Sample order matches a serial loop over `modules` exactly.
+///
+/// # Panics
+///
+/// Panics if any module's compile fails permanently;
+/// [`try_block_samples`] is the fault-tolerant form.
 pub fn block_samples(modules: &[Module]) -> Vec<BlockSample> {
-    let per_module = crate::engine::par_map("predict-samples", modules, |_, m| {
-        let nic = crate::engine::compile_cached(m);
+    let (samples, failures, _) = try_block_samples(modules);
+    assert!(
+        failures.is_empty(),
+        "predict-samples: {} of {} module(s) failed permanently; first: {}",
+        failures.len(),
+        modules.len(),
+        failures[0].error
+    );
+    samples
+}
+
+/// Fault-tolerant [`block_samples`]: modules whose compile fails
+/// permanently are dropped from the sample set and reported in the
+/// failure list. Returns `(samples, failures, tasks attempted)`.
+pub fn try_block_samples(
+    modules: &[Module],
+) -> (Vec<BlockSample>, Vec<crate::engine::TaskFailure>, usize) {
+    let engine = crate::engine::Engine::new();
+    let out = crate::engine::try_par_map("predict-samples", modules, |_, m| {
+        let nic = engine.compile_cached(m);
         let mut out = Vec::new();
         for (f, nf) in m.funcs.iter().zip(nic.funcs.iter()) {
             for (b, nb) in f.blocks.iter().zip(nf.blocks.iter()) {
@@ -49,7 +72,9 @@ pub fn block_samples(modules: &[Module]) -> Vec<BlockSample> {
         }
         out
     });
-    per_module.into_iter().flatten().collect()
+    let total = out.total();
+    let samples = out.results.into_iter().flatten().flatten().collect();
+    (samples, out.failures, total)
 }
 
 /// The model family used for prediction (Figure 8's contenders).
@@ -257,7 +282,7 @@ impl InstructionPredictor {
 /// the memory instructions `nfcc` actually emitted, per block
 /// (1 − WMAPE, as a percentage).
 pub fn memory_count_accuracy(module: &Module) -> f64 {
-    let nic = crate::engine::compile_cached(module);
+    let nic = crate::engine::Engine::new().compile_cached(module);
     let mut truth = Vec::new();
     let mut counted = Vec::new();
     for (f, nf) in module.funcs.iter().zip(nic.funcs.iter()) {

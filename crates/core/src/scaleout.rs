@@ -91,7 +91,31 @@ pub struct ScaleoutModel {
 
 /// Builds the training set: synthesized NFs × workload profiles, labeled
 /// with the sweep-optimal core count.
+///
+/// # Panics
+///
+/// Panics if any profiling or labeling task fails permanently;
+/// [`try_training_set`] is the fault-tolerant form.
 pub fn training_set(programs: usize, seed: u64, cfg: &NicConfig) -> Dataset {
+    let (data, failures, total) = try_training_set(programs, seed, cfg);
+    assert!(
+        failures.is_empty(),
+        "scaleout training set: {} of {total} task(s) failed permanently; first: {}",
+        failures.len(),
+        failures[0].error
+    );
+    data
+}
+
+/// Fault-tolerant [`training_set`]: matrix cells whose profiling fails
+/// permanently (and rows whose labeling fails) are dropped from the
+/// dataset and reported in the failure list. Returns
+/// `(dataset, failures, tasks attempted)`.
+pub fn try_training_set(
+    programs: usize,
+    seed: u64,
+    cfg: &NicConfig,
+) -> (Dataset, Vec<crate::engine::TaskFailure>, usize) {
     let modules = nf_synth::synth_corpus(programs, true, seed);
     let workloads = [
         WorkloadSpec::large_flows(),
@@ -102,16 +126,21 @@ pub fn training_set(programs: usize, seed: u64, cfg: &NicConfig) -> Dataset {
     // The corpus × workload matrix fans out across the engine's worker
     // pool; profiles come back in the same (module-major) order the old
     // serial loop produced, so the dataset is bit-identical.
-    let profiles = crate::engine::profile_matrix(&modules, &workloads, 400, seed, &port, cfg);
-    let rows = crate::engine::par_map("scaleout-label", &profiles, |_, wp| {
+    let matrix = crate::engine::try_profile_matrix(&modules, &workloads, 400, seed, &port, cfg);
+    let mut total = matrix.total();
+    let mut failures = matrix.failures;
+    let profiles: Vec<WorkloadProfile> = matrix.results.into_iter().flatten().collect();
+    let labeled = crate::engine::try_par_map("scaleout-label", &profiles, |_, wp| {
         let label = optimal_by_sweep(wp, cfg, &port);
         (features_of(wp, cfg, &port), f64::from(label))
     });
+    total += labeled.total();
+    failures.extend(labeled.failures);
     let mut data = Dataset::default();
-    for (x, y) in rows {
+    for (x, y) in labeled.results.into_iter().flatten() {
         data.push(x, y);
     }
-    data
+    (data, failures, total)
 }
 
 impl ScaleoutModel {

@@ -1,0 +1,173 @@
+//! Capture and replay of deterministic telemetry around memoized work.
+//!
+//! The engine's persistent artifact cache skips a compile or profiling
+//! run on a warm hit — but the skipped work would have produced
+//! deterministic counters (`nfcc.modules_compiled`, `nicsim.*`) and
+//! spans that the deterministic run report pins byte-for-byte. To keep a
+//! warm run's deterministic report identical to a cold run's, the cache
+//! stores the telemetry the computation produced and replays it on every
+//! hit:
+//!
+//! - [`capture_telemetry`] runs a closure with a thread-local capture
+//!   frame active. Every **deterministic** counter increment made on this
+//!   thread is accumulated into the frame, and (while recording is
+//!   enabled) a marker span wraps the closure so its span subtree can be
+//!   extracted afterwards. Volatile metrics are never captured — they
+//!   are timing-derived and excluded from deterministic reports anyway.
+//! - [`replay_telemetry`] re-applies the captured counter deltas and
+//!   (while recording is enabled) re-inserts the span subtree under the
+//!   current span, with zero-length timestamps.
+//!
+//! Frames nest: an inner capture also feeds every outer frame, so a
+//! nested memoized computation attributes its telemetry to both
+//! artifacts. With no frame active, [`Counter::add`](crate::Counter::add)
+//! pays one thread-local read — the layer stays effectively free.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+
+use crate::span;
+
+/// A span subtree captured with a computation. Only names, details, and
+/// structure are kept: timestamps are volatile and are re-stamped (as
+/// zero-length spans) on replay.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CapturedSpan {
+    /// Span name.
+    pub name: String,
+    /// Detail string attached at creation.
+    pub detail: String,
+    /// Nested spans, in start order.
+    pub children: Vec<CapturedSpan>,
+}
+
+/// Deterministic telemetry produced by one captured computation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CapturedTelemetry {
+    /// Name-sorted deltas of every deterministic counter the computation
+    /// incremented on the capturing thread.
+    pub counters: Vec<(String, u64)>,
+    /// The marker span's subtree, when recording was enabled.
+    pub span: Option<CapturedSpan>,
+    /// Whether span recording was enabled during capture. A consumer
+    /// that needs spans (recording now enabled) must treat an
+    /// `enabled: false` capture as incomplete and recompute.
+    pub enabled: bool,
+}
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+    static FRAMES: RefCell<Vec<BTreeMap<String, u64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Feeds a deterministic counter increment into every active capture
+/// frame on this thread (called by [`crate::Counter::add`]).
+pub(crate) fn note_counter(name: &str, n: u64) {
+    if n == 0 || DEPTH.with(Cell::get) == 0 {
+        return;
+    }
+    FRAMES.with(|f| {
+        for frame in f.borrow_mut().iter_mut() {
+            *frame.entry(name.to_string()).or_insert(0) += n;
+        }
+    });
+}
+
+/// Pops the innermost frame even if the computation unwinds (a panicked
+/// attempt simply loses its telemetry; the retry recaptures).
+struct FrameGuard;
+
+impl Drop for FrameGuard {
+    fn drop(&mut self) {
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        FRAMES.with(|f| {
+            f.borrow_mut().pop();
+        });
+    }
+}
+
+/// Runs `f` with a capture frame active and returns its result together
+/// with the deterministic telemetry it produced on this thread.
+///
+/// While recording is enabled, a marker span named `span_name` (with
+/// `span_detail`) wraps the closure and is returned — subtree included —
+/// as [`CapturedTelemetry::span`]; replaying recreates the identical
+/// deterministic span rendering.
+pub fn capture_telemetry<R>(
+    span_name: &str,
+    span_detail: &str,
+    f: impl FnOnce() -> R,
+) -> (R, CapturedTelemetry) {
+    let enabled = crate::enabled();
+    let guard = if enabled {
+        crate::span_detail(span_name, span_detail)
+    } else {
+        crate::SpanGuard::disarmed()
+    };
+    let root_id = guard.handle().id();
+    FRAMES.with(|f| f.borrow_mut().push(BTreeMap::new()));
+    DEPTH.with(|d| d.set(d.get() + 1));
+    let fg = FrameGuard;
+    let r = f();
+    let counters_map = FRAMES.with(|f| f.borrow().last().cloned().unwrap_or_default());
+    drop(fg);
+    drop(guard); // close the marker span before extracting its subtree
+    let span = if enabled {
+        span::extract_subtree(root_id)
+    } else {
+        None
+    };
+    (
+        r,
+        CapturedTelemetry {
+            counters: counters_map.into_iter().collect(),
+            span,
+            enabled,
+        },
+    )
+}
+
+/// Re-applies captured telemetry: counter deltas always, the span
+/// subtree only while recording is enabled (mirroring live behaviour —
+/// a disabled run records no spans either way).
+pub fn replay_telemetry(t: &CapturedTelemetry) {
+    for (name, delta) in &t.counters {
+        crate::counter(name).add(*delta);
+    }
+    if crate::enabled() {
+        if let Some(s) = &t.span {
+            span::replay_subtree(span::current_id(), s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_capture_and_replay() {
+        let (out, tel) = capture_telemetry("cap-test", "", || {
+            crate::counter("cap.test.det").add(3);
+            crate::volatile_counter("cap.test.vol").add(9);
+            crate::counter("cap.test.det").incr();
+            7u32
+        });
+        assert_eq!(out, 7);
+        assert_eq!(tel.counters, vec![("cap.test.det".to_string(), 4)]);
+        let before = crate::counter("cap.test.det").value();
+        replay_telemetry(&tel);
+        assert_eq!(crate::counter("cap.test.det").value(), before + 4);
+    }
+
+    #[test]
+    fn nested_frames_feed_outer_captures() {
+        let ((), outer) = capture_telemetry("cap-outer", "", || {
+            let ((), inner) = capture_telemetry("cap-inner", "", || {
+                crate::counter("cap.nested").add(2);
+            });
+            assert_eq!(inner.counters, vec![("cap.nested".to_string(), 2)]);
+        });
+        assert_eq!(outer.counters, vec![("cap.nested".to_string(), 2)]);
+    }
+}

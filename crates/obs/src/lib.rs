@@ -36,6 +36,7 @@
 //! the engine's bit-identical parallel-vs-serial guarantee; a ~500-line
 //! purpose-built layer keeps both properties auditable.
 
+pub mod capture;
 mod json;
 pub mod metrics;
 pub mod report;
@@ -43,6 +44,7 @@ pub mod span;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+pub use capture::{capture_telemetry, replay_telemetry, CapturedSpan, CapturedTelemetry};
 pub use metrics::{
     counter, gauge, histogram, volatile_counter, volatile_gauge, volatile_histogram, Counter,
     Gauge, HistSummary, Histogram,

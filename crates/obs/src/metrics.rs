@@ -9,9 +9,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// A monotonic counter. Always live, even when the layer is disabled.
+///
+/// The handle carries its registered name and volatility so that
+/// deterministic increments can feed the active
+/// [capture frame](crate::capture_telemetry), if any.
 #[derive(Clone)]
 pub struct Counter {
     cell: Arc<AtomicU64>,
+    name: Arc<str>,
+    volatile: bool,
 }
 
 impl Counter {
@@ -19,6 +25,9 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         self.cell.fetch_add(n, Ordering::Relaxed);
+        if !self.volatile {
+            crate::capture::note_counter(&self.name, n);
+        }
     }
 
     /// Adds 1.
@@ -30,6 +39,11 @@ impl Counter {
     /// Current value.
     pub fn value(&self) -> u64 {
         self.cell.load(Ordering::Relaxed)
+    }
+
+    /// The name this counter was registered under.
+    pub fn name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -156,6 +170,8 @@ fn register<T: Clone>(reg: &Registry<T>, name: &str, volatile: bool, fresh: impl
 pub fn counter(name: &str) -> Counter {
     Counter {
         cell: register(&COUNTERS, name, false, || Arc::new(AtomicU64::new(0))),
+        name: Arc::from(name),
+        volatile: false,
     }
 }
 
@@ -164,6 +180,8 @@ pub fn counter(name: &str) -> Counter {
 pub fn volatile_counter(name: &str) -> Counter {
     Counter {
         cell: register(&COUNTERS, name, true, || Arc::new(AtomicU64::new(0))),
+        name: Arc::from(name),
+        volatile: true,
     }
 }
 

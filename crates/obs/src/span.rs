@@ -44,6 +44,18 @@ pub struct SpanHandle {
     id: u64,
 }
 
+impl SpanHandle {
+    /// Raw record id (0 for root / disarmed handles).
+    pub(crate) fn id(self) -> u64 {
+        self.id
+    }
+}
+
+/// Raw id of the current thread's innermost open span (0 when none).
+pub(crate) fn current_id() -> u64 {
+    CURRENT.with(Cell::get)
+}
+
 /// The current thread's innermost open span (id 0 when none).
 pub fn current() -> SpanHandle {
     SpanHandle {
@@ -158,6 +170,70 @@ pub(crate) fn reset_spans() {
     let mut spans = SPANS.get_or_init(Mutex::default).lock().expect("spans poisoned");
     GENERATION.fetch_add(1, Ordering::SeqCst);
     spans.clear();
+}
+
+/// Extracts the (closed) span subtree rooted at record `root` as a
+/// timestamp-free [`crate::CapturedSpan`] tree.
+///
+/// Membership is computed by parent links: a record belongs to the
+/// subtree when its parent does. Children always carry larger ids than
+/// their parent (they open later), so one ascending pass suffices;
+/// unrelated spans recorded concurrently by other threads parent outside
+/// the subtree and are skipped.
+pub(crate) fn extract_subtree(root: u64) -> Option<crate::CapturedSpan> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let spans = SPANS.get_or_init(Mutex::default).lock().expect("spans poisoned");
+    let n = spans.len() as u64;
+    if root == 0 || root > n {
+        return None;
+    }
+    let mut members: BTreeSet<u64> = BTreeSet::new();
+    members.insert(root);
+    let mut kids: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for id in (root + 1)..=n {
+        let rec = &spans[(id - 1) as usize];
+        if members.contains(&rec.parent) {
+            members.insert(id);
+            kids.entry(rec.parent).or_default().push(id);
+        }
+    }
+    fn build(id: u64, spans: &[SpanRec], kids: &std::collections::BTreeMap<u64, Vec<u64>>) -> crate::CapturedSpan {
+        let rec = &spans[(id - 1) as usize];
+        crate::CapturedSpan {
+            name: rec.name.clone(),
+            detail: rec.detail.clone(),
+            children: kids
+                .get(&id)
+                .map(|c| c.iter().map(|&k| build(k, spans, kids)).collect())
+                .unwrap_or_default(),
+        }
+    }
+    Some(build(root, &spans, &kids))
+}
+
+/// Re-inserts a captured subtree under `parent` as zero-length spans
+/// stamped "now". No-op while recording is disabled (live recording
+/// would have recorded nothing either).
+pub(crate) fn replay_subtree(parent: u64, node: &crate::CapturedSpan) {
+    if !crate::enabled() {
+        return;
+    }
+    let now = now_ns();
+    let mut spans = SPANS.get_or_init(Mutex::default).lock().expect("spans poisoned");
+    fn push(spans: &mut Vec<SpanRec>, parent: u64, node: &crate::CapturedSpan, now: u64) {
+        spans.push(SpanRec {
+            name: node.name.clone(),
+            detail: node.detail.clone(),
+            parent,
+            start_ns: now,
+            end_ns: now,
+        });
+        let id = spans.len() as u64;
+        for c in &node.children {
+            push(spans, id, c, now);
+        }
+    }
+    push(&mut spans, parent, node, now);
 }
 
 /// Snapshot of the raw records (open spans get `end_ns = start_ns`).

@@ -15,7 +15,7 @@ use clara_repro::trafgen::{Trace, WorkloadSpec};
 
 fn main() {
     println!("=== Clara port advisor: full corpus report ===\n");
-    let clara = Clara::train(&ClaraConfig::fast(13));
+    let clara = Clara::train(&ClaraConfig::fast(13)).expect("training degraded");
     let spec = WorkloadSpec::small_flows().with_flows(4096);
     let trace = Trace::generate(&spec, 2500, 99);
     let cfg = clara.nic.clone();

@@ -18,7 +18,7 @@ fn main() {
 
     // 1. Train. `fast` keeps this example snappy; benchmarks use `full`.
     println!("training Clara (synthesized corpora)...");
-    let clara = Clara::train(&ClaraConfig::fast(7));
+    let clara = Clara::train(&ClaraConfig::fast(7)).expect("training degraded");
 
     // 2. Analyze an unported NF against a workload.
     let nf = clara_repro::click::elements::cmsketch();

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Cold-vs-warm persistent-cache comparison: run the training timing
+# bench twice against the same CLARA_CACHE_DIR and assert the warm
+# process serves every artifact from disk (zero recomputations in its
+# run report). Leaves BENCH_train_timing_{cold,warm}.json behind for
+# upload.
+# Run from the repository root: ./scripts/cache_bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dir=$(mktemp -d "${TMPDIR:-/tmp}/clara-cache-bench.XXXXXX")
+trap 'rm -rf "$dir"' EXIT
+rm -f BENCH_train_timing_cold.json BENCH_train_timing_warm.json
+
+CLARA_QUICK=1 CLARA_CACHE_DIR="$dir" CLARA_REPORT=BENCH_train_timing_cold.json \
+  cargo run --release -p clara-bench --bin train_timing 2
+test -s BENCH_train_timing_cold.json
+artifacts=$(find "$dir" -name '*.clc' | wc -l)
+if [ "$artifacts" -le 0 ]; then
+  echo "cache_bench: cold run stored no artifacts" >&2
+  exit 1
+fi
+
+CLARA_QUICK=1 CLARA_CACHE_DIR="$dir" CLARA_REPORT=BENCH_train_timing_warm.json \
+  cargo run --release -p clara-bench --bin train_timing 2
+test -s BENCH_train_timing_warm.json
+# Report JSON is compact ("key":value, no space after the colon).
+if ! grep -q '"engine.disk_cache.recomputes":0' BENCH_train_timing_warm.json; then
+  echo "cache_bench: warm run recomputed artifacts" >&2
+  exit 1
+fi
+hits=$(grep -o '"engine.disk_cache.hits":[0-9]*' BENCH_train_timing_warm.json | head -1 | cut -d: -f2)
+if [ "${hits:-0}" -le 0 ]; then
+  echo "cache_bench: warm run reports no disk-cache hits" >&2
+  exit 1
+fi
+echo "cache_bench: ok ($artifacts artifact(s) stored cold, $hits disk hit(s) warm, 0 recomputes)"

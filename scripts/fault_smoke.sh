@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Fault-injection smoke test: a saturating CLARA_FAULTS plan (rate 1.0,
+# depth 9, beyond any retry budget) must degrade training, exit with the
+# documented code 3, and leave a run report whose fault-tolerance
+# counters record the injections and permanent failures.
+# Run from the repository root: ./scripts/fault_smoke.sh
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+rm -f clara_train.json
+CLARA_FAULTS=7:1.0:9 CLARA_REPORT=1 CLARA_THREADS=2 \
+  cargo run --release --bin clara -- analyze aggcounter --packets 200
+code=$?
+set -e
+if [ "$code" -ne 3 ]; then
+  echo "fault_smoke: expected exit code 3 (degraded run), got $code" >&2
+  exit 1
+fi
+
+# The training report is written even for degraded runs; its counters
+# are the post-mortem. Report JSON is compact ("key":value, no space).
+test -s clara_train.json
+injected=$(grep -o '"engine.faults_injected":[0-9]*' clara_train.json | head -1 | cut -d: -f2)
+failures=$(grep -o '"engine.task_failures":[0-9]*' clara_train.json | head -1 | cut -d: -f2)
+if [ "${injected:-0}" -le 0 ]; then
+  echo "fault_smoke: report shows no injected faults" >&2
+  exit 1
+fi
+if [ "${failures:-0}" -le 0 ]; then
+  echo "fault_smoke: report shows no permanent task failures" >&2
+  exit 1
+fi
+echo "fault_smoke: ok (exit 3, $injected fault(s) injected, $failures permanent failure(s))"

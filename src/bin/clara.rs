@@ -7,6 +7,7 @@
 //! $ clara ir iplookup                  # print the NF's IR
 //! $ clara asm iplookup                 # print the vendor compiler output
 //! $ clara sweep mazunat                # core-count sweep table
+//! $ clara cache-verify                 # check CLARA_CACHE_DIR artifacts
 //! ```
 
 use clara_repro::clara::{Clara, ClaraConfig, ClaraError};
@@ -30,10 +31,18 @@ fn find(name: &str) -> NfElement {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: clara <list|analyze|ir|asm|sweep> [element] [options]");
+    eprintln!("usage: clara <list|analyze|ir|asm|sweep|cache-verify> [element] [options]");
     eprintln!(
         "  options: --small-flows  --packets N  --seed N  --cores N  --model FILE  \
          --report FILE"
+    );
+    eprintln!(
+        "  environment: CLARA_THREADS=N  CLARA_CACHE_DIR=DIR  \
+         CLARA_FAULTS=<seed>:<rate>[:<depth>]  CLARA_REPORT=FILE"
+    );
+    eprintln!(
+        "  exit codes: 0 success, 1 other errors, 2 usage, 3 degraded run \
+         (engine tasks failed permanently), 4 cache corruption, 5 I/O failure"
     );
     std::process::exit(2);
 }
@@ -100,7 +109,7 @@ fn trace_of(o: &Opts) -> Trace {
 fn main() {
     if let Err(e) = run() {
         eprintln!("clara: error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.exit_code());
     }
 }
 
@@ -170,7 +179,7 @@ fn run() -> Result<(), ClaraError> {
                 }
                 other => {
                     eprintln!("training Clara (one-time, ~a minute in release mode)...");
-                    let c = Clara::train(&ClaraConfig::fast(o.seed));
+                    let c = Clara::train(&ClaraConfig::fast(o.seed))?;
                     if let Some(path) = other {
                         if let Err(e) = c.save(path) {
                             eprintln!("warning: could not save model to {path}: {e}");
@@ -234,6 +243,30 @@ fn run() -> Result<(), ClaraError> {
                         "warning: could not write run report to {}: {e}",
                         path.display()
                     ),
+                }
+            }
+        }
+        "cache-verify" => {
+            let engine = clara_repro::clara::engine::Engine::new();
+            match engine.verify_disk_cache()? {
+                None => {
+                    eprintln!(
+                        "no persistent cache configured; set CLARA_CACHE_DIR to enable one"
+                    );
+                }
+                Some(summary) => {
+                    println!(
+                        "scanned {} artifact(s): {} valid, {} corrupt",
+                        summary.scanned,
+                        summary.valid,
+                        summary.corrupt.len()
+                    );
+                    for (path, detail) in &summary.corrupt {
+                        eprintln!("  corrupt: {}: {detail}", path.display());
+                    }
+                    if let Some(err) = summary.into_error() {
+                        return Err(err);
+                    }
                 }
             }
         }

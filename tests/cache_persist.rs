@@ -1,0 +1,210 @@
+//! The persistent artifact cache is invisible to results and to the
+//! deterministic run report.
+//!
+//! ISSUE acceptance: a warm-cache run must report zero recomputations
+//! while its profiles — and its deterministic report rendering — stay
+//! byte-identical to the cold run that populated the cache. Corrupt
+//! artifacts must silently fall back to recomputation and be named by
+//! the explicit verify pass.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use clara_repro::clara::engine::{self, Engine, EngineOptions};
+use clara_repro::clara::ClaraError;
+use clara_repro::ir::Module;
+use clara_repro::nicsim::{NicConfig, PortConfig};
+use clara_repro::obs;
+use clara_repro::trafgen::WorkloadSpec;
+
+/// Engine configuration, caches, and the obs registry are process
+/// globals; tests in this binary serialize on this lock.
+static ENGINE_LOCK: Mutex<()> = Mutex::new(());
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("clara-cache-it-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn elements() -> Vec<Module> {
+    ["aggcounter", "cmsketch"]
+        .iter()
+        .map(|name| {
+            clara_repro::click::corpus()
+                .into_iter()
+                .find(|e| e.name() == *name)
+                .expect("known corpus element")
+                .module
+        })
+        .collect()
+}
+
+#[test]
+fn warm_cache_run_recomputes_nothing_and_reports_identically() {
+    let _g = ENGINE_LOCK.lock().unwrap();
+    let dir = tmp_dir("warm");
+    let modules = elements();
+    let workloads = [WorkloadSpec::large_flows()];
+    let cfg = NicConfig::default();
+    let port = PortConfig::naive();
+    engine::configure(&EngineOptions::builder().workers(2).cache_dir(&dir).build());
+
+    let run = || {
+        Engine::new().clear_caches();
+        obs::enable();
+        obs::reset();
+        let before = engine::EngineStats::snapshot();
+        let profiles = engine::profile_matrix(&modules, &workloads, 60, 5, &port, &cfg);
+        let after = engine::EngineStats::snapshot();
+        let report = obs::RunReport::capture().to_json_deterministic();
+        obs::disable();
+        (profiles, report, before, after)
+    };
+
+    let (cold_profiles, cold_report, cold_before, cold_after) = run();
+    assert!(
+        cold_after.disk_recomputes > cold_before.disk_recomputes,
+        "cold run populates an empty cache by recomputing"
+    );
+    assert_eq!(
+        cold_after.disk_hits, cold_before.disk_hits,
+        "nothing to hit on a cold cache"
+    );
+
+    let (warm_profiles, warm_report, warm_before, warm_after) = run();
+    engine::configure(&EngineOptions::default());
+    assert_eq!(
+        warm_after.disk_recomputes, warm_before.disk_recomputes,
+        "warm run must recompute nothing"
+    );
+    assert!(
+        warm_after.disk_hits > warm_before.disk_hits,
+        "warm run must serve from disk"
+    );
+    assert_eq!(cold_profiles, warm_profiles, "profiles must be bit-identical");
+    assert_eq!(
+        cold_report, warm_report,
+        "deterministic run report must be byte-identical cold vs warm"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_artifacts_recompute_silently_and_fail_verify_loudly() {
+    let _g = ENGINE_LOCK.lock().unwrap();
+    let dir = tmp_dir("corrupt");
+    let modules = elements();
+    let workloads = [WorkloadSpec::large_flows()];
+    let cfg = NicConfig::default();
+    let port = PortConfig::naive();
+    engine::configure(&EngineOptions::builder().workers(1).cache_dir(&dir).build());
+
+    Engine::new().clear_caches();
+    let cold = engine::profile_matrix(&modules, &workloads, 40, 9, &port, &cfg);
+
+    // Flip one byte in every artifact's body (the header keeps its
+    // original checksum, so every file now fails verification).
+    let mut artifacts = 0;
+    for entry in std::fs::read_dir(&dir).expect("cache dir exists") {
+        let path = entry.expect("entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("clc") {
+            continue;
+        }
+        artifacts += 1;
+        let raw = std::fs::read_to_string(&path).expect("artifact readable");
+        let (header, body) = raw.split_once('\n').expect("artifact has a header");
+        let mut bytes = body.as_bytes().to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] = if bytes[last] == b'}' { b')' } else { b'}' };
+        let tampered = format!("{header}\n{}", String::from_utf8_lossy(&bytes));
+        std::fs::write(&path, tampered).expect("rewrite artifact");
+    }
+    assert!(artifacts > 0, "cold run must have stored artifacts");
+
+    // The explicit integrity check names every corrupt file and maps to
+    // the dedicated error (CLI exit code 4).
+    let summary = Engine::new()
+        .verify_disk_cache()
+        .expect("directory readable")
+        .expect("a cache directory is configured");
+    assert_eq!(summary.scanned, artifacts);
+    assert_eq!(summary.valid, 0);
+    assert_eq!(summary.corrupt.len(), artifacts);
+    let err = summary.into_error().expect("corruption becomes an error");
+    assert_eq!(err.exit_code(), 4);
+    assert!(matches!(err, ClaraError::CacheCorrupt { .. }));
+
+    // The engine itself never fails on corruption: it recomputes (and
+    // re-stores) silently, with identical results.
+    Engine::new().clear_caches();
+    let before = engine::EngineStats::snapshot();
+    let recomputed = engine::profile_matrix(&modules, &workloads, 40, 9, &port, &cfg);
+    let after = engine::EngineStats::snapshot();
+    assert_eq!(cold, recomputed, "recomputed profiles must match");
+    assert!(
+        after.disk_corrupt > before.disk_corrupt,
+        "corruption must be counted"
+    );
+    assert!(
+        after.disk_recomputes > before.disk_recomputes,
+        "corrupt artifacts must be recomputed"
+    );
+
+    // The re-store healed the cache.
+    let healed = Engine::new()
+        .verify_disk_cache()
+        .expect("directory readable")
+        .expect("a cache directory is configured");
+    assert_eq!(healed.valid, healed.scanned);
+    assert!(healed.corrupt.is_empty());
+    engine::configure(&EngineOptions::default());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clara_cache_dir_env_override_reaches_the_engine() {
+    let _g = ENGINE_LOCK.lock().unwrap();
+    let dir = tmp_dir("env");
+    engine::configure(&EngineOptions::default());
+    std::env::set_var("CLARA_CACHE_DIR", &dir);
+    Engine::new().clear_caches();
+    let modules = elements();
+    let _ = engine::profile_matrix(
+        &modules,
+        &[WorkloadSpec::large_flows()],
+        30,
+        13,
+        &PortConfig::naive(),
+        &NicConfig::default(),
+    );
+    let stored = std::fs::read_dir(&dir)
+        .map(|d| d.filter_map(Result::ok).count())
+        .unwrap_or(0);
+    std::env::remove_var("CLARA_CACHE_DIR");
+    assert!(stored > 0, "CLARA_CACHE_DIR alone must enable the disk cache");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The pre-handle free functions still work (one release of grace), and
+/// agree with the `Engine` methods they forward to.
+#[test]
+#[allow(deprecated)]
+fn deprecated_free_functions_delegate_to_the_engine_handle() {
+    let _g = ENGINE_LOCK.lock().unwrap();
+    engine::configure(&EngineOptions::default());
+    let module = elements().remove(0);
+    let trace = clara_repro::trafgen::Trace::generate(&WorkloadSpec::large_flows(), 40, 2);
+    let port = PortConfig::naive();
+    let cfg = NicConfig::default();
+    engine::clear_caches();
+    let via_free = engine::compile_cached(&module);
+    let via_handle = Engine::new().compile_cached(&module);
+    assert_eq!(
+        via_free.handler().total_compute(),
+        via_handle.handler().total_compute()
+    );
+    let wp_free = engine::profile_cached(&module, &trace, &port, &cfg);
+    let wp_handle = Engine::new().profile_cached(&module, &trace, &port, &cfg);
+    assert_eq!(wp_free, wp_handle);
+}

@@ -40,10 +40,10 @@ fn elements() -> Vec<Module> {
 /// between, and returns both results.
 fn serial_then_parallel<R>(f: impl Fn() -> R) -> (R, R) {
     engine::set_threads(1);
-    engine::clear_caches();
+    engine::Engine::new().clear_caches();
     let serial = f();
     engine::set_threads(4);
-    engine::clear_caches();
+    engine::Engine::new().clear_caches();
     let parallel = f();
     engine::set_threads(0); // back to CLARA_THREADS / machine default
     (serial, parallel)
@@ -109,7 +109,7 @@ fn trained_pipeline_is_bit_identical_across_worker_counts() {
         .scaleout_programs(4)
         .epochs(4)
         .build();
-    let (serial, parallel) = serial_then_parallel(|| Clara::train(&cfg));
+    let (serial, parallel) = serial_then_parallel(|| Clara::train(&cfg).expect("train"));
     // Whole-model comparison via the serialized form: every weight of
     // every sub-model must match bit for bit.
     assert_eq!(
@@ -132,7 +132,7 @@ fn deterministic_run_report_is_byte_identical_across_worker_counts() {
     // by a single byte.
     let capture = |threads: usize| {
         engine::set_threads(threads);
-        engine::clear_caches();
+        engine::Engine::new().clear_caches();
         clara_repro::obs::enable();
         clara_repro::obs::reset();
         let profiles = engine::profile_matrix(&modules, &workloads, 80, 7, &port, &cfg);
@@ -150,6 +150,58 @@ fn deterministic_run_report_is_byte_identical_across_worker_counts() {
         serial, parallel,
         "deterministic run report diverged between 1 and 4 workers"
     );
+}
+
+/// ISSUE acceptance: with a seeded fault plan whose faults all stay
+/// within the retry budget, the trained pipeline is bit-identical to a
+/// fault-free run — at one worker and at four. Injection decisions hash
+/// `(seed, stage, index, attempt)`, never wall-clock or scheduling, and
+/// an injected fault fires *before* the task body runs, so a retried
+/// attempt replays the exact same pure computation.
+#[test]
+fn faulted_training_within_retry_budget_is_bit_identical_to_fault_free() {
+    use clara_repro::clara::engine::{EngineOptions, FaultPlan};
+    use clara_repro::clara::{Clara, ClaraConfig};
+    let _g = THREADS_LOCK.lock().unwrap();
+    let small = |engine: EngineOptions| {
+        ClaraConfig::fast(29)
+            .to_builder()
+            .predict_programs(10)
+            .algid_per_class(6)
+            .scaleout_programs(3)
+            .epochs(3)
+            .engine(engine)
+            .build()
+    };
+    // depth 2 ≤ retries 2: every selected task faults twice, then its
+    // third attempt succeeds — nothing fails permanently.
+    let plan = { let mut p = FaultPlan::new(61, 0.35); p.depth = 2; p };
+    let faulted_opts = EngineOptions::builder().retries(2).faults(plan).build();
+
+    engine::set_threads(1);
+    engine::Engine::new().clear_caches();
+    let clean = Clara::train(&small(EngineOptions::default())).expect("fault-free train");
+    let clean_fp = engine::value_fingerprint(&clean);
+
+    for threads in [1usize, 4] {
+        engine::set_threads(threads);
+        engine::Engine::new().clear_caches();
+        let faulted = Clara::train(&small(faulted_opts.clone()))
+            .expect("within-budget faults must retry out");
+        let stats = engine::EngineStats::snapshot();
+        assert!(
+            stats.faults_injected > 0,
+            "a 35% plan must inject something at {threads} worker(s)"
+        );
+        assert_eq!(
+            engine::value_fingerprint(&faulted),
+            clean_fp,
+            "faulted pipeline diverged from fault-free run at {threads} worker(s)"
+        );
+    }
+    // Restore the default engine configuration for the other tests.
+    engine::configure(&EngineOptions::default());
+    engine::set_threads(0);
 }
 
 #[test]

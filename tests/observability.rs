@@ -31,15 +31,15 @@ fn corpus_module(name: &str) -> Module {
 #[test]
 fn cache_counters_reconcile_with_engine_stats() {
     let _g = OBS_LOCK.lock().unwrap();
-    engine::clear_caches();
+    engine::Engine::new().clear_caches();
     obs::reset();
 
     let module = corpus_module("aggcounter");
     let trace = Trace::generate(&WorkloadSpec::large_flows(), 60, 9);
     let port = PortConfig::naive();
     let cfg = NicConfig::default();
-    let a = engine::profile_cached(&module, &trace, &port, &cfg);
-    let b = engine::profile_cached(&module, &trace, &port, &cfg);
+    let a = engine::Engine::new().profile_cached(&module, &trace, &port, &cfg);
+    let b = engine::Engine::new().profile_cached(&module, &trace, &port, &cfg);
     assert_eq!(a.compute.to_bits(), b.compute.to_bits());
 
     // Snapshot first: it touches all four cache counters, registering any
@@ -62,13 +62,13 @@ fn cache_counters_reconcile_with_engine_stats() {
 fn worker_spans_nest_under_the_stage_span() {
     let _g = OBS_LOCK.lock().unwrap();
     engine::set_threads(2);
-    engine::clear_caches();
+    engine::Engine::new().clear_caches();
     obs::enable();
     obs::reset();
 
     let modules = [corpus_module("aggcounter"), corpus_module("cmsketch")];
     let compiled = engine::par_map("obs-test-stage", &modules, |_, m| {
-        engine::compile_cached(m).handler().total_compute()
+        engine::Engine::new().compile_cached(m).handler().total_compute()
     });
     assert_eq!(compiled.len(), 2);
 
@@ -126,7 +126,7 @@ fn train_report_sink_and_versioned_persistence() {
     std::fs::create_dir_all(&dir).expect("temp dir");
     let report_path = dir.join("train.json");
 
-    engine::clear_caches();
+    engine::Engine::new().clear_caches();
     obs::reset();
     std::env::set_var("CLARA_REPORT", &report_path);
     let cfg = ClaraConfig::fast(21)
@@ -136,7 +136,7 @@ fn train_report_sink_and_versioned_persistence() {
         .scaleout_programs(3)
         .epochs(2)
         .build();
-    let clara = Clara::train(&cfg);
+    let clara = Clara::train(&cfg).expect("train");
     std::env::remove_var("CLARA_REPORT");
     obs::disable();
 

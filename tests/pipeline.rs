@@ -6,7 +6,7 @@ use clara_repro::nicsim::{self, PortConfig};
 use clara_repro::trafgen::{Trace, WorkloadSpec};
 
 fn trained() -> Clara {
-    Clara::train(&ClaraConfig::fast(99))
+    Clara::train(&ClaraConfig::fast(99)).expect("train")
 }
 
 #[test]
