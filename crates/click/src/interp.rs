@@ -4,10 +4,7 @@
 //! traces used for workload profiling (Sections 4.3–4.4 of the paper) are
 //! derived from exactly the same IR that Clara's static analyses see.
 
-use nf_ir::{
-    verify, ApiCall, BlockId, CastOp, Function, Inst, MemRef, Module, Operand, Pred, Term, Ty,
-    ValueId,
-};
+use nf_ir::{verify, ApiCall, BlockId, Function, Inst, MemRef, Module, Operand, Term, Ty, ValueId};
 use trafgen::Packet;
 
 use crate::exec::{ApiEvent, Event, ExecTrace, TraceError};
@@ -16,6 +13,10 @@ use crate::state::StateStore;
 
 /// Default per-packet interpreted-instruction budget.
 pub const DEFAULT_STEP_LIMIT: u64 = 200_000;
+
+/// Seed of every machine's deterministic RNG stream (shared with the
+/// reference executor so `random()` results line up across layers).
+pub(crate) const RNG_SEED: u64 = 0x1234_5678_9abc_def0;
 
 /// An interpreter instance holding an NF's persistent state.
 #[derive(Debug, Clone)]
@@ -28,7 +29,7 @@ pub struct Machine {
     rng_state: u64,
 }
 
-fn mask(v: u64, ty: Ty) -> u64 {
+pub(crate) fn mask(v: u64, ty: Ty) -> u64 {
     match ty {
         Ty::I1 => v & 1,
         Ty::I8 => v & 0xff,
@@ -36,15 +37,6 @@ fn mask(v: u64, ty: Ty) -> u64 {
         Ty::I32 => v & 0xffff_ffff,
         Ty::I64 => v,
     }
-}
-
-fn to_signed(v: u64, ty: Ty) -> i64 {
-    let bits = ty.bits();
-    if bits >= 64 {
-        return v as i64;
-    }
-    let shift = 64 - bits;
-    ((v << shift) as i64) >> shift
 }
 
 impl Machine {
@@ -58,7 +50,7 @@ impl Machine {
             module: module.clone(),
             step_limit: DEFAULT_STEP_LIMIT,
             timestamp: 0,
-            rng_state: 0x1234_5678_9abc_def0,
+            rng_state: RNG_SEED,
         })
     }
 
@@ -72,7 +64,7 @@ impl Machine {
     pub fn reset(&mut self) {
         self.state.reset();
         self.timestamp = 0;
-        self.rng_state = 0x1234_5678_9abc_def0;
+        self.rng_state = RNG_SEED;
     }
 
     /// The module being interpreted.
@@ -170,6 +162,10 @@ fn exec(
                 }
                 match inst {
                     Inst::Phi { .. } => {} // Handled above.
+                    // ALU semantics (masking, wraparound, the type-width
+                    // shift rule) are defined once in `nf_ir::opt`;
+                    // constant folding and the reference executor use the
+                    // same functions, so the difftest layers cannot drift.
                     Inst::Bin {
                         dst,
                         op,
@@ -177,23 +173,9 @@ fn exec(
                         lhs,
                         rhs,
                     } => {
-                        let a = mask(read_op(&env, *lhs)?, *ty);
-                        let b = mask(read_op(&env, *rhs)?, *ty);
-                        use nf_ir::BinOp::*;
-                        let r = match op {
-                            Add => a.wrapping_add(b),
-                            Sub => a.wrapping_sub(b),
-                            Mul => a.wrapping_mul(b),
-                            UDiv => a.checked_div(b).unwrap_or(0),
-                            URem => a.checked_rem(b).unwrap_or(0),
-                            And => a & b,
-                            Or => a | b,
-                            Xor => a ^ b,
-                            Shl => a.wrapping_shl((b & 63) as u32),
-                            LShr => a.wrapping_shr((b & 63) as u32),
-                            AShr => (to_signed(a, *ty) >> (b & 63).min(63)) as u64,
-                        };
-                        env[dst.index()] = Some(mask(r, *ty));
+                        let a = read_op(&env, *lhs)?;
+                        let b = read_op(&env, *rhs)?;
+                        env[dst.index()] = Some(nf_ir::opt::eval_bin(*op, *ty, a, b));
                     }
                     Inst::Icmp {
                         dst,
@@ -202,21 +184,10 @@ fn exec(
                         lhs,
                         rhs,
                     } => {
-                        let a = mask(read_op(&env, *lhs)?, *ty);
-                        let b = mask(read_op(&env, *rhs)?, *ty);
-                        let sa = to_signed(a, *ty);
-                        let sb = to_signed(b, *ty);
-                        let r = match pred {
-                            Pred::Eq => a == b,
-                            Pred::Ne => a != b,
-                            Pred::ULt => a < b,
-                            Pred::ULe => a <= b,
-                            Pred::UGt => a > b,
-                            Pred::UGe => a >= b,
-                            Pred::SLt => sa < sb,
-                            Pred::SGt => sa > sb,
-                        };
-                        env[dst.index()] = Some(u64::from(r));
+                        let a = read_op(&env, *lhs)?;
+                        let b = read_op(&env, *rhs)?;
+                        env[dst.index()] =
+                            Some(u64::from(nf_ir::opt::eval_icmp(*pred, *ty, a, b)));
                     }
                     Inst::Cast {
                         dst,
@@ -225,13 +196,8 @@ fn exec(
                         to,
                         src,
                     } => {
-                        let v = mask(read_op(&env, *src)?, *from);
-                        let r = match op {
-                            CastOp::Zext => v,
-                            CastOp::Trunc => mask(v, *to),
-                            CastOp::Sext => mask(to_signed(v, *from) as u64, *to),
-                        };
-                        env[dst.index()] = Some(mask(r, *to));
+                        let v = read_op(&env, *src)?;
+                        env[dst.index()] = Some(nf_ir::opt::eval_cast(*op, *from, *to, v));
                     }
                     Inst::Select {
                         dst,
@@ -390,8 +356,13 @@ fn do_store(
     }
 }
 
+/// The framework-API model: the single definition of what each call does
+/// to state, packet, clock, and RNG, shared by the interpreter and the
+/// reference executor (`clara difftest` layers A and B/C). Argument
+/// counts are enforced exactly — a malformed lowering fails loudly with
+/// a typed error instead of silently defaulting or dropping arguments.
 #[allow(clippy::too_many_arguments)]
-fn do_call(
+pub(crate) fn do_call(
     state: &mut StateStore,
     api: &ApiCall,
     args: &[u64],
@@ -400,10 +371,18 @@ fn do_call(
     timestamp: &mut u64,
     rng_state: &mut u64,
 ) -> Result<u64, TraceError> {
+    if args.len() != api.arity() {
+        return Err(TraceError::BadApiArity {
+            api: api.name(),
+            got: args.len(),
+            want: api.arity(),
+        });
+    }
     let arg = |i: usize| -> Result<u64, TraceError> {
         args.get(i).copied().ok_or(TraceError::BadApiArity {
             api: api.name(),
             got: args.len(),
+            want: api.arity(),
         })
     };
     let mut emit = |call: &ApiCall, probes: u32, hit: bool, bytes: u32| {
@@ -469,7 +448,12 @@ fn do_call(
             u64::from(r.hit)
         }
         ApiCall::PktSend => {
-            let port = arg(0).unwrap_or(0) as u16;
+            let raw = arg(0)?;
+            let port = u16::try_from(raw).map_err(|_| TraceError::ApiArgOutOfRange {
+                api: api.name(),
+                value: raw,
+                max: u64::from(u16::MAX),
+            })?;
             view.verdict = Some(Verdict::Sent(port));
             emit(api, 1, true, 0);
             0

@@ -10,6 +10,9 @@
 //! - [`Machine`]: an interpreter that executes an NF's NIR module packet by
 //!   packet, recording an [`ExecTrace`] of basic-block visits, stateful
 //!   memory accesses, packet accesses, and framework API events;
+//! - [`RefMachine`]: an independently written reference executor for the
+//!   same NIR, compared against [`Machine`] event-for-event by the
+//!   `clara difftest` oracle;
 //! - the NF corpus: all 17 Click programs of the paper's Table 2 plus the
 //!   Figure 1 motivation NFs, each defined purely by its NIR module
 //!   ([`NfElement`]).
@@ -46,7 +49,7 @@ pub use chain::{Chain, ChainResult};
 pub use element::{
     corpus, extended_corpus, motivation_variants, ElementMeta, InsightClass, NfElement,
 };
-pub use exec::{ApiEvent, Event, ExecTrace, TraceError};
+pub use exec::{ApiEvent, Event, ExecTrace, RefMachine, TraceError};
 pub use interp::Machine;
-pub use packet::PacketView;
+pub use packet::{PacketSnapshot, PacketView};
 pub use state::StateStore;

@@ -124,6 +124,39 @@ impl PacketView {
     pub fn payload_len(&self) -> u16 {
         self.base.payload_len()
     }
+
+    /// A deterministic snapshot of every observable packet output: header
+    /// fields and payload-overlay bytes in sorted order, plus the
+    /// verdict. Two executions emitted the same packet iff their
+    /// snapshots are equal — this is what "emitted packets agree" means
+    /// for the difftest oracle.
+    pub fn snapshot(&self) -> PacketSnapshot {
+        let mut fields: Vec<(PktField, u64)> = self.fields.iter().map(|(f, v)| (*f, *v)).collect();
+        fields.sort_unstable();
+        let mut payload: Vec<(u16, u8)> = self
+            .payload_overlay
+            .iter()
+            .map(|(off, b)| (*off, *b))
+            .collect();
+        payload.sort_unstable();
+        PacketSnapshot {
+            fields,
+            payload,
+            verdict: self.verdict,
+        }
+    }
+}
+
+/// Canonical, order-independent image of a packet's observable outputs
+/// (see [`PacketView::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketSnapshot {
+    /// Header fields, sorted by field.
+    pub fields: Vec<(PktField, u64)>,
+    /// Rewritten payload bytes, sorted by offset.
+    pub payload: Vec<(u16, u8)>,
+    /// What the NF decided to do with the packet.
+    pub verdict: Option<Verdict>,
 }
 
 #[cfg(test)]

@@ -73,6 +73,18 @@ pub enum ClaraError {
         /// Tasks the run attempted in total.
         total: usize,
     },
+    /// The differential oracle (`clara difftest`) found seeds whose
+    /// execution layers disagree (or whose raw/optimized profiles
+    /// differ). Minimized repros are written under `artifact_dir` when
+    /// one is configured.
+    Divergence {
+        /// Seeds that diverged.
+        found: usize,
+        /// Seeds checked in total.
+        checked: usize,
+        /// Where minimized repros were written, if anywhere.
+        artifact_dir: Option<PathBuf>,
+    },
 }
 
 impl ClaraError {
@@ -80,12 +92,13 @@ impl ClaraError {
     ///
     /// The mapping is part of the CLI contract (documented in `--help`):
     /// `2` usage errors, `3` degraded runs, `4` cache corruption, `5`
-    /// I/O failures, `1` everything else.
+    /// I/O failures, `6` difftest divergences, `1` everything else.
     pub fn exit_code(&self) -> i32 {
         match self {
             ClaraError::Degraded { .. } => 3,
             ClaraError::CacheCorrupt { .. } => 4,
             ClaraError::Io { .. } => 5,
+            ClaraError::Divergence { .. } => 6,
             _ => 1,
         }
     }
@@ -121,6 +134,17 @@ impl fmt::Display for ClaraError {
                 "run degraded: {failed} of {total} engine tasks failed permanently \
                  (see the run report's engine.task_failures counter)"
             ),
+            ClaraError::Divergence {
+                found,
+                checked,
+                artifact_dir,
+            } => {
+                write!(f, "difftest: {found} of {checked} seed(s) diverged")?;
+                if let Some(dir) = artifact_dir {
+                    write!(f, "; minimized repros in {}", dir.display())?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -150,11 +174,19 @@ mod tests {
             source: std::io::Error::other("boom"),
         };
         let other = ClaraError::EmptyTrace;
+        let diverged = ClaraError::Divergence {
+            found: 2,
+            checked: 500,
+            artifact_dir: Some(PathBuf::from("artifacts")),
+        };
         assert_eq!(degraded.exit_code(), 3);
         assert_eq!(corrupt.exit_code(), 4);
         assert_eq!(io.exit_code(), 5);
         assert_eq!(other.exit_code(), 1);
+        assert_eq!(diverged.exit_code(), 6);
         assert!(degraded.to_string().contains("1 of 4"));
         assert!(corrupt.to_string().contains("x.clc"));
+        assert!(diverged.to_string().contains("2 of 500"));
+        assert!(diverged.to_string().contains("artifacts"));
     }
 }

@@ -51,6 +51,7 @@ pub mod algid;
 pub mod clara;
 pub mod coalesce;
 pub mod coloc;
+pub mod difftest;
 mod diskcache;
 pub mod engine;
 pub mod error;
@@ -62,6 +63,7 @@ pub mod prepare;
 pub mod scaleout;
 
 pub use clara::{Clara, ClaraConfig, ClaraConfigBuilder, Insights, MODEL_FORMAT_VERSION};
+pub use difftest::{DifftestConfig, DifftestReport, Divergence, DivergenceKind};
 pub use engine::{Engine, EngineOptions, EngineOptionsBuilder};
 pub use error::ClaraError;
 pub use faults::{FaultKind, FaultPlan};

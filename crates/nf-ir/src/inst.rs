@@ -540,6 +540,23 @@ impl ApiCall {
     pub fn has_result(&self) -> bool {
         !matches!(self, ApiCall::PktSend | ApiCall::PktDrop)
     }
+
+    /// Number of arguments the framework ABI expects for this call.
+    ///
+    /// The interpreter enforces this exactly: a lowering that passes the
+    /// wrong count gets a typed trace error instead of silently defaulted
+    /// or ignored arguments.
+    pub fn arity(&self) -> usize {
+        match self {
+            ApiCall::HashMapFind(_)
+            | ApiCall::HashMapInsert(_)
+            | ApiCall::HashMapErase(_)
+            | ApiCall::VectorGet(_)
+            | ApiCall::VectorDelete(_)
+            | ApiCall::PktSend => 1,
+            _ => 0,
+        }
+    }
 }
 
 /// A non-terminator instruction.

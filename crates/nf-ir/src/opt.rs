@@ -9,7 +9,7 @@
 //! - [`simplify_branches`]: turns constant conditional branches into
 //!   unconditional ones;
 //! - [`dce`]: removes side-effect-free instructions whose results are
-//!   never used;
+//!   never used (global/packet loads count as observable and stay);
 //! - [`remove_unreachable`]: drops blocks unreachable from the entry;
 //! - [`optimize`]: runs all of the above to a (bounded) fixed point.
 //!
@@ -41,7 +41,16 @@ fn to_signed(v: u64, ty: Ty) -> i64 {
     ((v << shift) as i64) >> shift
 }
 
-/// Evaluates a binary op exactly as the interpreter does.
+/// Shift amounts follow the *type-width rule*: the amount is taken
+/// modulo the operand width, exactly like the barrel shifters `nfcc`
+/// targets. `shl i8 x, 9` therefore shifts by 1, never by 9.
+fn shift_amount(b: u64, ty: Ty) -> u32 {
+    (b % u64::from(ty.bits())) as u32
+}
+
+/// Evaluates a binary op. This is the single definition of NIR's ALU
+/// semantics: the interpreter, the reference executor, and constant
+/// folding all call it, so the three difftest layers cannot drift.
 pub fn eval_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> u64 {
     let a = mask(a, ty);
     let b = mask(b, ty);
@@ -54,14 +63,27 @@ pub fn eval_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> u64 {
         BinOp::And => a & b,
         BinOp::Or => a | b,
         BinOp::Xor => a ^ b,
-        BinOp::Shl => a.wrapping_shl((b & 63) as u32),
-        BinOp::LShr => a.wrapping_shr((b & 63) as u32),
-        BinOp::AShr => (to_signed(a, ty) >> (b & 63).min(63)) as u64,
+        BinOp::Shl => a.wrapping_shl(shift_amount(b, ty)),
+        BinOp::LShr => a.wrapping_shr(shift_amount(b, ty)),
+        BinOp::AShr => (to_signed(a, ty) >> shift_amount(b, ty)) as u64,
     };
     mask(r, ty)
 }
 
-/// Evaluates a comparison exactly as the interpreter does.
+/// Evaluates a cast; the shared definition used by the interpreter, the
+/// reference executor, and constant folding.
+pub fn eval_cast(op: CastOp, from: Ty, to: Ty, v: u64) -> u64 {
+    let v = mask(v, from);
+    let r = match op {
+        CastOp::Zext => v,
+        CastOp::Trunc => mask(v, to),
+        CastOp::Sext => mask(to_signed(v, from) as u64, to),
+    };
+    mask(r, to)
+}
+
+/// Evaluates a comparison; the shared definition used by the
+/// interpreter, the reference executor, and constant folding.
 pub fn eval_icmp(pred: Pred, ty: Ty, a: u64, b: u64) -> bool {
     let a = mask(a, ty);
     let b = mask(b, ty);
@@ -162,15 +184,7 @@ pub fn const_fold(func: &mut Function) -> usize {
                     from,
                     to,
                     src: Operand::Const(a),
-                } => {
-                    let v = mask(*a as u64, *from);
-                    let r = match op {
-                        CastOp::Zext => v,
-                        CastOp::Trunc => mask(v, *to),
-                        CastOp::Sext => mask(to_signed(v, *from) as u64, *to),
-                    };
-                    Some((*dst, mask(r, *to) as i64))
-                }
+                } => Some((*dst, eval_cast(*op, *from, *to, *a as u64) as i64)),
                 Inst::Select {
                     dst,
                     cond: Operand::Const(c),
@@ -224,6 +238,12 @@ pub fn simplify_branches(func: &mut Function) -> usize {
 
 /// Dead-code elimination: removes side-effect-free instructions whose
 /// results are never used. Returns the number removed.
+///
+/// Loads from globals and from packet data are **never** removed, even
+/// when their result is dead: Clara's whole signal is the state/packet
+/// access-frequency profile (Sections 4.3–4.4), so an optimized module
+/// must produce the same `State`/`Pkt` trace events as the original.
+/// Only pure compute and stack-slot loads are candidates.
 pub fn dce(func: &mut Function) -> usize {
     let mut used: HashSet<ValueId> = HashSet::new();
     for b in &func.blocks {
@@ -253,8 +273,16 @@ pub fn dce(func: &mut Function) -> usize {
     for b in &mut func.blocks {
         let before = b.insts.len();
         b.insts.retain(|inst| {
-            let side_effect = matches!(inst, Inst::Store { .. } | Inst::Call { .. });
-            side_effect || inst.dst().is_none_or(|d| used.contains(&d))
+            let observable = matches!(
+                inst,
+                Inst::Store { .. }
+                    | Inst::Call { .. }
+                    | Inst::Load {
+                        mem: crate::inst::MemRef::Global { .. } | crate::inst::MemRef::Pkt { .. },
+                        ..
+                    }
+            );
+            observable || inst.dst().is_none_or(|d| used.contains(&d))
         });
         removed += before - b.insts.len();
     }
@@ -380,6 +408,19 @@ mod tests {
     }
 
     #[test]
+    fn shift_amounts_follow_the_type_width_rule() {
+        // Amounts are reduced modulo the operand width, not modulo 64.
+        assert_eq!(eval_bin(BinOp::Shl, Ty::I8, 1, 8), 1); // 8 % 8 == 0
+        assert_eq!(eval_bin(BinOp::Shl, Ty::I8, 1, 9), 2); // 9 % 8 == 1
+        assert_eq!(eval_bin(BinOp::LShr, Ty::I16, 0x8000, 17), 0x4000);
+        assert_eq!(eval_bin(BinOp::AShr, Ty::I8, 0x80, 9), 0xc0);
+        assert_eq!(eval_bin(BinOp::Shl, Ty::I32, 3, 32), 3);
+        assert_eq!(eval_bin(BinOp::Shl, Ty::I64, 1, 63), 1 << 63);
+        // I1 has width 1, so every amount reduces to zero.
+        assert_eq!(eval_bin(BinOp::Shl, Ty::I1, 1, 5), 1);
+    }
+
+    #[test]
     fn constant_branch_prunes_dead_block() {
         let mut m = Module::new("prune");
         let mut fb = FunctionBuilder::new("f");
@@ -404,22 +445,29 @@ mod tests {
     }
 
     #[test]
-    fn dce_keeps_side_effects() {
+    fn dce_keeps_side_effects_and_observable_loads() {
         let mut m = Module::new("dce");
         let g = m.add_global("ctr", crate::module::StateKind::Scalar, 4, 1);
         let mut fb = FunctionBuilder::new("f");
         let bb = fb.entry_block();
         fb.switch_to(bb);
-        let dead = fb.load(Ty::I16, MemRef::pkt(PktField::IpLen)); // Unused.
-        let _ = dead;
+        let slot = fb.slot();
+        let dead_stack = fb.load(Ty::I32, MemRef::stack(slot)); // Unused, pure.
+        let _ = dead_stack;
+        let dead_pkt = fb.load(Ty::I16, MemRef::pkt(PktField::IpLen)); // Unused but observable.
+        let _ = dead_pkt;
+        let dead_global = fb.load(Ty::I32, MemRef::global(g)); // Unused but observable.
+        let _ = dead_global;
         fb.store(Ty::I32, Operand::imm(1), MemRef::global(g)); // Side effect.
         let _ = fb.call(ApiCall::PktSend, vec![Operand::imm(0)]); // Side effect.
         fb.ret(None);
         m.funcs.push(fb.finish());
 
         let stats = optimize(&mut m);
+        // Only the stack load goes: the packet and global loads are trace
+        // events the access-frequency profile counts on.
         assert_eq!(stats.dead, 1);
-        assert_eq!(m.funcs[0].blocks[0].insts.len(), 2);
+        assert_eq!(m.funcs[0].blocks[0].insts.len(), 4);
         verify_module(&m).unwrap();
     }
 

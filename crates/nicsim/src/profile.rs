@@ -147,6 +147,47 @@ impl WorkloadProfile {
     pub fn accesses_to(&self, g: GlobalId) -> f64 {
         self.global_access.get(&g).copied().unwrap_or(0.0)
     }
+
+    /// Compares the *access* portion of two profiles, ignoring `compute`.
+    ///
+    /// `clara difftest` uses this as its profile oracle between the raw
+    /// and the `nf_ir::opt`-optimized module: optimization legitimately
+    /// removes issue cycles (compute), but every memory-facing signal the
+    /// insights consume — fixed accesses, per-global access frequencies,
+    /// working sets, packet counts and sizes — must be bit-identical,
+    /// because both are derived from the same `State`/`Pkt`/`Api` event
+    /// stream. Returns a description of the first mismatch, or `None`
+    /// when the profiles agree.
+    pub fn access_divergence_from(&self, other: &WorkloadProfile) -> Option<String> {
+        if self.pkts != other.pkts {
+            return Some(format!("pkts: {} vs {}", self.pkts, other.pkts));
+        }
+        if self.mean_pkt_size != other.mean_pkt_size {
+            return Some(format!(
+                "mean_pkt_size: {} vs {}",
+                self.mean_pkt_size, other.mean_pkt_size
+            ));
+        }
+        if self.fixed_accesses != other.fixed_accesses {
+            return Some(format!(
+                "fixed_accesses: {:?} vs {:?}",
+                self.fixed_accesses, other.fixed_accesses
+            ));
+        }
+        if self.global_access != other.global_access {
+            return Some(format!(
+                "global_access: {:?} vs {:?}",
+                self.global_access, other.global_access
+            ));
+        }
+        if self.working_set != other.working_set {
+            return Some(format!(
+                "working_set: {:?} vs {:?}",
+                self.working_set, other.working_set
+            ));
+        }
+        None
+    }
 }
 
 /// Interpreter traces recorded once and re-costed under many ports.

@@ -483,9 +483,11 @@ impl Synthesizer {
                     Some(b) => Operand::imm(b.sample(rng)),
                     None => ctx.get(ty, fb, rng),
                 };
-                // Keep shift amounts sane.
+                // Shift amounts range past the type width so every
+                // execution layer must agree on the reduction rule
+                // (amount mod width); see `nf_ir::opt::eval_bin`.
                 let rhs = if op.is_shift() {
-                    Operand::imm(rng.gen_range(1..(ty.bits().min(31)) as i64))
+                    Operand::imm(rng.gen_range(1..2 * i64::from(ty.bits())))
                 } else {
                     rhs
                 };

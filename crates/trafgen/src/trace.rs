@@ -97,7 +97,10 @@ fn flow_table(spec: &WorkloadSpec, rng: &mut StdRng) -> Vec<FlowKey> {
         flows.push(FlowKey {
             src_ip: 0x0a00_0000 | (i as u32 & 0x00ff_ffff),
             dst_ip: rng.gen::<u32>() | 0x4000_0000,
-            src_port: 1024 + (i as u16 % 60000),
+            // Reduce in usize *before* narrowing: `i as u16 % 60000`
+            // wraps the flow index at 65536 and biases ports toward the
+            // low end once the flow table outgrows u16.
+            src_port: 1024 + (i % 60000) as u16,
             dst_port: *[80u16, 443, 53, 8080]
                 .get(rng.gen_range(0usize..4))
                 .expect("index in range"),
@@ -222,6 +225,28 @@ mod tests {
         };
         let t = Trace::generate(&spec, 300, 11);
         assert!(t.pkts.iter().all(|p| (64..=128).contains(&p.size)));
+    }
+
+    #[test]
+    fn src_ports_follow_flow_index_past_u16_wrap() {
+        // Flow tables larger than 65536 entries used to truncate the
+        // index to u16 before the modulo, collapsing ports onto the low
+        // end of the range. The port must be a pure function of the flow
+        // index reduced modulo 60000 in full width.
+        let spec = WorkloadSpec {
+            flow_dist: FlowDist::Uniform,
+            ..WorkloadSpec::large_flows().with_flows(70_000)
+        };
+        let t = Trace::generate(&spec, 4000, 9);
+        let mut past_wrap = 0;
+        for p in &t.pkts {
+            let want = 1024 + (p.flow_id as usize % 60_000) as u16;
+            assert_eq!(p.flow.src_port, want, "flow {}", p.flow_id);
+            if p.flow_id >= 65_536 {
+                past_wrap += 1;
+            }
+        }
+        assert!(past_wrap > 0, "trace never sampled a flow past the wrap");
     }
 
     #[test]

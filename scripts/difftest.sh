@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Differential semantics oracle for CI.
+#
+# Two phases:
+#   1. Injected-divergence smoke: `clara difftest --smoke` deliberately
+#      miscompiles a module, and must both catch the divergence and
+#      shrink the repro to <= 3 blocks (exit 0 only then).
+#   2. Seed sweep: >= 500 synthesized NFs run through the reference
+#      executor, the interpreter, and the optimized-module interpreter.
+#      Profiles go through the persistent engine cache (CLARA_CACHE_DIR),
+#      so re-runs on an unchanged toolchain are cheap. Any divergence
+#      exits 6 and leaves minimized repros in difftest-artifacts/.
+#
+# Run from the repository root: ./scripts/difftest.sh [seeds]
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${1:-500}"
+ARTIFACTS="difftest-artifacts"
+export CLARA_CACHE_DIR="${CLARA_CACHE_DIR:-.clara-cache}"
+
+rm -rf "$ARTIFACTS"
+cargo build --release --bin clara
+
+echo "== difftest smoke (injected miscompile must be caught and shrunk) =="
+./target/release/clara difftest --smoke
+code=$?
+if [ "$code" -ne 0 ]; then
+  echo "difftest.sh: smoke failed with exit code $code" >&2
+  exit 1
+fi
+
+echo "== difftest sweep ($SEEDS seeds) =="
+./target/release/clara difftest --seeds "$SEEDS" --artifacts "$ARTIFACTS"
+code=$?
+if [ "$code" -ne 0 ]; then
+  echo "difftest.sh: sweep failed with exit code $code" >&2
+  if [ -d "$ARTIFACTS" ]; then
+    echo "difftest.sh: minimized repros:" >&2
+    ls -l "$ARTIFACTS" >&2
+  fi
+  exit "$code"
+fi
+
+echo "difftest.sh: ok ($SEEDS seeds clean)"

@@ -8,6 +8,7 @@
 //! $ clara asm iplookup                 # print the vendor compiler output
 //! $ clara sweep mazunat                # core-count sweep table
 //! $ clara cache-verify                 # check CLARA_CACHE_DIR artifacts
+//! $ clara difftest --seeds 500         # differential semantics oracle
 //! ```
 
 use clara_repro::clara::{Clara, ClaraConfig, ClaraError};
@@ -31,10 +32,14 @@ fn find(name: &str) -> NfElement {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: clara <list|analyze|ir|asm|sweep|cache-verify> [element] [options]");
+    eprintln!("usage: clara <list|analyze|ir|asm|sweep|cache-verify|difftest> [element] [options]");
     eprintln!(
         "  options: --small-flows  --packets N  --seed N  --cores N  --model FILE  \
          --report FILE"
+    );
+    eprintln!(
+        "  difftest: --seeds N  --start N  --packets N  --artifacts DIR  --no-shrink  \
+         --smoke  --inject  --replay FILE"
     );
     eprintln!(
         "  environment: CLARA_THREADS=N  CLARA_CACHE_DIR=DIR  \
@@ -42,7 +47,8 @@ fn usage() -> ! {
     );
     eprintln!(
         "  exit codes: 0 success, 1 other errors, 2 usage, 3 degraded run \
-         (engine tasks failed permanently), 4 cache corruption, 5 I/O failure"
+         (engine tasks failed permanently), 4 cache corruption, 5 I/O failure, \
+         6 difftest divergence"
     );
     std::process::exit(2);
 }
@@ -246,6 +252,7 @@ fn run() -> Result<(), ClaraError> {
                 }
             }
         }
+        "difftest" => return difftest_cmd(rest),
         "cache-verify" => {
             let engine = clara_repro::clara::engine::Engine::new();
             match engine.verify_disk_cache()? {
@@ -273,4 +280,114 @@ fn run() -> Result<(), ClaraError> {
         _ => usage(),
     }
     Ok(())
+}
+
+/// `clara difftest`: the three-layer differential semantics oracle.
+///
+/// Without flags, sweeps `--seeds` synthesized NFs through the
+/// reference executor, the interpreter, and the optimized-module
+/// interpreter, exiting 6 on any divergence. `--smoke` proves the
+/// oracle catches an injected miscompile and that the shrinker
+/// minimizes it; `--replay FILE` re-runs a minimized artifact.
+fn difftest_cmd(args: &[String]) -> Result<(), ClaraError> {
+    use clara_repro::clara::difftest::{self, DifftestConfig, Injection};
+
+    let mut cfg = DifftestConfig::default();
+    let mut seed = 0u64;
+    let mut smoke = false;
+    let mut replay: Option<String> = None;
+    let report = obs::sink_from_env();
+    let mut it = args.iter();
+    let num = |it: &mut std::slice::Iter<String>| -> u64 {
+        it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => cfg.seeds = num(&mut it),
+            "--start" => cfg.start_seed = num(&mut it),
+            "--packets" | "--pkts" => cfg.pkts = num(&mut it) as usize,
+            "--seed" => seed = num(&mut it),
+            "--artifacts" => {
+                cfg.artifact_dir = Some(it.next().unwrap_or_else(|| usage()).into());
+            }
+            "--no-shrink" => cfg.shrink = false,
+            "--inject" => cfg.inject = Some(Injection::FlipArith),
+            "--smoke" => smoke = true,
+            "--replay" => replay = it.next().cloned().or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    if report.is_some() {
+        obs::enable();
+    }
+
+    let result = if smoke {
+        let r = difftest::smoke();
+        println!(
+            "smoke: injected miscompile {}; shrinker: {} -> {} blocks ({} insts)",
+            if r.caught { "caught" } else { "MISSED" },
+            r.blocks_before,
+            r.blocks_after,
+            r.insts_after
+        );
+        if !r.caught || r.blocks_after > 3 {
+            Err(ClaraError::Prediction {
+                detail: format!(
+                    "difftest smoke failed: caught={} blocks_after={}",
+                    r.caught, r.blocks_after
+                ),
+            })
+        } else {
+            Ok(())
+        }
+    } else if let Some(path) = replay {
+        match difftest::replay(std::path::Path::new(&path), cfg.pkts, seed, cfg.inject)? {
+            Some(div) => {
+                println!("{path}: diverges: {div}");
+                Err(ClaraError::Divergence {
+                    found: 1,
+                    checked: 1,
+                    artifact_dir: None,
+                })
+            }
+            None => {
+                println!("{path}: no divergence over {} packets (seed {seed})", cfg.pkts);
+                Ok(())
+            }
+        }
+    } else {
+        let rep = difftest::run(&cfg);
+        for r in &rep.divergent {
+            let div = r.divergence.as_ref().expect("divergent seeds carry one");
+            println!("seed {:>6} ({}): {div}", r.seed, r.module_name);
+            if let Some(m) = &r.minimized {
+                println!(
+                    "  minimized: {} -> {} blocks, {} -> {} insts ({} oracle checks)",
+                    m.blocks_before, m.blocks_after, m.insts_before, m.insts_after, m.checks
+                );
+            }
+            if let Some(p) = &r.artifact {
+                println!("  repro written to {}", p.display());
+            }
+            if let Some(e) = &r.artifact_error {
+                eprintln!("  warning: could not write artifact: {e}");
+            }
+        }
+        println!(
+            "difftest: {} seed(s) clean, {} divergent, {} engine failure(s)",
+            rep.checked,
+            rep.divergent.len(),
+            rep.engine_failures
+        );
+        rep.into_result().map(|_| ())
+    };
+
+    if let Some(raw) = &report {
+        let path = obs::resolve_sink(raw, "clara_difftest.json");
+        match obs::RunReport::capture().write(&path) {
+            Ok(()) => eprintln!("run report written to {}", path.display()),
+            Err(e) => eprintln!("warning: could not write run report to {}: {e}", path.display()),
+        }
+    }
+    result
 }
