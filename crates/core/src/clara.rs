@@ -14,8 +14,9 @@
 //!   [`Clara::analyze`] record a [`clara_obs`] span tree and write a
 //!   JSON run report when they finish.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
+use std::sync::{Mutex, OnceLock};
 
 use clara_obs as obs;
 use nf_ir::{BlockId, GlobalId, Module};
@@ -211,6 +212,20 @@ pub struct Insights {
     pub coalesce: CoalescePlan,
     /// The host-side workload profile the suggestions are based on.
     pub profile: WorkloadProfile,
+}
+
+/// The lightweight performance-parameter bundle served per request by
+/// `clara serve` and returned by [`Clara::predict_one`]/
+/// [`Clara::predict_batch`]: the paper's §3 predictions without the §4
+/// porting strategies (no placement ILP, no coalescing clustering).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Predicted NIC compute instructions per packet-handler invocation.
+    pub predicted_compute: f64,
+    /// Counted memory accesses (IR loads/stores to state/packet data).
+    pub counted_mem: u32,
+    /// Suggested core count for the profiled workload.
+    pub suggested_cores: u32,
 }
 
 impl Insights {
@@ -459,6 +474,104 @@ impl Clara {
         })
     }
 
+    /// Predicts the performance parameters of one NF + workload — the
+    /// single-item form of [`Clara::predict_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Clara::predict_batch`]'s per-item results.
+    pub fn predict_one(&self, module: &Module, trace: &Trace) -> Result<Prediction, ClaraError> {
+        self.predict_batch(&[(module, trace)])
+            .pop()
+            .expect("one item in, one result out")
+    }
+
+    /// The trace-independent half of a prediction (verification, LSTM
+    /// compute estimate, memory count), memoized process-wide by
+    /// (predictor, module) content fingerprints. Memoized values are
+    /// pure deterministic functions of the key, so a hit is
+    /// bit-identical to recomputation; hit/miss counters are volatile
+    /// because racing batch workers may both miss the same key.
+    fn module_half(&self, predictor_fp: u64, module: &Module) -> Result<(f64, u32), ClaraError> {
+        type HalfMemo = Mutex<HashMap<(u64, u64), (f64, u32)>>;
+        static MEMO: OnceLock<HalfMemo> = OnceLock::new();
+        let key = (predictor_fp, engine::value_fingerprint(module));
+        let memo = MEMO.get_or_init(Mutex::default);
+        if let Some(&hit) = memo.lock().expect("memo poisoned").get(&key) {
+            obs::volatile_counter("clara.predict_memo.hits").incr();
+            return Ok(hit);
+        }
+        obs::volatile_counter("clara.predict_memo.misses").incr();
+        nf_ir::verify::verify_module(module).map_err(|e| ClaraError::InvalidModule {
+            name: module.name.clone(),
+            detail: e.to_string(),
+        })?;
+        let value = (
+            self.predictor.predict_module_compute(module),
+            prepare_module(module).counted_mem(),
+        );
+        memo.lock().expect("memo poisoned").insert(key, value);
+        Ok(value)
+    }
+
+    /// Predicts performance parameters for a whole batch of
+    /// `(module, trace)` pairs in **one** engine stage.
+    ///
+    /// This is the serving-path entry point: the batch fans out across
+    /// the worker pool as a single `predict-batch` [`crate::engine`]
+    /// stage (instead of one facade call per request), and every item
+    /// reuses one request-scoped [`engine::Engine`] handle so compiles
+    /// and profiles are shared through the process-wide caches. Results
+    /// come back in input order and are bit-identical to calling
+    /// [`Clara::predict_one`] per item serially.
+    ///
+    /// # Errors
+    ///
+    /// Each item fails independently: [`ClaraError::EmptyTrace`] for a
+    /// packet-less trace, [`ClaraError::InvalidModule`] when IR
+    /// verification fails, [`ClaraError::Prediction`] for an unusable
+    /// model estimate, and [`ClaraError::Degraded`] when the item's
+    /// engine task failed permanently (panic past the retry budget or a
+    /// stage deadline).
+    pub fn predict_batch(
+        &self,
+        items: &[(&Module, &Trace)],
+    ) -> Vec<Result<Prediction, ClaraError>> {
+        let eng = engine::Engine::new();
+        let naive = PortConfig::naive();
+        // The trace-independent half of a prediction (IR verification,
+        // LSTM compute estimate, memory count) is a pure function of
+        // (trained predictor, module) — memoize it process-wide so a
+        // warm server answers repeat requests without re-running model
+        // inference. One fingerprint of the predictor weights covers the
+        // whole batch.
+        let predictor_fp = engine::value_fingerprint(&self.predictor);
+        let outcome = engine::try_par_map("predict-batch", items, |_, &(module, trace)| {
+            if trace.pkts.is_empty() {
+                return Err(ClaraError::EmptyTrace);
+            }
+            let (predicted_compute, counted_mem) = self.module_half(predictor_fp, module)?;
+            let profile = eng.profile_cached(module, trace, &naive, &self.nic);
+            let suggested_cores = self.scaleout.predict(&profile, &self.nic, &naive)?;
+            Ok(Prediction {
+                predicted_compute,
+                counted_mem,
+                suggested_cores,
+            })
+        });
+        outcome
+            .results
+            .into_iter()
+            .map(|r| match r {
+                Some(item) => item,
+                // The task itself died (panic past the retry budget or a
+                // stage deadline) — surface it as a degraded single-task
+                // run so the caller sees the same shape `analyze` uses.
+                None => Err(ClaraError::Degraded { failed: 1, total: 1 }),
+            })
+            .collect()
+    }
+
     /// Analyzes an unported NF against a workload trace, producing the
     /// full insight bundle.
     ///
@@ -606,6 +719,42 @@ mod tests {
         assert_eq!(a.suggested_cores, b.suggested_cores);
         assert_eq!(a.accel, b.accel);
         assert_eq!(a.placement, b.placement);
+    }
+
+    #[test]
+    fn predict_batch_matches_analyze_and_serial_predict_one() {
+        let clara = Clara::train(&ClaraConfig::fast(8)).expect("train");
+        let elems = [
+            click_model::elements::cmsketch(),
+            click_model::elements::iplookup(128),
+            click_model::elements::tcpack(),
+        ];
+        let traces: Vec<Trace> = (0..elems.len())
+            .map(|i| Trace::generate(&WorkloadSpec::large_flows(), 150, 10 + i as u64))
+            .collect();
+        let items: Vec<(&nf_ir::Module, &Trace)> = elems
+            .iter()
+            .zip(traces.iter())
+            .map(|(e, t)| (&e.module, t))
+            .collect();
+        let batch = clara.predict_batch(&items);
+        assert_eq!(batch.len(), items.len());
+        for ((e, t), p) in elems.iter().zip(traces.iter()).zip(batch.iter().map(|r| {
+            r.as_ref().expect("batch item succeeds")
+        })) {
+            let one = clara.predict_one(&e.module, t).expect("predict_one succeeds");
+            assert_eq!(&one, p, "batch and single-item predictions must agree");
+            let insights = clara.analyze(&e.module, t).expect("analyze succeeds");
+            assert_eq!(p.predicted_compute, insights.predicted_compute);
+            assert_eq!(p.counted_mem, insights.counted_mem);
+            assert_eq!(p.suggested_cores, insights.suggested_cores);
+        }
+        // Per-item failures stay per-item: an empty trace fails its slot
+        // without poisoning the rest of the batch.
+        let empty = Trace::generate(&WorkloadSpec::large_flows(), 0, 1);
+        let mixed = clara.predict_batch(&[(&elems[0].module, &empty), items[1]]);
+        assert!(matches!(mixed[0], Err(ClaraError::EmptyTrace)));
+        assert!(mixed[1].is_ok());
     }
 
     #[test]

@@ -856,31 +856,6 @@ fn profile_artifact(
     wp
 }
 
-// ---- deprecated free-function cache surface ----------------------------
-
-/// Deprecated alias for [`Engine::compile_cached`].
-#[deprecated(note = "use clara_core::engine::Engine::new().compile_cached(..)")]
-pub fn compile_cached(module: &Module) -> Arc<NicModule> {
-    Engine::new().compile_cached(module)
-}
-
-/// Deprecated alias for [`Engine::profile_cached`].
-#[deprecated(note = "use clara_core::engine::Engine::new().profile_cached(..)")]
-pub fn profile_cached(
-    module: &Module,
-    trace: &Trace,
-    port: &PortConfig,
-    cfg: &NicConfig,
-) -> WorkloadProfile {
-    Engine::new().profile_cached(module, trace, port, cfg)
-}
-
-/// Deprecated alias for [`Engine::clear_caches`].
-#[deprecated(note = "use clara_core::engine::Engine::new().clear_caches()")]
-pub fn clear_caches() {
-    Engine::new().clear_caches();
-}
-
 // ---- corpus × workload matrix ------------------------------------------
 
 /// Profiles every `(module, workload)` pair of a corpus × workload

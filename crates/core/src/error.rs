@@ -73,6 +73,14 @@ pub enum ClaraError {
         /// Tasks the run attempted in total.
         total: usize,
     },
+    /// The serving layer failed: the daemon could not bind its address,
+    /// a client could not reach or keep a connection to the server, or
+    /// the load generator saw unexpected (non-`overloaded`) request
+    /// failures.
+    Serve {
+        /// Human-readable description.
+        detail: String,
+    },
     /// The differential oracle (`clara difftest`) found seeds whose
     /// execution layers disagree (or whose raw/optimized profiles
     /// differ). Minimized repros are written under `artifact_dir` when
@@ -92,13 +100,15 @@ impl ClaraError {
     ///
     /// The mapping is part of the CLI contract (documented in `--help`):
     /// `2` usage errors, `3` degraded runs, `4` cache corruption, `5`
-    /// I/O failures, `6` difftest divergences, `1` everything else.
+    /// I/O failures, `6` difftest divergences, `7` serve failures
+    /// (bind/connect/unexpected request errors), `1` everything else.
     pub fn exit_code(&self) -> i32 {
         match self {
             ClaraError::Degraded { .. } => 3,
             ClaraError::CacheCorrupt { .. } => 4,
             ClaraError::Io { .. } => 5,
             ClaraError::Divergence { .. } => 6,
+            ClaraError::Serve { .. } => 7,
             _ => 1,
         }
     }
@@ -134,6 +144,7 @@ impl fmt::Display for ClaraError {
                 "run degraded: {failed} of {total} engine tasks failed permanently \
                  (see the run report's engine.task_failures counter)"
             ),
+            ClaraError::Serve { detail } => write!(f, "serve: {detail}"),
             ClaraError::Divergence {
                 found,
                 checked,
@@ -179,11 +190,16 @@ mod tests {
             checked: 500,
             artifact_dir: Some(PathBuf::from("artifacts")),
         };
+        let serve = ClaraError::Serve {
+            detail: "could not bind 127.0.0.1:80".into(),
+        };
         assert_eq!(degraded.exit_code(), 3);
         assert_eq!(corrupt.exit_code(), 4);
         assert_eq!(io.exit_code(), 5);
         assert_eq!(other.exit_code(), 1);
         assert_eq!(diverged.exit_code(), 6);
+        assert_eq!(serve.exit_code(), 7);
+        assert!(serve.to_string().contains("could not bind"));
         assert!(degraded.to_string().contains("1 of 4"));
         assert!(corrupt.to_string().contains("x.clc"));
         assert!(diverged.to_string().contains("2 of 500"));

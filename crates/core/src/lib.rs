@@ -62,7 +62,7 @@ pub mod predict;
 pub mod prepare;
 pub mod scaleout;
 
-pub use clara::{Clara, ClaraConfig, ClaraConfigBuilder, Insights, MODEL_FORMAT_VERSION};
+pub use clara::{Clara, ClaraConfig, ClaraConfigBuilder, Insights, Prediction, MODEL_FORMAT_VERSION};
 pub use difftest::{DifftestConfig, DifftestReport, Divergence, DivergenceKind};
 pub use engine::{Engine, EngineOptions, EngineOptionsBuilder};
 pub use error::ClaraError;

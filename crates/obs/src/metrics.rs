@@ -66,8 +66,8 @@ impl Gauge {
     }
 }
 
-/// A histogram of `f64` samples, summarized as `p50`/`p95`/`max` in run
-/// reports. Samples are only recorded while the layer is enabled
+/// A histogram of `f64` samples, summarized as `p50`/`p95`/`p99`/`max`
+/// in run reports. Samples are only recorded while the layer is enabled
 /// (recording allocates).
 #[derive(Clone)]
 pub struct Histogram {
@@ -109,6 +109,9 @@ pub struct HistSummary {
     pub p50: f64,
     /// 95th percentile (nearest-rank).
     pub p95: f64,
+    /// 99th percentile (nearest-rank) — the serving layer's tail-latency
+    /// headline number.
+    pub p99: f64,
 }
 
 impl HistSummary {
@@ -132,6 +135,7 @@ impl HistSummary {
             mean: sorted.iter().sum::<f64>() / n as f64,
             p50: rank(0.50),
             p95: rank(0.95),
+            p99: rank(0.99),
         })
     }
 }

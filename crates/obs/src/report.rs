@@ -198,6 +198,8 @@ fn render_summary(out: &mut String, s: &HistSummary) {
     json::push_f64(out, s.p50);
     json::push_key(out, &mut f, "p95");
     json::push_f64(out, s.p95);
+    json::push_key(out, &mut f, "p99");
+    json::push_f64(out, s.p99);
     out.push('}');
 }
 

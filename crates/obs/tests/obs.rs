@@ -52,6 +52,7 @@ fn histogram_summary_percentiles() {
     assert_eq!(s.max, 100.0);
     assert_eq!(s.p50, 51.0); // nearest-rank on 0-indexed 99 elements
     assert_eq!(s.p95, 95.0);
+    assert_eq!(s.p99, 99.0);
     assert!((s.mean - 50.5).abs() < 1e-12);
     obs::disable();
 }

@@ -1,0 +1,473 @@
+//! The load generator behind `clara bench-serve`.
+//!
+//! Drives a running daemon over N persistent connections, measures
+//! request throughput and latency percentiles client-side, optionally
+//! fires an over-capacity burst (to exercise admission control) and a
+//! sequential one-shot-CLI baseline (to quantify what warm state buys),
+//! and lands everything in the standard `BENCH_*.json` report shape.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use clara_core::ClaraError;
+use clara_obs as obs;
+use serde::Value;
+
+use crate::protocol::{self, Request, WorkSpec};
+
+/// What to throw at the server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchOptions {
+    /// Daemon address.
+    pub addr: String,
+    /// Total steady-state requests (split across `conns`).
+    pub requests: usize,
+    /// Concurrent persistent connections.
+    pub conns: usize,
+    /// Corpus element every steady-state request predicts.
+    pub nf: String,
+    /// Packets per steady-state request trace.
+    pub packets: usize,
+    /// Trace seed (fixed, so the warm cache can do its job).
+    pub seed: u64,
+    /// Over-capacity burst size (0 skips the burst phase). Each burst
+    /// request uses a distinct seed and `burst_packets`, so none of them
+    /// can be served from cache.
+    pub burst: usize,
+    /// Packets per burst request (heavy on purpose).
+    pub burst_packets: usize,
+    /// One-shot CLI invocations to time as the baseline (0 skips).
+    pub baseline: usize,
+    /// Model file for the baseline subprocesses (required when
+    /// `baseline > 0`, so the baseline measures process startup + load,
+    /// not training).
+    pub model: Option<String>,
+    /// Fail (exit 7) unless `rps / baseline_rps` reaches this.
+    pub require_speedup: Option<f64>,
+    /// Send a `drain` op after measuring and verify it succeeds.
+    pub drain: bool,
+    /// Report sink; defaults to `BENCH_serve.json` (a `CLARA_REPORT`
+    /// env sink is honoured when this is unset).
+    pub report: Option<String>,
+}
+
+impl Default for BenchOptions {
+    fn default() -> BenchOptions {
+        BenchOptions {
+            addr: "127.0.0.1:4117".to_string(),
+            requests: 200,
+            conns: 4,
+            nf: "cmsketch".to_string(),
+            packets: 400,
+            seed: 42,
+            burst: 0,
+            burst_packets: 3000,
+            baseline: 0,
+            model: None,
+            require_speedup: None,
+            drain: false,
+            report: None,
+        }
+    }
+}
+
+/// What the run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSummary {
+    /// Requests sent (steady state + burst).
+    pub sent: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// Typed `overloaded` rejections (expected under burst; not failures).
+    pub overloaded: u64,
+    /// Anything else that went wrong.
+    pub failed: u64,
+    /// Steady-state successful requests per second.
+    pub rps: f64,
+    /// Steady-state latency percentiles, microseconds (nearest rank).
+    pub p50_us: f64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: f64,
+    /// One-shot CLI requests per second (when a baseline ran).
+    pub baseline_rps: Option<f64>,
+    /// `rps / baseline_rps` (when a baseline ran).
+    pub speedup: Option<f64>,
+    /// Whether the post-run drain completed successfully.
+    pub drained: bool,
+}
+
+fn serve_err(detail: String) -> ClaraError {
+    ClaraError::Serve { detail }
+}
+
+/// Connects with retries (the daemon may still be starting up).
+fn connect(addr: &str) -> Result<TcpStream, ClaraError> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                s.set_read_timeout(Some(Duration::from_secs(120)))
+                    .map_err(|e| serve_err(format!("cannot set read timeout: {e}")))?;
+                // Small request frames; Nagle would stall them behind
+                // delayed ACKs.
+                let _ = s.set_nodelay(true);
+                return Ok(s);
+            }
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => return Err(serve_err(format!("cannot connect to {addr}: {e}"))),
+        }
+    }
+}
+
+/// One request/response round trip on an established connection.
+fn round_trip(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+) -> Result<String, String> {
+    let mut framed = String::with_capacity(line.len() + 1);
+    framed.push_str(line);
+    framed.push('\n');
+    stream
+        .write_all(framed.as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("write failed: {e}"))?;
+    let mut resp = String::new();
+    match reader.read_line(&mut resp) {
+        Ok(0) => Err("server closed the connection".to_string()),
+        Ok(_) => Ok(resp.trim_end().to_string()),
+        Err(e) => Err(format!("read failed: {e}")),
+    }
+}
+
+/// How one response counts toward the tallies.
+enum Outcome {
+    Ok,
+    Overloaded,
+    Failed(String),
+}
+
+fn classify(resp: &str) -> Outcome {
+    match serde_json::parse_value(resp) {
+        Ok(v) => {
+            if v.get("ok") == Some(&Value::Bool(true)) {
+                Outcome::Ok
+            } else if v.get("error") == Some(&Value::Str("overloaded".to_string())) {
+                Outcome::Overloaded
+            } else {
+                Outcome::Failed(resp.to_string())
+            }
+        }
+        Err(e) => Outcome::Failed(format!("unparseable response ({e}): {resp}")),
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    sent: u64,
+    ok: u64,
+    overloaded: u64,
+    failed: u64,
+    first_failure: Option<String>,
+    latencies_us: Vec<f64>,
+}
+
+impl Tally {
+    fn absorb(&mut self, other: Tally) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.overloaded += other.overloaded;
+        self.failed += other.failed;
+        if self.first_failure.is_none() {
+            self.first_failure = other.first_failure;
+        }
+        self.latencies_us.extend(other.latencies_us);
+    }
+
+    fn record(&mut self, outcome: Outcome, latency: Duration) {
+        self.sent += 1;
+        self.latencies_us.push(latency.as_micros() as f64);
+        match outcome {
+            Outcome::Ok => self.ok += 1,
+            Outcome::Overloaded => self.overloaded += 1,
+            Outcome::Failed(detail) => {
+                self.failed += 1;
+                if self.first_failure.is_none() {
+                    self.first_failure = Some(detail);
+                }
+            }
+        }
+    }
+}
+
+/// Nearest-rank percentile over an unsorted sample set.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn steady_state(o: &BenchOptions) -> Result<(Tally, f64), ClaraError> {
+    let conns = o.conns.max(1);
+    let per_conn = o.requests / conns;
+    let extra = o.requests % conns;
+    let started = Instant::now();
+    let mut total = Tally::default();
+    let tallies: Vec<Result<Tally, ClaraError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let count = per_conn + usize::from(c < extra);
+                scope.spawn(move || -> Result<Tally, ClaraError> {
+                    let mut tally = Tally::default();
+                    if count == 0 {
+                        return Ok(tally);
+                    }
+                    let mut stream = connect(&o.addr)?;
+                    let mut reader = BufReader::new(
+                        stream
+                            .try_clone()
+                            .map_err(|e| serve_err(format!("cannot clone stream: {e}")))?,
+                    );
+                    for i in 0..count {
+                        let id = (c * o.requests + i) as u64;
+                        let line = protocol::render_request(
+                            Some(id),
+                            &Request::Predict(WorkSpec {
+                                nf: o.nf.clone(),
+                                packets: o.packets,
+                                seed: o.seed,
+                                small_flows: false,
+                            }),
+                        );
+                        let t0 = Instant::now();
+                        match round_trip(&mut stream, &mut reader, &line) {
+                            Ok(resp) => tally.record(classify(&resp), t0.elapsed()),
+                            Err(e) => tally.record(Outcome::Failed(e), t0.elapsed()),
+                        }
+                    }
+                    Ok(tally)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench connection thread panicked"))
+            .collect()
+    });
+    for t in tallies {
+        total.absorb(t?);
+    }
+    Ok((total, started.elapsed().as_secs_f64()))
+}
+
+/// Fires `burst` one-shot connections at once, each with a heavy,
+/// distinctly-seeded predict, to push the queue past capacity.
+fn burst_phase(o: &BenchOptions) -> Tally {
+    let mut total = Tally::default();
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..o.burst)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut tally = Tally::default();
+                    let t0 = Instant::now();
+                    let outcome = (|| -> Result<Outcome, String> {
+                        let mut stream =
+                            connect(&o.addr).map_err(|e| format!("burst connect: {e}"))?;
+                        let mut reader = BufReader::new(
+                            stream.try_clone().map_err(|e| format!("clone: {e}"))?,
+                        );
+                        let line = protocol::render_request(
+                            Some(1_000_000 + i as u64),
+                            &Request::Predict(WorkSpec {
+                                nf: o.nf.clone(),
+                                packets: o.burst_packets,
+                                seed: 1_000_000 + i as u64,
+                                small_flows: false,
+                            }),
+                        );
+                        round_trip(&mut stream, &mut reader, &line).map(|r| classify(&r))
+                    })();
+                    match outcome {
+                        Ok(oc) => tally.record(oc, t0.elapsed()),
+                        Err(e) => tally.record(Outcome::Failed(e), t0.elapsed()),
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("burst thread panicked"))
+            .collect()
+    });
+    for t in tallies {
+        total.absorb(t);
+    }
+    total
+}
+
+/// Times `baseline` sequential one-shot `clara predict` subprocesses.
+fn baseline_phase(o: &BenchOptions) -> Result<f64, ClaraError> {
+    let model = o.model.as_ref().ok_or_else(|| {
+        serve_err("--baseline needs --model so one-shot runs load instead of train".to_string())
+    })?;
+    let exe = std::env::current_exe()
+        .map_err(|e| serve_err(format!("cannot locate own executable: {e}")))?;
+    let started = Instant::now();
+    for _ in 0..o.baseline {
+        let status = Command::new(&exe)
+            .arg("predict")
+            .arg(&o.nf)
+            .arg("--model")
+            .arg(model)
+            .arg("--packets")
+            .arg(o.packets.to_string())
+            .arg("--seed")
+            .arg(o.seed.to_string())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status()
+            .map_err(|e| serve_err(format!("cannot spawn baseline subprocess: {e}")))?;
+        if !status.success() {
+            return Err(serve_err(format!(
+                "baseline `clara predict` run failed with {status}"
+            )));
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+    Ok(o.baseline as f64 / secs.max(1e-9))
+}
+
+fn drain_phase(o: &BenchOptions) -> Result<(), ClaraError> {
+    let mut stream = connect(&o.addr)?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| serve_err(format!("cannot clone stream: {e}")))?,
+    );
+    let line = protocol::render_request(None, &Request::Drain);
+    let resp = round_trip(&mut stream, &mut reader, &line).map_err(serve_err)?;
+    match classify(&resp) {
+        Outcome::Ok => Ok(()),
+        _ => Err(serve_err(format!("drain did not succeed: {resp}"))),
+    }
+}
+
+fn write_report(o: &BenchOptions, s: &BenchSummary) {
+    obs::enable();
+    obs::volatile_gauge("serve.bench.rps").set(s.rps);
+    obs::volatile_gauge("serve.bench.p50_us").set(s.p50_us);
+    obs::volatile_gauge("serve.bench.p95_us").set(s.p95_us);
+    obs::volatile_gauge("serve.bench.p99_us").set(s.p99_us);
+    obs::volatile_gauge("serve.bench.sent").set(s.sent as f64);
+    obs::volatile_gauge("serve.bench.ok").set(s.ok as f64);
+    obs::volatile_gauge("serve.bench.overloaded").set(s.overloaded as f64);
+    if let Some(b) = s.baseline_rps {
+        obs::volatile_gauge("serve.bench.baseline_rps").set(b);
+    }
+    if let Some(x) = s.speedup {
+        obs::volatile_gauge("serve.bench.speedup").set(x);
+    }
+    let raw = o
+        .report
+        .clone()
+        .or_else(obs::sink_from_env)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let path = obs::resolve_sink(&raw, "BENCH_serve.json");
+    if let Err(e) = obs::RunReport::capture().write(&path) {
+        eprintln!("warning: could not write report to {}: {e}", path.display());
+    } else {
+        eprintln!("wrote report to {}", path.display());
+    }
+}
+
+/// Runs the full benchmark: steady state, optional burst, optional
+/// baseline, report, optional drain.
+///
+/// # Errors
+///
+/// [`ClaraError::Serve`] (CLI exit code 7) when any request fails for a
+/// reason other than a typed `overloaded` rejection, when the measured
+/// speedup misses `require_speedup`, or when the post-run drain fails.
+pub fn run_bench(o: &BenchOptions) -> Result<BenchSummary, ClaraError> {
+    let (mut tally, steady_secs) = steady_state(o)?;
+    let steady_ok = tally.ok;
+    let mut steady_lat = tally.latencies_us.clone();
+    steady_lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    if o.burst > 0 {
+        tally.absorb(burst_phase(o));
+    }
+    let rps = steady_ok as f64 / steady_secs.max(1e-9);
+    let baseline_rps = if o.baseline > 0 {
+        Some(baseline_phase(o)?)
+    } else {
+        None
+    };
+    let speedup = baseline_rps.map(|b| rps / b.max(1e-9));
+    let mut summary = BenchSummary {
+        sent: tally.sent,
+        ok: tally.ok,
+        overloaded: tally.overloaded,
+        failed: tally.failed,
+        rps,
+        p50_us: percentile(&steady_lat, 0.50),
+        p95_us: percentile(&steady_lat, 0.95),
+        p99_us: percentile(&steady_lat, 0.99),
+        baseline_rps,
+        speedup,
+        drained: false,
+    };
+    if o.drain {
+        drain_phase(o)?;
+        summary.drained = true;
+    }
+    write_report(o, &summary);
+    if summary.failed > 0 {
+        return Err(serve_err(format!(
+            "{} of {} requests failed (first: {})",
+            summary.failed,
+            summary.sent,
+            tally.first_failure.as_deref().unwrap_or("unknown"),
+        )));
+    }
+    if let Some(min) = o.require_speedup {
+        match summary.speedup {
+            Some(x) if x >= min => {}
+            Some(x) => {
+                return Err(serve_err(format!(
+                    "speedup {x:.2}x is below the required {min:.2}x"
+                )))
+            }
+            None => {
+                return Err(serve_err(
+                    "--require-speedup needs --baseline to measure against".to_string(),
+                ))
+            }
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50.0);
+        assert_eq!(percentile(&sorted, 0.95), 95.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+}

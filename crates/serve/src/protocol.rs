@@ -1,0 +1,435 @@
+//! The versioned JSON-lines wire protocol.
+//!
+//! Every request and response is one JSON object per line. Requests
+//! carry `{"v":1,"op":...}` plus op-specific fields and an optional
+//! client-chosen `id` that is echoed back verbatim on the response:
+//!
+//! ```json
+//! {"v":1,"op":"predict","nf":"cmsketch","packets":400,"seed":7}
+//! {"v":1,"op":"analyze","nf":"iplookup","small_flows":true}
+//! {"v":1,"op":"difftest","seeds":20,"start":100,"packets":64}
+//! {"v":1,"op":"stats"}
+//! {"v":1,"op":"drain"}
+//! ```
+//!
+//! Successful responses are `{"v":1,"ok":true,"op":...}` plus payload;
+//! failures are `{"v":1,"ok":false,"error":<kind>,"detail":...}` where
+//! `<kind>` is one of the [`ErrorKind`] strings. `overloaded` is the
+//! admission-control rejection (bounded queue at capacity) — it is the
+//! *expected* backpressure signal, not a server fault — and `draining`
+//! is returned for work submitted after a drain began.
+//!
+//! Response rendering is a pure function of the result data, so a
+//! response served through the daemon's queue and batching machinery is
+//! byte-identical to one rendered from the equivalent one-shot facade
+//! call (pinned by `tests/serve.rs`).
+
+use clara_core::{Insights, Prediction};
+use nf_ir::Module;
+use serde::Value;
+use trafgen::{Trace, WorkloadSpec};
+
+/// Protocol version accepted and emitted by this build.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// The workload half of a `predict`/`analyze` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkSpec {
+    /// Corpus element name (`clara list`).
+    pub nf: String,
+    /// Packets to generate for the profiling trace.
+    pub packets: usize,
+    /// Trace RNG seed.
+    pub seed: u64,
+    /// Small-flow workload instead of the default large-flow one.
+    pub small_flows: bool,
+}
+
+impl WorkSpec {
+    /// Generates the deterministic trace this spec describes (the same
+    /// mapping the one-shot `clara analyze` CLI uses).
+    pub fn trace(&self) -> Trace {
+        let spec = if self.small_flows {
+            WorkloadSpec::small_flows().with_flows(8192)
+        } else {
+            WorkloadSpec::large_flows()
+        };
+        Trace::generate(&spec, self.packets, self.seed)
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Performance-parameter prediction (batchable).
+    Predict(WorkSpec),
+    /// Full insight bundle.
+    Analyze(WorkSpec),
+    /// Differential-oracle sweep over synthesized seeds.
+    Difftest {
+        /// Seeds to sweep.
+        seeds: u64,
+        /// First seed.
+        start: u64,
+        /// Packets per seed.
+        pkts: usize,
+    },
+    /// Live server/engine statistics.
+    Stats,
+    /// Graceful shutdown: stop admission, finish in flight, report.
+    Drain,
+}
+
+/// A request plus its optional client correlation id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Echoed back verbatim on the response.
+    pub id: Option<u64>,
+    /// The operation.
+    pub req: Request,
+}
+
+/// Typed error kinds a response can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Bounded queue at capacity; retry later (backpressure, not fault).
+    Overloaded,
+    /// Malformed or unsupported request.
+    BadRequest,
+    /// `nf` does not name a corpus element.
+    UnknownNf,
+    /// The request's deadline expired before (or while) it ran.
+    Deadline,
+    /// The server is draining and no longer admits work.
+    Draining,
+    /// The request ran and failed (facade error, degraded engine task).
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire string for this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::UnknownNf => "unknown_nf",
+            ErrorKind::Deadline => "deadline",
+            ErrorKind::Draining => "draining",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+// ---- parsing -----------------------------------------------------------
+
+fn get_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Int(i)) if *i >= 0 => Ok(Some(*i as u64)),
+        Some(Value::UInt(u)) => Ok(Some(*u)),
+        Some(other) => Err(format!("`{key}` must be a non-negative integer, got {}", other.kind())),
+    }
+}
+
+fn get_bool(v: &Value, key: &str) -> Result<Option<bool>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Bool(b)) => Ok(Some(*b)),
+        Some(other) => Err(format!("`{key}` must be a boolean, got {}", other.kind())),
+    }
+}
+
+fn work_spec(v: &Value) -> Result<WorkSpec, String> {
+    let nf = match v.get("nf") {
+        Some(Value::Str(s)) if !s.is_empty() => s.clone(),
+        Some(other) => return Err(format!("`nf` must be a non-empty string, got {}", other.kind())),
+        None => return Err("missing `nf`".to_string()),
+    };
+    Ok(WorkSpec {
+        nf,
+        packets: get_u64(v, "packets")?.unwrap_or(400) as usize,
+        seed: get_u64(v, "seed")?.unwrap_or(42),
+        small_flows: get_bool(v, "small_flows")?.unwrap_or(false),
+    })
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first problem found
+/// (callers wrap it in a `bad_request` response).
+pub fn parse_request(line: &str) -> Result<Envelope, String> {
+    let v = serde_json::parse_value(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let version = get_u64(&v, "v")?.ok_or("missing protocol version `v`")?;
+    if version != PROTOCOL_VERSION {
+        return Err(format!(
+            "unsupported protocol version {version} (this server speaks v{PROTOCOL_VERSION})"
+        ));
+    }
+    let id = get_u64(&v, "id")?;
+    let req = match v.get("op") {
+        Some(Value::Str(op)) => match op.as_str() {
+            "predict" => Request::Predict(work_spec(&v)?),
+            "analyze" => Request::Analyze(work_spec(&v)?),
+            "difftest" => Request::Difftest {
+                seeds: get_u64(&v, "seeds")?.unwrap_or(10),
+                start: get_u64(&v, "start")?.unwrap_or(0),
+                pkts: get_u64(&v, "packets")?.unwrap_or(64) as usize,
+            },
+            "stats" => Request::Stats,
+            "drain" => Request::Drain,
+            other => return Err(format!("unknown op `{other}`")),
+        },
+        Some(other) => return Err(format!("`op` must be a string, got {}", other.kind())),
+        None => return Err("missing `op`".to_string()),
+    };
+    Ok(Envelope { id, req })
+}
+
+// ---- rendering ---------------------------------------------------------
+
+fn head(id: Option<u64>, ok: bool) -> Vec<(String, Value)> {
+    let mut m = vec![("v".to_string(), Value::UInt(PROTOCOL_VERSION))];
+    if let Some(id) = id {
+        m.push(("id".to_string(), Value::UInt(id)));
+    }
+    m.push(("ok".to_string(), Value::Bool(ok)));
+    m
+}
+
+fn finish(m: Vec<(String, Value)>) -> String {
+    serde_json::to_string(&Value::Map(m)).expect("value rendering is infallible")
+}
+
+/// Renders a request line (the client side of the protocol).
+pub fn render_request(id: Option<u64>, req: &Request) -> String {
+    let mut m = vec![("v".to_string(), Value::UInt(PROTOCOL_VERSION))];
+    if let Some(id) = id {
+        m.push(("id".to_string(), Value::UInt(id)));
+    }
+    let op = |name: &str| ("op".to_string(), Value::Str(name.to_string()));
+    match req {
+        Request::Predict(w) | Request::Analyze(w) => {
+            m.push(op(if matches!(req, Request::Predict(_)) {
+                "predict"
+            } else {
+                "analyze"
+            }));
+            m.push(("nf".to_string(), Value::Str(w.nf.clone())));
+            m.push(("packets".to_string(), Value::UInt(w.packets as u64)));
+            m.push(("seed".to_string(), Value::UInt(w.seed)));
+            m.push(("small_flows".to_string(), Value::Bool(w.small_flows)));
+        }
+        Request::Difftest { seeds, start, pkts } => {
+            m.push(op("difftest"));
+            m.push(("seeds".to_string(), Value::UInt(*seeds)));
+            m.push(("start".to_string(), Value::UInt(*start)));
+            m.push(("packets".to_string(), Value::UInt(*pkts as u64)));
+        }
+        Request::Stats => m.push(op("stats")),
+        Request::Drain => m.push(op("drain")),
+    }
+    finish(m)
+}
+
+/// Renders a successful `predict` response.
+pub fn predict_response(id: Option<u64>, nf: &str, p: &Prediction) -> String {
+    let mut m = head(id, true);
+    m.push(("op".to_string(), Value::Str("predict".to_string())));
+    m.push(("nf".to_string(), Value::Str(nf.to_string())));
+    m.push((
+        "predicted_compute".to_string(),
+        Value::Float(p.predicted_compute),
+    ));
+    m.push(("counted_mem".to_string(), Value::UInt(u64::from(p.counted_mem))));
+    m.push((
+        "suggested_cores".to_string(),
+        Value::UInt(u64::from(p.suggested_cores)),
+    ));
+    finish(m)
+}
+
+/// Renders a successful `analyze` response (names resolved against the
+/// analyzed module).
+pub fn analyze_response(id: Option<u64>, nf: &str, module: &Module, ins: &Insights) -> String {
+    let gname = |g: nf_ir::GlobalId| {
+        Value::Str(module.global(g).map_or("?", |d| d.name.as_str()).to_string())
+    };
+    let mut m = head(id, true);
+    m.push(("op".to_string(), Value::Str("analyze".to_string())));
+    m.push(("nf".to_string(), Value::Str(nf.to_string())));
+    m.push((
+        "predicted_compute".to_string(),
+        Value::Float(ins.predicted_compute),
+    ));
+    m.push((
+        "counted_mem".to_string(),
+        Value::UInt(u64::from(ins.counted_mem)),
+    ));
+    m.push((
+        "mem_count_accuracy".to_string(),
+        Value::Float(ins.mem_count_accuracy),
+    ));
+    m.push((
+        "accel".to_string(),
+        match &ins.accel {
+            None => Value::Null,
+            Some((class, region)) => Value::Map(vec![
+                ("class".to_string(), Value::Str(class.name().to_string())),
+                (
+                    "blocks".to_string(),
+                    Value::Seq(
+                        region
+                            .iter()
+                            .map(|b| Value::UInt(u64::from(b.0)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        },
+    ));
+    m.push((
+        "suggested_cores".to_string(),
+        Value::UInt(u64::from(ins.suggested_cores)),
+    ));
+    m.push((
+        "placement".to_string(),
+        Value::Seq(
+            ins.placement
+                .iter()
+                .map(|(&g, l)| {
+                    Value::Seq(vec![gname(g), Value::Str(l.name().to_string())])
+                })
+                .collect(),
+        ),
+    ));
+    m.push((
+        "coalesce".to_string(),
+        Value::Seq(
+            ins.coalesce
+                .clusters
+                .iter()
+                .map(|cl| Value::Seq(cl.iter().map(|&(g, _)| gname(g)).collect()))
+                .collect(),
+        ),
+    ));
+    finish(m)
+}
+
+/// Renders a successful `difftest` response.
+pub fn difftest_response(
+    id: Option<u64>,
+    checked: u64,
+    divergent: u64,
+    engine_failures: u64,
+) -> String {
+    let mut m = head(id, true);
+    m.push(("op".to_string(), Value::Str("difftest".to_string())));
+    m.push(("checked".to_string(), Value::UInt(checked)));
+    m.push(("divergent".to_string(), Value::UInt(divergent)));
+    m.push(("engine_failures".to_string(), Value::UInt(engine_failures)));
+    finish(m)
+}
+
+/// Renders a successful `stats` response from pre-assembled fields.
+pub fn stats_response(id: Option<u64>, fields: Vec<(String, Value)>) -> String {
+    let mut m = head(id, true);
+    m.push(("op".to_string(), Value::Str("stats".to_string())));
+    m.extend(fields);
+    finish(m)
+}
+
+/// Renders the final `drain` response: total requests served plus the
+/// deterministic run report (as an embedded JSON object).
+pub fn drain_response(id: Option<u64>, served: u64, report: Value) -> String {
+    let mut m = head(id, true);
+    m.push(("op".to_string(), Value::Str("drain".to_string())));
+    m.push(("served".to_string(), Value::UInt(served)));
+    m.push(("report".to_string(), report));
+    finish(m)
+}
+
+/// Renders a typed error response.
+pub fn error_response(id: Option<u64>, kind: ErrorKind, detail: &str) -> String {
+    let mut m = head(id, false);
+    m.push(("error".to_string(), Value::Str(kind.as_str().to_string())));
+    m.push(("detail".to_string(), Value::Str(detail.to_string())));
+    finish(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_render_and_parse() {
+        let reqs = [
+            Request::Predict(WorkSpec {
+                nf: "cmsketch".into(),
+                packets: 400,
+                seed: 7,
+                small_flows: false,
+            }),
+            Request::Analyze(WorkSpec {
+                nf: "iplookup".into(),
+                packets: 100,
+                seed: 1,
+                small_flows: true,
+            }),
+            Request::Difftest {
+                seeds: 20,
+                start: 5,
+                pkts: 64,
+            },
+            Request::Stats,
+            Request::Drain,
+        ];
+        for (i, req) in reqs.into_iter().enumerate() {
+            let line = render_request(Some(i as u64), &req);
+            let env = parse_request(&line).expect("round trip parses");
+            assert_eq!(env.id, Some(i as u64));
+            assert_eq!(env.req, req);
+        }
+    }
+
+    #[test]
+    fn parse_defaults_and_rejections() {
+        let env = parse_request(r#"{"v":1,"op":"predict","nf":"lb"}"#).expect("minimal predict");
+        assert_eq!(
+            env.req,
+            Request::Predict(WorkSpec {
+                nf: "lb".into(),
+                packets: 400,
+                seed: 42,
+                small_flows: false,
+            })
+        );
+        assert_eq!(env.id, None);
+        assert!(parse_request("not json").unwrap_err().contains("invalid JSON"));
+        assert!(parse_request(r#"{"op":"stats"}"#).unwrap_err().contains("version"));
+        assert!(parse_request(r#"{"v":2,"op":"stats"}"#)
+            .unwrap_err()
+            .contains("unsupported protocol version"));
+        assert!(parse_request(r#"{"v":1,"op":"frobnicate"}"#)
+            .unwrap_err()
+            .contains("unknown op"));
+        assert!(parse_request(r#"{"v":1,"op":"predict"}"#)
+            .unwrap_err()
+            .contains("missing `nf`"));
+        assert!(parse_request(r#"{"v":1,"op":"predict","nf":"x","packets":"many"}"#)
+            .unwrap_err()
+            .contains("`packets`"));
+    }
+
+    #[test]
+    fn error_responses_carry_the_typed_kind() {
+        let line = error_response(Some(3), ErrorKind::Overloaded, "queue at capacity (8)");
+        let v = serde_json::parse_value(&line).expect("valid JSON");
+        assert_eq!(v.get("ok"), Some(&serde::Value::Bool(false)));
+        assert_eq!(
+            v.get("error"),
+            Some(&serde::Value::Str("overloaded".to_string()))
+        );
+    }
+}

@@ -1,0 +1,676 @@
+//! The daemon: TCP acceptor, bounded work queue, worker pool.
+//!
+//! Life of a request: a connection thread parses the line and — for work
+//! ops — tries to enqueue a job onto the bounded queue. If the queue
+//! is at capacity the request is rejected *immediately* with a typed
+//! `overloaded` response (admission control; the client decides whether
+//! to retry). Otherwise the connection thread parks on a channel while a
+//! worker picks the job up, coalescing runs of adjacent `predict` jobs
+//! into one [`Clara::predict_batch`] call (one engine `par_map` stage
+//! for the whole batch). `stats` is answered inline without queueing so
+//! it stays responsive under load.
+//!
+//! Drain (the `drain` op, [`ServerHandle::drain`], or SIGTERM via
+//! [`install_sigterm_drain`]) flips one flag: admission stops (new work
+//! gets a typed `draining` error), workers finish the queue and exit,
+//! and the drain response carries the final deterministic
+//! [`clara_obs::RunReport`] of everything the server did.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use clara_core::{difftest, engine, Clara, ClaraError, DifftestConfig};
+use clara_obs as obs;
+use nf_ir::Module;
+use serde::Value;
+
+use crate::protocol::{self, Envelope, ErrorKind, Request, WorkSpec};
+
+/// How the daemon is sized. Plain struct: every field has a sensible
+/// default, override what you need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Bind address; use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Worker threads executing queued jobs.
+    pub workers: usize,
+    /// Bounded queue capacity; beyond it requests get `overloaded`.
+    pub queue_cap: usize,
+    /// Most `predict` jobs coalesced into one batched engine stage.
+    pub batch_max: usize,
+    /// Per-request budget measured from enqueue. Also installed as the
+    /// engine's `stage_deadline` so a wedged stage is cut short too.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:4117".to_string(),
+            workers: 2,
+            queue_cap: 64,
+            batch_max: 8,
+            deadline: None,
+        }
+    }
+}
+
+/// What the server did over its lifetime (returned by
+/// [`ServerHandle::join`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Work requests answered successfully.
+    pub served: u64,
+    /// Requests rejected by admission control.
+    pub overloaded: u64,
+    /// Requests that failed for any other reason.
+    pub errors: u64,
+}
+
+enum JobKind {
+    Predict(WorkSpec),
+    Analyze(WorkSpec),
+    Difftest { seeds: u64, start: u64, pkts: usize },
+}
+
+struct Job {
+    id: Option<u64>,
+    kind: JobKind,
+    enqueued: Instant,
+    resp: mpsc::Sender<String>,
+}
+
+struct Shared {
+    clara: Arc<Clara>,
+    corpus: BTreeMap<String, Module>,
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    draining: AtomicBool,
+    stopped: AtomicBool,
+    in_flight: AtomicUsize,
+    served: AtomicU64,
+    overloaded: AtomicU64,
+    errors: AtomicU64,
+    opts: ServeOptions,
+    root: obs::SpanHandle,
+}
+
+impl Shared {
+    fn queue_gauge(&self, depth: usize) {
+        obs::volatile_gauge("serve.queue.depth").set(depth as f64);
+    }
+
+    /// Stops admission and wakes everyone who might be waiting on it.
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the queue is empty and nothing is in flight.
+    fn await_quiesce(&self) {
+        loop {
+            let empty = self.queue.lock().expect("queue poisoned").is_empty();
+            if empty && self.in_flight.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+/// The `clara serve` daemon.
+pub struct Server;
+
+/// A running server. Dropping the handle does not stop it; drain it
+/// (wire op, [`ServerHandle::drain`], or SIGTERM) and [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    /// Root span kept open for the server's lifetime so every request's
+    /// spans parent under it; closed in [`ServerHandle::join`] right
+    /// before the final report capture.
+    root_guard: Option<obs::SpanGuard>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and acceptor, and returns
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ClaraError::Serve`] when the address cannot be bound (CLI exit
+    /// code 7).
+    pub fn start(opts: ServeOptions, clara: Arc<Clara>) -> Result<ServerHandle, ClaraError> {
+        let listener = TcpListener::bind(&opts.addr).map_err(|e| ClaraError::Serve {
+            detail: format!("cannot bind {}: {e}", opts.addr),
+        })?;
+        let addr = listener.local_addr().map_err(|e| ClaraError::Serve {
+            detail: format!("cannot read bound address: {e}"),
+        })?;
+        listener.set_nonblocking(true).map_err(|e| ClaraError::Serve {
+            detail: format!("cannot set nonblocking accept: {e}"),
+        })?;
+
+        if let Some(d) = opts.deadline {
+            let mut eo = engine::configured();
+            eo.stage_deadline = Some(d);
+            engine::configure(&eo);
+        }
+
+        obs::enable();
+        let root_guard = obs::span("clara-serve");
+        let root = root_guard.handle();
+
+        let corpus = click_model::extended_corpus()
+            .into_iter()
+            .map(|e| (e.name().to_string(), e.module))
+            .collect();
+
+        let shared = Arc::new(Shared {
+            clara,
+            corpus,
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            served: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            opts: opts.clone(),
+            root,
+        });
+
+        let workers = (0..opts.workers.max(1))
+            .map(|i| {
+                let s = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("clara-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&s))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let acceptor = {
+            let s = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("clara-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &s))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor,
+            workers,
+            root_guard: Some(root_guard),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Programmatic drain: stop admission and (once quiesced) the
+    /// acceptor. Equivalent to the wire `drain` op minus the report
+    /// response.
+    pub fn drain(&self) {
+        self.shared.begin_drain();
+        self.shared.await_quiesce();
+        self.shared.stopped.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the acceptor and workers to exit (i.e. for a drain to
+    /// complete), closes the root span, writes a final run report when a
+    /// `CLARA_REPORT` sink is configured, and returns the lifetime
+    /// summary.
+    pub fn join(mut self) -> ServeSummary {
+        self.acceptor.join().expect("acceptor thread panicked");
+        for w in self.workers.drain(..) {
+            w.join().expect("worker thread panicked");
+        }
+        drop(self.root_guard.take());
+        if let Some(raw) = obs::sink_from_env() {
+            let path = obs::resolve_sink(&raw, "clara_serve.json");
+            if let Err(e) = obs::RunReport::capture().write(&path) {
+                eprintln!("warning: could not write report to {}: {e}", path.display());
+            }
+        }
+        ServeSummary {
+            served: self.shared.served.load(Ordering::SeqCst),
+            overloaded: self.shared.overloaded.load(Ordering::SeqCst),
+            errors: self.shared.errors.load(Ordering::SeqCst),
+        }
+    }
+}
+
+// ---- acceptor ----------------------------------------------------------
+
+fn accept_loop(listener: &TcpListener, s: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let s = Arc::clone(s);
+                // Connection threads are deliberately detached: they park
+                // on blocking reads for as long as the client keeps the
+                // connection open, so joining them would hand shutdown
+                // latency to the slowest client.
+                std::thread::Builder::new()
+                    .name("clara-serve-conn".to_string())
+                    .spawn(move || handle_conn(stream, &s))
+                    .expect("spawn connection thread");
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+        if term::signaled() && !s.stopped.load(Ordering::SeqCst) {
+            s.begin_drain();
+            s.await_quiesce();
+            s.stopped.store(true, Ordering::SeqCst);
+        }
+        if s.stopped.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+// ---- connection threads ------------------------------------------------
+
+fn handle_conn(stream: TcpStream, s: &Arc<Shared>) {
+    // One write per response and no Nagle buffering: a request/response
+    // protocol of small frames would otherwise serialize on ~40ms
+    // delayed-ACK stalls.
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut response = handle_line(&line, s);
+        response.push('\n');
+        if writer.write_all(response.as_bytes()).is_err() {
+            return;
+        }
+        let _ = writer.flush();
+        if s.stopped.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn handle_line(line: &str, s: &Arc<Shared>) -> String {
+    let started = Instant::now();
+    let env = match protocol::parse_request(line) {
+        Ok(env) => env,
+        Err(detail) => {
+            s.errors.fetch_add(1, Ordering::SeqCst);
+            return protocol::error_response(None, ErrorKind::BadRequest, &detail);
+        }
+    };
+    let op_name = match &env.req {
+        Request::Predict(_) => "predict",
+        Request::Analyze(_) => "analyze",
+        Request::Difftest { .. } => "difftest",
+        Request::Stats => "stats",
+        Request::Drain => "drain",
+    };
+    let response = dispatch(env, s);
+    obs::volatile_histogram(&format!("serve.op.{op_name}.latency_us"))
+        .observe(started.elapsed().as_micros() as f64);
+    response
+}
+
+fn dispatch(env: Envelope, s: &Arc<Shared>) -> String {
+    let Envelope { id, req } = env;
+    match req {
+        Request::Stats => stats_inline(id, s),
+        Request::Drain => drain_inline(id, s),
+        Request::Predict(w) | Request::Analyze(w)
+            if !s.corpus.contains_key(&w.nf) =>
+        {
+            s.errors.fetch_add(1, Ordering::SeqCst);
+            protocol::error_response(
+                id,
+                ErrorKind::UnknownNf,
+                &format!("`{}` is not in the corpus (see `clara list`)", w.nf),
+            )
+        }
+        Request::Predict(w) => enqueue_and_wait(id, JobKind::Predict(w), s),
+        Request::Analyze(w) => enqueue_and_wait(id, JobKind::Analyze(w), s),
+        Request::Difftest { seeds, start, pkts } => {
+            enqueue_and_wait(id, JobKind::Difftest { seeds, start, pkts }, s)
+        }
+    }
+}
+
+fn enqueue_and_wait(id: Option<u64>, kind: JobKind, s: &Arc<Shared>) -> String {
+    if s.draining.load(Ordering::SeqCst) {
+        s.errors.fetch_add(1, Ordering::SeqCst);
+        return protocol::error_response(
+            id,
+            ErrorKind::Draining,
+            "server is draining and no longer admits work",
+        );
+    }
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut q = s.queue.lock().expect("queue poisoned");
+        if q.len() >= s.opts.queue_cap {
+            drop(q);
+            s.overloaded.fetch_add(1, Ordering::SeqCst);
+            obs::volatile_counter("serve.overloaded").incr();
+            return protocol::error_response(
+                id,
+                ErrorKind::Overloaded,
+                &format!("queue at capacity ({})", s.opts.queue_cap),
+            );
+        }
+        q.push_back(Job {
+            id,
+            kind,
+            enqueued: Instant::now(),
+            resp: tx,
+        });
+        s.queue_gauge(q.len());
+    }
+    s.cv.notify_one();
+    // The worker pool always answers every admitted job — including
+    // during drain, which finishes the queue before workers exit.
+    rx.recv().unwrap_or_else(|_| {
+        protocol::error_response(id, ErrorKind::Internal, "worker dropped the request")
+    })
+}
+
+fn stats_inline(id: Option<u64>, s: &Arc<Shared>) -> String {
+    let depth = s.queue.lock().expect("queue poisoned").len();
+    let es = engine::EngineStats::snapshot();
+    let fields = vec![
+        ("queue_depth".to_string(), Value::UInt(depth as u64)),
+        (
+            "in_flight".to_string(),
+            Value::UInt(s.in_flight.load(Ordering::SeqCst) as u64),
+        ),
+        (
+            "served".to_string(),
+            Value::UInt(s.served.load(Ordering::SeqCst)),
+        ),
+        (
+            "overloaded".to_string(),
+            Value::UInt(s.overloaded.load(Ordering::SeqCst)),
+        ),
+        (
+            "draining".to_string(),
+            Value::Bool(s.draining.load(Ordering::SeqCst)),
+        ),
+        (
+            "workers".to_string(),
+            Value::UInt(s.opts.workers.max(1) as u64),
+        ),
+        (
+            "queue_cap".to_string(),
+            Value::UInt(s.opts.queue_cap as u64),
+        ),
+        (
+            "batch_max".to_string(),
+            Value::UInt(s.opts.batch_max as u64),
+        ),
+        ("compile_hits".to_string(), Value::UInt(es.compile_hits)),
+        ("compile_misses".to_string(), Value::UInt(es.compile_misses)),
+        ("profile_hits".to_string(), Value::UInt(es.profile_hits)),
+        ("profile_misses".to_string(), Value::UInt(es.profile_misses)),
+        ("disk_hits".to_string(), Value::UInt(es.disk_hits)),
+        (
+            "disk_recomputes".to_string(),
+            Value::UInt(es.disk_recomputes),
+        ),
+    ];
+    protocol::stats_response(id, fields)
+}
+
+fn drain_inline(id: Option<u64>, s: &Arc<Shared>) -> String {
+    s.begin_drain();
+    s.await_quiesce();
+    let served = s.served.load(Ordering::SeqCst);
+    // Open spans snapshot with zero length, so capturing while the root
+    // span is still open is well-defined; the deterministic rendering
+    // strips timestamps anyway.
+    let report_json = obs::RunReport::capture().to_json_deterministic();
+    let report = serde_json::parse_value(&report_json)
+        .unwrap_or(Value::Str(report_json));
+    let response = protocol::drain_response(id, served, report);
+    s.stopped.store(true, Ordering::SeqCst);
+    response
+}
+
+// ---- workers -----------------------------------------------------------
+
+fn worker_loop(s: &Arc<Shared>) {
+    loop {
+        let batch = {
+            let mut q = s.queue.lock().expect("queue poisoned");
+            loop {
+                if !q.is_empty() {
+                    break;
+                }
+                if s.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = s
+                    .cv
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .expect("queue poisoned")
+                    .0;
+            }
+            let first = q.pop_front().expect("checked non-empty");
+            let mut batch = vec![first];
+            if matches!(batch[0].kind, JobKind::Predict(_)) {
+                while batch.len() < s.opts.batch_max.max(1) {
+                    match q.front() {
+                        Some(j) if matches!(j.kind, JobKind::Predict(_)) => {
+                            batch.push(q.pop_front().expect("front exists"));
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            s.in_flight.fetch_add(batch.len(), Ordering::SeqCst);
+            s.queue_gauge(q.len());
+            batch
+        };
+        run_batch(batch, s);
+        s.cv.notify_all();
+    }
+}
+
+/// Splits expired jobs out, answers them with `deadline`, and returns
+/// the still-live remainder.
+fn reap_expired(batch: Vec<Job>, s: &Arc<Shared>) -> Vec<Job> {
+    let Some(deadline) = s.opts.deadline else {
+        return batch;
+    };
+    let mut live = Vec::with_capacity(batch.len());
+    for job in batch {
+        if job.enqueued.elapsed() > deadline {
+            s.errors.fetch_add(1, Ordering::SeqCst);
+            let _ = job.resp.send(protocol::error_response(
+                job.id,
+                ErrorKind::Deadline,
+                &format!("request exceeded its {deadline:?} budget while queued"),
+            ));
+            s.in_flight.fetch_sub(1, Ordering::SeqCst);
+        } else {
+            live.push(job);
+        }
+    }
+    live
+}
+
+fn run_batch(batch: Vec<Job>, s: &Arc<Shared>) {
+    let batch = reap_expired(batch, s);
+    if batch.is_empty() {
+        return;
+    }
+    let n = batch.len();
+    obs::volatile_histogram("serve.batch.size").observe(n as f64);
+    if n > 1 || matches!(batch[0].kind, JobKind::Predict(_)) {
+        run_predict_batch(batch, s);
+    } else {
+        let job = batch.into_iter().next().expect("checked non-empty");
+        run_single(job, s);
+        s.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn run_predict_batch(batch: Vec<Job>, s: &Arc<Shared>) {
+    let n = batch.len();
+    obs::counter("serve.ops.predict").add(n as u64);
+    let specs: Vec<&WorkSpec> = batch
+        .iter()
+        .map(|j| match &j.kind {
+            JobKind::Predict(w) => w,
+            _ => unreachable!("predict batches contain only predict jobs"),
+        })
+        .collect();
+    let traces: Vec<_> = specs.iter().map(|w| w.trace()).collect();
+    let items: Vec<(&Module, &trafgen::Trace)> = specs
+        .iter()
+        .zip(&traces)
+        .map(|(w, t)| {
+            (
+                s.corpus.get(&w.nf).expect("validated at admission"),
+                t,
+            )
+        })
+        .collect();
+    let results = {
+        let span = obs::span_under(s.root, "serve-predict-batch");
+        let _ctx = obs::attach(span.handle());
+        s.clara.predict_batch(&items)
+    };
+    for ((job, spec), result) in batch.iter().zip(&specs).zip(results) {
+        let response = match result {
+            Ok(p) => {
+                s.served.fetch_add(1, Ordering::SeqCst);
+                protocol::predict_response(job.id, &spec.nf, &p)
+            }
+            Err(e) => {
+                s.errors.fetch_add(1, Ordering::SeqCst);
+                protocol::error_response(job.id, ErrorKind::Internal, &e.to_string())
+            }
+        };
+        let _ = job.resp.send(response);
+    }
+    s.in_flight.fetch_sub(n, Ordering::SeqCst);
+}
+
+fn run_single(job: Job, s: &Arc<Shared>) {
+    let response = match &job.kind {
+        JobKind::Predict(_) => unreachable!("predict jobs go through the batch path"),
+        JobKind::Analyze(w) => {
+            obs::counter("serve.ops.analyze").incr();
+            let module = s.corpus.get(&w.nf).expect("validated at admission");
+            let trace = w.trace();
+            let outcome = {
+                let span = obs::span_under(s.root, "serve-analyze");
+                let _ctx = obs::attach(span.handle());
+                s.clara.analyze(module, &trace)
+            };
+            match outcome {
+                Ok(ins) => {
+                    s.served.fetch_add(1, Ordering::SeqCst);
+                    protocol::analyze_response(job.id, &w.nf, module, &ins)
+                }
+                Err(e) => {
+                    s.errors.fetch_add(1, Ordering::SeqCst);
+                    protocol::error_response(job.id, ErrorKind::Internal, &e.to_string())
+                }
+            }
+        }
+        JobKind::Difftest { seeds, start, pkts } => {
+            obs::counter("serve.ops.difftest").incr();
+            let cfg = DifftestConfig {
+                seeds: *seeds,
+                start_seed: *start,
+                pkts: *pkts,
+                shrink: false,
+                artifact_dir: None,
+                inject: None,
+                ..DifftestConfig::default()
+            };
+            let report = {
+                let span = obs::span_under(s.root, "serve-difftest");
+                let _ctx = obs::attach(span.handle());
+                difftest::run(&cfg)
+            };
+            s.served.fetch_add(1, Ordering::SeqCst);
+            protocol::difftest_response(
+                job.id,
+                report.checked as u64,
+                report.divergent.len() as u64,
+                report.engine_failures as u64,
+            )
+        }
+    };
+    let _ = job.resp.send(response);
+}
+
+// ---- SIGTERM -----------------------------------------------------------
+
+#[cfg(unix)]
+mod term {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+
+    pub fn install() {
+        const SIGTERM: i32 = 15;
+        unsafe {
+            let _ = signal(SIGTERM, on_term);
+        }
+    }
+
+    pub fn signaled() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod term {
+    pub fn install() {}
+
+    pub fn signaled() -> bool {
+        false
+    }
+}
+
+/// Installs a SIGTERM handler that triggers a graceful drain (the
+/// acceptor polls it). No-op on non-unix platforms.
+pub fn install_sigterm_drain() {
+    term::install();
+}

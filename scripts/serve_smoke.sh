@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Serving-layer smoke test: start the daemon with a persisted model, load
+# it with a few hundred requests plus an over-capacity burst, require a
+# >=2x throughput win over one-shot CLI invocations, drain gracefully,
+# and leave BENCH_serve.json behind.
+# Run from the repository root: ./scripts/serve_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${CLARA_SERVE_ADDR:-127.0.0.1:49157}"
+MODEL="${CLARA_SERVE_MODEL:-serve-smoke-model.json}"
+BIN=target/release/clara
+
+cargo build --release --bin clara
+
+rm -f BENCH_serve.json "$MODEL"
+
+# Train once and persist, so both the daemon and the one-shot baseline
+# runs load the same warm model instead of retraining.
+"$BIN" predict cmsketch --model "$MODEL" --packets 200 > /dev/null
+
+"$BIN" serve --addr "$ADDR" --workers 2 --queue-cap 8 --model "$MODEL" &
+SERVER=$!
+trap 'kill "$SERVER" 2>/dev/null || true' EXIT
+
+# 300 steady-state requests over 4 connections, a 32-wide burst of heavy
+# distinctly-seeded requests to trip admission control, a 3-run one-shot
+# baseline, and a graceful drain. bench-serve exits 7 if any request
+# fails for a reason other than a typed `overloaded` rejection, or if
+# the warm daemon fails to beat one-shot invocations by 2x.
+"$BIN" bench-serve --addr "$ADDR" \
+  --requests 300 --conns 4 --packets 200 \
+  --burst 32 --burst-packets 3000 \
+  --baseline 3 --model "$MODEL" --require-speedup 2 \
+  --drain --report BENCH_serve.json
+
+# The drain must let the daemon exit cleanly (code 0).
+wait "$SERVER"
+code=$?
+trap - EXIT
+if [ "$code" -ne 0 ]; then
+  echo "serve_smoke: daemon exited $code after drain (expected 0)" >&2
+  exit 1
+fi
+
+test -s BENCH_serve.json
+rm -f "$MODEL"
+echo "serve_smoke: ok (daemon drained cleanly, BENCH_serve.json written)"

@@ -9,10 +9,14 @@
 //! $ clara sweep mazunat                # core-count sweep table
 //! $ clara cache-verify                 # check CLARA_CACHE_DIR artifacts
 //! $ clara difftest --seeds 500         # differential semantics oracle
+//! $ clara predict cmsketch             # one-shot performance prediction
+//! $ clara serve --addr 127.0.0.1:4117  # batched NF-analysis daemon
+//! $ clara bench-serve --requests 300   # load-generate against the daemon
 //! ```
 
 use clara_repro::clara::{Clara, ClaraConfig, ClaraError};
 use clara_repro::click::NfElement;
+use clara_repro::serve;
 use clara_repro::nicsim::{self, PortConfig};
 use clara_repro::obs;
 use clara_repro::trafgen::{Trace, WorkloadSpec};
@@ -32,7 +36,10 @@ fn find(name: &str) -> NfElement {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: clara <list|analyze|ir|asm|sweep|cache-verify|difftest> [element] [options]");
+    eprintln!(
+        "usage: clara <list|analyze|predict|ir|asm|sweep|cache-verify|difftest|serve|bench-serve> \
+         [element] [options]"
+    );
     eprintln!(
         "  options: --small-flows  --packets N  --seed N  --cores N  --model FILE  \
          --report FILE"
@@ -42,15 +49,47 @@ fn usage() -> ! {
          --smoke  --inject  --replay FILE"
     );
     eprintln!(
+        "  serve: --addr HOST:PORT  --workers N  --queue-cap N  --batch-max N  \
+         --deadline-ms N  --model FILE  --seed N"
+    );
+    eprintln!(
+        "  bench-serve: --addr HOST:PORT  --requests N  --conns N  --nf NAME  --packets N  \
+         --seed N  --burst N  --burst-packets N  --baseline N  --model FILE  \
+         --require-speedup X  --drain  --report FILE"
+    );
+    eprintln!(
         "  environment: CLARA_THREADS=N  CLARA_CACHE_DIR=DIR  \
          CLARA_FAULTS=<seed>:<rate>[:<depth>]  CLARA_REPORT=FILE"
     );
     eprintln!(
         "  exit codes: 0 success, 1 other errors, 2 usage, 3 degraded run \
          (engine tasks failed permanently), 4 cache corruption, 5 I/O failure, \
-         6 difftest divergence"
+         6 difftest divergence, 7 serve/bench failure"
     );
     std::process::exit(2);
+}
+
+/// Reuses a previously trained pipeline when `model` points at an
+/// existing file; trains (and saves, when a path was given) otherwise.
+fn load_or_train(model: &Option<String>, seed: u64) -> Result<Clara, ClaraError> {
+    match model {
+        Some(path) if std::path::Path::new(path).exists() => {
+            eprintln!("loading trained model from {path}...");
+            Clara::load(path)
+        }
+        other => {
+            eprintln!("training Clara (one-time, ~a minute in release mode)...");
+            let c = Clara::train(&ClaraConfig::fast(seed))?;
+            if let Some(path) = other {
+                if let Err(e) = c.save(path) {
+                    eprintln!("warning: could not save model to {path}: {e}");
+                } else {
+                    eprintln!("saved trained model to {path}");
+                }
+            }
+            Ok(c)
+        }
+    }
 }
 
 struct Opts {
@@ -176,26 +215,7 @@ fn run() -> Result<(), ClaraError> {
             }
             let e = find(name);
             let trace = trace_of(&o);
-            // Reuse a previously trained pipeline when --model points at
-            // an existing file; train (and save) otherwise.
-            let clara = match &o.model {
-                Some(path) if std::path::Path::new(path).exists() => {
-                    eprintln!("loading trained model from {path}...");
-                    Clara::load(path)?
-                }
-                other => {
-                    eprintln!("training Clara (one-time, ~a minute in release mode)...");
-                    let c = Clara::train(&ClaraConfig::fast(o.seed))?;
-                    if let Some(path) = other {
-                        if let Err(e) = c.save(path) {
-                            eprintln!("warning: could not save model to {path}: {e}");
-                        } else {
-                            eprintln!("saved trained model to {path}");
-                        }
-                    }
-                    c
-                }
-            };
+            let clara = load_or_train(&o.model, o.seed)?;
             let insights = clara.analyze(&e.module, &trace)?;
             println!("== insights for `{}` ==", e.name());
             println!(
@@ -252,6 +272,19 @@ fn run() -> Result<(), ClaraError> {
                 }
             }
         }
+        "predict" => {
+            let (name, opt_args) = rest.split_first().unwrap_or_else(|| usage());
+            let o = parse_opts(opt_args);
+            let e = find(name);
+            let trace = trace_of(&o);
+            let clara = load_or_train(&o.model, o.seed)?;
+            let p = clara.predict_one(&e.module, &trace)?;
+            // Same rendering the daemon uses, so one-shot and served
+            // predictions are directly comparable (and diffable).
+            println!("{}", serve::protocol::predict_response(None, e.name(), &p));
+        }
+        "serve" => return serve_cmd(rest),
+        "bench-serve" => return bench_serve_cmd(rest),
         "difftest" => return difftest_cmd(rest),
         "cache-verify" => {
             let engine = clara_repro::clara::engine::Engine::new();
@@ -278,6 +311,102 @@ fn run() -> Result<(), ClaraError> {
             }
         }
         _ => usage(),
+    }
+    Ok(())
+}
+
+/// `clara serve`: the batched, backpressured NF-analysis daemon.
+///
+/// Loads (or trains) the model once, binds the address, and serves the
+/// versioned JSON-lines protocol until a `drain` request or SIGTERM
+/// gracefully shuts it down. Bind failures exit 7.
+fn serve_cmd(args: &[String]) -> Result<(), ClaraError> {
+    use serve::ServeOptions;
+
+    let mut so = ServeOptions::default();
+    let mut model: Option<String> = None;
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    let num = |it: &mut std::slice::Iter<String>| -> u64 {
+        it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => so.addr = it.next().cloned().unwrap_or_else(|| usage()),
+            "--workers" => so.workers = num(&mut it) as usize,
+            "--queue-cap" => so.queue_cap = num(&mut it) as usize,
+            "--batch-max" => so.batch_max = num(&mut it) as usize,
+            "--deadline-ms" => {
+                so.deadline = Some(std::time::Duration::from_millis(num(&mut it)))
+            }
+            "--model" => model = it.next().cloned().or_else(|| usage()),
+            "--seed" => seed = num(&mut it),
+            _ => usage(),
+        }
+    }
+    let clara = std::sync::Arc::new(load_or_train(&model, seed)?);
+    serve::server::install_sigterm_drain();
+    let handle = serve::Server::start(so, clara)?;
+    println!("clara-serve listening on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let summary = handle.join();
+    eprintln!(
+        "clara-serve drained: {} served, {} overloaded, {} errors",
+        summary.served, summary.overloaded, summary.errors
+    );
+    Ok(())
+}
+
+/// `clara bench-serve`: the load generator. Exits 7 when any request
+/// fails for a reason other than a typed `overloaded` rejection (or a
+/// `--require-speedup` floor is missed).
+fn bench_serve_cmd(args: &[String]) -> Result<(), ClaraError> {
+    use serve::BenchOptions;
+
+    let mut bo = BenchOptions::default();
+    let mut it = args.iter();
+    let num = |it: &mut std::slice::Iter<String>| -> u64 {
+        it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => bo.addr = it.next().cloned().unwrap_or_else(|| usage()),
+            "--requests" => bo.requests = num(&mut it) as usize,
+            "--conns" => bo.conns = num(&mut it) as usize,
+            "--nf" => bo.nf = it.next().cloned().unwrap_or_else(|| usage()),
+            "--packets" => bo.packets = num(&mut it) as usize,
+            "--seed" => bo.seed = num(&mut it),
+            "--burst" => bo.burst = num(&mut it) as usize,
+            "--burst-packets" => bo.burst_packets = num(&mut it) as usize,
+            "--baseline" => bo.baseline = num(&mut it) as usize,
+            "--model" => bo.model = it.next().cloned().or_else(|| usage()),
+            "--require-speedup" => {
+                bo.require_speedup = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--drain" => bo.drain = true,
+            "--report" => bo.report = it.next().cloned().or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    let s = serve::run_bench(&bo)?;
+    println!(
+        "bench-serve: {} sent, {} ok, {} overloaded, {} failed",
+        s.sent, s.ok, s.overloaded, s.failed
+    );
+    println!(
+        "throughput: {:.1} req/s; latency p50 {:.0} us, p95 {:.0} us, p99 {:.0} us",
+        s.rps, s.p50_us, s.p95_us, s.p99_us
+    );
+    if let (Some(b), Some(x)) = (s.baseline_rps, s.speedup) {
+        println!("baseline (one-shot CLI): {b:.2} req/s -> speedup {x:.1}x");
+    }
+    if s.drained {
+        println!("drain: ok");
     }
     Ok(())
 }

@@ -5,6 +5,7 @@
 
 pub use clara_core as clara;
 pub use clara_obs as obs;
+pub use clara_serve as serve;
 pub use click_model as click;
 pub use ilp_solver as ilp;
 pub use nf_ir as ir;

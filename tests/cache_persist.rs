@@ -186,25 +186,33 @@ fn clara_cache_dir_env_override_reaches_the_engine() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-/// The pre-handle free functions still work (one release of grace), and
-/// agree with the `Engine` methods they forward to.
+/// Two independently created handles address the same process-global
+/// engine: caches, options, and stats are shared state, not per-handle.
+/// (This replaces the deprecated free-function surface, which was removed
+/// after its one release of grace.)
 #[test]
-#[allow(deprecated)]
-fn deprecated_free_functions_delegate_to_the_engine_handle() {
+fn separate_engine_handles_share_the_process_global_caches() {
     let _g = ENGINE_LOCK.lock().unwrap();
     engine::configure(&EngineOptions::default());
     let module = elements().remove(0);
     let trace = clara_repro::trafgen::Trace::generate(&WorkloadSpec::large_flows(), 40, 2);
     let port = PortConfig::naive();
     let cfg = NicConfig::default();
-    engine::clear_caches();
-    let via_free = engine::compile_cached(&module);
-    let via_handle = Engine::new().compile_cached(&module);
+    Engine::new().clear_caches();
+    let via_a = Engine::new().compile_cached(&module);
+    let via_b = Engine::new().compile_cached(&module);
     assert_eq!(
-        via_free.handler().total_compute(),
-        via_handle.handler().total_compute()
+        via_a.handler().total_compute(),
+        via_b.handler().total_compute()
     );
-    let wp_free = engine::profile_cached(&module, &trace, &port, &cfg);
-    let wp_handle = Engine::new().profile_cached(&module, &trace, &port, &cfg);
-    assert_eq!(wp_free, wp_handle);
+    let wp_a = Engine::new().profile_cached(&module, &trace, &port, &cfg);
+    let stats_before = Engine::new().stats();
+    let wp_b = Engine::new().profile_cached(&module, &trace, &port, &cfg);
+    let stats_after = Engine::new().stats();
+    assert_eq!(wp_a, wp_b);
+    assert!(
+        stats_after.profile_hits > stats_before.profile_hits,
+        "the second handle's lookup must hit the first handle's cache entry"
+    );
+    assert_eq!(stats_after.profile_misses, stats_before.profile_misses);
 }
