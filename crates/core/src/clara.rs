@@ -226,6 +226,12 @@ pub struct Prediction {
     pub counted_mem: u32,
     /// Suggested core count for the profiled workload.
     pub suggested_cores: u32,
+    /// Modeled throughput at the suggested core count, in Mpps. Unlike
+    /// the compute/memory halves, this depends on the target device, so
+    /// cross-backend prediction deltas are visible per request.
+    pub predicted_throughput_mpps: f64,
+    /// Modeled per-packet latency at the suggested core count, in µs.
+    pub predicted_latency_us: f64,
 }
 
 impl Insights {
@@ -486,6 +492,22 @@ impl Clara {
             .expect("one item in, one result out")
     }
 
+    /// [`Clara::predict_one`] against a specific device backend.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Clara::predict_batch`]'s per-item results.
+    pub fn predict_one_on(
+        &self,
+        module: &Module,
+        trace: &Trace,
+        backend: &dyn clara_hal::Backend,
+    ) -> Result<Prediction, ClaraError> {
+        self.predict_batch_on(&[(module, trace)], backend)
+            .pop()
+            .expect("one item in, one result out")
+    }
+
     /// The trace-independent half of a prediction (verification, LSTM
     /// compute estimate, memory count), memoized process-wide by
     /// (predictor, module) content fingerprints. Memoized values are
@@ -537,6 +559,30 @@ impl Clara {
         &self,
         items: &[(&Module, &Trace)],
     ) -> Vec<Result<Prediction, ClaraError>> {
+        let backend_fp = engine::value_fingerprint(&self.nic);
+        self.predict_batch_with(items, &self.nic, backend_fp)
+    }
+
+    /// [`Clara::predict_batch`] against a specific device backend: the
+    /// trained models are reused as-is (compute and memory predictions
+    /// are device-independent), while profiling, the scale-out estimate,
+    /// and the modeled operating point use the backend's device
+    /// configuration — and its manifest fingerprint keys the engine
+    /// caches, so two devices never share a cached profile.
+    pub fn predict_batch_on(
+        &self,
+        items: &[(&Module, &Trace)],
+        backend: &dyn clara_hal::Backend,
+    ) -> Vec<Result<Prediction, ClaraError>> {
+        self.predict_batch_with(items, backend.nic(), backend.fingerprint())
+    }
+
+    fn predict_batch_with(
+        &self,
+        items: &[(&Module, &Trace)],
+        nic: &NicConfig,
+        backend_fp: u64,
+    ) -> Vec<Result<Prediction, ClaraError>> {
         let eng = engine::Engine::new();
         let naive = PortConfig::naive();
         // The trace-independent half of a prediction (IR verification,
@@ -551,12 +597,18 @@ impl Clara {
                 return Err(ClaraError::EmptyTrace);
             }
             let (predicted_compute, counted_mem) = self.module_half(predictor_fp, module)?;
-            let profile = eng.profile_cached(module, trace, &naive, &self.nic);
-            let suggested_cores = self.scaleout.predict(&profile, &self.nic, &naive)?;
+            let profile = eng.profile_cached_for(module, trace, &naive, nic, backend_fp);
+            // Scale-out is trained once and parameterized by the device
+            // at inference time; the clamp keeps suggestions honest for
+            // devices with fewer cores than the training default.
+            let suggested_cores = self.scaleout.predict(&profile, nic, &naive)?.min(nic.cores);
+            let perf = nic_sim::solve_perf(&profile, nic, &naive, suggested_cores);
             Ok(Prediction {
                 predicted_compute,
                 counted_mem,
                 suggested_cores,
+                predicted_throughput_mpps: perf.throughput_mpps,
+                predicted_latency_us: perf.latency_us,
             })
         });
         outcome
@@ -584,6 +636,36 @@ impl Clara {
     /// the profiling task failed permanently (exhausted retries or hit a
     /// stage deadline).
     pub fn analyze(&self, module: &Module, trace: &Trace) -> Result<Insights, ClaraError> {
+        let backend_fp = engine::value_fingerprint(&self.nic);
+        self.analyze_with(module, trace, &self.nic, backend_fp)
+    }
+
+    /// [`Clara::analyze`] against a specific device backend: identical
+    /// code path and span tree, but the profiling run, placement
+    /// capacities, scale-out estimate, and coalescing evaluation all use
+    /// the backend's device configuration, and its manifest fingerprint
+    /// keys the engine caches. Analyzing on the default backend is
+    /// bit-identical to [`Clara::analyze`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Clara::analyze`].
+    pub fn analyze_on(
+        &self,
+        module: &Module,
+        trace: &Trace,
+        backend: &dyn clara_hal::Backend,
+    ) -> Result<Insights, ClaraError> {
+        self.analyze_with(module, trace, backend.nic(), backend.fingerprint())
+    }
+
+    fn analyze_with(
+        &self,
+        module: &Module,
+        trace: &Trace,
+        nic: &NicConfig,
+        backend_fp: u64,
+    ) -> Result<Insights, ClaraError> {
         if trace.pkts.is_empty() {
             return Err(ClaraError::EmptyTrace);
         }
@@ -620,7 +702,7 @@ impl Clara {
         // the fault-tolerance machinery (retries, deadline, injection).
         let naive = PortConfig::naive();
         let profile = match engine::try_time_stage("analyze-profile", || {
-            engine::Engine::new().profile_cached(module, trace, &naive, &self.nic)
+            engine::Engine::new().profile_cached_for(module, trace, &naive, nic, backend_fp)
         }) {
             Ok(p) => p,
             Err(_) => {
@@ -633,7 +715,7 @@ impl Clara {
         };
         let placement = {
             let _s = obs::span("analyze-placement");
-            placement::suggest_placement(module, &profile, &self.nic).unwrap_or_default()
+            placement::suggest_placement(module, &profile, nic).unwrap_or_default()
         };
         let coalesce = {
             let _s = obs::span("analyze-coalesce");
@@ -641,7 +723,7 @@ impl Clara {
         };
         let suggested_cores = {
             let _s = obs::span("analyze-scaleout");
-            self.scaleout.predict(&profile, &self.nic, &naive)?
+            self.scaleout.predict(&profile, nic, &naive)?.min(nic.cores)
         };
         drop(root);
         if let Some(raw) = sink {

@@ -23,12 +23,20 @@
 //! Seed sweeps fan out through [`crate::engine`] (`try_par_map`), so
 //! they are parallel, fault-tolerant, and — with `CLARA_CACHE_DIR` set —
 //! profile raw/optimized modules through the persistent disk cache.
+//!
+//! With [`DifftestConfig::backends`] naming two or more built-in device
+//! manifests, every clean seed is additionally profiled under each
+//! device and the access-side profile signals must be identical across
+//! all of them (execution semantics are hardware-invariant), while the
+//! sweep collects the largest cross-backend compute delta as evidence
+//! the manifests genuinely change predicted cost.
 
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
+use clara_hal::{Backend as _, DeviceBackend};
 use clara_obs as obs;
 use click_model::{Event, Machine, PacketView, RefMachine};
 use nf_ir::inst::{BinOp, Inst, Term};
@@ -56,6 +64,12 @@ pub struct DifftestConfig {
     pub artifact_dir: Option<PathBuf>,
     /// Deliberate miscompile injected into layer C (smoke tests).
     pub inject: Option<Injection>,
+    /// Built-in device backends for the cross-backend oracle: every
+    /// clean seed is additionally profiled under each named manifest and
+    /// the access-side signals must be identical everywhere, while
+    /// compute-cycle deltas are collected as evidence the devices
+    /// actually differ. Fewer than two names: the dimension is skipped.
+    pub backends: Vec<String>,
 }
 
 impl Default for DifftestConfig {
@@ -68,6 +82,7 @@ impl Default for DifftestConfig {
             shrink: true,
             artifact_dir: None,
             inject: None,
+            backends: Vec::new(),
         }
     }
 }
@@ -95,6 +110,9 @@ pub enum DivergenceKind {
     TraceError,
     /// The optimized module no longer passes `nf_ir::verify`.
     OptInvalid,
+    /// Access profiles differ across device backends — execution
+    /// semantics leaked a hardware dependency.
+    Backend,
 }
 
 impl DivergenceKind {
@@ -106,6 +124,7 @@ impl DivergenceKind {
             DivergenceKind::Profile => "profile",
             DivergenceKind::TraceError => "trace-error",
             DivergenceKind::OptInvalid => "opt-invalid",
+            DivergenceKind::Backend => "backend",
         }
     }
 }
@@ -163,6 +182,10 @@ pub struct SeedReport {
     pub artifact: Option<PathBuf>,
     /// Artifact-write failure, surfaced instead of dropped.
     pub artifact_error: Option<String>,
+    /// Largest absolute compute-cycle delta between any configured
+    /// backend and the first one (0.0 when the backend dimension is
+    /// off or the seed diverged before reaching it).
+    pub backend_compute_delta: f64,
 }
 
 /// Aggregate result of a sweep.
@@ -176,6 +199,11 @@ pub struct DifftestReport {
     pub engine_failures: usize,
     /// Artifact directory the sweep wrote into, if configured.
     pub artifact_dir: Option<PathBuf>,
+    /// Largest cross-backend compute delta observed over the sweep.
+    /// Semantics must be backend-invariant but *costs* must not be:
+    /// a multi-backend sweep over API-calling NFs where this stays 0.0
+    /// means the manifests are not actually being consulted.
+    pub max_backend_compute_delta: f64,
 }
 
 impl DifftestReport {
@@ -206,6 +234,7 @@ struct DtCounters {
     pkts_interp: obs::Counter,
     pkts_opt: obs::Counter,
     shrink_checks: obs::Counter,
+    backend_profiles: obs::Counter,
 }
 
 fn counters() -> &'static DtCounters {
@@ -217,6 +246,7 @@ fn counters() -> &'static DtCounters {
         pkts_interp: obs::counter("difftest.pkts.interp"),
         pkts_opt: obs::counter("difftest.pkts.opt"),
         shrink_checks: obs::counter("difftest.shrink_checks"),
+        backend_profiles: obs::counter("difftest.backend_profiles"),
     })
 }
 
@@ -662,11 +692,81 @@ fn write_artifacts(
     Ok(nir)
 }
 
-fn check_seed(cfg: &DifftestConfig, seed: u64) -> SeedReport {
+/// Resolves backend names against the built-in device manifests.
+/// Unknown names surface as [`ClaraError::Manifest`] (exit code 8),
+/// naming the devices that are available.
+pub fn resolve_backends(names: &[String]) -> Result<Vec<&'static DeviceBackend>, ClaraError> {
+    names
+        .iter()
+        .map(|n| {
+            clara_hal::builtin(n).ok_or_else(|| ClaraError::Manifest {
+                origin: format!("builtin:{n}"),
+                field: "(backend)".into(),
+                detail: format!(
+                    "unknown backend `{n}` (available: {})",
+                    clara_hal::builtin_names().join(", ")
+                ),
+            })
+        })
+        .collect()
+}
+
+/// Cross-backend oracle for one clean seed: profiles the module under
+/// every configured device (through the engine's caches, keyed by
+/// manifest fingerprint) and asserts the access-side signals — packet
+/// counts and sizes, fixed and global accesses, working sets — are
+/// identical everywhere. Returns the first divergence, if any, plus the
+/// largest compute-cycle delta seen, which should be nonzero whenever
+/// the devices differ in accelerator or vendor-library costs.
+fn check_backends(
+    module: &Module,
+    trace: &Trace,
+    backends: &[&'static DeviceBackend],
+) -> (Option<Divergence>, f64) {
+    let Some((base, rest)) = backends.split_first() else {
+        return (None, 0.0);
+    };
+    if rest.is_empty() {
+        return (None, 0.0);
+    }
+    let eng = Engine::new();
+    let port = PortConfig::naive();
+    let wp_base = eng.profile_cached_for(module, trace, &port, base.nic(), base.fingerprint());
+    counters().backend_profiles.incr();
+    let mut max_delta = 0.0f64;
+    for b in rest {
+        let wp = eng.profile_cached_for(module, trace, &port, b.nic(), b.fingerprint());
+        counters().backend_profiles.incr();
+        if let Some(detail) = wp_base.access_divergence_from(&wp) {
+            return (
+                Some(Divergence {
+                    kind: DivergenceKind::Backend,
+                    pkt: None,
+                    detail: format!("{} vs {}: {detail}", base.name(), b.name()),
+                }),
+                max_delta,
+            );
+        }
+        max_delta = max_delta.max((wp_base.compute - wp.compute).abs());
+    }
+    (None, max_delta)
+}
+
+fn check_seed(cfg: &DifftestConfig, backends: &[&'static DeviceBackend], seed: u64) -> SeedReport {
     let module = nf_synth::synth_corpus(1, cfg.guided, seed).remove(0);
     let trace = trace_for_seed(seed, cfg.pkts);
     counters().seeds.incr();
-    let divergence = check_module(&module, &trace, cfg.inject);
+    let mut divergence = check_module(&module, &trace, cfg.inject);
+    // The shrinker replays the single-device oracle, so backend
+    // divergences (which that oracle cannot reproduce) are reported
+    // unminimized.
+    let shrinkable = divergence.is_some();
+    let mut backend_compute_delta = 0.0;
+    if divergence.is_none() {
+        let (bd, delta) = check_backends(&module, &trace, backends);
+        divergence = bd;
+        backend_compute_delta = delta;
+    }
     let mut report = SeedReport {
         seed,
         module_name: module.name.clone(),
@@ -674,10 +774,11 @@ fn check_seed(cfg: &DifftestConfig, seed: u64) -> SeedReport {
         minimized: None,
         artifact: None,
         artifact_error: None,
+        backend_compute_delta,
     };
     if let Some(div) = &report.divergence {
         counters().divergences.incr();
-        if cfg.shrink {
+        if cfg.shrink && shrinkable {
             let outcome = shrink(&module, &trace, cfg.inject);
             if let Some(dir) = &cfg.artifact_dir {
                 match write_artifacts(dir, seed, cfg.pkts, &outcome.module, div, cfg.inject) {
@@ -693,7 +794,11 @@ fn check_seed(cfg: &DifftestConfig, seed: u64) -> SeedReport {
 
 /// Runs a full sweep: `cfg.seeds` synthesized NFs, checked in parallel
 /// through the engine (fault-tolerant, disk-cached when configured).
-pub fn run(cfg: &DifftestConfig) -> DifftestReport {
+///
+/// Fails fast — before any seed runs — when `cfg.backends` names a
+/// device that is not built in.
+pub fn run(cfg: &DifftestConfig) -> Result<DifftestReport, ClaraError> {
+    let backends = resolve_backends(&cfg.backends)?;
     let _span = obs::span!(
         "difftest",
         "seeds={} pkts={} inject={:?}",
@@ -702,11 +807,14 @@ pub fn run(cfg: &DifftestConfig) -> DifftestReport {
         cfg.inject
     );
     let seeds: Vec<u64> = (cfg.start_seed..cfg.start_seed.saturating_add(cfg.seeds)).collect();
-    let outcome = engine::try_par_map("difftest-sweep", &seeds, |_, &seed| check_seed(cfg, seed));
+    let outcome =
+        engine::try_par_map("difftest-sweep", &seeds, |_, &seed| check_seed(cfg, &backends, seed));
     let engine_failures = outcome.failures.len();
     let mut checked = 0usize;
     let mut divergent = Vec::new();
+    let mut max_backend_compute_delta = 0.0f64;
     for r in outcome.results.into_iter().flatten() {
+        max_backend_compute_delta = max_backend_compute_delta.max(r.backend_compute_delta);
         if r.divergence.is_some() {
             divergent.push(r);
         } else {
@@ -714,12 +822,13 @@ pub fn run(cfg: &DifftestConfig) -> DifftestReport {
         }
     }
     divergent.sort_by_key(|r| r.seed);
-    DifftestReport {
+    Ok(DifftestReport {
         checked,
         divergent,
         engine_failures,
         artifact_dir: cfg.artifact_dir.clone(),
-    }
+        max_backend_compute_delta,
+    })
 }
 
 /// Replays a (typically shrinker-minimized) NIR module artifact through
@@ -843,7 +952,7 @@ mod tests {
             pkts: 16,
             ..DifftestConfig::default()
         };
-        let report = run(&cfg);
+        let report = run(&cfg).expect("no backends configured");
         assert_eq!(report.engine_failures, 0);
         assert!(
             report.divergent.is_empty(),
@@ -851,6 +960,46 @@ mod tests {
             report.divergent[0].divergence.as_ref().unwrap()
         );
         assert_eq!(report.checked, 10);
+        assert_eq!(report.max_backend_compute_delta, 0.0);
+    }
+
+    #[test]
+    fn cross_backend_sweep_is_clean_with_nonzero_cost_deltas() {
+        let cfg = DifftestConfig {
+            seeds: 8,
+            pkts: 16,
+            backends: clara_hal::builtin_names()
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+            ..DifftestConfig::default()
+        };
+        let report = run(&cfg).expect("builtin names resolve");
+        assert_eq!(report.engine_failures, 0);
+        assert!(
+            report.divergent.is_empty(),
+            "semantics leaked a hardware dependency: {}",
+            report.divergent[0].divergence.as_ref().unwrap()
+        );
+        // Devices must disagree on *cost* even while they agree on
+        // semantics — otherwise the manifests are not being consulted.
+        assert!(
+            report.max_backend_compute_delta > 0.0,
+            "no compute delta across {} backends",
+            cfg.backends.len()
+        );
+    }
+
+    #[test]
+    fn unknown_backend_is_a_manifest_error() {
+        let cfg = DifftestConfig {
+            seeds: 1,
+            backends: vec!["agilio-cx".into(), "no-such-device".into()],
+            ..DifftestConfig::default()
+        };
+        let err = run(&cfg).expect_err("unknown backend");
+        assert_eq!(err.exit_code(), 8);
+        assert!(err.to_string().contains("no-such-device"), "{err}");
     }
 
     #[test]

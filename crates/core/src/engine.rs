@@ -626,8 +626,13 @@ pub fn try_time_stage<R>(stage: &'static str, f: impl Fn() -> R) -> Result<R, Ta
 /// fault) leaves the slot uninitialized, so the retry recomputes cleanly.
 type Slot<V> = Arc<OnceLock<V>>;
 static COMPILE_CACHE: OnceLock<Mutex<HashMap<u64, Slot<Arc<NicModule>>>>> = OnceLock::new();
-/// (module fp, trace fp, port fp, nic-config fp) → profile.
-type ProfileKey = (u64, u64, u64, u64);
+/// (module fp, trace fp, port fp, nic-config fp, backend fp) → profile.
+///
+/// The backend fingerprint is the device-manifest component: callers
+/// profiling through a HAL backend pass its manifest fingerprint, and
+/// the legacy cfg-only surface passes the cfg fingerprint again. Either
+/// way, two devices never share a cache entry — in memory or on disk.
+type ProfileKey = (u64, u64, u64, u64, u64);
 static PROFILE_CACHE: OnceLock<Mutex<HashMap<ProfileKey, Slot<WorkloadProfile>>>> = OnceLock::new();
 
 static COMPILE_HITS: OnceLock<obs::Counter> = OnceLock::new();
@@ -699,7 +704,23 @@ impl Engine {
         port: &PortConfig,
         cfg: &NicConfig,
     ) -> WorkloadProfile {
-        profile_cached_impl(module, trace, port, cfg, &resolved())
+        let backend_fp = value_fingerprint(cfg);
+        profile_cached_impl(module, trace, port, cfg, backend_fp, &resolved())
+    }
+
+    /// [`Engine::profile_cached`] for a specific device backend: the
+    /// cache key incorporates `backend_fp` (a HAL manifest fingerprint),
+    /// so the disk cache never serves one device's profile to another —
+    /// even for devices whose lowered `NicConfig`s happen to collide.
+    pub fn profile_cached_for(
+        &self,
+        module: &Module,
+        trace: &Trace,
+        port: &PortConfig,
+        cfg: &NicConfig,
+        backend_fp: u64,
+    ) -> WorkloadProfile {
+        profile_cached_impl(module, trace, port, cfg, backend_fp, &resolved())
     }
 
     /// Drops both in-process memo caches (tests use this to exercise
@@ -786,6 +807,7 @@ fn profile_cached_impl(
     trace: &Trace,
     port: &PortConfig,
     cfg: &NicConfig,
+    backend_fp: u64,
     res: &Resolved,
 ) -> WorkloadProfile {
     let key = (
@@ -793,6 +815,7 @@ fn profile_cached_impl(
         value_fingerprint(trace),
         value_fingerprint(port),
         value_fingerprint(cfg),
+        backend_fp,
     );
     let cache = PROFILE_CACHE.get_or_init(Mutex::default);
     let slot = {
@@ -820,14 +843,15 @@ fn profile_cached_impl(
     wp
 }
 
-/// Folds the 4-part profile key into the single content address the
+/// Folds the 5-part profile key into the single content address the
 /// disk cache files use.
 fn profile_disk_key(key: ProfileKey) -> u64 {
-    let mut buf = [0u8; 32];
+    let mut buf = [0u8; 40];
     buf[..8].copy_from_slice(&key.0.to_le_bytes());
     buf[8..16].copy_from_slice(&key.1.to_le_bytes());
     buf[16..24].copy_from_slice(&key.2.to_le_bytes());
-    buf[24..].copy_from_slice(&key.3.to_le_bytes());
+    buf[24..32].copy_from_slice(&key.3.to_le_bytes());
+    buf[32..].copy_from_slice(&key.4.to_le_bytes());
     nic_sim::fingerprint_bytes(&buf)
 }
 
@@ -902,6 +926,7 @@ pub fn try_profile_matrix(
     cfg: &NicConfig,
 ) -> StageOutcome<WorkloadProfile> {
     let res = resolved();
+    let backend_fp = value_fingerprint(cfg);
     let w = workloads.len();
     let cells: Vec<(usize, usize)> = (0..modules.len())
         .flat_map(|i| (0..w).map(move |j| (i, j)))
@@ -911,7 +936,7 @@ pub fn try_profile_matrix(
         &cells,
         &|_, &(i, j)| {
             let trace = Trace::generate(&workloads[j], pkts, seed ^ ((i * w + j) as u64));
-            profile_cached_impl(&modules[i], &trace, port, cfg, &res)
+            profile_cached_impl(&modules[i], &trace, port, cfg, backend_fp, &res)
         },
         &res,
     )

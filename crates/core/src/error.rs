@@ -81,6 +81,17 @@ pub enum ClaraError {
         /// Human-readable description.
         detail: String,
     },
+    /// A device manifest failed schema validation (or a request named a
+    /// backend that is not loaded). Carries the dotted path of the
+    /// offending field, so a bad manifest names its own defect.
+    Manifest {
+        /// Where the manifest came from (file path or `builtin:<name>`).
+        origin: String,
+        /// Dotted path of the offending field (`memory[2].latency_cycles`).
+        field: String,
+        /// Human-readable reason.
+        detail: String,
+    },
     /// The differential oracle (`clara difftest`) found seeds whose
     /// execution layers disagree (or whose raw/optimized profiles
     /// differ). Minimized repros are written under `artifact_dir` when
@@ -101,7 +112,8 @@ impl ClaraError {
     /// The mapping is part of the CLI contract (documented in `--help`):
     /// `2` usage errors, `3` degraded runs, `4` cache corruption, `5`
     /// I/O failures, `6` difftest divergences, `7` serve failures
-    /// (bind/connect/unexpected request errors), `1` everything else.
+    /// (bind/connect/unexpected request errors), `8` invalid device
+    /// manifests or unknown backends, `1` everything else.
     pub fn exit_code(&self) -> i32 {
         match self {
             ClaraError::Degraded { .. } => 3,
@@ -109,6 +121,7 @@ impl ClaraError {
             ClaraError::Io { .. } => 5,
             ClaraError::Divergence { .. } => 6,
             ClaraError::Serve { .. } => 7,
+            ClaraError::Manifest { .. } => 8,
             _ => 1,
         }
     }
@@ -145,6 +158,13 @@ impl fmt::Display for ClaraError {
                  (see the run report's engine.task_failures counter)"
             ),
             ClaraError::Serve { detail } => write!(f, "serve: {detail}"),
+            ClaraError::Manifest {
+                origin,
+                field,
+                detail,
+            } => {
+                write!(f, "manifest {origin}: field `{field}`: {detail}")
+            }
             ClaraError::Divergence {
                 found,
                 checked,
@@ -156,6 +176,16 @@ impl fmt::Display for ClaraError {
                 }
                 Ok(())
             }
+        }
+    }
+}
+
+impl From<clara_hal::ManifestError> for ClaraError {
+    fn from(e: clara_hal::ManifestError) -> ClaraError {
+        ClaraError::Manifest {
+            origin: e.origin,
+            field: e.field,
+            detail: e.detail,
         }
     }
 }
@@ -199,6 +229,14 @@ mod tests {
         assert_eq!(other.exit_code(), 1);
         assert_eq!(diverged.exit_code(), 6);
         assert_eq!(serve.exit_code(), 7);
+        let manifest = ClaraError::Manifest {
+            origin: "dev.toml".into(),
+            field: "cores.count".into(),
+            detail: "a device needs at least one core".into(),
+        };
+        assert_eq!(manifest.exit_code(), 8);
+        assert!(manifest.to_string().contains("dev.toml"));
+        assert!(manifest.to_string().contains("cores.count"));
         assert!(serve.to_string().contains("could not bind"));
         assert!(degraded.to_string().contains("1 of 4"));
         assert!(corrupt.to_string().contains("x.clc"));

@@ -38,6 +38,12 @@ impl MemLevel {
             MemLevel::Emem => "EMEM",
         }
     }
+
+    /// Inverse of [`MemLevel::name`] (device manifests declare levels by
+    /// name). `None` for anything that is not one of the four levels.
+    pub fn from_name(name: &str) -> Option<MemLevel> {
+        MemLevel::ALL.into_iter().find(|l| l.name() == name)
+    }
 }
 
 /// One memory level's parameters.

@@ -51,6 +51,8 @@ pub struct BenchOptions {
     /// Report sink; defaults to `BENCH_serve.json` (a `CLARA_REPORT`
     /// env sink is honoured when this is unset).
     pub report: Option<String>,
+    /// Device backend every request names (None: the server's default).
+    pub backend: Option<String>,
 }
 
 impl Default for BenchOptions {
@@ -69,6 +71,7 @@ impl Default for BenchOptions {
             require_speedup: None,
             drain: false,
             report: None,
+            backend: None,
         }
     }
 }
@@ -246,6 +249,7 @@ fn steady_state(o: &BenchOptions) -> Result<(Tally, f64), ClaraError> {
                                 packets: o.packets,
                                 seed: o.seed,
                                 small_flows: false,
+                                backend: o.backend.clone(),
                             }),
                         );
                         let t0 = Instant::now();
@@ -292,6 +296,7 @@ fn burst_phase(o: &BenchOptions) -> Tally {
                                 packets: o.burst_packets,
                                 seed: 1_000_000 + i as u64,
                                 small_flows: false,
+                                backend: o.backend.clone(),
                             }),
                         );
                         round_trip(&mut stream, &mut reader, &line).map(|r| classify(&r))

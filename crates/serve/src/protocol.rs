@@ -7,10 +7,16 @@
 //! ```json
 //! {"v":1,"op":"predict","nf":"cmsketch","packets":400,"seed":7}
 //! {"v":1,"op":"analyze","nf":"iplookup","small_flows":true}
+//! {"v":1,"op":"predict","nf":"nat","backend":"dpu-offpath"}
 //! {"v":1,"op":"difftest","seeds":20,"start":100,"packets":64}
 //! {"v":1,"op":"stats"}
 //! {"v":1,"op":"drain"}
 //! ```
+//!
+//! `backend` selects which warm device model serves the request; when
+//! omitted the server's default (first configured) backend is used, and
+//! a name the server does not hold is rejected with `unknown_backend`
+//! before the request is queued.
 //!
 //! Successful responses are `{"v":1,"ok":true,"op":...}` plus payload;
 //! failures are `{"v":1,"ok":false,"error":<kind>,"detail":...}` where
@@ -43,6 +49,9 @@ pub struct WorkSpec {
     pub seed: u64,
     /// Small-flow workload instead of the default large-flow one.
     pub small_flows: bool,
+    /// Device backend to serve this request from (None: the server's
+    /// default backend).
+    pub backend: Option<String>,
 }
 
 impl WorkSpec {
@@ -102,6 +111,8 @@ pub enum ErrorKind {
     Deadline,
     /// The server is draining and no longer admits work.
     Draining,
+    /// `backend` does not name a device backend the server holds.
+    UnknownBackend,
     /// The request ran and failed (facade error, degraded engine task).
     Internal,
 }
@@ -115,6 +126,7 @@ impl ErrorKind {
             ErrorKind::UnknownNf => "unknown_nf",
             ErrorKind::Deadline => "deadline",
             ErrorKind::Draining => "draining",
+            ErrorKind::UnknownBackend => "unknown_backend",
             ErrorKind::Internal => "internal",
         }
     }
@@ -139,6 +151,16 @@ fn get_bool(v: &Value, key: &str) -> Result<Option<bool>, String> {
     }
 }
 
+fn get_str(v: &Value, key: &str) -> Result<Option<String>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) if !s.is_empty() => Ok(Some(s.clone())),
+        Some(other) => {
+            Err(format!("`{key}` must be a non-empty string, got {}", other.kind()))
+        }
+    }
+}
+
 fn work_spec(v: &Value) -> Result<WorkSpec, String> {
     let nf = match v.get("nf") {
         Some(Value::Str(s)) if !s.is_empty() => s.clone(),
@@ -150,6 +172,7 @@ fn work_spec(v: &Value) -> Result<WorkSpec, String> {
         packets: get_u64(v, "packets")?.unwrap_or(400) as usize,
         seed: get_u64(v, "seed")?.unwrap_or(42),
         small_flows: get_bool(v, "small_flows")?.unwrap_or(false),
+        backend: get_str(v, "backend")?,
     })
 }
 
@@ -220,6 +243,9 @@ pub fn render_request(id: Option<u64>, req: &Request) -> String {
             m.push(("packets".to_string(), Value::UInt(w.packets as u64)));
             m.push(("seed".to_string(), Value::UInt(w.seed)));
             m.push(("small_flows".to_string(), Value::Bool(w.small_flows)));
+            if let Some(b) = &w.backend {
+                m.push(("backend".to_string(), Value::Str(b.clone())));
+            }
         }
         Request::Difftest { seeds, start, pkts } => {
             m.push(op("difftest"));
@@ -233,11 +259,13 @@ pub fn render_request(id: Option<u64>, req: &Request) -> String {
     finish(m)
 }
 
-/// Renders a successful `predict` response.
-pub fn predict_response(id: Option<u64>, nf: &str, p: &Prediction) -> String {
+/// Renders a successful `predict` response, tagged with the device
+/// backend that produced it.
+pub fn predict_response(id: Option<u64>, nf: &str, backend: &str, p: &Prediction) -> String {
     let mut m = head(id, true);
     m.push(("op".to_string(), Value::Str("predict".to_string())));
     m.push(("nf".to_string(), Value::Str(nf.to_string())));
+    m.push(("backend".to_string(), Value::Str(backend.to_string())));
     m.push((
         "predicted_compute".to_string(),
         Value::Float(p.predicted_compute),
@@ -247,18 +275,33 @@ pub fn predict_response(id: Option<u64>, nf: &str, p: &Prediction) -> String {
         "suggested_cores".to_string(),
         Value::UInt(u64::from(p.suggested_cores)),
     ));
+    m.push((
+        "predicted_throughput_mpps".to_string(),
+        Value::Float(p.predicted_throughput_mpps),
+    ));
+    m.push((
+        "predicted_latency_us".to_string(),
+        Value::Float(p.predicted_latency_us),
+    ));
     finish(m)
 }
 
 /// Renders a successful `analyze` response (names resolved against the
-/// analyzed module).
-pub fn analyze_response(id: Option<u64>, nf: &str, module: &Module, ins: &Insights) -> String {
+/// analyzed module), tagged with the device backend that produced it.
+pub fn analyze_response(
+    id: Option<u64>,
+    nf: &str,
+    backend: &str,
+    module: &Module,
+    ins: &Insights,
+) -> String {
     let gname = |g: nf_ir::GlobalId| {
         Value::Str(module.global(g).map_or("?", |d| d.name.as_str()).to_string())
     };
     let mut m = head(id, true);
     m.push(("op".to_string(), Value::Str("analyze".to_string())));
     m.push(("nf".to_string(), Value::Str(nf.to_string())));
+    m.push(("backend".to_string(), Value::Str(backend.to_string())));
     m.push((
         "predicted_compute".to_string(),
         Value::Float(ins.predicted_compute),
@@ -370,12 +413,14 @@ mod tests {
                 packets: 400,
                 seed: 7,
                 small_flows: false,
+                backend: None,
             }),
             Request::Analyze(WorkSpec {
                 nf: "iplookup".into(),
                 packets: 100,
                 seed: 1,
                 small_flows: true,
+                backend: Some("dpu-offpath".into()),
             }),
             Request::Difftest {
                 seeds: 20,
@@ -403,9 +448,13 @@ mod tests {
                 packets: 400,
                 seed: 42,
                 small_flows: false,
+                backend: None,
             })
         );
         assert_eq!(env.id, None);
+        assert!(parse_request(r#"{"v":1,"op":"predict","nf":"x","backend":7}"#)
+            .unwrap_err()
+            .contains("`backend`"));
         assert!(parse_request("not json").unwrap_err().contains("invalid JSON"));
         assert!(parse_request(r#"{"op":"stats"}"#).unwrap_err().contains("version"));
         assert!(parse_request(r#"{"v":2,"op":"stats"}"#)

@@ -6,9 +6,15 @@
 //! `overloaded` response (admission control; the client decides whether
 //! to retry). Otherwise the connection thread parks on a channel while a
 //! worker picks the job up, coalescing runs of adjacent `predict` jobs
-//! into one [`Clara::predict_batch`] call (one engine `par_map` stage
-//! for the whole batch). `stats` is answered inline without queueing so
-//! it stays responsive under load.
+//! bound for the *same device backend* into one
+//! [`Clara::predict_batch_on`] call (one engine `par_map` stage for the
+//! whole batch). `stats` is answered inline without queueing so it
+//! stays responsive under load.
+//!
+//! The server holds every backend in [`ServeOptions::backends`] warm
+//! and routes each request by its `backend` field (default: the first
+//! configured device); a name that is not loaded is rejected before
+//! queueing with a typed `unknown_backend` error.
 //!
 //! Drain (the `drain` op, [`ServerHandle::drain`], or SIGTERM via
 //! [`install_sigterm_drain`]) flips one flag: admission stops (new work
@@ -25,6 +31,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use clara_core::{difftest, engine, Clara, ClaraError, DifftestConfig};
+use clara_hal::{Backend as _, DeviceBackend};
 use clara_obs as obs;
 use nf_ir::Module;
 use serde::Value;
@@ -46,6 +53,10 @@ pub struct ServeOptions {
     /// Per-request budget measured from enqueue. Also installed as the
     /// engine's `stage_deadline` so a wedged stage is cut short too.
     pub deadline: Option<Duration>,
+    /// Built-in device backends held warm for per-request routing. The
+    /// first entry serves requests that name no backend. Empty: the
+    /// default device only.
+    pub backends: Vec<String>,
 }
 
 impl Default for ServeOptions {
@@ -56,6 +67,7 @@ impl Default for ServeOptions {
             queue_cap: 64,
             batch_max: 8,
             deadline: None,
+            backends: vec![clara_hal::DEFAULT_BACKEND.to_string()],
         }
     }
 }
@@ -88,6 +100,8 @@ struct Job {
 struct Shared {
     clara: Arc<Clara>,
     corpus: BTreeMap<String, Module>,
+    /// Warm device backends, default (request names none) first.
+    backends: Vec<&'static DeviceBackend>,
     queue: Mutex<VecDeque<Job>>,
     cv: Condvar,
     draining: AtomicBool,
@@ -101,6 +115,21 @@ struct Shared {
 }
 
 impl Shared {
+    /// Resolves the backend a request routes to: the named warm device,
+    /// or the default (first) one when the request names none. `None`
+    /// means the name is not loaded.
+    fn backend_of(&self, w: &WorkSpec) -> Option<&'static DeviceBackend> {
+        match &w.backend {
+            None => Some(self.backends[0]),
+            Some(name) => self.backends.iter().copied().find(|b| b.name() == name),
+        }
+    }
+
+    /// The backend name a spec effectively runs under (for coalescing).
+    fn effective_backend<'a>(&self, w: &'a WorkSpec) -> &'a str {
+        w.backend.as_deref().unwrap_or_else(|| self.backends[0].name())
+    }
+
     fn queue_gauge(&self, depth: usize) {
         obs::volatile_gauge("serve.queue.depth").set(depth as f64);
     }
@@ -146,8 +175,15 @@ impl Server {
     /// # Errors
     ///
     /// [`ClaraError::Serve`] when the address cannot be bound (CLI exit
-    /// code 7).
+    /// code 7); [`ClaraError::Manifest`] when `opts.backends` names a
+    /// device that is not built in (exit code 8).
     pub fn start(opts: ServeOptions, clara: Arc<Clara>) -> Result<ServerHandle, ClaraError> {
+        let backend_names = if opts.backends.is_empty() {
+            vec![clara_hal::DEFAULT_BACKEND.to_string()]
+        } else {
+            opts.backends.clone()
+        };
+        let backends = difftest::resolve_backends(&backend_names)?;
         let listener = TcpListener::bind(&opts.addr).map_err(|e| ClaraError::Serve {
             detail: format!("cannot bind {}: {e}", opts.addr),
         })?;
@@ -176,6 +212,7 @@ impl Server {
         let shared = Arc::new(Shared {
             clara,
             corpus,
+            backends,
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             draining: AtomicBool::new(false),
@@ -353,6 +390,19 @@ fn dispatch(env: Envelope, s: &Arc<Shared>) -> String {
                 &format!("`{}` is not in the corpus (see `clara list`)", w.nf),
             )
         }
+        Request::Predict(w) | Request::Analyze(w) if s.backend_of(&w).is_none() => {
+            s.errors.fetch_add(1, Ordering::SeqCst);
+            let loaded: Vec<&str> = s.backends.iter().map(|b| b.name()).collect();
+            protocol::error_response(
+                id,
+                ErrorKind::UnknownBackend,
+                &format!(
+                    "`{}` is not a warm backend (loaded: {})",
+                    w.backend.as_deref().unwrap_or("?"),
+                    loaded.join(", ")
+                ),
+            )
+        }
         Request::Predict(w) => enqueue_and_wait(id, JobKind::Predict(w), s),
         Request::Analyze(w) => enqueue_and_wait(id, JobKind::Analyze(w), s),
         Request::Difftest { seeds, start, pkts } => {
@@ -432,6 +482,15 @@ fn stats_inline(id: Option<u64>, s: &Arc<Shared>) -> String {
             "batch_max".to_string(),
             Value::UInt(s.opts.batch_max as u64),
         ),
+        (
+            "backends".to_string(),
+            Value::Seq(
+                s.backends
+                    .iter()
+                    .map(|b| Value::Str(b.name().to_string()))
+                    .collect(),
+            ),
+        ),
         ("compile_hits".to_string(), Value::UInt(es.compile_hits)),
         ("compile_misses".to_string(), Value::UInt(es.compile_misses)),
         ("profile_hits".to_string(), Value::UInt(es.profile_hits)),
@@ -481,10 +540,18 @@ fn worker_loop(s: &Arc<Shared>) {
             }
             let first = q.pop_front().expect("checked non-empty");
             let mut batch = vec![first];
-            if matches!(batch[0].kind, JobKind::Predict(_)) {
+            // Only predicts routed to the *same* device coalesce — one
+            // batch, one backend, one engine stage.
+            if let JobKind::Predict(w0) = &batch[0].kind {
+                let backend = s.effective_backend(w0).to_string();
                 while batch.len() < s.opts.batch_max.max(1) {
                     match q.front() {
-                        Some(j) if matches!(j.kind, JobKind::Predict(_)) => {
+                        Some(j)
+                            if matches!(
+                                &j.kind,
+                                JobKind::Predict(w) if s.effective_backend(w) == backend
+                            ) =>
+                        {
                             batch.push(q.pop_front().expect("front exists"));
                         }
                         _ => break,
@@ -560,16 +627,19 @@ fn run_predict_batch(batch: Vec<Job>, s: &Arc<Shared>) {
             )
         })
         .collect();
+    // Coalescing admits only same-backend predicts, so the whole batch
+    // routes to the first spec's device.
+    let backend = s.backend_of(specs[0]).expect("validated at admission");
     let results = {
         let span = obs::span_under(s.root, "serve-predict-batch");
         let _ctx = obs::attach(span.handle());
-        s.clara.predict_batch(&items)
+        s.clara.predict_batch_on(&items, backend)
     };
     for ((job, spec), result) in batch.iter().zip(&specs).zip(results) {
         let response = match result {
             Ok(p) => {
                 s.served.fetch_add(1, Ordering::SeqCst);
-                protocol::predict_response(job.id, &spec.nf, &p)
+                protocol::predict_response(job.id, &spec.nf, backend.name(), &p)
             }
             Err(e) => {
                 s.errors.fetch_add(1, Ordering::SeqCst);
@@ -587,16 +657,17 @@ fn run_single(job: Job, s: &Arc<Shared>) {
         JobKind::Analyze(w) => {
             obs::counter("serve.ops.analyze").incr();
             let module = s.corpus.get(&w.nf).expect("validated at admission");
+            let backend = s.backend_of(w).expect("validated at admission");
             let trace = w.trace();
             let outcome = {
                 let span = obs::span_under(s.root, "serve-analyze");
                 let _ctx = obs::attach(span.handle());
-                s.clara.analyze(module, &trace)
+                s.clara.analyze_on(module, &trace, backend)
             };
             match outcome {
                 Ok(ins) => {
                     s.served.fetch_add(1, Ordering::SeqCst);
-                    protocol::analyze_response(job.id, &w.nf, module, &ins)
+                    protocol::analyze_response(job.id, &w.nf, backend.name(), module, &ins)
                 }
                 Err(e) => {
                     s.errors.fetch_add(1, Ordering::SeqCst);
@@ -615,18 +686,26 @@ fn run_single(job: Job, s: &Arc<Shared>) {
                 inject: None,
                 ..DifftestConfig::default()
             };
-            let report = {
+            let outcome = {
                 let span = obs::span_under(s.root, "serve-difftest");
                 let _ctx = obs::attach(span.handle());
                 difftest::run(&cfg)
             };
-            s.served.fetch_add(1, Ordering::SeqCst);
-            protocol::difftest_response(
-                job.id,
-                report.checked as u64,
-                report.divergent.len() as u64,
-                report.engine_failures as u64,
-            )
+            match outcome {
+                Ok(report) => {
+                    s.served.fetch_add(1, Ordering::SeqCst);
+                    protocol::difftest_response(
+                        job.id,
+                        report.checked as u64,
+                        report.divergent.len() as u64,
+                        report.engine_failures as u64,
+                    )
+                }
+                Err(e) => {
+                    s.errors.fetch_add(1, Ordering::SeqCst);
+                    protocol::error_response(job.id, ErrorKind::Internal, &e.to_string())
+                }
+            }
         }
     };
     let _ = job.resp.send(response);

@@ -15,3 +15,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 # run report (spans + metrics JSON) next to the checkout for upload.
 CLARA_QUICK=1 CLARA_REPORT=1 cargo run --release -p clara-bench --bin train_timing 2
 test -s BENCH_train_timing.json
+
+# hal-matrix: the device-backend surface — manifest validation, golden
+# cross-device matrix, cross-backend difftest, typed exit codes.
+./scripts/hal_smoke.sh

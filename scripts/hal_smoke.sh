@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# HAL smoke test (CI job `hal-matrix`): exercise the device-backend CLI
+# surface end to end — list backends, run the manifest validation and
+# backend-matrix suites, produce a cross-device analysis matrix, run a
+# cross-backend difftest, and require the typed exit code for an
+# unknown backend name.
+# Run from the repository root: ./scripts/hal_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODEL="${CLARA_HAL_MODEL:-hal-smoke-model.json}"
+BIN=target/release/clara
+
+cargo build --release --bin clara
+cargo test -q -p clara-hal
+cargo test -q --test backend_matrix
+
+rm -f "$MODEL"
+
+# The four built-in manifests must all load and be listed.
+backends="$("$BIN" backends)"
+echo "$backends"
+for name in agilio-cx wimpy-onpath dpu-offpath accel-poor; do
+  echo "$backends" | grep -q "$name" || {
+    echo "hal_smoke: builtin $name missing from 'clara backends'" >&2
+    exit 1
+  }
+done
+
+# Cross-device analysis matrix (trains once, persists the model), then a
+# single-device analysis on a non-default backend reusing it.
+"$BIN" analyze cmsketch --model "$MODEL" --backend all --packets 200
+"$BIN" analyze cmsketch --model "$MODEL" --backend dpu-offpath --packets 200
+
+# Cross-backend differential oracle: semantics must be device-invariant
+# across every builtin while cost profiles differ (difftest exits 6 on
+# any divergence).
+"$BIN" difftest --seeds 40 --packets 24 --backends all
+
+# Unknown backend names are typed manifest errors, exit code 8.
+set +e
+"$BIN" analyze cmsketch --model "$MODEL" --backend no-such-device --packets 200
+code=$?
+set -e
+if [ "$code" -ne 8 ]; then
+  echo "hal_smoke: unknown backend exited $code (expected 8)" >&2
+  exit 1
+fi
+
+rm -f "$MODEL"
+echo "hal_smoke: ok (4 builtins listed, cross-device matrix + difftest clean, exit 8 pinned)"

@@ -2,8 +2,11 @@
 //!
 //! ```console
 //! $ clara list                         # show the NF corpus
+//! $ clara backends                     # show the built-in device manifests
 //! $ clara analyze mazunat              # full insight bundle for one NF
 //! $ clara analyze cmsketch --small-flows --packets 4000
+//! $ clara analyze nat --backend dpu-offpath   # insights for another device
+//! $ clara analyze nat --backend all    # cross-device prediction deltas
 //! $ clara ir iplookup                  # print the NF's IR
 //! $ clara asm iplookup                 # print the vendor compiler output
 //! $ clara sweep mazunat                # core-count sweep table
@@ -16,6 +19,7 @@
 
 use clara_repro::clara::{Clara, ClaraConfig, ClaraError};
 use clara_repro::click::NfElement;
+use clara_repro::hal::{self, Backend as _, DeviceBackend};
 use clara_repro::serve;
 use clara_repro::nicsim::{self, PortConfig};
 use clara_repro::obs;
@@ -37,25 +41,25 @@ fn find(name: &str) -> NfElement {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: clara <list|analyze|predict|ir|asm|sweep|cache-verify|difftest|serve|bench-serve> \
-         [element] [options]"
+        "usage: clara <list|backends|analyze|predict|ir|asm|sweep|cache-verify|difftest|serve|\
+         bench-serve> [element] [options]"
     );
     eprintln!(
         "  options: --small-flows  --packets N  --seed N  --cores N  --model FILE  \
-         --report FILE"
+         --report FILE  --backend NAME|all"
     );
     eprintln!(
         "  difftest: --seeds N  --start N  --packets N  --artifacts DIR  --no-shrink  \
-         --smoke  --inject  --replay FILE"
+         --smoke  --inject  --replay FILE  --backends all|A,B,..."
     );
     eprintln!(
         "  serve: --addr HOST:PORT  --workers N  --queue-cap N  --batch-max N  \
-         --deadline-ms N  --model FILE  --seed N"
+         --deadline-ms N  --model FILE  --seed N  --backends all|A,B,..."
     );
     eprintln!(
         "  bench-serve: --addr HOST:PORT  --requests N  --conns N  --nf NAME  --packets N  \
          --seed N  --burst N  --burst-packets N  --baseline N  --model FILE  \
-         --require-speedup X  --drain  --report FILE"
+         --require-speedup X  --drain  --report FILE  --backend NAME"
     );
     eprintln!(
         "  environment: CLARA_THREADS=N  CLARA_CACHE_DIR=DIR  \
@@ -64,7 +68,8 @@ fn usage() -> ! {
     eprintln!(
         "  exit codes: 0 success, 1 other errors, 2 usage, 3 degraded run \
          (engine tasks failed permanently), 4 cache corruption, 5 I/O failure, \
-         6 difftest divergence, 7 serve/bench failure"
+         6 difftest divergence, 7 serve/bench failure, 8 invalid manifest or \
+         unknown backend"
     );
     std::process::exit(2);
 }
@@ -99,6 +104,7 @@ struct Opts {
     cores: Option<u32>,
     model: Option<String>,
     report: Option<String>,
+    backend: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -110,6 +116,7 @@ fn parse_opts(args: &[String]) -> Opts {
         model: None,
         // The CLARA_REPORT environment variable arms the sink too.
         report: obs::sink_from_env(),
+        backend: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -136,6 +143,7 @@ fn parse_opts(args: &[String]) -> Opts {
             }
             "--model" => o.model = it.next().cloned().or_else(|| usage()),
             "--report" => o.report = it.next().cloned().or_else(|| usage()),
+            "--backend" => o.backend = it.next().cloned().or_else(|| usage()),
             _ => usage(),
         }
     }
@@ -207,6 +215,24 @@ fn run() -> Result<(), ClaraError> {
                 );
             }
         }
+        "backends" => {
+            println!(
+                "{:<14} {:<9} {:>5} {:>8} {:>6} DESCRIPTION",
+                "NAME", "CLASS", "CORES", "FREQ", "PORTS"
+            );
+            for b in hal::builtins() {
+                let m = b.manifest();
+                println!(
+                    "{:<14} {:<9} {:>5} {:>7.2}G {:>6} {}",
+                    b.name(),
+                    m.class.as_str(),
+                    m.cores,
+                    m.freq_ghz,
+                    m.ports.len(),
+                    m.description
+                );
+            }
+        }
         "analyze" => {
             let (name, opt_args) = rest.split_first().unwrap_or_else(|| usage());
             let o = parse_opts(opt_args);
@@ -216,8 +242,24 @@ fn run() -> Result<(), ClaraError> {
             let e = find(name);
             let trace = trace_of(&o);
             let clara = load_or_train(&o.model, o.seed)?;
-            let insights = clara.analyze(&e.module, &trace)?;
-            println!("== insights for `{}` ==", e.name());
+            if o.backend.as_deref() == Some("all") {
+                analyze_all_backends(&clara, &e, &trace)?;
+                write_report(&o.report);
+                return Ok(());
+            }
+            let backend = match &o.backend {
+                None => None,
+                Some(name) => Some(resolve_backend(name)?),
+            };
+            let insights = match backend {
+                // The no-flag path is the historical one, bit for bit.
+                None => clara.analyze(&e.module, &trace)?,
+                Some(b) => clara.analyze_on(&e.module, &trace, b)?,
+            };
+            match backend {
+                None => println!("== insights for `{}` ==", e.name()),
+                Some(b) => println!("== insights for `{}` on {} ==", e.name(), b.name()),
+            }
             println!(
                 "predicted compute instructions/packet: {:.0}",
                 insights.predicted_compute
@@ -248,29 +290,15 @@ fn run() -> Result<(), ClaraError> {
                 println!("pack cluster {i}: {}", names.join(" + "));
             }
             let cores = o.cores.unwrap_or(insights.suggested_cores);
-            let naive =
-                nicsim::simulate(&e.module, &trace, &PortConfig::naive(), &clara.nic, cores);
-            let tuned = nicsim::simulate(
-                &e.module,
-                &trace,
-                &insights.port_config(),
-                &clara.nic,
-                cores,
-            );
+            let nic = backend.map_or(&clara.nic, |b| b.nic());
+            let naive = nicsim::simulate(&e.module, &trace, &PortConfig::naive(), nic, cores);
+            let tuned =
+                nicsim::simulate(&e.module, &trace, &insights.port_config(), nic, cores);
             println!(
                 "at {cores} cores: naive {:.2} Mpps / {:.2} us -> Clara {:.2} Mpps / {:.2} us",
                 naive.throughput_mpps, naive.latency_us, tuned.throughput_mpps, tuned.latency_us
             );
-            if let Some(raw) = &o.report {
-                let path = obs::resolve_sink(raw, "clara_cli.json");
-                match obs::RunReport::capture().write(&path) {
-                    Ok(()) => eprintln!("run report written to {}", path.display()),
-                    Err(e) => eprintln!(
-                        "warning: could not write run report to {}: {e}",
-                        path.display()
-                    ),
-                }
-            }
+            write_report(&o.report);
         }
         "predict" => {
             let (name, opt_args) = rest.split_first().unwrap_or_else(|| usage());
@@ -278,10 +306,17 @@ fn run() -> Result<(), ClaraError> {
             let e = find(name);
             let trace = trace_of(&o);
             let clara = load_or_train(&o.model, o.seed)?;
-            let p = clara.predict_one(&e.module, &trace)?;
+            let backend = match &o.backend {
+                None => hal::default_backend(),
+                Some(name) => resolve_backend(name)?,
+            };
+            let p = clara.predict_one_on(&e.module, &trace, backend)?;
             // Same rendering the daemon uses, so one-shot and served
             // predictions are directly comparable (and diffable).
-            println!("{}", serve::protocol::predict_response(None, e.name(), &p));
+            println!(
+                "{}",
+                serve::protocol::predict_response(None, e.name(), backend.name(), &p)
+            );
         }
         "serve" => return serve_cmd(rest),
         "bench-serve" => return bench_serve_cmd(rest),
@@ -315,6 +350,77 @@ fn run() -> Result<(), ClaraError> {
     Ok(())
 }
 
+/// Resolves `--backend NAME` to a built-in device (exit 8 on unknown).
+fn resolve_backend(name: &str) -> Result<&'static DeviceBackend, ClaraError> {
+    Ok(clara_repro::clara::difftest::resolve_backends(&[name.to_string()])?[0])
+}
+
+/// Expands `--backends all|A,B,...` into a list of manifest names
+/// (validated later, at resolution).
+fn backend_list(arg: &str) -> Vec<String> {
+    if arg == "all" {
+        hal::builtin_names().iter().map(|s| (*s).to_string()).collect()
+    } else {
+        arg.split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    }
+}
+
+/// Writes the deterministic run report when a sink is armed.
+fn write_report(report: &Option<String>) {
+    if let Some(raw) = report {
+        let path = obs::resolve_sink(raw, "clara_cli.json");
+        match obs::RunReport::capture().write(&path) {
+            Ok(()) => eprintln!("run report written to {}", path.display()),
+            Err(e) => eprintln!(
+                "warning: could not write run report to {}: {e}",
+                path.display()
+            ),
+        }
+    }
+}
+
+/// `clara analyze NAME --backend all`: one prediction per built-in
+/// device, plus deltas against the default backend — the cross-device
+/// offloading comparison in table form.
+fn analyze_all_backends(clara: &Clara, e: &NfElement, trace: &Trace) -> Result<(), ClaraError> {
+    let rows: Vec<(&DeviceBackend, clara_repro::clara::Prediction)> = hal::builtins()
+        .iter()
+        .map(|b| clara.predict_one_on(&e.module, trace, b).map(|p| (b, p)))
+        .collect::<Result<_, _>>()?;
+    println!("== cross-backend predictions for `{}` ==", e.name());
+    println!(
+        "{:<14} {:<9} {:>5} {:>5} {:>9} {:>12} {:>10}",
+        "BACKEND", "CLASS", "CORES", "SUGG", "Mpps", "latency(us)", "compute"
+    );
+    for (b, p) in &rows {
+        println!(
+            "{:<14} {:<9} {:>5} {:>5} {:>9.2} {:>12.2} {:>10.0}",
+            b.name(),
+            b.manifest().class.as_str(),
+            b.nic().cores,
+            p.suggested_cores,
+            p.predicted_throughput_mpps,
+            p.predicted_latency_us,
+            p.predicted_compute
+        );
+    }
+    let (b0, p0) = &rows[0];
+    for (b, p) in rows.iter().skip(1) {
+        println!(
+            "delta vs {}: {}: {:+.2} Mpps, {:+.2} us, {:+} cores",
+            b0.name(),
+            b.name(),
+            p.predicted_throughput_mpps - p0.predicted_throughput_mpps,
+            p.predicted_latency_us - p0.predicted_latency_us,
+            i64::from(p.suggested_cores) - i64::from(p0.suggested_cores)
+        );
+    }
+    Ok(())
+}
+
 /// `clara serve`: the batched, backpressured NF-analysis daemon.
 ///
 /// Loads (or trains) the model once, binds the address, and serves the
@@ -341,6 +447,9 @@ fn serve_cmd(args: &[String]) -> Result<(), ClaraError> {
             }
             "--model" => model = it.next().cloned().or_else(|| usage()),
             "--seed" => seed = num(&mut it),
+            "--backends" => {
+                so.backends = backend_list(&it.next().cloned().unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
     }
@@ -390,6 +499,7 @@ fn bench_serve_cmd(args: &[String]) -> Result<(), ClaraError> {
             }
             "--drain" => bo.drain = true,
             "--report" => bo.report = it.next().cloned().or_else(|| usage()),
+            "--backend" => bo.backend = it.next().cloned().or_else(|| usage()),
             _ => usage(),
         }
     }
@@ -443,6 +553,9 @@ fn difftest_cmd(args: &[String]) -> Result<(), ClaraError> {
             "--inject" => cfg.inject = Some(Injection::FlipArith),
             "--smoke" => smoke = true,
             "--replay" => replay = it.next().cloned().or_else(|| usage()),
+            "--backends" => {
+                cfg.backends = backend_list(&it.next().cloned().unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
     }
@@ -485,7 +598,14 @@ fn difftest_cmd(args: &[String]) -> Result<(), ClaraError> {
             }
         }
     } else {
-        let rep = difftest::run(&cfg);
+        let rep = difftest::run(&cfg)?;
+        if cfg.backends.len() >= 2 {
+            println!(
+                "cross-backend: {} device(s), max compute delta {:.1} cycles/pkt",
+                cfg.backends.len(),
+                rep.max_backend_compute_delta
+            );
+        }
         for r in &rep.divergent {
             let div = r.divergence.as_ref().expect("divergent seeds carry one");
             println!("seed {:>6} ({}): {div}", r.seed, r.module_name);

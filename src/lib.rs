@@ -4,6 +4,7 @@
 //! use a single dependency. See `clara_core` for the main entry points.
 
 pub use clara_core as clara;
+pub use clara_hal as hal;
 pub use clara_obs as obs;
 pub use clara_serve as serve;
 pub use click_model as click;

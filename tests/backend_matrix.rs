@@ -1,0 +1,132 @@
+//! Golden cross-device matrix: one trained pipeline, every Click corpus
+//! element, every built-in device manifest.
+//!
+//! Two pins live here:
+//!
+//! - `cross_device_matrix_matches_golden` renders per-(element, backend)
+//!   prediction summaries (suggested cores, modeled throughput/latency,
+//!   compute estimate, counted memory accesses) and compares them to
+//!   `tests/golden/backend_matrix.txt`. A change to any manifest, to the
+//!   performance model, or to the HAL plumbing shows up as a readable
+//!   diff instead of a silent drift.
+//! - `default_backend_report_is_byte_identical_to_legacy` proves the
+//!   ISSUE's compatibility clause: analyzing on the default `agilio-cx`
+//!   backend produces a deterministic telemetry report byte-identical to
+//!   the legacy pre-HAL path, and pins that report's fingerprint in
+//!   `tests/golden/backend_report_fp.txt`.
+//!
+//! Regenerate after an *intentional* change with:
+//!
+//! ```sh
+//! CLARA_BLESS=1 cargo test --test backend_matrix
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+
+use clara_repro::clara::{engine, Clara, ClaraConfig};
+use clara_repro::hal::{self, Backend as _};
+use clara_repro::trafgen::{Trace, WorkloadSpec};
+
+/// Both tests drive the process-global engine and telemetry registry;
+/// they must not interleave.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// One trained pipeline shared by both tests (training dominates
+/// runtime; predictions are cheap).
+fn clara() -> &'static Clara {
+    static CLARA: OnceLock<Clara> = OnceLock::new();
+    CLARA.get_or_init(|| Clara::train(&ClaraConfig::fast(11)).expect("training succeeds"))
+}
+
+fn golden_path(name: &str) -> String {
+    format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn check_golden(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var("CLARA_BLESS").is_ok() {
+        std::fs::write(&path, got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!("{path} missing; regenerate with CLARA_BLESS=1 cargo test --test backend_matrix")
+    });
+    assert_eq!(
+        got, &want,
+        "{name} changed; if intentional, regenerate with CLARA_BLESS=1 cargo test --test backend_matrix"
+    );
+}
+
+#[test]
+fn cross_device_matrix_matches_golden() {
+    let _g = OBS_LOCK.lock().unwrap();
+    let clara = clara();
+    let mut out = String::from(
+        "# backend matrix golden: <element> <backend> cores=<suggested> \
+         mpps=<throughput> lat_us=<latency> compute=<cycles/pkt> mem=<counted>\n",
+    );
+    for e in clara_repro::click::corpus() {
+        let trace = Trace::generate(&WorkloadSpec::imix(), 60, 7);
+        for b in hal::builtins() {
+            let p = clara
+                .predict_one_on(&e.module, &trace, b)
+                .expect("prediction succeeds");
+            writeln!(
+                out,
+                "{} {} cores={} mpps={:.3} lat_us={:.3} compute={:.1} mem={}",
+                e.name(),
+                b.name(),
+                p.suggested_cores,
+                p.predicted_throughput_mpps,
+                p.predicted_latency_us,
+                p.predicted_compute,
+                p.counted_mem
+            )
+            .expect("write to string");
+        }
+    }
+    check_golden("backend_matrix.txt", &out);
+}
+
+#[test]
+fn default_backend_report_is_byte_identical_to_legacy() {
+    let _g = OBS_LOCK.lock().unwrap();
+    let clara = clara();
+    let e = clara_repro::click::corpus()
+        .into_iter()
+        .find(|e| e.name() == "cmsketch")
+        .expect("known corpus element");
+    let trace = Trace::generate(&WorkloadSpec::imix(), 60, 7);
+    // Capture a full deterministic telemetry report for one analysis.
+    // Caches are cleared before each capture so both runs do identical
+    // cold work and their counters agree.
+    let capture = |run: &dyn Fn()| {
+        engine::Engine::new().clear_caches();
+        clara_repro::obs::enable();
+        clara_repro::obs::reset();
+        run();
+        let json = clara_repro::obs::RunReport::capture().to_json_deterministic();
+        clara_repro::obs::disable();
+        json
+    };
+    let legacy = capture(&|| {
+        clara.analyze(&e.module, &trace).expect("legacy analyze");
+    });
+    let default_backend = hal::default_backend();
+    assert_eq!(default_backend.name(), hal::DEFAULT_BACKEND);
+    let on_default = capture(&|| {
+        clara
+            .analyze_on(&e.module, &trace, default_backend)
+            .expect("analyze on default backend");
+    });
+    assert!(legacy.contains("clara-analyze"), "{legacy}");
+    assert_eq!(
+        legacy, on_default,
+        "analyze_on(default) must be byte-identical to the legacy path"
+    );
+    // Pin the deterministic report shape itself, so a change to the span
+    // tree or the work-derived counters is an explicit golden update.
+    let fp = format!("{:016x}\n", engine::value_fingerprint(&legacy));
+    check_golden("backend_report_fp.txt", &fp);
+}

@@ -90,6 +90,79 @@ fn warm_cache_run_recomputes_nothing_and_reports_identically() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Disk-cache isolation across device backends: artifacts stored while
+/// profiling under one manifest must never be served to another, even
+/// for the same (module, trace, port) — the backend fingerprint is part
+/// of the persistent key. Per backend, warm results stay byte-identical
+/// to the cold run that populated its slice of the cache.
+#[test]
+fn disk_cache_isolates_backends() {
+    use clara_repro::hal::{self, Backend as _};
+    let _g = ENGINE_LOCK.lock().unwrap();
+    let dir = tmp_dir("backend-iso");
+    let modules = elements();
+    let trace = clara_repro::trafgen::Trace::generate(&WorkloadSpec::large_flows(), 50, 5);
+    let port = PortConfig::naive();
+    engine::configure(&EngineOptions::builder().workers(1).cache_dir(&dir).build());
+    let agilio = hal::builtin("agilio-cx").expect("builtin");
+    let wimpy = hal::builtin("wimpy-onpath").expect("builtin");
+
+    let run = |b: &'static clara_repro::hal::DeviceBackend| {
+        Engine::new().clear_caches(); // memory only; artifacts survive
+        let before = engine::EngineStats::snapshot();
+        let profiles: Vec<_> = modules
+            .iter()
+            .map(|m| Engine::new().profile_cached_for(m, &trace, &port, b.nic(), b.fingerprint()))
+            .collect();
+        let after = engine::EngineStats::snapshot();
+        (
+            profiles,
+            after.disk_hits - before.disk_hits,
+            after.disk_recomputes - before.disk_recomputes,
+        )
+    };
+
+    // Per module, a cold run stores two artifact kinds: the vendor
+    // compile (keyed by module alone — compilation is device-independent
+    // and legitimately shared across backends) and the costed profile
+    // (keyed with the manifest fingerprint — never shared).
+    let n = modules.len() as u64;
+    let (agilio_cold, hits, recomputes) = run(agilio);
+    assert_eq!(hits, 0, "cold cache has nothing to serve");
+    assert_eq!(recomputes, 2 * n, "cold run computes compiles and profiles");
+
+    // Same modules, same trace, same port — different manifest. The
+    // compile artifacts hit (shared layer); every profile must be
+    // recomputed. One extra hit here would mean wimpy-onpath silently
+    // consumed an agilio-cx profile.
+    let (wimpy_cold, hits, recomputes) = run(wimpy);
+    assert_eq!(hits, n, "only the device-independent compiles may hit");
+    assert_eq!(recomputes, n, "every profile is recomputed for the new device");
+
+    // Warm re-runs per backend: all hits, no recomputes, bit-identical.
+    let (agilio_warm, hits, recomputes) = run(agilio);
+    assert_eq!(hits, 2 * n, "agilio-cx compiles and profiles served warm");
+    assert_eq!(recomputes, 0, "warm agilio-cx run recomputes nothing");
+    assert_eq!(agilio_cold, agilio_warm, "agilio-cx cold vs warm diverged");
+
+    let (wimpy_warm, hits, recomputes) = run(wimpy);
+    assert_eq!(hits, 2 * n, "wimpy-onpath compiles and profiles served warm");
+    assert_eq!(recomputes, 0, "warm wimpy-onpath run recomputes nothing");
+    assert_eq!(wimpy_cold, wimpy_warm, "wimpy-onpath cold vs warm diverged");
+
+    // The two devices really produced different costed profiles (the
+    // isolation above is not vacuous): compute-side deltas are nonzero.
+    assert!(
+        agilio_cold
+            .iter()
+            .zip(&wimpy_cold)
+            .any(|(a, w)| (a.compute - w.compute).abs() > 0.0),
+        "backends with different accelerator tables must cost differently"
+    );
+    engine::configure(&EngineOptions::default());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn corrupt_artifacts_recompute_silently_and_fail_verify_loudly() {
     let _g = ENGINE_LOCK.lock().unwrap();

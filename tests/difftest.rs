@@ -191,7 +191,7 @@ fn pinned_seed_sweep_is_clean() {
             shrink: false,
             ..DifftestConfig::default()
         };
-        let report = difftest::run(&cfg);
+        let report = difftest::run(&cfg).expect("no backends configured");
         assert_eq!(report.engine_failures, 0, "start={start}");
         assert!(
             report.divergent.is_empty(),

@@ -97,6 +97,45 @@ proptest! {
         }
     }
 
+    /// Device manifests change *costs*, never *semantics*: profiling the
+    /// same NF and trace under every built-in backend yields identical
+    /// access-side profiles (packet counts, fixed and per-global access
+    /// frequencies, working sets), because all of those derive from the
+    /// device-independent interpreter event stream. Meanwhile the
+    /// performance model must be honest about the device: a backend with
+    /// a different core clock cannot report the same latency.
+    #[test]
+    fn profiles_are_backend_invariant(seed in 0u64..2000) {
+        use clara_repro::hal::Backend as _;
+        let m = nf_synth::synth_corpus(1, true, seed).remove(0);
+        let trace = Trace::generate(&WorkloadSpec::imix(), 40, seed);
+        let port = PortConfig::naive();
+        let backends = clara_repro::hal::builtins();
+        let profiles: Vec<_> = backends
+            .iter()
+            .map(|b| nicsim::profile_workload(&m, &trace, &port, b.nic(), |_| {}))
+            .collect();
+        for (b, wp) in backends.iter().zip(&profiles).skip(1) {
+            if let Some(d) = profiles[0].access_divergence_from(wp) {
+                prop_assert!(
+                    false,
+                    "{} diverged from {}: {}", b.name(), backends[0].name(), d
+                );
+            }
+        }
+        let base = nicsim::solve_perf(&profiles[0], backends[0].nic(), &port, 8);
+        for (b, wp) in backends.iter().zip(&profiles).skip(1) {
+            if b.nic().freq_ghz != backends[0].nic().freq_ghz {
+                let p = nicsim::solve_perf(wp, b.nic(), &port, 8);
+                prop_assert!(
+                    p.latency_us != base.latency_us,
+                    "{} latency matches {} despite a different clock",
+                    b.name(), backends[0].name()
+                );
+            }
+        }
+    }
+
     /// Colocating with any neighbour never *improves* a tenant's
     /// performance vs running alone on the same cores.
     #[test]

@@ -32,6 +32,15 @@ fn clara() -> Arc<Clara> {
 }
 
 fn start(workers: usize, queue_cap: usize, batch_max: usize) -> ServerHandle {
+    start_with_backends(workers, queue_cap, batch_max, Vec::new())
+}
+
+fn start_with_backends(
+    workers: usize,
+    queue_cap: usize,
+    batch_max: usize,
+    backends: Vec<String>,
+) -> ServerHandle {
     Server::start(
         ServeOptions {
             addr: "127.0.0.1:0".to_string(),
@@ -39,6 +48,7 @@ fn start(workers: usize, queue_cap: usize, batch_max: usize) -> ServerHandle {
             queue_cap,
             batch_max,
             deadline: None,
+            backends,
         },
         clara(),
     )
@@ -84,6 +94,7 @@ fn predict_req(id: u64, nf: &str, packets: usize, seed: u64) -> (String, WorkSpe
         packets,
         seed,
         small_flows: false,
+        backend: None,
     };
     (
         protocol::render_request(Some(id), &Request::Predict(w.clone())),
@@ -133,14 +144,16 @@ fn concurrent_requests_match_one_shot_facade() {
                 packets,
                 seed,
                 small_flows: false,
+                backend: None,
             };
             let trace = w.trace();
+            let default = clara_repro::hal::DEFAULT_BACKEND;
             if analyze {
                 let ins = clara.analyze(&module, &trace).expect("facade analyze");
-                protocol::analyze_response(Some(i as u64), nf, &module, &ins)
+                protocol::analyze_response(Some(i as u64), nf, default, &module, &ins)
             } else {
                 let p = clara.predict_one(&module, &trace).expect("facade predict");
-                protocol::predict_response(Some(i as u64), nf, &p)
+                protocol::predict_response(Some(i as u64), nf, default, &p)
             }
         })
         .collect();
@@ -159,6 +172,7 @@ fn concurrent_requests_match_one_shot_facade() {
                             packets,
                             seed,
                             small_flows: false,
+                            backend: None,
                         };
                         let req = if analyze {
                             Request::Analyze(w)
@@ -287,6 +301,127 @@ fn repeated_request_is_served_from_warm_caches() {
     );
     handle.drain();
     handle.join();
+}
+
+/// Per-request device routing: a server warm on two backends answers
+/// interleaved clients with the right device's predictions (each
+/// byte-identical to the facade's rendering for that device), the two
+/// devices' answers demonstrably differ, and a name that is not loaded
+/// is rejected with a typed `unknown_backend` error before queueing.
+#[test]
+fn per_request_backend_routing() {
+    let _g = SERVE_LOCK.lock().unwrap();
+    let clara = clara();
+    let handle = start_with_backends(
+        2,
+        32,
+        4,
+        vec!["agilio-cx".to_string(), "dpu-offpath".to_string()],
+    );
+    let addr = handle.addr();
+
+    let module = module_of("cmsketch");
+    let mk = |backend: Option<&str>| WorkSpec {
+        nf: "cmsketch".to_string(),
+        packets: 120,
+        seed: 909,
+        small_flows: false,
+        backend: backend.map(str::to_string),
+    };
+    let trace = mk(None).trace();
+    let agilio = clara_repro::hal::builtin("agilio-cx").expect("shipped");
+    let dpu = clara_repro::hal::builtin("dpu-offpath").expect("shipped");
+    let p_agilio = clara
+        .predict_one_on(&module, &trace, agilio)
+        .expect("facade predict on agilio");
+    let p_dpu = clara
+        .predict_one_on(&module, &trace, dpu)
+        .expect("facade predict on dpu");
+    // The devices must actually disagree (different clock and memory),
+    // otherwise this test could pass with routing broken.
+    assert_ne!(
+        p_agilio.predicted_latency_us, p_dpu.predicted_latency_us,
+        "devices with different clocks must predict different latencies"
+    );
+
+    // Interleaved clients: each thread alternates default/explicit
+    // backends, crossing coalescing boundaries.
+    let expected_for = |id: u64, backend: Option<&str>| match backend {
+        None | Some("agilio-cx") => {
+            protocol::predict_response(Some(id), "cmsketch", "agilio-cx", &p_agilio)
+        }
+        Some("dpu-offpath") => {
+            protocol::predict_response(Some(id), "cmsketch", "dpu-offpath", &p_dpu)
+        }
+        Some(other) => panic!("unexpected backend {other}"),
+    };
+    let plan: [Option<&str>; 6] = [
+        None,
+        Some("dpu-offpath"),
+        Some("agilio-cx"),
+        Some("dpu-offpath"),
+        None,
+        Some("agilio-cx"),
+    ];
+    let got: Vec<(u64, Option<&str>, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|t| {
+                let plan = &plan;
+                let mk = &mk;
+                scope.spawn(move || {
+                    let mut conn = Conn::open(addr);
+                    let mut out = Vec::new();
+                    for (j, backend) in plan.iter().enumerate() {
+                        let id = (t * 100 + j) as u64;
+                        let line = protocol::render_request(
+                            Some(id),
+                            &Request::Predict(mk(*backend)),
+                        );
+                        out.push((id, *backend, conn.send(&line)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    for (id, backend, resp) in got {
+        assert_eq!(
+            resp,
+            expected_for(id, backend),
+            "response for backend {backend:?} must match that device's facade rendering"
+        );
+    }
+
+    // An unloaded (but perfectly valid) built-in is still rejected: only
+    // *warm* backends serve.
+    let mut conn = Conn::open(addr);
+    let resp = conn.send(&protocol::render_request(
+        Some(7),
+        &Request::Predict(mk(Some("wimpy-onpath"))),
+    ));
+    let v = serde_json::parse_value(&resp).expect("rejection parses");
+    assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "{resp}");
+    assert_eq!(
+        v.get("error"),
+        Some(&Value::Str("unknown_backend".to_string())),
+        "unloaded backend must be a typed rejection, not `internal`: {resp}"
+    );
+
+    // Stats advertises exactly the warm set, in routing order.
+    let stats = conn.send(&protocol::render_request(None, &Request::Stats));
+    assert!(
+        stats.contains(r#""backends":["agilio-cx","dpu-offpath"]"#),
+        "stats must list the warm backends: {stats}"
+    );
+
+    handle.drain();
+    let summary = handle.join();
+    assert_eq!(summary.served, 12, "both clients' routed requests served");
+    assert_eq!(summary.errors, 1, "exactly the unknown-backend rejection");
 }
 
 /// (d) Drain stops admission, finishes in-flight work, and answers with
