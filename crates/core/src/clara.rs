@@ -34,10 +34,16 @@ use crate::predict::{
 };
 use crate::prepare::prepare_module;
 use crate::scaleout::{ScaleoutKind, ScaleoutModel};
+use tinyml::quant::Precision;
 
-/// Format version written by [`Clara::save`] and required by
-/// [`Clara::load`].
-pub const MODEL_FORMAT_VERSION: u64 = 1;
+/// Format version written by [`Clara::save`]. Version 2 added the
+/// quantized (Q16.16) model companions and the default-precision field.
+pub const MODEL_FORMAT_VERSION: u64 = 2;
+
+/// Oldest format version [`Clara::load`] still reads. Version-1
+/// envelopes carry only f64 weights; their quantized companions are
+/// rebuilt deterministically on load.
+pub const MIN_MODEL_FORMAT_VERSION: u64 = 1;
 
 /// Training budget for the whole Clara pipeline.
 ///
@@ -68,6 +74,9 @@ pub struct ClaraConfig {
     /// Engine behaviour: workers, retries, deadlines, fault injection,
     /// persistent cache. Installed process-wide when training starts.
     pub engine: engine::EngineOptions,
+    /// Default inference precision for the trained pipeline (callers can
+    /// still override per call/request).
+    pub precision: Precision,
 }
 
 impl ClaraConfig {
@@ -81,6 +90,7 @@ impl ClaraConfig {
             seed,
             nic: NicConfig::default(),
             engine: engine::EngineOptions::default(),
+            precision: Precision::F64,
         }
     }
 
@@ -94,6 +104,7 @@ impl ClaraConfig {
             seed,
             nic: NicConfig::default(),
             engine: engine::EngineOptions::default(),
+            precision: Precision::F64,
         }
     }
 
@@ -168,6 +179,14 @@ impl ClaraConfigBuilder {
         self
     }
 
+    /// Sets the default inference precision (`F64` reference semantics
+    /// or the `Q16` fixed-point fast path).
+    #[must_use]
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.cfg.precision = precision;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> ClaraConfig {
         self.cfg
@@ -191,6 +210,10 @@ pub struct Clara {
     pub scaleout: ScaleoutModel,
     /// NIC configuration used for training and analysis.
     pub nic: NicConfig,
+    /// Default inference precision (from [`ClaraConfig::precision`] at
+    /// train time; `F64` for version-1 model files). Entry points without
+    /// an explicit precision use this.
+    pub precision: Precision,
 }
 
 /// The offloading insights Clara generates for one NF + workload.
@@ -382,6 +405,7 @@ impl Clara {
                 algid,
                 scaleout,
                 nic: cfg.nic.clone(),
+                precision: cfg.precision,
             }),
             _ => Err(ClaraError::Degraded { failed, total }),
         }
@@ -402,6 +426,7 @@ impl Clara {
                 MODEL_FORMAT_VERSION.to_value(),
             ),
             ("nic_config".to_string(), self.nic.to_value()),
+            ("precision".to_string(), self.precision.to_value()),
             (
                 "models".to_string(),
                 Value::Map(vec![
@@ -422,6 +447,13 @@ impl Clara {
     }
 
     /// Loads a pipeline previously written by [`Clara::save`].
+    ///
+    /// Accepts every version in
+    /// [`MIN_MODEL_FORMAT_VERSION`]`..=`[`MODEL_FORMAT_VERSION`].
+    /// Version-1 envelopes (pre-quantization) load as f64 models with
+    /// their Q16.16 companions rebuilt from the f64 weights — a pure
+    /// function of the weights, so the rebuilt companions are identical
+    /// to what training would have saved.
     ///
     /// # Errors
     ///
@@ -451,7 +483,7 @@ impl Clara {
                 ))
             }
         };
-        if found != MODEL_FORMAT_VERSION {
+        if !(MIN_MODEL_FORMAT_VERSION..=MODEL_FORMAT_VERSION).contains(&found) {
             return Err(ClaraError::UnsupportedVersion {
                 found,
                 supported: MODEL_FORMAT_VERSION,
@@ -465,7 +497,7 @@ impl Clara {
                 .get(name)
                 .ok_or_else(|| format(format!("missing `models.{name}` section")))
         };
-        Ok(Clara {
+        let mut clara = Clara {
             predictor: InstructionPredictor::from_value(field("predictor")?)
                 .map_err(|e| format(e.to_string()))?,
             algid: AlgoIdentifier::from_value(field("algid")?)
@@ -477,7 +509,16 @@ impl Clara {
                     .ok_or_else(|| format("missing `nic_config` section".to_string()))?,
             )
             .map_err(|e| format(e.to_string()))?,
-        })
+            // Absent in version-1 envelopes; `from_value(Null)` yields
+            // the legacy F64 default.
+            precision: Precision::from_value(v.get("precision").unwrap_or(&Value::Null))
+                .map_err(|e| format(e.to_string()))?,
+        };
+        // Version-1 files predate the quantized companions; rebuild them
+        // from the f64 weights (no-op for version-2 files).
+        clara.predictor.ensure_quantized();
+        clara.scaleout.ensure_quantized();
+        Ok(clara)
     }
 
     /// Predicts the performance parameters of one NF + workload — the
@@ -503,21 +544,43 @@ impl Clara {
         trace: &Trace,
         backend: &dyn clara_hal::Backend,
     ) -> Result<Prediction, ClaraError> {
-        self.predict_batch_on(&[(module, trace)], backend)
+        self.predict_one_on_prec(module, trace, backend, self.precision)
+    }
+
+    /// [`Clara::predict_one_on`] at an explicit precision.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Clara::predict_batch`]'s per-item results.
+    pub fn predict_one_on_prec(
+        &self,
+        module: &Module,
+        trace: &Trace,
+        backend: &dyn clara_hal::Backend,
+        precision: Precision,
+    ) -> Result<Prediction, ClaraError> {
+        self.predict_batch_on_prec(&[(module, trace)], backend, precision)
             .pop()
             .expect("one item in, one result out")
     }
 
     /// The trace-independent half of a prediction (verification, LSTM
     /// compute estimate, memory count), memoized process-wide by
-    /// (predictor, module) content fingerprints. Memoized values are
-    /// pure deterministic functions of the key, so a hit is
-    /// bit-identical to recomputation; hit/miss counters are volatile
-    /// because racing batch workers may both miss the same key.
-    fn module_half(&self, predictor_fp: u64, module: &Module) -> Result<(f64, u32), ClaraError> {
-        type HalfMemo = Mutex<HashMap<(u64, u64), (f64, u32)>>;
+    /// (predictor, module, precision) — the precision joins the key so a
+    /// server holding both paths warm never serves one precision's
+    /// estimate for the other. Memoized values are pure deterministic
+    /// functions of the key, so a hit is bit-identical to recomputation;
+    /// hit/miss counters are volatile because racing batch workers may
+    /// both miss the same key.
+    fn module_half(
+        &self,
+        predictor_fp: u64,
+        module: &Module,
+        precision: Precision,
+    ) -> Result<(f64, u32), ClaraError> {
+        type HalfMemo = Mutex<HashMap<(u64, u64, Precision), (f64, u32)>>;
         static MEMO: OnceLock<HalfMemo> = OnceLock::new();
-        let key = (predictor_fp, engine::value_fingerprint(module));
+        let key = (predictor_fp, engine::value_fingerprint(module), precision);
         let memo = MEMO.get_or_init(Mutex::default);
         if let Some(&hit) = memo.lock().expect("memo poisoned").get(&key) {
             obs::volatile_counter("clara.predict_memo.hits").incr();
@@ -529,7 +592,7 @@ impl Clara {
             detail: e.to_string(),
         })?;
         let value = (
-            self.predictor.predict_module_compute(module),
+            self.predictor.predict_module_compute_prec(module, precision),
             prepare_module(module).counted_mem(),
         );
         memo.lock().expect("memo poisoned").insert(key, value);
@@ -560,7 +623,7 @@ impl Clara {
         items: &[(&Module, &Trace)],
     ) -> Vec<Result<Prediction, ClaraError>> {
         let backend_fp = engine::value_fingerprint(&self.nic);
-        self.predict_batch_with(items, &self.nic, backend_fp)
+        self.predict_batch_with(items, &self.nic, backend_fp, self.precision)
     }
 
     /// [`Clara::predict_batch`] against a specific device backend: the
@@ -574,7 +637,20 @@ impl Clara {
         items: &[(&Module, &Trace)],
         backend: &dyn clara_hal::Backend,
     ) -> Vec<Result<Prediction, ClaraError>> {
-        self.predict_batch_with(items, backend.nic(), backend.fingerprint())
+        self.predict_batch_on_prec(items, backend, self.precision)
+    }
+
+    /// [`Clara::predict_batch_on`] at an explicit precision: `Q16` routes
+    /// model inference (compute estimate and core suggestion) through the
+    /// fixed-point twins; counted memory, profiling, and the performance
+    /// model are precision-independent.
+    pub fn predict_batch_on_prec(
+        &self,
+        items: &[(&Module, &Trace)],
+        backend: &dyn clara_hal::Backend,
+        precision: Precision,
+    ) -> Vec<Result<Prediction, ClaraError>> {
+        self.predict_batch_with(items, backend.nic(), backend.fingerprint(), precision)
     }
 
     fn predict_batch_with(
@@ -582,6 +658,7 @@ impl Clara {
         items: &[(&Module, &Trace)],
         nic: &NicConfig,
         backend_fp: u64,
+        precision: Precision,
     ) -> Vec<Result<Prediction, ClaraError>> {
         let eng = engine::Engine::new();
         let naive = PortConfig::naive();
@@ -596,12 +673,16 @@ impl Clara {
             if trace.pkts.is_empty() {
                 return Err(ClaraError::EmptyTrace);
             }
-            let (predicted_compute, counted_mem) = self.module_half(predictor_fp, module)?;
+            let (predicted_compute, counted_mem) =
+                self.module_half(predictor_fp, module, precision)?;
             let profile = eng.profile_cached_for(module, trace, &naive, nic, backend_fp);
             // Scale-out is trained once and parameterized by the device
             // at inference time; the clamp keeps suggestions honest for
             // devices with fewer cores than the training default.
-            let suggested_cores = self.scaleout.predict(&profile, nic, &naive)?.min(nic.cores);
+            let suggested_cores = self
+                .scaleout
+                .predict_prec(&profile, nic, &naive, precision)?
+                .min(nic.cores);
             let perf = nic_sim::solve_perf(&profile, nic, &naive, suggested_cores);
             Ok(Prediction {
                 predicted_compute,
@@ -636,8 +717,23 @@ impl Clara {
     /// the profiling task failed permanently (exhausted retries or hit a
     /// stage deadline).
     pub fn analyze(&self, module: &Module, trace: &Trace) -> Result<Insights, ClaraError> {
+        self.analyze_prec(module, trace, self.precision)
+    }
+
+    /// [`Clara::analyze`] at an explicit inference precision (same
+    /// default device).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Clara::analyze`].
+    pub fn analyze_prec(
+        &self,
+        module: &Module,
+        trace: &Trace,
+        precision: Precision,
+    ) -> Result<Insights, ClaraError> {
         let backend_fp = engine::value_fingerprint(&self.nic);
-        self.analyze_with(module, trace, &self.nic, backend_fp)
+        self.analyze_with(module, trace, &self.nic, backend_fp, precision)
     }
 
     /// [`Clara::analyze`] against a specific device backend: identical
@@ -656,7 +752,23 @@ impl Clara {
         trace: &Trace,
         backend: &dyn clara_hal::Backend,
     ) -> Result<Insights, ClaraError> {
-        self.analyze_with(module, trace, backend.nic(), backend.fingerprint())
+        self.analyze_on_prec(module, trace, backend, self.precision)
+    }
+
+    /// [`Clara::analyze_on`] at an explicit precision (see
+    /// [`Clara::predict_batch_on_prec`] for what the precision covers).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Clara::analyze`].
+    pub fn analyze_on_prec(
+        &self,
+        module: &Module,
+        trace: &Trace,
+        backend: &dyn clara_hal::Backend,
+        precision: Precision,
+    ) -> Result<Insights, ClaraError> {
+        self.analyze_with(module, trace, backend.nic(), backend.fingerprint(), precision)
     }
 
     fn analyze_with(
@@ -665,6 +777,7 @@ impl Clara {
         trace: &Trace,
         nic: &NicConfig,
         backend_fp: u64,
+        precision: Precision,
     ) -> Result<Insights, ClaraError> {
         if trace.pkts.is_empty() {
             return Err(ClaraError::EmptyTrace);
@@ -684,7 +797,7 @@ impl Clara {
         };
         let predicted_compute = {
             let _s = obs::span("analyze-predict-compute");
-            self.predictor.predict_module_compute(module)
+            self.predictor.predict_module_compute_prec(module, precision)
         };
         let counted_mem = prepared.counted_mem();
         let accel = {
@@ -723,7 +836,9 @@ impl Clara {
         };
         let suggested_cores = {
             let _s = obs::span("analyze-scaleout");
-            self.scaleout.predict(&profile, nic, &naive)?.min(nic.cores)
+            self.scaleout
+                .predict_prec(&profile, nic, &naive, precision)?
+                .min(nic.cores)
         };
         drop(root);
         if let Some(raw) = sink {

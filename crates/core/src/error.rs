@@ -92,6 +92,21 @@ pub enum ClaraError {
         /// Human-readable reason.
         detail: String,
     },
+    /// The quantization oracle (`clara quantcheck`) found NFs whose
+    /// fixed-point predictions drifted past the pinned tolerance of the
+    /// f64 reference (or whose suggested core counts flipped between
+    /// precisions). A minimized repro is written under `artifact_dir`
+    /// when one is configured.
+    Quantization {
+        /// Corpus NFs that violated the tolerance.
+        violations: usize,
+        /// Corpus NFs checked in total.
+        checked: usize,
+        /// First violation, human-readable.
+        detail: String,
+        /// Where the minimized repro was written, if anywhere.
+        artifact_dir: Option<PathBuf>,
+    },
     /// The differential oracle (`clara difftest`) found seeds whose
     /// execution layers disagree (or whose raw/optimized profiles
     /// differ). Minimized repros are written under `artifact_dir` when
@@ -113,7 +128,8 @@ impl ClaraError {
     /// `2` usage errors, `3` degraded runs, `4` cache corruption, `5`
     /// I/O failures, `6` difftest divergences, `7` serve failures
     /// (bind/connect/unexpected request errors), `8` invalid device
-    /// manifests or unknown backends, `1` everything else.
+    /// manifests or unknown backends, `9` quantization-tolerance
+    /// violations, `1` everything else.
     pub fn exit_code(&self) -> i32 {
         match self {
             ClaraError::Degraded { .. } => 3,
@@ -122,6 +138,7 @@ impl ClaraError {
             ClaraError::Divergence { .. } => 6,
             ClaraError::Serve { .. } => 7,
             ClaraError::Manifest { .. } => 8,
+            ClaraError::Quantization { .. } => 9,
             _ => 1,
         }
     }
@@ -139,8 +156,8 @@ impl fmt::Display for ClaraError {
             ClaraError::Format { path: None, detail } => write!(f, "{detail}"),
             ClaraError::UnsupportedVersion { found, supported } => write!(
                 f,
-                "model format version {found} is not supported (this build reads version \
-                 {supported}); re-train and re-save the model"
+                "model format version {found} is not supported (this build reads versions \
+                 up to {supported}); re-train and re-save the model"
             ),
             ClaraError::InvalidModule { name, detail } => {
                 write!(f, "module `{name}` failed verification: {detail}")
@@ -164,6 +181,22 @@ impl fmt::Display for ClaraError {
                 detail,
             } => {
                 write!(f, "manifest {origin}: field `{field}`: {detail}")
+            }
+            ClaraError::Quantization {
+                violations,
+                checked,
+                detail,
+                artifact_dir,
+            } => {
+                write!(
+                    f,
+                    "quantcheck: {violations} of {checked} NF(s) exceeded the quantization \
+                     tolerance; first: {detail}"
+                )?;
+                if let Some(dir) = artifact_dir {
+                    write!(f, "; minimized repro in {}", dir.display())?;
+                }
+                Ok(())
             }
             ClaraError::Divergence {
                 found,
@@ -235,6 +268,15 @@ mod tests {
             detail: "a device needs at least one core".into(),
         };
         assert_eq!(manifest.exit_code(), 8);
+        let quant = ClaraError::Quantization {
+            violations: 1,
+            checked: 27,
+            detail: "cmsketch: block 3 drifted 0.9".into(),
+            artifact_dir: Some(PathBuf::from("artifacts")),
+        };
+        assert_eq!(quant.exit_code(), 9);
+        assert!(quant.to_string().contains("1 of 27"));
+        assert!(quant.to_string().contains("cmsketch"));
         assert!(manifest.to_string().contains("dev.toml"));
         assert!(manifest.to_string().contains("cores.count"));
         assert!(serve.to_string().contains("could not bind"));

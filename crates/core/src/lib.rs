@@ -60,12 +60,18 @@ pub mod partial;
 pub mod placement;
 pub mod predict;
 pub mod prepare;
+pub mod quantcheck;
 pub mod scaleout;
 
-pub use clara::{Clara, ClaraConfig, ClaraConfigBuilder, Insights, Prediction, MODEL_FORMAT_VERSION};
+pub use clara::{
+    Clara, ClaraConfig, ClaraConfigBuilder, Insights, Prediction, MIN_MODEL_FORMAT_VERSION,
+    MODEL_FORMAT_VERSION,
+};
 pub use difftest::{DifftestConfig, DifftestReport, Divergence, DivergenceKind};
 pub use engine::{Engine, EngineOptions, EngineOptionsBuilder};
 pub use error::ClaraError;
 pub use faults::{FaultKind, FaultPlan};
 pub use predict::{BlockSample, InstructionPredictor, PredictorKind};
 pub use prepare::{prepare_module, PreparedBlock, PreparedModule};
+pub use quantcheck::{QuantcheckConfig, QuantcheckReport, QUANT_ABS_TOLERANCE, QUANT_REL_TOLERANCE};
+pub use tinyml::quant::Precision;

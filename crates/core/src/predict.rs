@@ -15,6 +15,8 @@ use tinyml::cnn::{Cnn1d, CnnConfig};
 use tinyml::lstm::{LstmConfig, LstmRegressor};
 use tinyml::metrics;
 use tinyml::mlp::{Loss, Mlp, MlpConfig};
+use tinyml::quant::{Precision, QuantLstm, QuantMlp};
+use tinyml::regressor::{Regressor, RegressorInput};
 
 /// One training sample: a block's token sequence and its ground-truth
 /// NIC instruction counts (from compiling with `nfcc`).
@@ -111,12 +113,37 @@ enum Model {
     AutoMl(tinyml::automl::AutoMlRegressor),
 }
 
+/// Quantized (Q16.16) companion of a [`Model`]. Only the model families
+/// with a fixed-point twin in `tinyml` get one; CNN and AutoML fall back
+/// to the f64 reference at any requested precision.
+#[derive(Serialize, Deserialize)]
+enum QuantModel {
+    Lstm(QuantLstm),
+    Dnn(QuantMlp),
+}
+
+impl QuantModel {
+    /// Builds the companion deterministically from trained f64 weights.
+    fn build(model: &Model) -> Option<QuantModel> {
+        match model {
+            Model::Lstm(m) => Some(QuantModel::Lstm(QuantLstm::quantize(m))),
+            Model::Dnn(m) => Some(QuantModel::Dnn(QuantMlp::quantize(m))),
+            Model::Cnn(_) | Model::AutoMl(_) => None,
+        }
+    }
+}
+
 /// A trained cross-platform instruction predictor.
+///
+/// The optional `quant` companion carries the Q16.16 twin of the model;
+/// it is absent in version-1 model files (and rebuilt on load) and for
+/// model families without a quantized path.
 #[derive(Serialize, Deserialize)]
 pub struct InstructionPredictor {
     vocab: Vocabulary,
     kind: PredictorKind,
     model: Model,
+    quant: Option<QuantModel>,
 }
 
 /// Knobs for predictor training.
@@ -236,7 +263,13 @@ impl InstructionPredictor {
                 ))
             }
         };
-        InstructionPredictor { vocab, kind, model }
+        let quant = QuantModel::build(&model);
+        InstructionPredictor {
+            vocab,
+            kind,
+            model,
+            quant,
+        }
     }
 
     /// The model family this predictor uses.
@@ -244,13 +277,59 @@ impl InstructionPredictor {
         self.kind
     }
 
+    /// True when this predictor carries a Q16.16 companion (always, after
+    /// training or [`InstructionPredictor::ensure_quantized`], for the
+    /// LSTM and DNN families).
+    pub fn has_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// Rebuilds the quantized companion from the f64 weights if it is
+    /// missing — used after loading a version-1 model file. Deterministic:
+    /// quantization is a pure function of the weights.
+    pub fn ensure_quantized(&mut self) {
+        if self.quant.is_none() {
+            self.quant = QuantModel::build(&self.model);
+        }
+    }
+
+    /// True when the model consumes token sequences (LSTM/CNN) rather
+    /// than bag-of-tokens feature vectors (DNN/AutoML).
+    fn uses_sequences(&self) -> bool {
+        matches!(self.model, Model::Lstm(_) | Model::Cnn(_))
+    }
+
+    /// The single typed dispatch point: every prediction, at every
+    /// precision, goes through the [`Regressor`] this returns. `Q16`
+    /// falls back to the f64 reference when no companion exists.
+    fn regressor(&self, precision: Precision) -> &dyn Regressor {
+        if matches!(precision, Precision::Q16) {
+            match &self.quant {
+                Some(QuantModel::Lstm(m)) => return m,
+                Some(QuantModel::Dnn(m)) => return m,
+                None => {}
+            }
+        }
+        match &self.model {
+            Model::Lstm(m) => m,
+            Model::Cnn(m) => m,
+            Model::Dnn(m) => m,
+            Model::AutoMl(m) => m,
+        }
+    }
+
     /// Predicts the NIC compute-instruction count of one block.
     pub fn predict_block(&self, tokens: &[nf_ir::AbstractToken]) -> f64 {
-        let pred = match &self.model {
-            Model::Lstm(m) => m.predict(&self.vocab.encode(tokens))[0],
-            Model::Cnn(m) => m.predict(&self.vocab.encode(tokens))[0],
-            Model::Dnn(m) => m.predict_scalar(&bag_of_tokens(&self.vocab, tokens)),
-            Model::AutoMl(m) => m.predict(&bag_of_tokens(&self.vocab, tokens)),
+        self.predict_block_prec(tokens, Precision::F64)
+    }
+
+    /// [`InstructionPredictor::predict_block`] at an explicit precision.
+    pub fn predict_block_prec(&self, tokens: &[nf_ir::AbstractToken], precision: Precision) -> f64 {
+        let reg = self.regressor(precision);
+        let pred = if self.uses_sequences() {
+            reg.predict(RegressorInput::Tokens(&self.vocab.encode(tokens)))
+        } else {
+            reg.predict(RegressorInput::Features(&bag_of_tokens(&self.vocab, tokens)))
         };
         pred.max(0.0)
     }
@@ -269,12 +348,37 @@ impl InstructionPredictor {
 
     /// Predicted total compute instructions for a module's handler.
     pub fn predict_module_compute(&self, module: &Module) -> f64 {
+        self.predict_module_compute_prec(module, Precision::F64)
+    }
+
+    /// [`InstructionPredictor::predict_module_compute`] at an explicit
+    /// precision. Blocks are evaluated through the regressor's batch
+    /// entry point, so the quantized LSTM takes its structure-of-arrays
+    /// path here; at `F64` the default per-item loop keeps results
+    /// bit-identical to summing [`InstructionPredictor::predict_block`].
+    pub fn predict_module_compute_prec(&self, module: &Module, precision: Precision) -> f64 {
         let prepared = crate::prepare::prepare_module(module);
-        prepared
-            .blocks
-            .iter()
-            .map(|b| self.predict_block(&b.tokens))
-            .sum()
+        let reg = self.regressor(precision);
+        let preds = if self.uses_sequences() {
+            let encoded: Vec<Vec<usize>> = prepared
+                .blocks
+                .iter()
+                .map(|b| self.vocab.encode(&b.tokens))
+                .collect();
+            let inputs: Vec<RegressorInput<'_>> =
+                encoded.iter().map(|s| RegressorInput::Tokens(s)).collect();
+            reg.predict_batch(&inputs)
+        } else {
+            let feats: Vec<Vec<f64>> = prepared
+                .blocks
+                .iter()
+                .map(|b| bag_of_tokens(&self.vocab, &b.tokens))
+                .collect();
+            let inputs: Vec<RegressorInput<'_>> =
+                feats.iter().map(|f| RegressorInput::Features(f)).collect();
+            reg.predict_batch(&inputs)
+        };
+        preds.iter().map(|p| p.max(0.0)).sum()
     }
 }
 
@@ -391,6 +495,19 @@ mod tests {
             let m = InstructionPredictor::train(kind, &train_s, &cfg);
             let p = m.predict_block(&train_s[0].tokens);
             assert!(p.is_finite() && p >= 0.0, "{}: {p}", kind.name());
+            let q = m.predict_block_prec(&train_s[0].tokens, Precision::Q16);
+            match kind {
+                // DNN has a fixed-point twin; it must track the reference.
+                PredictorKind::Dnn => {
+                    assert!(m.has_quantized());
+                    assert!((q - p).abs() <= 0.5f64.max(0.02 * p), "{}: {q} vs {p}", kind.name());
+                }
+                // CNN/AutoML have none; Q16 falls back bit-exactly.
+                _ => {
+                    assert!(!m.has_quantized());
+                    assert_eq!(q.to_bits(), p.to_bits(), "{}", kind.name());
+                }
+            }
         }
     }
 

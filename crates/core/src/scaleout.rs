@@ -14,6 +14,8 @@ use tinyml::automl::AutoMlRegressor;
 use tinyml::gbdt::{GbdtConfig, GbdtRegressor};
 use tinyml::knn::Knn;
 use tinyml::mlp::{Loss, Mlp, MlpConfig};
+use tinyml::quant::{Precision, QuantGbdt};
+use tinyml::regressor::{Regressor, RegressorInput};
 use tinyml::Dataset;
 use trafgen::WorkloadSpec;
 
@@ -82,11 +84,16 @@ enum SoModel {
 }
 
 /// A trained scale-out (optimal core count) predictor.
+///
+/// For the GBDT family a Q16.16 quantized companion rides along (absent
+/// in version-1 model files; rebuilt on load). Other families fall back
+/// to f64 at any requested precision.
 #[derive(Serialize, Deserialize)]
 pub struct ScaleoutModel {
     model: SoModel,
     kind: ScaleoutKind,
     max_cores: u32,
+    quant: Option<QuantGbdt>,
 }
 
 /// Builds the training set: synthesized NFs × workload profiles, labeled
@@ -181,16 +188,47 @@ impl ScaleoutModel {
             }
             ScaleoutKind::AutoMl => SoModel::AutoMl(AutoMlRegressor::search(data, 10, seed)),
         };
+        let quant = match &model {
+            SoModel::Gbdt(m) => Some(QuantGbdt::quantize(m)),
+            _ => None,
+        };
         ScaleoutModel {
             model,
             kind,
             max_cores: cfg.cores,
+            quant,
         }
     }
 
     /// The model family used.
     pub fn kind(&self) -> ScaleoutKind {
         self.kind
+    }
+
+    /// Rebuilds the quantized companion from the f64 ensemble if it is
+    /// missing — used after loading a version-1 model file.
+    pub fn ensure_quantized(&mut self) {
+        if self.quant.is_none() {
+            if let SoModel::Gbdt(m) = &self.model {
+                self.quant = Some(QuantGbdt::quantize(m));
+            }
+        }
+    }
+
+    /// The [`Regressor`] serving a given precision (f64 reference unless
+    /// a quantized companion exists and `Q16` was requested).
+    fn regressor(&self, precision: Precision) -> &dyn Regressor {
+        if matches!(precision, Precision::Q16) {
+            if let Some(q) = &self.quant {
+                return q;
+            }
+        }
+        match &self.model {
+            SoModel::Gbdt(m) => m,
+            SoModel::Knn(m) => m,
+            SoModel::Dnn(m) => m,
+            SoModel::AutoMl(m) => m,
+        }
     }
 
     /// Predicts the optimal core count for a profiled workload.
@@ -205,13 +243,24 @@ impl ScaleoutModel {
         cfg: &NicConfig,
         port: &PortConfig,
     ) -> Result<u32, ClaraError> {
+        self.predict_prec(wp, cfg, port, Precision::F64)
+    }
+
+    /// [`ScaleoutModel::predict`] at an explicit precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClaraError::Prediction`] when the regressor produces a
+    /// non-finite estimate (a corrupt or out-of-domain model).
+    pub fn predict_prec(
+        &self,
+        wp: &WorkloadProfile,
+        cfg: &NicConfig,
+        port: &PortConfig,
+        precision: Precision,
+    ) -> Result<u32, ClaraError> {
         let f = features_of(wp, cfg, port);
-        let raw = match &self.model {
-            SoModel::Gbdt(m) => m.predict(&f),
-            SoModel::Knn(m) => m.predict(&f),
-            SoModel::Dnn(m) => m.predict_scalar(&f),
-            SoModel::AutoMl(m) => m.predict(&f),
-        };
+        let raw = self.regressor(precision).predict(RegressorInput::Features(&f));
         if !raw.is_finite() {
             return Err(ClaraError::Prediction {
                 detail: format!(
@@ -229,12 +278,9 @@ impl ScaleoutModel {
             .x
             .iter()
             .map(|f| {
-                let raw = match &self.model {
-                    SoModel::Gbdt(m) => m.predict(f),
-                    SoModel::Knn(m) => m.predict(f),
-                    SoModel::Dnn(m) => m.predict_scalar(f),
-                    SoModel::AutoMl(m) => m.predict(f),
-                };
+                let raw = self
+                    .regressor(Precision::F64)
+                    .predict(RegressorInput::Features(f));
                 raw.round().clamp(1.0, f64::from(self.max_cores))
             })
             .collect();

@@ -37,9 +37,9 @@ impl Default for GbdtConfig {
 /// GBDT for squared-error regression.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GbdtRegressor {
-    base: f64,
-    shrinkage: f64,
-    trees: Vec<RegressionTree>,
+    pub(crate) base: f64,
+    pub(crate) shrinkage: f64,
+    pub(crate) trees: Vec<RegressionTree>,
 }
 
 impl GbdtRegressor {

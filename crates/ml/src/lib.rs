@@ -17,8 +17,13 @@
 //! | Feature visualization (Fig. 10a) | PCA | [`pca`] |
 //! | Data-synthesis fidelity (Table 1) | distribution distances | [`dist`] |
 //!
-//! Everything is deterministic given a seed, uses `f64` throughout, and is
+//! Everything is deterministic given a seed, trains in `f64`, and is
 //! sized for the small/medium datasets Clara works with (10²–10⁵ samples).
+//! For inference there is additionally a Q16.16 fixed-point fast path
+//! ([`quant`]: quantized LSTM/MLP/GBDT twins with table-approximated
+//! nonlinearities), reached through the shared [`regressor::Regressor`]
+//! trait that unifies every scalar-regression model behind one
+//! `predict`/`predict_batch` surface.
 
 pub mod automl;
 pub mod cnn;
@@ -33,9 +38,13 @@ pub mod metrics;
 pub mod mlp;
 pub mod parallel;
 pub mod pca;
+pub mod quant;
 pub mod rank;
+pub mod regressor;
 pub mod svm;
 pub mod tree;
 
 pub use dataset::Dataset;
 pub use linalg::Matrix;
+pub use quant::{Precision, QuantGbdt, QuantLstm, QuantMlp};
+pub use regressor::{Regressor, RegressorInput};

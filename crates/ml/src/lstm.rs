@@ -52,24 +52,24 @@ impl Default for LstmConfig {
 /// An LSTM sequence regressor with a two-layer FC head.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LstmRegressor {
-    cfg: LstmConfig,
+    pub(crate) cfg: LstmConfig,
     /// Input weights, `4*hidden x vocab` (one-hot input = column lookup).
-    wx: Matrix,
+    pub(crate) wx: Matrix,
     /// Recurrent weights, `4*hidden x hidden`.
-    wh: Matrix,
+    pub(crate) wh: Matrix,
     /// Gate biases, `4*hidden` (forget-gate bias initialized to 1).
-    b: Vec<f64>,
+    pub(crate) b: Vec<f64>,
     /// FC layer 1, `fc_hidden x hidden`.
-    w1: Matrix,
+    pub(crate) w1: Matrix,
     /// FC layer 1 bias.
-    b1: Vec<f64>,
+    pub(crate) b1: Vec<f64>,
     /// FC layer 2, `outputs x fc_hidden`.
-    w2: Matrix,
+    pub(crate) w2: Matrix,
     /// FC layer 2 bias.
-    b2: Vec<f64>,
+    pub(crate) b2: Vec<f64>,
     /// Target standardization (fit during training).
-    y_mean: Vec<f64>,
-    y_std: Vec<f64>,
+    pub(crate) y_mean: Vec<f64>,
+    pub(crate) y_std: Vec<f64>,
 }
 
 struct StepCache {

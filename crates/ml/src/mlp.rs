@@ -57,11 +57,11 @@ impl Default for MlpConfig {
 /// A fully-connected network with ReLU activations.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mlp {
-    cfg: MlpConfig,
-    weights: Vec<Matrix>,
-    biases: Vec<Vec<f64>>,
-    y_mean: f64,
-    y_std: f64,
+    pub(crate) cfg: MlpConfig,
+    pub(crate) weights: Vec<Matrix>,
+    pub(crate) biases: Vec<Vec<f64>>,
+    pub(crate) y_mean: f64,
+    pub(crate) y_std: f64,
 }
 
 impl Mlp {

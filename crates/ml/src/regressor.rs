@@ -1,0 +1,160 @@
+//! The shared inference surface: one object-safe [`Regressor`] trait over
+//! every scalar-regression model in the crate.
+//!
+//! Callers that used to match on the concrete model type (`LstmRegressor`
+//! vs `Mlp` vs `GbdtRegressor`, each with a differently-named predict
+//! method) now encode their input once as a [`RegressorInput`] and
+//! dispatch through `&dyn Regressor`. Sequence models consume
+//! [`RegressorInput::Tokens`]; feature-vector models consume
+//! [`RegressorInput::Features`]. The quantized fixed-point variants in
+//! [`crate::quant`] implement the same trait, which is what lets the
+//! precision axis stay invisible to call sites: picking f64 vs Q16.16 is
+//! picking which `&dyn Regressor` to hand out.
+
+use crate::automl::AutoMlRegressor;
+use crate::cnn::Cnn1d;
+use crate::gbdt::GbdtRegressor;
+use crate::knn::Knn;
+use crate::lstm::LstmRegressor;
+use crate::mlp::Mlp;
+
+/// A borrowed model input: either a token-id sequence (LSTM/CNN) or a
+/// dense feature vector (MLP/GBDT/kNN/AutoML).
+#[derive(Debug, Clone, Copy)]
+pub enum RegressorInput<'a> {
+    /// Vocabulary-encoded token ids for sequence models.
+    Tokens(&'a [usize]),
+    /// Dense features for vector models.
+    Features(&'a [f64]),
+}
+
+impl<'a> RegressorInput<'a> {
+    /// Unwraps a token sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is [`RegressorInput::Features`]; callers are
+    /// expected to encode for the model they dispatch to.
+    pub fn tokens(&self) -> &'a [usize] {
+        match self {
+            RegressorInput::Tokens(t) => t,
+            RegressorInput::Features(_) => {
+                panic!("sequence regressor was handed a feature vector")
+            }
+        }
+    }
+
+    /// Unwraps a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is [`RegressorInput::Tokens`].
+    pub fn features(&self) -> &'a [f64] {
+        match self {
+            RegressorInput::Features(f) => f,
+            RegressorInput::Tokens(_) => {
+                panic!("feature regressor was handed a token sequence")
+            }
+        }
+    }
+}
+
+/// Object-safe scalar regression: one input in, one `f64` out.
+///
+/// Multi-output models expose their first output (every Clara predictor is
+/// trained with `outputs == 1`). `predict_batch` defaults to a per-item
+/// loop; implementations with a faster batch layout (the quantized LSTM's
+/// structure-of-arrays path) override it, and are required to return
+/// exactly the same values the per-item loop would.
+pub trait Regressor {
+    /// Predicts one scalar for one input.
+    fn predict(&self, x: RegressorInput<'_>) -> f64;
+
+    /// Predicts one scalar per input, in order.
+    fn predict_batch(&self, xs: &[RegressorInput<'_>]) -> Vec<f64> {
+        xs.iter().map(|&x| self.predict(x)).collect()
+    }
+}
+
+impl Regressor for LstmRegressor {
+    fn predict(&self, x: RegressorInput<'_>) -> f64 {
+        LstmRegressor::predict(self, x.tokens())[0]
+    }
+}
+
+impl Regressor for Cnn1d {
+    fn predict(&self, x: RegressorInput<'_>) -> f64 {
+        Cnn1d::predict(self, x.tokens())[0]
+    }
+}
+
+impl Regressor for Mlp {
+    fn predict(&self, x: RegressorInput<'_>) -> f64 {
+        self.predict_scalar(x.features())
+    }
+}
+
+impl Regressor for GbdtRegressor {
+    fn predict(&self, x: RegressorInput<'_>) -> f64 {
+        GbdtRegressor::predict(self, x.features())
+    }
+}
+
+impl Regressor for AutoMlRegressor {
+    fn predict(&self, x: RegressorInput<'_>) -> f64 {
+        AutoMlRegressor::predict(self, x.features())
+    }
+}
+
+impl Regressor for Knn {
+    fn predict(&self, x: RegressorInput<'_>) -> f64 {
+        Knn::predict(self, x.features())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gbdt::{GbdtConfig, GbdtRegressor};
+    use crate::mlp::{Loss, Mlp, MlpConfig};
+
+    #[test]
+    fn trait_dispatch_matches_inherent_methods() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + r[1]).collect();
+        let gbdt = GbdtRegressor::fit(&x, &y, &GbdtConfig::default());
+        let mut mlp = Mlp::new(MlpConfig {
+            inputs: 2,
+            hidden: vec![8],
+            outputs: 1,
+            loss: Loss::Mse,
+            lr: 0.01,
+            epochs: 30,
+            seed: 7,
+        });
+        mlp.fit(&x, &y);
+        let probe = [3.0, 4.0];
+        let dg: &dyn Regressor = &gbdt;
+        let dm: &dyn Regressor = &mlp;
+        assert_eq!(
+            dg.predict(RegressorInput::Features(&probe)),
+            gbdt.predict(&probe)
+        );
+        assert_eq!(
+            dm.predict(RegressorInput::Features(&probe)),
+            mlp.predict_scalar(&probe)
+        );
+        let batch = [
+            RegressorInput::Features(&probe[..]),
+            RegressorInput::Features(&probe[..]),
+        ];
+        assert_eq!(dg.predict_batch(&batch), vec![gbdt.predict(&probe); 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature regressor was handed a token sequence")]
+    fn input_kind_mismatch_panics() {
+        let toks = [1usize, 2];
+        RegressorInput::Tokens(&toks).features();
+    }
+}

@@ -212,6 +212,63 @@ impl RegressionTree {
     pub fn depth(&self) -> usize {
         self.root.depth()
     }
+
+    /// Flattens the tree into a preorder node array whose `left`/`right`
+    /// fields index into the array — the layout pointer-free consumers
+    /// (the quantized GBDT) evaluate with an iterative walk.
+    pub fn flatten(&self) -> Vec<FlatNode> {
+        fn go(n: &Node, out: &mut Vec<FlatNode>) -> usize {
+            let at = out.len();
+            match n {
+                Node::Leaf { value } => out.push(FlatNode::Leaf { value: *value }),
+                Node::Split {
+                    feat,
+                    thresh,
+                    left,
+                    right,
+                } => {
+                    out.push(FlatNode::Split {
+                        feat: *feat,
+                        thresh: *thresh,
+                        left: 0,
+                        right: 0,
+                    });
+                    let l = go(left, out);
+                    let r = go(right, out);
+                    if let FlatNode::Split { left, right, .. } = &mut out[at] {
+                        *left = l;
+                        *right = r;
+                    }
+                }
+            }
+            at
+        }
+        let mut out = Vec::new();
+        go(&self.root, &mut out);
+        out
+    }
+}
+
+/// One node of a [`RegressionTree::flatten`] array. Split children are
+/// indices into the same array; the root is index 0.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlatNode {
+    /// Terminal node carrying the regression value.
+    Leaf {
+        /// Mean target of the leaf's training rows.
+        value: f64,
+    },
+    /// Interior `x[feat] <= thresh` split.
+    Split {
+        /// Feature index tested.
+        feat: usize,
+        /// Split threshold (`<=` goes left).
+        thresh: f64,
+        /// Array index of the left child.
+        left: usize,
+        /// Array index of the right child.
+        right: usize,
+    },
 }
 
 /// A CART classifier built as one regression tree per class on one-hot

@@ -11,7 +11,7 @@ use std::net::TcpStream;
 use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
 
-use clara_core::ClaraError;
+use clara_core::{ClaraError, Precision};
 use clara_obs as obs;
 use serde::Value;
 
@@ -53,6 +53,9 @@ pub struct BenchOptions {
     pub report: Option<String>,
     /// Device backend every request names (None: the server's default).
     pub backend: Option<String>,
+    /// Inference precision every request names (None: the server's
+    /// default). Also forwarded to the baseline subprocesses.
+    pub precision: Option<Precision>,
 }
 
 impl Default for BenchOptions {
@@ -72,6 +75,7 @@ impl Default for BenchOptions {
             drain: false,
             report: None,
             backend: None,
+            precision: None,
         }
     }
 }
@@ -250,6 +254,7 @@ fn steady_state(o: &BenchOptions) -> Result<(Tally, f64), ClaraError> {
                                 seed: o.seed,
                                 small_flows: false,
                                 backend: o.backend.clone(),
+                                precision: o.precision,
                             }),
                         );
                         let t0 = Instant::now();
@@ -297,6 +302,7 @@ fn burst_phase(o: &BenchOptions) -> Tally {
                                 seed: 1_000_000 + i as u64,
                                 small_flows: false,
                                 backend: o.backend.clone(),
+                                precision: o.precision,
                             }),
                         );
                         round_trip(&mut stream, &mut reader, &line).map(|r| classify(&r))
@@ -329,15 +335,19 @@ fn baseline_phase(o: &BenchOptions) -> Result<f64, ClaraError> {
         .map_err(|e| serve_err(format!("cannot locate own executable: {e}")))?;
     let started = Instant::now();
     for _ in 0..o.baseline {
-        let status = Command::new(&exe)
-            .arg("predict")
+        let mut cmd = Command::new(&exe);
+        cmd.arg("predict")
             .arg(&o.nf)
             .arg("--model")
             .arg(model)
             .arg("--packets")
             .arg(o.packets.to_string())
             .arg("--seed")
-            .arg(o.seed.to_string())
+            .arg(o.seed.to_string());
+        if let Some(p) = o.precision {
+            cmd.arg("--precision").arg(p.as_str());
+        }
+        let status = cmd
             .stdout(Stdio::null())
             .stderr(Stdio::null())
             .status()

@@ -16,7 +16,11 @@
 //! `backend` selects which warm device model serves the request; when
 //! omitted the server's default (first configured) backend is used, and
 //! a name the server does not hold is rejected with `unknown_backend`
-//! before the request is queued.
+//! before the request is queued. `precision` (`"f64"` or `"q16"`)
+//! selects the inference path per request; when omitted the server's
+//! configured default applies, and an unknown precision string is a
+//! `bad_request`. Successful `predict`/`analyze` responses echo the
+//! precision that actually served them.
 //!
 //! Successful responses are `{"v":1,"ok":true,"op":...}` plus payload;
 //! failures are `{"v":1,"ok":false,"error":<kind>,"detail":...}` where
@@ -30,7 +34,7 @@
 //! byte-identical to one rendered from the equivalent one-shot facade
 //! call (pinned by `tests/serve.rs`).
 
-use clara_core::{Insights, Prediction};
+use clara_core::{Insights, Precision, Prediction};
 use nf_ir::Module;
 use serde::Value;
 use trafgen::{Trace, WorkloadSpec};
@@ -52,6 +56,9 @@ pub struct WorkSpec {
     /// Device backend to serve this request from (None: the server's
     /// default backend).
     pub backend: Option<String>,
+    /// Inference precision for this request (None: the server's
+    /// configured default).
+    pub precision: Option<Precision>,
 }
 
 impl WorkSpec {
@@ -173,6 +180,9 @@ fn work_spec(v: &Value) -> Result<WorkSpec, String> {
         seed: get_u64(v, "seed")?.unwrap_or(42),
         small_flows: get_bool(v, "small_flows")?.unwrap_or(false),
         backend: get_str(v, "backend")?,
+        precision: get_str(v, "precision")?
+            .map(|s| Precision::parse(&s))
+            .transpose()?,
     })
 }
 
@@ -246,6 +256,9 @@ pub fn render_request(id: Option<u64>, req: &Request) -> String {
             if let Some(b) = &w.backend {
                 m.push(("backend".to_string(), Value::Str(b.clone())));
             }
+            if let Some(p) = w.precision {
+                m.push(("precision".to_string(), Value::Str(p.as_str().to_string())));
+            }
         }
         Request::Difftest { seeds, start, pkts } => {
             m.push(op("difftest"));
@@ -260,12 +273,22 @@ pub fn render_request(id: Option<u64>, req: &Request) -> String {
 }
 
 /// Renders a successful `predict` response, tagged with the device
-/// backend that produced it.
-pub fn predict_response(id: Option<u64>, nf: &str, backend: &str, p: &Prediction) -> String {
+/// backend and inference precision that produced it.
+pub fn predict_response(
+    id: Option<u64>,
+    nf: &str,
+    backend: &str,
+    precision: Precision,
+    p: &Prediction,
+) -> String {
     let mut m = head(id, true);
     m.push(("op".to_string(), Value::Str("predict".to_string())));
     m.push(("nf".to_string(), Value::Str(nf.to_string())));
     m.push(("backend".to_string(), Value::Str(backend.to_string())));
+    m.push((
+        "precision".to_string(),
+        Value::Str(precision.as_str().to_string()),
+    ));
     m.push((
         "predicted_compute".to_string(),
         Value::Float(p.predicted_compute),
@@ -287,11 +310,13 @@ pub fn predict_response(id: Option<u64>, nf: &str, backend: &str, p: &Prediction
 }
 
 /// Renders a successful `analyze` response (names resolved against the
-/// analyzed module), tagged with the device backend that produced it.
+/// analyzed module), tagged with the device backend and inference
+/// precision that produced it.
 pub fn analyze_response(
     id: Option<u64>,
     nf: &str,
     backend: &str,
+    precision: Precision,
     module: &Module,
     ins: &Insights,
 ) -> String {
@@ -302,6 +327,10 @@ pub fn analyze_response(
     m.push(("op".to_string(), Value::Str("analyze".to_string())));
     m.push(("nf".to_string(), Value::Str(nf.to_string())));
     m.push(("backend".to_string(), Value::Str(backend.to_string())));
+    m.push((
+        "precision".to_string(),
+        Value::Str(precision.as_str().to_string()),
+    ));
     m.push((
         "predicted_compute".to_string(),
         Value::Float(ins.predicted_compute),
@@ -414,6 +443,7 @@ mod tests {
                 seed: 7,
                 small_flows: false,
                 backend: None,
+                precision: None,
             }),
             Request::Analyze(WorkSpec {
                 nf: "iplookup".into(),
@@ -421,6 +451,7 @@ mod tests {
                 seed: 1,
                 small_flows: true,
                 backend: Some("dpu-offpath".into()),
+                precision: Some(Precision::Q16),
             }),
             Request::Difftest {
                 seeds: 20,
@@ -449,12 +480,22 @@ mod tests {
                 seed: 42,
                 small_flows: false,
                 backend: None,
+                precision: None,
             })
         );
         assert_eq!(env.id, None);
         assert!(parse_request(r#"{"v":1,"op":"predict","nf":"x","backend":7}"#)
             .unwrap_err()
             .contains("`backend`"));
+        let env = parse_request(r#"{"v":1,"op":"predict","nf":"lb","precision":"q16"}"#)
+            .expect("explicit precision parses");
+        match env.req {
+            Request::Predict(w) => assert_eq!(w.precision, Some(Precision::Q16)),
+            other => panic!("unexpected request {other:?}"),
+        }
+        assert!(parse_request(r#"{"v":1,"op":"predict","nf":"lb","precision":"fp8"}"#)
+            .unwrap_err()
+            .contains("unknown precision"));
         assert!(parse_request("not json").unwrap_err().contains("invalid JSON"));
         assert!(parse_request(r#"{"op":"stats"}"#).unwrap_err().contains("version"));
         assert!(parse_request(r#"{"v":2,"op":"stats"}"#)

@@ -30,7 +30,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use clara_core::{difftest, engine, Clara, ClaraError, DifftestConfig};
+use clara_core::{difftest, engine, Clara, ClaraError, DifftestConfig, Precision};
 use clara_hal::{Backend as _, DeviceBackend};
 use clara_obs as obs;
 use nf_ir::Module;
@@ -57,6 +57,8 @@ pub struct ServeOptions {
     /// first entry serves requests that name no backend. Empty: the
     /// default device only.
     pub backends: Vec<String>,
+    /// Inference precision for requests that do not name one.
+    pub precision: Precision,
 }
 
 impl Default for ServeOptions {
@@ -68,6 +70,7 @@ impl Default for ServeOptions {
             batch_max: 8,
             deadline: None,
             backends: vec![clara_hal::DEFAULT_BACKEND.to_string()],
+            precision: Precision::F64,
         }
     }
 }
@@ -128,6 +131,12 @@ impl Shared {
     /// The backend name a spec effectively runs under (for coalescing).
     fn effective_backend<'a>(&self, w: &'a WorkSpec) -> &'a str {
         w.backend.as_deref().unwrap_or_else(|| self.backends[0].name())
+    }
+
+    /// The precision a spec effectively runs at: its own request field,
+    /// or the server's configured default.
+    fn effective_precision(&self, w: &WorkSpec) -> Precision {
+        w.precision.unwrap_or(self.opts.precision)
     }
 
     fn queue_gauge(&self, depth: usize) {
@@ -483,6 +492,10 @@ fn stats_inline(id: Option<u64>, s: &Arc<Shared>) -> String {
             Value::UInt(s.opts.batch_max as u64),
         ),
         (
+            "precision".to_string(),
+            Value::Str(s.opts.precision.as_str().to_string()),
+        ),
+        (
             "backends".to_string(),
             Value::Seq(
                 s.backends
@@ -540,16 +553,19 @@ fn worker_loop(s: &Arc<Shared>) {
             }
             let first = q.pop_front().expect("checked non-empty");
             let mut batch = vec![first];
-            // Only predicts routed to the *same* device coalesce — one
-            // batch, one backend, one engine stage.
+            // Only predicts routed to the *same* device at the *same*
+            // precision coalesce — one batch, one backend, one
+            // inference path, one engine stage.
             if let JobKind::Predict(w0) = &batch[0].kind {
                 let backend = s.effective_backend(w0).to_string();
+                let precision = s.effective_precision(w0);
                 while batch.len() < s.opts.batch_max.max(1) {
                     match q.front() {
                         Some(j)
                             if matches!(
                                 &j.kind,
                                 JobKind::Predict(w) if s.effective_backend(w) == backend
+                                    && s.effective_precision(w) == precision
                             ) =>
                         {
                             batch.push(q.pop_front().expect("front exists"));
@@ -627,19 +643,20 @@ fn run_predict_batch(batch: Vec<Job>, s: &Arc<Shared>) {
             )
         })
         .collect();
-    // Coalescing admits only same-backend predicts, so the whole batch
-    // routes to the first spec's device.
+    // Coalescing admits only same-backend, same-precision predicts, so
+    // the whole batch routes to the first spec's device and path.
     let backend = s.backend_of(specs[0]).expect("validated at admission");
+    let precision = s.effective_precision(specs[0]);
     let results = {
         let span = obs::span_under(s.root, "serve-predict-batch");
         let _ctx = obs::attach(span.handle());
-        s.clara.predict_batch_on(&items, backend)
+        s.clara.predict_batch_on_prec(&items, backend, precision)
     };
     for ((job, spec), result) in batch.iter().zip(&specs).zip(results) {
         let response = match result {
             Ok(p) => {
                 s.served.fetch_add(1, Ordering::SeqCst);
-                protocol::predict_response(job.id, &spec.nf, backend.name(), &p)
+                protocol::predict_response(job.id, &spec.nf, backend.name(), precision, &p)
             }
             Err(e) => {
                 s.errors.fetch_add(1, Ordering::SeqCst);
@@ -658,16 +675,24 @@ fn run_single(job: Job, s: &Arc<Shared>) {
             obs::counter("serve.ops.analyze").incr();
             let module = s.corpus.get(&w.nf).expect("validated at admission");
             let backend = s.backend_of(w).expect("validated at admission");
+            let precision = s.effective_precision(w);
             let trace = w.trace();
             let outcome = {
                 let span = obs::span_under(s.root, "serve-analyze");
                 let _ctx = obs::attach(span.handle());
-                s.clara.analyze_on(module, &trace, backend)
+                s.clara.analyze_on_prec(module, &trace, backend, precision)
             };
             match outcome {
                 Ok(ins) => {
                     s.served.fetch_add(1, Ordering::SeqCst);
-                    protocol::analyze_response(job.id, &w.nf, backend.name(), module, &ins)
+                    protocol::analyze_response(
+                        job.id,
+                        &w.nf,
+                        backend.name(),
+                        precision,
+                        module,
+                        &ins,
+                    )
                 }
                 Err(e) => {
                     s.errors.fetch_add(1, Ordering::SeqCst);

@@ -19,3 +19,7 @@ test -s BENCH_train_timing.json
 # hal-matrix: the device-backend surface — manifest validation, golden
 # cross-device matrix, cross-backend difftest, typed exit codes.
 ./scripts/hal_smoke.sh
+
+# quant-smoke: the f64-vs-q16 oracle with a predict-stage speedup floor,
+# plus bench-serve at both precisions (q16 with a raised floor).
+./scripts/quant_smoke.sh

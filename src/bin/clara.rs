@@ -13,11 +13,13 @@
 //! $ clara cache-verify                 # check CLARA_CACHE_DIR artifacts
 //! $ clara difftest --seeds 500         # differential semantics oracle
 //! $ clara predict cmsketch             # one-shot performance prediction
+//! $ clara predict cmsketch --precision q16   # fixed-point fast path
+//! $ clara quantcheck                   # q16-vs-f64 tolerance oracle
 //! $ clara serve --addr 127.0.0.1:4117  # batched NF-analysis daemon
 //! $ clara bench-serve --requests 300   # load-generate against the daemon
 //! ```
 
-use clara_repro::clara::{Clara, ClaraConfig, ClaraError};
+use clara_repro::clara::{Clara, ClaraConfig, ClaraError, Precision};
 use clara_repro::click::NfElement;
 use clara_repro::hal::{self, Backend as _, DeviceBackend};
 use clara_repro::serve;
@@ -41,25 +43,30 @@ fn find(name: &str) -> NfElement {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: clara <list|backends|analyze|predict|ir|asm|sweep|cache-verify|difftest|serve|\
-         bench-serve> [element] [options]"
+        "usage: clara <list|backends|analyze|predict|ir|asm|sweep|cache-verify|difftest|\
+         quantcheck|serve|bench-serve> [element] [options]"
     );
     eprintln!(
         "  options: --small-flows  --packets N  --seed N  --cores N  --model FILE  \
-         --report FILE  --backend NAME|all"
+         --report FILE  --backend NAME|all  --precision f64|q16"
     );
     eprintln!(
         "  difftest: --seeds N  --start N  --packets N  --artifacts DIR  --no-shrink  \
          --smoke  --inject  --replay FILE  --backends all|A,B,..."
     );
     eprintln!(
+        "  quantcheck: --model FILE  --packets N  --seed N  --reps N  \
+         --require-speedup X  --artifacts DIR"
+    );
+    eprintln!(
         "  serve: --addr HOST:PORT  --workers N  --queue-cap N  --batch-max N  \
-         --deadline-ms N  --model FILE  --seed N  --backends all|A,B,..."
+         --deadline-ms N  --model FILE  --seed N  --backends all|A,B,...  \
+         --precision f64|q16"
     );
     eprintln!(
         "  bench-serve: --addr HOST:PORT  --requests N  --conns N  --nf NAME  --packets N  \
          --seed N  --burst N  --burst-packets N  --baseline N  --model FILE  \
-         --require-speedup X  --drain  --report FILE  --backend NAME"
+         --require-speedup X  --drain  --report FILE  --backend NAME  --precision f64|q16"
     );
     eprintln!(
         "  environment: CLARA_THREADS=N  CLARA_CACHE_DIR=DIR  \
@@ -69,7 +76,7 @@ fn usage() -> ! {
         "  exit codes: 0 success, 1 other errors, 2 usage, 3 degraded run \
          (engine tasks failed permanently), 4 cache corruption, 5 I/O failure, \
          6 difftest divergence, 7 serve/bench failure, 8 invalid manifest or \
-         unknown backend"
+         unknown backend, 9 quantization tolerance violation"
     );
     std::process::exit(2);
 }
@@ -105,6 +112,7 @@ struct Opts {
     model: Option<String>,
     report: Option<String>,
     backend: Option<String>,
+    precision: Option<Precision>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -117,6 +125,7 @@ fn parse_opts(args: &[String]) -> Opts {
         // The CLARA_REPORT environment variable arms the sink too.
         report: obs::sink_from_env(),
         backend: None,
+        precision: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -144,10 +153,19 @@ fn parse_opts(args: &[String]) -> Opts {
             "--model" => o.model = it.next().cloned().or_else(|| usage()),
             "--report" => o.report = it.next().cloned().or_else(|| usage()),
             "--backend" => o.backend = it.next().cloned().or_else(|| usage()),
+            "--precision" => o.precision = Some(parse_precision(it.next())),
             _ => usage(),
         }
     }
     o
+}
+
+/// Parses `--precision f64|q16` (usage exit on anything else).
+fn parse_precision(arg: Option<&String>) -> Precision {
+    match arg.map(|s| Precision::parse(s)) {
+        Some(Ok(p)) => p,
+        _ => usage(),
+    }
 }
 
 fn trace_of(o: &Opts) -> Trace {
@@ -251,10 +269,11 @@ fn run() -> Result<(), ClaraError> {
                 None => None,
                 Some(name) => Some(resolve_backend(name)?),
             };
+            let precision = o.precision.unwrap_or(clara.precision);
             let insights = match backend {
                 // The no-flag path is the historical one, bit for bit.
-                None => clara.analyze(&e.module, &trace)?,
-                Some(b) => clara.analyze_on(&e.module, &trace, b)?,
+                None => clara.analyze_prec(&e.module, &trace, precision)?,
+                Some(b) => clara.analyze_on_prec(&e.module, &trace, b, precision)?,
             };
             match backend {
                 None => println!("== insights for `{}` ==", e.name()),
@@ -310,14 +329,16 @@ fn run() -> Result<(), ClaraError> {
                 None => hal::default_backend(),
                 Some(name) => resolve_backend(name)?,
             };
-            let p = clara.predict_one_on(&e.module, &trace, backend)?;
+            let precision = o.precision.unwrap_or(clara.precision);
+            let p = clara.predict_one_on_prec(&e.module, &trace, backend, precision)?;
             // Same rendering the daemon uses, so one-shot and served
             // predictions are directly comparable (and diffable).
             println!(
                 "{}",
-                serve::protocol::predict_response(None, e.name(), backend.name(), &p)
+                serve::protocol::predict_response(None, e.name(), backend.name(), precision, &p)
             );
         }
+        "quantcheck" => return quantcheck_cmd(rest),
         "serve" => return serve_cmd(rest),
         "bench-serve" => return bench_serve_cmd(rest),
         "difftest" => return difftest_cmd(rest),
@@ -450,6 +471,7 @@ fn serve_cmd(args: &[String]) -> Result<(), ClaraError> {
             "--backends" => {
                 so.backends = backend_list(&it.next().cloned().unwrap_or_else(|| usage()));
             }
+            "--precision" => so.precision = parse_precision(it.next()),
             _ => usage(),
         }
     }
@@ -500,6 +522,7 @@ fn bench_serve_cmd(args: &[String]) -> Result<(), ClaraError> {
             "--drain" => bo.drain = true,
             "--report" => bo.report = it.next().cloned().or_else(|| usage()),
             "--backend" => bo.backend = it.next().cloned().or_else(|| usage()),
+            "--precision" => bo.precision = Some(parse_precision(it.next())),
             _ => usage(),
         }
     }
@@ -518,6 +541,55 @@ fn bench_serve_cmd(args: &[String]) -> Result<(), ClaraError> {
     if s.drained {
         println!("drain: ok");
     }
+    Ok(())
+}
+
+/// `clara quantcheck`: the f64-vs-q16 quantization oracle. Runs the
+/// extended corpus through both inference paths, enforces the pinned
+/// block tolerance and core-count identity, and (with
+/// `--require-speedup`) a predict-stage speed floor. Exits 9 on any
+/// violation, with a minimized repro under `--artifacts`.
+fn quantcheck_cmd(args: &[String]) -> Result<(), ClaraError> {
+    use clara_repro::clara::quantcheck::{self, QuantcheckConfig};
+
+    let mut cfg = QuantcheckConfig::default();
+    let mut model: Option<String> = None;
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    let num = |it: &mut std::slice::Iter<String>| -> u64 {
+        it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--model" => model = it.next().cloned().or_else(|| usage()),
+            "--packets" => cfg.packets = num(&mut it) as usize,
+            "--seed" => {
+                seed = num(&mut it);
+                cfg.seed = seed;
+            }
+            "--reps" => cfg.reps = num(&mut it) as usize,
+            "--require-speedup" => {
+                cfg.require_speedup = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--artifacts" => {
+                cfg.artifact_dir = Some(it.next().unwrap_or_else(|| usage()).into());
+            }
+            _ => usage(),
+        }
+    }
+    let clara = load_or_train(&model, seed)?;
+    let report = quantcheck::run(&clara, &cfg)?;
+    print!("{}", report.render());
+    println!(
+        "quantcheck: {} NF(s) within tolerance (rel {:.0}%, abs {})",
+        report.rows.len(),
+        cfg.rel_tol * 100.0,
+        cfg.abs_tol
+    );
     Ok(())
 }
 

@@ -167,8 +167,8 @@ fn train_report_sink_and_versioned_persistence() {
 
     // A future format version is rejected, not misread.
     let saved = std::fs::read_to_string(&model_path).expect("saved model readable");
-    assert!(saved.contains("\"format_version\":1"), "envelope carries the version");
-    let bumped = saved.replacen("\"format_version\":1", "\"format_version\":999", 1);
+    assert!(saved.contains("\"format_version\":2"), "envelope carries the version");
+    let bumped = saved.replacen("\"format_version\":2", "\"format_version\":999", 1);
     std::fs::write(&model_path, bumped).expect("rewrite model");
     match Clara::load(&model_path) {
         Err(ClaraError::UnsupportedVersion { found, supported }) => {

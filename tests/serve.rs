@@ -12,7 +12,8 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, Barrier, Mutex, OnceLock};
 
-use clara_repro::clara::{Clara, ClaraConfig};
+use clara_repro::clara::{Clara, ClaraConfig, Precision};
+use clara_repro::hal::Backend as _;
 use clara_repro::serve::protocol::{self, Request, WorkSpec};
 use clara_repro::serve::server::ServerHandle;
 use clara_repro::serve::{ServeOptions, Server};
@@ -49,6 +50,7 @@ fn start_with_backends(
             batch_max,
             deadline: None,
             backends,
+            precision: Precision::F64,
         },
         clara(),
     )
@@ -95,6 +97,7 @@ fn predict_req(id: u64, nf: &str, packets: usize, seed: u64) -> (String, WorkSpe
         seed,
         small_flows: false,
         backend: None,
+        precision: None,
     };
     (
         protocol::render_request(Some(id), &Request::Predict(w.clone())),
@@ -145,15 +148,23 @@ fn concurrent_requests_match_one_shot_facade() {
                 seed,
                 small_flows: false,
                 backend: None,
+                precision: None,
             };
             let trace = w.trace();
             let default = clara_repro::hal::DEFAULT_BACKEND;
             if analyze {
                 let ins = clara.analyze(&module, &trace).expect("facade analyze");
-                protocol::analyze_response(Some(i as u64), nf, default, &module, &ins)
+                protocol::analyze_response(
+                    Some(i as u64),
+                    nf,
+                    default,
+                    Precision::F64,
+                    &module,
+                    &ins,
+                )
             } else {
                 let p = clara.predict_one(&module, &trace).expect("facade predict");
-                protocol::predict_response(Some(i as u64), nf, default, &p)
+                protocol::predict_response(Some(i as u64), nf, default, Precision::F64, &p)
             }
         })
         .collect();
@@ -173,6 +184,7 @@ fn concurrent_requests_match_one_shot_facade() {
                             seed,
                             small_flows: false,
                             backend: None,
+                            precision: None,
                         };
                         let req = if analyze {
                             Request::Analyze(w)
@@ -327,6 +339,7 @@ fn per_request_backend_routing() {
         seed: 909,
         small_flows: false,
         backend: backend.map(str::to_string),
+        precision: None,
     };
     let trace = mk(None).trace();
     let agilio = clara_repro::hal::builtin("agilio-cx").expect("shipped");
@@ -347,12 +360,20 @@ fn per_request_backend_routing() {
     // Interleaved clients: each thread alternates default/explicit
     // backends, crossing coalescing boundaries.
     let expected_for = |id: u64, backend: Option<&str>| match backend {
-        None | Some("agilio-cx") => {
-            protocol::predict_response(Some(id), "cmsketch", "agilio-cx", &p_agilio)
-        }
-        Some("dpu-offpath") => {
-            protocol::predict_response(Some(id), "cmsketch", "dpu-offpath", &p_dpu)
-        }
+        None | Some("agilio-cx") => protocol::predict_response(
+            Some(id),
+            "cmsketch",
+            "agilio-cx",
+            Precision::F64,
+            &p_agilio,
+        ),
+        Some("dpu-offpath") => protocol::predict_response(
+            Some(id),
+            "cmsketch",
+            "dpu-offpath",
+            Precision::F64,
+            &p_dpu,
+        ),
         Some(other) => panic!("unexpected backend {other}"),
     };
     let plan: [Option<&str>; 6] = [
@@ -422,6 +443,98 @@ fn per_request_backend_routing() {
     let summary = handle.join();
     assert_eq!(summary.served, 12, "both clients' routed requests served");
     assert_eq!(summary.errors, 1, "exactly the unknown-backend rejection");
+}
+
+/// Per-request precision routing: one warm server answers interleaved
+/// f64/q16 predicts with each path's own facade rendering (responses
+/// echo the precision that served them), coalescing never mixes the
+/// paths, and an unknown precision string is a typed `bad_request`.
+#[test]
+fn per_request_precision_routing() {
+    let _g = SERVE_LOCK.lock().unwrap();
+    let clara = clara();
+    let handle = start(2, 32, 4);
+    let addr = handle.addr();
+
+    let module = module_of("heavy_hitter");
+    let mk = |precision: Option<Precision>| WorkSpec {
+        nf: "heavy_hitter".to_string(),
+        packets: 110,
+        seed: 4242,
+        small_flows: false,
+        backend: None,
+        precision,
+    };
+    let trace = mk(None).trace();
+    let default = clara_repro::hal::default_backend();
+    let p_f64 = clara
+        .predict_one_on_prec(&module, &trace, default, Precision::F64)
+        .expect("facade predict at f64");
+    let p_q16 = clara
+        .predict_one_on_prec(&module, &trace, default, Precision::Q16)
+        .expect("facade predict at q16");
+
+    let expected_for = |id: u64, precision: Option<Precision>| match precision {
+        None | Some(Precision::F64) => protocol::predict_response(
+            Some(id),
+            "heavy_hitter",
+            default.name(),
+            Precision::F64,
+            &p_f64,
+        ),
+        Some(Precision::Q16) => protocol::predict_response(
+            Some(id),
+            "heavy_hitter",
+            default.name(),
+            Precision::Q16,
+            &p_q16,
+        ),
+        Some(other) => panic!("unexpected precision {other:?}"),
+    };
+    let plan: [Option<Precision>; 6] = [
+        None,
+        Some(Precision::Q16),
+        Some(Precision::F64),
+        Some(Precision::Q16),
+        None,
+        Some(Precision::Q16),
+    ];
+    let mut conn = Conn::open(addr);
+    for (j, precision) in plan.iter().enumerate() {
+        let id = 500 + j as u64;
+        let line = protocol::render_request(Some(id), &Request::Predict(mk(*precision)));
+        let resp = conn.send(&line);
+        assert_eq!(
+            resp,
+            expected_for(id, *precision),
+            "response at precision {precision:?} must match that path's facade rendering"
+        );
+        let v = serde_json::parse_value(&resp).expect("response parses");
+        let want = precision.unwrap_or(Precision::F64).as_str();
+        assert_eq!(
+            v.get("precision"),
+            Some(&Value::Str(want.to_string())),
+            "response must echo the precision that served it: {resp}"
+        );
+    }
+
+    // An unknown precision string is rejected at parse time with a
+    // typed `bad_request`, never queued.
+    let resp = conn.send(
+        r#"{"v":1,"op":"predict","nf":"heavy_hitter","precision":"bf16"}"#,
+    );
+    let v = serde_json::parse_value(&resp).expect("rejection parses");
+    assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "{resp}");
+    assert_eq!(
+        v.get("error"),
+        Some(&Value::Str("bad_request".to_string())),
+        "unknown precision must be a typed bad_request: {resp}"
+    );
+
+    handle.drain();
+    let summary = handle.join();
+    assert_eq!(summary.served, 6, "every routed predict served");
+    assert_eq!(summary.errors, 1, "exactly the bad_request rejection");
 }
 
 /// (d) Drain stops admission, finishes in-flight work, and answers with
