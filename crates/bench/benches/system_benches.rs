@@ -72,7 +72,7 @@ fn bench_ilp(c: &mut Criterion) {
         caps: vec![131072, 1048576, 4194304, u64::MAX / 2],
     };
     c.bench_function("ilp_placement_8x4", |b| {
-        b.iter(|| black_box(p.solve()));
+        b.iter(|| black_box(p.solve_within(u64::MAX)));
     });
 }
 

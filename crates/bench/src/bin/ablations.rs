@@ -15,7 +15,7 @@
 use clara_bench::{banner, f2, nic, scaled, table, trace_len};
 use clara_core::coalesce::{access_vectors, eval_plan, suggest_coalescing};
 use clara_core::engine;
-use clara_core::placement::{apply_placement, suggest_placement};
+use clara_core::placement::{apply_placement, plan::suggest_placement};
 use nf_ir::GlobalId;
 use nic_sim::{solve_perf, CoalescePlan, MemLevel, NicConfig, PortConfig};
 use trafgen::{Trace, WorkloadSpec};

@@ -2,7 +2,7 @@
 //! port, on the four complex NFs under the small-flow workload.
 
 use clara_bench::{banner, f2, nic, table};
-use clara_core::placement::{apply_placement, suggest_placement};
+use clara_core::placement::{apply_placement, plan::suggest_placement};
 use nic_sim::{solve_perf, NicConfig, PortConfig};
 use trafgen::{Trace, WorkloadSpec};
 

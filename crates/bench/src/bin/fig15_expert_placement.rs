@@ -6,7 +6,7 @@
 //! better — the paper reports Clara within 9.7% latency / 7.6% throughput.
 
 use clara_bench::{banner, f2, nic, table};
-use clara_core::placement::{apply_placement, exhaustive_placement, suggest_placement};
+use clara_core::placement::{apply_placement, exhaustive_placement, plan::suggest_placement};
 use nic_sim::{solve_perf, NicConfig, PortConfig};
 use trafgen::{Trace, WorkloadSpec};
 

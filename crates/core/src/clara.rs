@@ -828,7 +828,7 @@ impl Clara {
         };
         let placement = {
             let _s = obs::span("analyze-placement");
-            placement::suggest_placement(module, &profile, nic).unwrap_or_default()
+            placement::plan::suggest_placement(module, &profile, nic).unwrap_or_default()
         };
         let coalesce = {
             let _s = obs::span("analyze-coalesce");

@@ -107,6 +107,16 @@ pub enum ClaraError {
         /// Where the minimized repro was written, if anywhere.
         artifact_dir: Option<PathBuf>,
     },
+    /// The placement planner (`clara place`, serve `op:"place"`) failed:
+    /// the ILP instance is infeasible on the chosen device, the
+    /// branch-and-bound search exhausted its node budget, or the request
+    /// named an NF outside the corpus.
+    Placement {
+        /// What failed.
+        kind: PlacementFailure,
+        /// Human-readable description (names the NF and the device).
+        detail: String,
+    },
     /// The differential oracle (`clara difftest`) found seeds whose
     /// execution layers disagree (or whose raw/optimized profiles
     /// differ). Minimized repros are written under `artifact_dir` when
@@ -121,6 +131,19 @@ pub enum ClaraError {
     },
 }
 
+/// Why a placement request failed ([`ClaraError::Placement`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementFailure {
+    /// No feasible assignment exists: some structure fits in no memory
+    /// level of the chosen device.
+    Infeasible,
+    /// The branch-and-bound search exhausted its node budget before
+    /// proving optimality.
+    SolverTimeout,
+    /// The request named an NF that is not in the corpus.
+    UnknownNf,
+}
+
 impl ClaraError {
     /// The CLI process exit code for this error.
     ///
@@ -129,7 +152,8 @@ impl ClaraError {
     /// I/O failures, `6` difftest divergences, `7` serve failures
     /// (bind/connect/unexpected request errors), `8` invalid device
     /// manifests or unknown backends, `9` quantization-tolerance
-    /// violations, `1` everything else.
+    /// violations, `10` placement failures (infeasible instance, solver
+    /// timeout, unknown NF), `1` everything else.
     pub fn exit_code(&self) -> i32 {
         match self {
             ClaraError::Degraded { .. } => 3,
@@ -139,6 +163,7 @@ impl ClaraError {
             ClaraError::Serve { .. } => 7,
             ClaraError::Manifest { .. } => 8,
             ClaraError::Quantization { .. } => 9,
+            ClaraError::Placement { .. } => 10,
             _ => 1,
         }
     }
@@ -197,6 +222,14 @@ impl fmt::Display for ClaraError {
                     write!(f, "; minimized repro in {}", dir.display())?;
                 }
                 Ok(())
+            }
+            ClaraError::Placement { kind, detail } => {
+                let what = match kind {
+                    PlacementFailure::Infeasible => "infeasible",
+                    PlacementFailure::SolverTimeout => "solver timeout",
+                    PlacementFailure::UnknownNf => "unknown NF",
+                };
+                write!(f, "placement ({what}): {detail}")
             }
             ClaraError::Divergence {
                 found,
@@ -275,6 +308,19 @@ mod tests {
             artifact_dir: Some(PathBuf::from("artifacts")),
         };
         assert_eq!(quant.exit_code(), 9);
+        let placement = ClaraError::Placement {
+            kind: PlacementFailure::Infeasible,
+            detail: "mazunat: state exceeds tiny-device memory".into(),
+        };
+        assert_eq!(placement.exit_code(), 10);
+        assert!(placement.to_string().contains("infeasible"));
+        assert!(placement.to_string().contains("mazunat"));
+        let timeout = ClaraError::Placement {
+            kind: PlacementFailure::SolverTimeout,
+            detail: "nat: budget of 1 nodes exhausted".into(),
+        };
+        assert_eq!(timeout.exit_code(), 10);
+        assert!(timeout.to_string().contains("solver timeout"));
         assert!(quant.to_string().contains("1 of 27"));
         assert!(quant.to_string().contains("cmsketch"));
         assert!(manifest.to_string().contains("dev.toml"));

@@ -69,7 +69,10 @@ pub use clara::{
 };
 pub use difftest::{DifftestConfig, DifftestReport, Divergence, DivergenceKind};
 pub use engine::{Engine, EngineOptions, EngineOptionsBuilder};
-pub use error::ClaraError;
+pub use error::{ClaraError, PlacementFailure};
+pub use placement::plan::{
+    Objective, PlacementPlan, PlacementRequest, PlacementRequestBuilder, ReplaySummary,
+};
 pub use faults::{FaultKind, FaultPlan};
 pub use predict::{BlockSample, InstructionPredictor, PredictorKind};
 pub use prepare::{prepare_module, PreparedBlock, PreparedModule};

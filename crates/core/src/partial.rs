@@ -99,7 +99,22 @@ pub struct SplitPlan {
 /// # Panics
 ///
 /// Panics if inputs mismatch or the chain fails to run (element bugs).
+#[deprecated(note = "use clara_core::placement::plan::suggest_split instead")]
 pub fn suggest_split(
+    modules: &[&nf_ir::Module],
+    trace: &Trace,
+    ports: &[&PortConfig],
+    nic_cfg: &NicConfig,
+    nic_cores: u32,
+    host: &HostConfig,
+    setup: impl FnOnce(&mut click_model::Chain),
+) -> Vec<SplitPlan> {
+    split_plans(modules, trace, ports, nic_cfg, nic_cores, host, setup)
+}
+
+/// The split evaluator behind [`crate::placement::plan::suggest_split`]
+/// (and the deprecated [`suggest_split`] shim above).
+pub(crate) fn split_plans(
     modules: &[&nf_ir::Module],
     trace: &Trace,
     ports: &[&PortConfig],
@@ -195,7 +210,7 @@ mod tests {
         let cfg = NicConfig::default();
         let naive = PortConfig::naive();
         let pfx = u64::from(trace.pkts[0].flow.src_ip >> 12);
-        suggest_split(
+        split_plans(
             &[&fw.module, &nat.module, &stats.module],
             &trace,
             &[&naive, &naive, &naive],

@@ -8,12 +8,20 @@
 //! the real (here: simulated) NIC — is also provided; it can beat the ILP
 //! exactly where the paper says it does, because the ILP's cost model
 //! ignores the EMEM cache and bandwidth-spreading effects.
+//!
+//! The canonical placement API lives in [`plan`]: a typed
+//! [`plan::PlacementRequest`] flows into [`crate::Clara::place`] and
+//! returns a [`plan::PlacementPlan`]. The free functions kept at this
+//! level are either placement-agnostic helpers ([`apply_placement`],
+//! [`exhaustive_placement`]) or deprecated shims retained for one
+//! release.
 
 use std::collections::BTreeMap;
 
-use ilp_solver::AssignmentProblem;
 use nf_ir::{GlobalId, Module};
 use nic_sim::{solve_perf, MemLevel, NicConfig, PerfPoint, PortConfig, WorkloadProfile};
+
+pub mod plan;
 
 /// Fraction of each level's capacity available to NF state (the runtime
 /// reserves the rest for packet buffers and metadata).
@@ -23,38 +31,13 @@ pub const CAPACITY_HEADROOM: f64 = 0.9;
 ///
 /// Returns `None` when the instance is infeasible (state larger than the
 /// NIC's memory).
+#[deprecated(note = "use clara_core::placement::plan::suggest_placement instead")]
 pub fn suggest_placement(
     module: &Module,
     wp: &WorkloadProfile,
     cfg: &NicConfig,
 ) -> Option<BTreeMap<GlobalId, MemLevel>> {
-    let globals = &module.globals;
-    if globals.is_empty() {
-        return Some(BTreeMap::new());
-    }
-    let costs: Vec<Vec<f64>> = globals
-        .iter()
-        .map(|g| {
-            let freq = wp.accesses_to(g.id);
-            MemLevel::ALL
-                .iter()
-                .map(|l| freq * f64::from(cfg.level(*l).latency))
-                .collect()
-        })
-        .collect();
-    let sizes: Vec<u64> = globals.iter().map(|g| g.total_bytes().max(1)).collect();
-    let caps: Vec<u64> = MemLevel::ALL
-        .iter()
-        .map(|l| (cfg.level(*l).capacity as f64 * CAPACITY_HEADROOM) as u64)
-        .collect();
-    let sol = AssignmentProblem { costs, sizes, caps }.solve()?;
-    Some(
-        globals
-            .iter()
-            .zip(sol.assignment.iter())
-            .map(|(g, &j)| (g.id, MemLevel::ALL[j]))
-            .collect(),
-    )
+    plan::suggest_placement(module, wp, cfg)
 }
 
 /// Applies a placement map to a port configuration.
@@ -142,7 +125,7 @@ mod tests {
     fn hot_small_structures_move_to_fast_memory() {
         let e = click_model::elements::udpcount();
         let (wp, cfg) = profiled(&e);
-        let placement = suggest_placement(&e.module, &wp, &cfg).expect("feasible");
+        let placement = plan::suggest_placement(&e.module, &wp, &cfg).expect("feasible");
         // Every structure in udpcount is small; none should stay in EMEM.
         for (g, l) in &placement {
             assert_ne!(
@@ -157,7 +140,7 @@ mod tests {
     fn capacity_forces_large_tables_out_of_cls() {
         let e = click_model::elements::mazunat();
         let (wp, cfg) = profiled(&e);
-        let placement = suggest_placement(&e.module, &wp, &cfg).expect("feasible");
+        let placement = plan::suggest_placement(&e.module, &wp, &cfg).expect("feasible");
         for g in &e.module.globals {
             if g.total_bytes() > cfg.level(MemLevel::Cls).capacity {
                 assert_ne!(placement[&g.id], MemLevel::Cls, "{}", g.name);
@@ -169,7 +152,7 @@ mod tests {
     fn ilp_placement_beats_naive_port() {
         let e = click_model::elements::udpcount();
         let (wp, cfg) = profiled(&e);
-        let placement = suggest_placement(&e.module, &wp, &cfg).expect("feasible");
+        let placement = plan::suggest_placement(&e.module, &wp, &cfg).expect("feasible");
         let naive = solve_perf(&wp, &cfg, &PortConfig::naive(), 20);
         let tuned_port = apply_placement(PortConfig::naive(), &placement);
         let tuned = solve_perf(&wp, &cfg, &tuned_port, 20);
@@ -186,7 +169,7 @@ mod tests {
     fn expert_is_at_least_as_good_as_ilp() {
         let e = click_model::elements::udpcount();
         let (wp, cfg) = profiled(&e);
-        let ilp = suggest_placement(&e.module, &wp, &cfg).expect("feasible");
+        let ilp = plan::suggest_placement(&e.module, &wp, &cfg).expect("feasible");
         let ilp_port = apply_placement(PortConfig::naive(), &ilp);
         let ilp_point = solve_perf(&wp, &cfg, &ilp_port, 20);
         let (_, expert_point) =
@@ -209,6 +192,6 @@ mod tests {
         fb.ret(None);
         m.funcs.push(fb.finish());
         let wp = WorkloadProfile::default();
-        assert!(suggest_placement(&m, &wp, &NicConfig::default()).is_none());
+        assert!(plan::suggest_placement(&m, &wp, &NicConfig::default()).is_none());
     }
 }

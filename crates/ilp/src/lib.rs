@@ -13,6 +13,15 @@
 //! solving finishes within a few seconds in all cases" (paper Section 5.5)
 //! — here, microseconds.
 //!
+//! The canonical entry points are [`AssignmentProblem::solve_within`]
+//! (exact, with a node budget so a pathological instance surfaces as a
+//! typed solver-timeout instead of a hang) and
+//! [`AssignmentProblem::solve_greedy`] (the cheapest-fitting-bin
+//! heuristic the exact solver seeds itself with, exposed so callers can
+//! difftest plans against the fallback). The panicking
+//! [`AssignmentProblem::solve`] is a deprecated shim kept for one
+//! release.
+//!
 //! # Examples
 //!
 //! ```
@@ -24,7 +33,7 @@
 //!     sizes: vec![6, 6],
 //!     caps: vec![8, 100],
 //! };
-//! let sol = p.solve().expect("feasible");
+//! let sol = p.solve_within(1 << 20).unwrap().expect("feasible");
 //! assert_eq!(sol.cost, 11.0); // item 0 in cheap bin, item 1 overflowed
 //! ```
 
@@ -42,6 +51,11 @@ pub struct AssignmentProblem {
     pub caps: Vec<u64>,
 }
 
+/// Deprecated alias for [`AssignmentProblem`], kept one release so
+/// facade-path callers migrate to `clara_core::placement::plan`.
+#[deprecated(note = "use AssignmentProblem (or clara_core::placement::plan) instead")]
+pub type IlpProblem = AssignmentProblem;
+
 /// A feasible assignment and its total cost.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Solution {
@@ -51,13 +65,20 @@ pub struct Solution {
     pub cost: f64,
 }
 
-/// Errors for malformed instances.
+/// Errors for malformed instances or an exhausted search budget.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IlpError {
     /// `costs` rows have inconsistent lengths or mismatch `caps`.
     ShapeMismatch,
     /// `sizes.len() != costs.len()`.
     SizeMismatch,
+    /// The branch-and-bound search exceeded its node budget before
+    /// proving optimality (the placement layer reports this as a solver
+    /// timeout).
+    BudgetExhausted {
+        /// The node budget that was exceeded.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for IlpError {
@@ -65,6 +86,9 @@ impl fmt::Display for IlpError {
         match self {
             IlpError::ShapeMismatch => write!(f, "cost matrix shape mismatch"),
             IlpError::SizeMismatch => write!(f, "sizes length mismatch"),
+            IlpError::BudgetExhausted { budget } => {
+                write!(f, "search budget of {budget} nodes exhausted")
+            }
         }
     }
 }
@@ -93,24 +117,25 @@ impl AssignmentProblem {
         self.caps.len()
     }
 
-    /// Solves the instance exactly; `None` when infeasible.
+    /// Solves the instance exactly; `Ok(None)` when infeasible.
     ///
-    /// # Panics
-    ///
-    /// Panics if the instance fails [`AssignmentProblem::validate`].
-    pub fn solve(&self) -> Option<Solution> {
-        self.validate().expect("malformed assignment problem");
+    /// The depth-first search visits at most `node_budget` nodes; if the
+    /// budget runs out before the search completes, the instance is
+    /// reported as [`IlpError::BudgetExhausted`] rather than returning a
+    /// possibly suboptimal incumbent. Malformed instances return the
+    /// corresponding [`IlpError`] instead of panicking.
+    pub fn solve_within(&self, node_budget: u64) -> Result<Option<Solution>, IlpError> {
+        self.validate()?;
         let n = self.items();
         if n == 0 {
-            return Some(Solution {
+            return Ok(Some(Solution {
                 assignment: Vec::new(),
                 cost: 0.0,
-            });
+            }));
         }
 
         // Branch on items in decreasing size order (fail fast on capacity).
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(self.sizes[i]));
+        let order = branch_order(self);
 
         // Admissible per-item lower bounds: cheapest location that could
         // fit the item alone.
@@ -123,7 +148,7 @@ impl AssignmentProblem {
             })
             .collect();
         if min_cost.iter().any(|c| c.is_infinite()) {
-            return None; // Some item fits nowhere.
+            return Ok(None); // Some item fits nowhere.
         }
         // Suffix bounds over the branching order.
         let mut suffix = vec![0.0; n + 1];
@@ -132,19 +157,49 @@ impl AssignmentProblem {
         }
 
         let mut best: Option<Solution> = greedy(self, &order);
-        let mut remaining: Vec<u64> = self.caps.clone();
-        let mut assign = vec![usize::MAX; n];
-        branch(
-            self,
-            &order,
-            &suffix,
-            0,
-            0.0,
-            &mut remaining,
-            &mut assign,
-            &mut best,
-        );
-        best
+        let mut search = Search {
+            p: self,
+            order: &order,
+            suffix: &suffix,
+            remaining: self.caps.clone(),
+            assign: vec![usize::MAX; n],
+            best,
+            budget: node_budget,
+            nodes: 0,
+        };
+        let completed = search.branch(0, 0.0);
+        best = search.best;
+        if completed {
+            Ok(best)
+        } else {
+            Err(IlpError::BudgetExhausted {
+                budget: node_budget,
+            })
+        }
+    }
+
+    /// The greedy fallback: items in decreasing size order, each into the
+    /// cheapest location it still fits in. `Ok(None)` when the heuristic
+    /// strands an item (the exact solver may still find a feasible
+    /// assignment). Never worse than [`AssignmentProblem::solve_within`]
+    /// on feasibility-agreeing instances, and never better on cost.
+    pub fn solve_greedy(&self) -> Result<Option<Solution>, IlpError> {
+        self.validate()?;
+        Ok(greedy(self, &branch_order(self)))
+    }
+
+    /// Solves the instance exactly; `None` when infeasible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance fails [`AssignmentProblem::validate`].
+    #[deprecated(note = "use solve_within (typed errors, node budget) instead")]
+    pub fn solve(&self) -> Option<Solution> {
+        match self.solve_within(u64::MAX) {
+            Ok(sol) => sol,
+            Err(IlpError::BudgetExhausted { .. }) => unreachable!("unbounded budget"),
+            Err(_) => panic!("malformed assignment problem"),
+        }
     }
 
     /// Brute-force optimum (for testing; exponential in items).
@@ -197,6 +252,14 @@ impl AssignmentProblem {
     }
 }
 
+/// Items in decreasing size order: both the branching order and the
+/// greedy packing order, so the two strategies explore the same sequence.
+fn branch_order(p: &AssignmentProblem) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..p.items()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(p.sizes[i]));
+    order
+}
+
 fn greedy(p: &AssignmentProblem, order: &[usize]) -> Option<Solution> {
     let mut remaining = p.caps.clone();
     let mut assign = vec![usize::MAX; p.items()];
@@ -222,56 +285,59 @@ fn greedy(p: &AssignmentProblem, order: &[usize]) -> Option<Solution> {
     })
 }
 
-#[allow(clippy::too_many_arguments)]
-fn branch(
-    p: &AssignmentProblem,
-    order: &[usize],
-    suffix: &[f64],
-    depth: usize,
-    cost: f64,
-    remaining: &mut Vec<u64>,
-    assign: &mut Vec<usize>,
-    best: &mut Option<Solution>,
-) {
-    if let Some(b) = best {
-        if cost + suffix[depth] >= b.cost - 1e-12 {
-            return; // Bound.
+struct Search<'a> {
+    p: &'a AssignmentProblem,
+    order: &'a [usize],
+    suffix: &'a [f64],
+    remaining: Vec<u64>,
+    assign: Vec<usize>,
+    best: Option<Solution>,
+    budget: u64,
+    nodes: u64,
+}
+
+impl Search<'_> {
+    /// Returns `false` when the node budget ran out (search incomplete).
+    fn branch(&mut self, depth: usize, cost: f64) -> bool {
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            return false;
         }
-    }
-    if depth == order.len() {
-        if best.as_ref().is_none_or(|b| cost < b.cost) {
-            *best = Some(Solution {
-                assignment: assign.clone(),
-                cost,
-            });
+        if let Some(b) = &self.best {
+            if cost + self.suffix[depth] >= b.cost - 1e-12 {
+                return true; // Bound.
+            }
         }
-        return;
-    }
-    let i = order[depth];
-    // Try locations cheapest-first for this item.
-    let mut locs: Vec<usize> = (0..p.locations())
-        .filter(|&j| p.sizes[i] <= remaining[j] && p.costs[i][j].is_finite())
-        .collect();
-    locs.sort_by(|&a, &b| {
-        p.costs[i][a]
-            .partial_cmp(&p.costs[i][b])
-            .expect("finite costs")
-    });
-    for j in locs {
-        assign[i] = j;
-        remaining[j] -= p.sizes[i];
-        branch(
-            p,
-            order,
-            suffix,
-            depth + 1,
-            cost + p.costs[i][j],
-            remaining,
-            assign,
-            best,
-        );
-        remaining[j] += p.sizes[i];
-        assign[i] = usize::MAX;
+        if depth == self.order.len() {
+            if self.best.as_ref().is_none_or(|b| cost < b.cost) {
+                self.best = Some(Solution {
+                    assignment: self.assign.clone(),
+                    cost,
+                });
+            }
+            return true;
+        }
+        let i = self.order[depth];
+        // Try locations cheapest-first for this item.
+        let mut locs: Vec<usize> = (0..self.p.locations())
+            .filter(|&j| self.p.sizes[i] <= self.remaining[j] && self.p.costs[i][j].is_finite())
+            .collect();
+        locs.sort_by(|&a, &b| {
+            self.p.costs[i][a]
+                .partial_cmp(&self.p.costs[i][b])
+                .expect("finite costs")
+        });
+        for j in locs {
+            self.assign[i] = j;
+            self.remaining[j] -= self.p.sizes[i];
+            let ok = self.branch(depth + 1, cost + self.p.costs[i][j]);
+            self.remaining[j] += self.p.sizes[i];
+            self.assign[i] = usize::MAX;
+            if !ok {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -286,7 +352,7 @@ mod tests {
             sizes: vec![],
             caps: vec![10],
         };
-        let s = p.solve().unwrap();
+        let s = p.solve_within(1).unwrap().unwrap();
         assert_eq!(s.cost, 0.0);
     }
 
@@ -298,7 +364,7 @@ mod tests {
             sizes: vec![4, 4],
             caps: vec![4, 100],
         };
-        let s = p.solve().unwrap();
+        let s = p.solve_within(1 << 20).unwrap().unwrap();
         // Optimal: item 0 in bin 0 (1.0), item 1 in bin 1 (3.0) = 4.0.
         assert_eq!(s.cost, 4.0);
         assert_eq!(s.assignment, vec![0, 1]);
@@ -311,7 +377,7 @@ mod tests {
             sizes: vec![10],
             caps: vec![5],
         };
-        assert!(p.solve().is_none());
+        assert!(p.solve_within(1 << 20).unwrap().is_none());
     }
 
     #[test]
@@ -321,7 +387,7 @@ mod tests {
             sizes: vec![1],
             caps: vec![10, 10],
         };
-        let s = p.solve().unwrap();
+        let s = p.solve_within(1 << 20).unwrap().unwrap();
         assert_eq!(s.assignment, vec![1]);
     }
 
@@ -337,19 +403,73 @@ mod tests {
             sizes: vec![3, 5, 2, 4],
             caps: vec![6, 6, 6],
         };
-        let a = p.solve().unwrap();
+        let a = p.solve_within(1 << 20).unwrap().unwrap();
         let b = p.brute_force().unwrap();
         assert!((a.cost - b.cost).abs() < 1e-9, "{} vs {}", a.cost, b.cost);
     }
 
     #[test]
-    #[should_panic(expected = "malformed")]
-    fn panics_on_malformed_instance() {
+    fn greedy_is_feasible_but_never_cheaper_than_exact() {
+        let p = AssignmentProblem {
+            costs: vec![
+                vec![3.0, 7.0, 11.0],
+                vec![2.0, 5.0, 9.0],
+                vec![8.0, 4.0, 1.0],
+                vec![6.0, 6.0, 2.0],
+            ],
+            sizes: vec![3, 5, 2, 4],
+            caps: vec![6, 6, 6],
+        };
+        let g = p.solve_greedy().unwrap().unwrap();
+        let e = p.solve_within(1 << 20).unwrap().unwrap();
+        assert!(e.cost <= g.cost + 1e-12, "{} vs {}", e.cost, g.cost);
+        // Greedy respects capacities too.
+        let mut used = vec![0u64; p.locations()];
+        for (i, &j) in g.assignment.iter().enumerate() {
+            used[j] += p.sizes[i];
+        }
+        for (u, c) in used.iter().zip(p.caps.iter()) {
+            assert!(u <= c);
+        }
+    }
+
+    #[test]
+    fn tiny_node_budget_reports_exhaustion() {
+        let p = AssignmentProblem {
+            costs: vec![
+                vec![3.0, 7.0, 11.0],
+                vec![2.0, 5.0, 9.0],
+                vec![8.0, 4.0, 1.0],
+                vec![6.0, 6.0, 2.0],
+            ],
+            sizes: vec![3, 5, 2, 4],
+            caps: vec![6, 6, 6],
+        };
+        match p.solve_within(1) {
+            Err(IlpError::BudgetExhausted { budget: 1 }) => {}
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_instance_is_a_typed_error() {
         let p = AssignmentProblem {
             costs: vec![vec![1.0, 2.0]],
             sizes: vec![1, 2],
             caps: vec![5, 5],
         };
+        assert_eq!(p.solve_within(1 << 20), Err(IlpError::SizeMismatch));
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed")]
+    fn deprecated_solve_still_panics_on_malformed_instance() {
+        let p = AssignmentProblem {
+            costs: vec![vec![1.0, 2.0]],
+            sizes: vec![1, 2],
+            caps: vec![5, 5],
+        };
+        #[allow(deprecated)]
         let _ = p.solve();
     }
 }

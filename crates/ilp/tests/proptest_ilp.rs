@@ -19,7 +19,7 @@ proptest! {
 
     #[test]
     fn solve_matches_brute_force(p in arb_problem()) {
-        let exact = p.solve();
+        let exact = p.solve_within(u64::MAX).expect("well-formed instance");
         let brute = p.brute_force();
         match (exact, brute) {
             (Some(a), Some(b)) => {
@@ -40,6 +40,21 @@ proptest! {
             }
             (None, None) => {}
             (a, b) => prop_assert!(false, "feasibility disagreement: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn greedy_never_beats_exact(p in arb_problem()) {
+        let exact = p.solve_within(u64::MAX).expect("well-formed instance");
+        let greedy = p.solve_greedy().expect("well-formed instance");
+        match (exact, greedy) {
+            (Some(e), Some(g)) => prop_assert!(
+                e.cost <= g.cost + 1e-9, "exact {} vs greedy {}", e.cost, g.cost),
+            // Greedy can strand an item the exact solver places; the
+            // converse would be a bug.
+            (Some(_), None) => {}
+            (None, None) => {}
+            (None, Some(g)) => prop_assert!(false, "greedy found {g:?} on infeasible instance"),
         }
     }
 }

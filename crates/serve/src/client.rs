@@ -56,6 +56,10 @@ pub struct BenchOptions {
     /// Inference precision every request names (None: the server's
     /// default). Also forwarded to the baseline subprocesses.
     pub precision: Option<Precision>,
+    /// Interleave an `op:"place"` request for `nf` every N steady-state
+    /// requests per connection (0 disables), so the bench also exercises
+    /// the placement path against warm backend state.
+    pub place_every: usize,
 }
 
 impl Default for BenchOptions {
@@ -76,6 +80,7 @@ impl Default for BenchOptions {
             report: None,
             backend: None,
             precision: None,
+            place_every: 0,
         }
     }
 }
@@ -246,17 +251,28 @@ fn steady_state(o: &BenchOptions) -> Result<(Tally, f64), ClaraError> {
                     );
                     for i in 0..count {
                         let id = (c * o.requests + i) as u64;
-                        let line = protocol::render_request(
-                            Some(id),
-                            &Request::Predict(WorkSpec {
+                        let req = if o.place_every > 0 && i % o.place_every == o.place_every - 1 {
+                            let mut b = clara_core::PlacementRequest::builder([o.nf.as_str()])
+                                .packets(o.packets)
+                                .seed(o.seed);
+                            if let Some(backend) = &o.backend {
+                                b = b.backend(backend.as_str());
+                            }
+                            if let Some(p) = o.precision {
+                                b = b.precision(p);
+                            }
+                            Request::Place(b.build())
+                        } else {
+                            Request::Predict(WorkSpec {
                                 nf: o.nf.clone(),
                                 packets: o.packets,
                                 seed: o.seed,
                                 small_flows: false,
                                 backend: o.backend.clone(),
                                 precision: o.precision,
-                            }),
-                        );
+                            })
+                        };
+                        let line = protocol::render_request(Some(id), &req);
                         let t0 = Instant::now();
                         match round_trip(&mut stream, &mut reader, &line) {
                             Ok(resp) => tally.record(classify(&resp), t0.elapsed()),

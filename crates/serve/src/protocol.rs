@@ -8,10 +8,25 @@
 //! {"v":1,"op":"predict","nf":"cmsketch","packets":400,"seed":7}
 //! {"v":1,"op":"analyze","nf":"iplookup","small_flows":true}
 //! {"v":1,"op":"predict","nf":"nat","backend":"dpu-offpath"}
+//! {"v":1,"op":"place","nfs":["firewall","mazunat"],"objective":"host-cores"}
+//! {"v":1,"op":"place","nfs":["mazunat"],"replay":"shift","epochs":6}
 //! {"v":1,"op":"difftest","seeds":20,"start":100,"packets":64}
 //! {"v":1,"op":"stats"}
 //! {"v":1,"op":"drain"}
 //! ```
+//!
+//! `op:"place"` carries a typed [`PlacementRequest`]: `nfs` is the NF
+//! chain (array of corpus names), `objective` is `"host-cores"`
+//! (default) or `"throughput"`, and the optional `replay` /`epochs` /
+//! `drift_threshold` fields turn the one-shot plan into a drift-driven
+//! replay over a builtin `trafgen` schedule. The response is the full
+//! placement plan — per-NF ILP mapping with objective value, the greedy
+//! fallback's plan and delta, the chain split, and (in replay mode) the
+//! migration report. Like every other op, rendering is a pure function
+//! of the plan, so a served `op:"place"` response is byte-identical to
+//! the one-shot `clara place` output for the same request; an
+//! infeasible instance is rejected with the typed `infeasible` error
+//! kind (the one addition to the otherwise closed error-kind set).
 //!
 //! `backend` selects which warm device model serves the request; when
 //! omitted the server's default (first configured) backend is used, and
@@ -34,7 +49,7 @@
 //! byte-identical to one rendered from the equivalent one-shot facade
 //! call (pinned by `tests/serve.rs`).
 
-use clara_core::{Insights, Precision, Prediction};
+use clara_core::{Insights, Objective, PlacementPlan, PlacementRequest, Precision, Prediction};
 use nf_ir::Module;
 use serde::Value;
 use trafgen::{Trace, WorkloadSpec};
@@ -75,12 +90,14 @@ impl WorkSpec {
 }
 
 /// One parsed request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Performance-parameter prediction (batchable).
     Predict(WorkSpec),
     /// Full insight bundle.
     Analyze(WorkSpec),
+    /// Traffic-aware placement planning for an NF chain.
+    Place(PlacementRequest),
     /// Differential-oracle sweep over synthesized seeds.
     Difftest {
         /// Seeds to sweep.
@@ -97,7 +114,7 @@ pub enum Request {
 }
 
 /// A request plus its optional client correlation id.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
     /// Echoed back verbatim on the response.
     pub id: Option<u64>,
@@ -120,6 +137,9 @@ pub enum ErrorKind {
     Draining,
     /// `backend` does not name a device backend the server holds.
     UnknownBackend,
+    /// A placement request's ILP instance has no feasible assignment on
+    /// the chosen device (`op:"place"` only).
+    Infeasible,
     /// The request ran and failed (facade error, degraded engine task).
     Internal,
 }
@@ -134,6 +154,7 @@ impl ErrorKind {
             ErrorKind::Deadline => "deadline",
             ErrorKind::Draining => "draining",
             ErrorKind::UnknownBackend => "unknown_backend",
+            ErrorKind::Infeasible => "infeasible",
             ErrorKind::Internal => "internal",
         }
     }
@@ -168,6 +189,19 @@ fn get_str(v: &Value, key: &str) -> Result<Option<String>, String> {
     }
 }
 
+fn get_f64(v: &Value, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Float(f)) if f.is_finite() && *f >= 0.0 => Ok(Some(*f)),
+        Some(Value::Int(i)) if *i >= 0 => Ok(Some(*i as f64)),
+        Some(Value::UInt(u)) => Ok(Some(*u as f64)),
+        Some(other) => Err(format!(
+            "`{key}` must be a non-negative number, got {}",
+            other.kind()
+        )),
+    }
+}
+
 fn work_spec(v: &Value) -> Result<WorkSpec, String> {
     let nf = match v.get("nf") {
         Some(Value::Str(s)) if !s.is_empty() => s.clone(),
@@ -184,6 +218,52 @@ fn work_spec(v: &Value) -> Result<WorkSpec, String> {
             .map(|s| Precision::parse(&s))
             .transpose()?,
     })
+}
+
+fn place_request(v: &Value) -> Result<PlacementRequest, String> {
+    let nfs: Vec<String> = match v.get("nfs") {
+        Some(Value::Seq(items)) if !items.is_empty() => items
+            .iter()
+            .map(|item| match item {
+                Value::Str(s) if !s.is_empty() => Ok(s.clone()),
+                other => Err(format!(
+                    "`nfs` entries must be non-empty strings, got {}",
+                    other.kind()
+                )),
+            })
+            .collect::<Result<_, _>>()?,
+        Some(Value::Seq(_)) => return Err("`nfs` must not be empty".to_string()),
+        Some(other) => {
+            return Err(format!("`nfs` must be an array of strings, got {}", other.kind()))
+        }
+        None => return Err("missing `nfs`".to_string()),
+    };
+    let mut req = PlacementRequest::new(nfs);
+    if let Some(p) = get_u64(v, "packets")? {
+        req.packets = p as usize;
+    }
+    if let Some(s) = get_u64(v, "seed")? {
+        req.seed = s;
+    }
+    if let Some(b) = get_bool(v, "small_flows")? {
+        req.small_flows = b;
+    }
+    req.backend = get_str(v, "backend")?;
+    req.precision = get_str(v, "precision")?
+        .map(|s| Precision::parse(&s))
+        .transpose()?;
+    if let Some(o) = get_str(v, "objective")? {
+        req.objective = Objective::parse(&o)
+            .ok_or_else(|| format!("unknown objective `{o}` (throughput, host-cores)"))?;
+    }
+    req.replay = get_str(v, "replay")?;
+    if let Some(e) = get_u64(v, "epochs")? {
+        req.epochs = e as usize;
+    }
+    if let Some(t) = get_f64(v, "drift_threshold")? {
+        req.drift_threshold = t;
+    }
+    Ok(req)
 }
 
 /// Parses one request line.
@@ -205,6 +285,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
         Some(Value::Str(op)) => match op.as_str() {
             "predict" => Request::Predict(work_spec(&v)?),
             "analyze" => Request::Analyze(work_spec(&v)?),
+            "place" => Request::Place(place_request(&v)?),
             "difftest" => Request::Difftest {
                 seeds: get_u64(&v, "seeds")?.unwrap_or(10),
                 start: get_u64(&v, "start")?.unwrap_or(0),
@@ -259,6 +340,31 @@ pub fn render_request(id: Option<u64>, req: &Request) -> String {
             if let Some(p) = w.precision {
                 m.push(("precision".to_string(), Value::Str(p.as_str().to_string())));
             }
+        }
+        Request::Place(r) => {
+            m.push(op("place"));
+            m.push((
+                "nfs".to_string(),
+                Value::Seq(r.nfs.iter().map(|n| Value::Str(n.clone())).collect()),
+            ));
+            m.push(("packets".to_string(), Value::UInt(r.packets as u64)));
+            m.push(("seed".to_string(), Value::UInt(r.seed)));
+            m.push(("small_flows".to_string(), Value::Bool(r.small_flows)));
+            if let Some(b) = &r.backend {
+                m.push(("backend".to_string(), Value::Str(b.clone())));
+            }
+            if let Some(p) = r.precision {
+                m.push(("precision".to_string(), Value::Str(p.as_str().to_string())));
+            }
+            m.push((
+                "objective".to_string(),
+                Value::Str(r.objective.as_str().to_string()),
+            ));
+            if let Some(s) = &r.replay {
+                m.push(("replay".to_string(), Value::Str(s.clone())));
+            }
+            m.push(("epochs".to_string(), Value::UInt(r.epochs as u64)));
+            m.push(("drift_threshold".to_string(), Value::Float(r.drift_threshold)));
         }
         Request::Difftest { seeds, start, pkts } => {
             m.push(op("difftest"));
@@ -389,6 +495,162 @@ pub fn analyze_response(
     finish(m)
 }
 
+/// Renders a successful `place` response: the full placement plan as
+/// deterministic JSON. A pure function of the plan — the byte-identity
+/// contract between `clara place` and serve `op:"place"` rests on both
+/// calling this.
+pub fn place_response(id: Option<u64>, plan: &PlacementPlan) -> String {
+    let placement_seq = |pairs: &[(String, String)]| {
+        Value::Seq(
+            pairs
+                .iter()
+                .map(|(g, l)| {
+                    Value::Seq(vec![Value::Str(g.clone()), Value::Str(l.clone())])
+                })
+                .collect(),
+        )
+    };
+    let mut m = head(id, true);
+    m.push(("op".to_string(), Value::Str("place".to_string())));
+    m.push(("backend".to_string(), Value::Str(plan.backend.clone())));
+    m.push((
+        "precision".to_string(),
+        Value::Str(plan.precision.as_str().to_string()),
+    ));
+    m.push((
+        "objective".to_string(),
+        Value::Str(plan.objective.as_str().to_string()),
+    ));
+    m.push((
+        "nfs".to_string(),
+        Value::Seq(
+            plan.nfs
+                .iter()
+                .map(|nf| {
+                    let mut e = vec![
+                        ("nf".to_string(), Value::Str(nf.nf.clone())),
+                        ("placement".to_string(), placement_seq(&nf.named_placement)),
+                        ("cost".to_string(), Value::Float(nf.solve.cost)),
+                        ("objective".to_string(), Value::Float(nf.solve.objective)),
+                    ];
+                    match (&nf.solve.greedy, &nf.named_greedy_placement) {
+                        (Some(g), Some(named)) => {
+                            e.push((
+                                "greedy".to_string(),
+                                Value::Map(vec![
+                                    ("placement".to_string(), placement_seq(named)),
+                                    ("cost".to_string(), Value::Float(g.cost)),
+                                    ("objective".to_string(), Value::Float(g.objective)),
+                                ]),
+                            ));
+                        }
+                        _ => e.push(("greedy".to_string(), Value::Null)),
+                    }
+                    e.push(("delta".to_string(), Value::Float(nf.solve.delta())));
+                    e.push((
+                        "suggested_cores".to_string(),
+                        Value::UInt(u64::from(nf.suggested_cores)),
+                    ));
+                    e.push((
+                        "throughput_mpps".to_string(),
+                        Value::Float(nf.throughput_mpps),
+                    ));
+                    e.push(("latency_us".to_string(), Value::Float(nf.latency_us)));
+                    Value::Map(e)
+                })
+                .collect(),
+        ),
+    ));
+    m.push((
+        "split".to_string(),
+        Value::Map(vec![
+            (
+                "nic_stages".to_string(),
+                Value::UInt(plan.split.nic_stages as u64),
+            ),
+            (
+                "total_stages".to_string(),
+                Value::UInt(plan.split.total_stages as u64),
+            ),
+            (
+                "throughput_mpps".to_string(),
+                Value::Float(plan.split.throughput_mpps),
+            ),
+            ("latency_us".to_string(), Value::Float(plan.split.latency_us)),
+            (
+                "host_cores_needed".to_string(),
+                Value::UInt(u64::from(plan.split.host_cores_needed)),
+            ),
+        ]),
+    ));
+    m.push((
+        "total_objective".to_string(),
+        Value::Float(plan.total_objective),
+    ));
+    m.push((
+        "greedy_total_objective".to_string(),
+        Value::Float(plan.greedy_total_objective),
+    ));
+    m.push((
+        "replay".to_string(),
+        match &plan.replay {
+            None => Value::Null,
+            Some(r) => Value::Map(vec![
+                ("schedule".to_string(), Value::Str(r.schedule.clone())),
+                (
+                    "drift_threshold".to_string(),
+                    Value::Float(r.drift_threshold),
+                ),
+                ("resolves".to_string(), Value::UInt(r.resolves)),
+                (
+                    "migrated_globals".to_string(),
+                    Value::UInt(r.migrated_globals),
+                ),
+                (
+                    "migration_bytes".to_string(),
+                    Value::UInt(r.migration_bytes),
+                ),
+                (
+                    "predicted_gain".to_string(),
+                    Value::Float(r.predicted_gain),
+                ),
+                (
+                    "epochs".to_string(),
+                    Value::Seq(
+                        r.epochs
+                            .iter()
+                            .map(|ep| {
+                                Value::Map(vec![
+                                    ("epoch".to_string(), Value::UInt(ep.epoch as u64)),
+                                    (
+                                        "workload".to_string(),
+                                        Value::Str(ep.workload.clone()),
+                                    ),
+                                    ("drift".to_string(), Value::Float(ep.drift)),
+                                    ("resolved".to_string(), Value::Bool(ep.resolved)),
+                                    (
+                                        "migrated_globals".to_string(),
+                                        Value::UInt(ep.migrated_globals),
+                                    ),
+                                    (
+                                        "migration_bytes".to_string(),
+                                        Value::UInt(ep.migration_bytes),
+                                    ),
+                                    (
+                                        "predicted_gain".to_string(),
+                                        Value::Float(ep.predicted_gain),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        },
+    ));
+    finish(m)
+}
+
 /// Renders a successful `difftest` response.
 pub fn difftest_response(
     id: Option<u64>,
@@ -458,6 +720,20 @@ mod tests {
                 start: 5,
                 pkts: 64,
             },
+            Request::Place(PlacementRequest::new(["firewall", "nat"])),
+            Request::Place(
+                PlacementRequest::builder(["nat"])
+                    .packets(200)
+                    .seed(9)
+                    .small_flows(true)
+                    .backend("dpu-offpath")
+                    .precision(Precision::Q16)
+                    .objective(Objective::Throughput)
+                    .replay("shift")
+                    .epochs(6)
+                    .drift_threshold(0.25)
+                    .build(),
+            ),
             Request::Stats,
             Request::Drain,
         ];
@@ -510,6 +786,47 @@ mod tests {
         assert!(parse_request(r#"{"v":1,"op":"predict","nf":"x","packets":"many"}"#)
             .unwrap_err()
             .contains("`packets`"));
+    }
+
+    #[test]
+    fn place_requests_parse_with_defaults_and_reject_bad_nfs() {
+        let env = parse_request(r#"{"v":1,"op":"place","nfs":["firewall","mazunat"]}"#)
+            .expect("minimal place");
+        match env.req {
+            Request::Place(r) => {
+                assert_eq!(r, PlacementRequest::new(["firewall", "nat"]));
+            }
+            other => panic!("unexpected request {other:?}"),
+        }
+        assert!(parse_request(r#"{"v":1,"op":"place"}"#)
+            .unwrap_err()
+            .contains("`nfs`"));
+        assert!(parse_request(r#"{"v":1,"op":"place","nfs":[]}"#)
+            .unwrap_err()
+            .contains("`nfs`"));
+        assert!(parse_request(r#"{"v":1,"op":"place","nfs":["nat",7]}"#)
+            .unwrap_err()
+            .contains("`nfs`"));
+        assert!(
+            parse_request(r#"{"v":1,"op":"place","nfs":["mazunat"],"objective":"speed"}"#)
+                .unwrap_err()
+                .contains("unknown objective")
+        );
+        assert!(
+            parse_request(r#"{"v":1,"op":"place","nfs":["mazunat"],"drift_threshold":-1}"#)
+                .unwrap_err()
+                .contains("drift_threshold")
+        );
+    }
+
+    #[test]
+    fn infeasible_is_part_of_the_error_kind_set() {
+        let line = error_response(None, ErrorKind::Infeasible, "state exceeds NIC memory");
+        let v = serde_json::parse_value(&line).expect("valid JSON");
+        assert_eq!(
+            v.get("error"),
+            Some(&serde::Value::Str("infeasible".to_string()))
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use clara_core::{difftest, engine, Clara, ClaraError, DifftestConfig, Precision};
+use clara_core::{
+    difftest, engine, Clara, ClaraError, DifftestConfig, PlacementFailure, PlacementRequest,
+    Precision,
+};
 use clara_hal::{Backend as _, DeviceBackend};
 use clara_obs as obs;
 use nf_ir::Module;
@@ -91,6 +94,7 @@ enum JobKind {
     Predict(WorkSpec),
     Analyze(WorkSpec),
     Difftest { seeds: u64, start: u64, pkts: usize },
+    Place(PlacementRequest),
 }
 
 struct Job {
@@ -375,6 +379,7 @@ fn handle_line(line: &str, s: &Arc<Shared>) -> String {
         Request::Predict(_) => "predict",
         Request::Analyze(_) => "analyze",
         Request::Difftest { .. } => "difftest",
+        Request::Place(_) => "place",
         Request::Stats => "stats",
         Request::Drain => "drain",
     };
@@ -412,11 +417,42 @@ fn dispatch(env: Envelope, s: &Arc<Shared>) -> String {
                 ),
             )
         }
+        Request::Place(r) if r.nfs.iter().any(|nf| !s.corpus.contains_key(nf)) => {
+            s.errors.fetch_add(1, Ordering::SeqCst);
+            let unknown = r
+                .nfs
+                .iter()
+                .find(|nf| !s.corpus.contains_key(*nf))
+                .expect("guard found one");
+            protocol::error_response(
+                id,
+                ErrorKind::UnknownNf,
+                &format!("`{unknown}` is not in the corpus (see `clara list`)"),
+            )
+        }
+        Request::Place(r)
+            if r.backend
+                .as_deref()
+                .is_some_and(|n| !s.backends.iter().any(|b| b.name() == n)) =>
+        {
+            s.errors.fetch_add(1, Ordering::SeqCst);
+            let loaded: Vec<&str> = s.backends.iter().map(|b| b.name()).collect();
+            protocol::error_response(
+                id,
+                ErrorKind::UnknownBackend,
+                &format!(
+                    "`{}` is not a warm backend (loaded: {})",
+                    r.backend.as_deref().unwrap_or("?"),
+                    loaded.join(", ")
+                ),
+            )
+        }
         Request::Predict(w) => enqueue_and_wait(id, JobKind::Predict(w), s),
         Request::Analyze(w) => enqueue_and_wait(id, JobKind::Analyze(w), s),
         Request::Difftest { seeds, start, pkts } => {
             enqueue_and_wait(id, JobKind::Difftest { seeds, start, pkts }, s)
         }
+        Request::Place(r) => enqueue_and_wait(id, JobKind::Place(r), s),
     }
 }
 
@@ -697,6 +733,45 @@ fn run_single(job: Job, s: &Arc<Shared>) {
                 Err(e) => {
                     s.errors.fetch_add(1, Ordering::SeqCst);
                     protocol::error_response(job.id, ErrorKind::Internal, &e.to_string())
+                }
+            }
+        }
+        JobKind::Place(r) => {
+            obs::counter("serve.ops.place").incr();
+            let backend = match &r.backend {
+                None => s.backends[0],
+                Some(name) => s
+                    .backends
+                    .iter()
+                    .copied()
+                    .find(|b| b.name() == name.as_str())
+                    .expect("validated at admission"),
+            };
+            let precision = r.precision.unwrap_or(s.opts.precision);
+            let outcome = {
+                let span = obs::span_under(s.root, "serve-place");
+                let _ctx = obs::attach(span.handle());
+                s.clara.place_on_prec(r, backend, precision)
+            };
+            match outcome {
+                Ok(plan) => {
+                    s.served.fetch_add(1, Ordering::SeqCst);
+                    protocol::place_response(job.id, &plan)
+                }
+                Err(e) => {
+                    s.errors.fetch_add(1, Ordering::SeqCst);
+                    let kind = match &e {
+                        ClaraError::Placement {
+                            kind: PlacementFailure::Infeasible,
+                            ..
+                        } => ErrorKind::Infeasible,
+                        ClaraError::Placement {
+                            kind: PlacementFailure::UnknownNf,
+                            ..
+                        } => ErrorKind::UnknownNf,
+                        _ => ErrorKind::Internal,
+                    };
+                    protocol::error_response(job.id, kind, &e.to_string())
                 }
             }
         }

@@ -23,9 +23,11 @@
 //! ```
 
 pub mod packet;
+pub mod schedule;
 pub mod spec;
 pub mod trace;
 
 pub use packet::{FlowKey, Packet, Proto, TCP_ACK, TCP_FIN, TCP_PSH, TCP_RST, TCP_SYN};
+pub use schedule::{Phase, Schedule, BUILTIN_SCHEDULES};
 pub use spec::{FlowDist, PktSizeDist, WorkloadSpec};
 pub use trace::Trace;

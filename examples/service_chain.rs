@@ -8,8 +8,8 @@
 //! per-packet cost, place every stage's state with Clara's ILP, and
 //! compare naive vs tuned chain deployments across core counts.
 
-use clara_repro::clara::partial::{best_split, suggest_split, HostConfig};
-use clara_repro::clara::placement;
+use clara_repro::clara::partial::{best_split, HostConfig};
+use clara_repro::clara::placement::{self, plan::suggest_split};
 use clara_repro::click::{elements, Chain};
 use clara_repro::nicsim::{self, NicConfig, PortConfig};
 use clara_repro::trafgen::{Trace, WorkloadSpec};
@@ -79,7 +79,7 @@ fn main() {
     let mut combined = PortConfig::naive();
     for (i, m) in modules.iter().enumerate() {
         let stage_wp = nicsim::profile_workload(m, &trace, &naive, &cfg, |_| {});
-        let map = placement::suggest_placement(m, &stage_wp, &cfg).expect("feasible");
+        let map = placement::plan::suggest_placement(m, &stage_wp, &cfg).expect("feasible");
         println!(
             "stage {i} ({}) placement: {}",
             m.name,

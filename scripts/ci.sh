@@ -23,3 +23,8 @@ test -s BENCH_train_timing.json
 # quant-smoke: the f64-vs-q16 oracle with a predict-stage speedup floor,
 # plus bench-serve at both precisions (q16 with a raised floor).
 ./scripts/quant_smoke.sh
+
+# place-smoke: the placement API surface — ILP-vs-greedy difftest +
+# golden matrix, a drifting replay with its migration run report, and
+# the infeasible-placement exit code.
+./scripts/place_smoke.sh

@@ -14,6 +14,8 @@
 //! $ clara difftest --seeds 500         # differential semantics oracle
 //! $ clara predict cmsketch             # one-shot performance prediction
 //! $ clara predict cmsketch --precision q16   # fixed-point fast path
+//! $ clara place firewall,nat           # traffic-aware placement plan
+//! $ clara place nat --replay shift --epochs 6   # drift-driven re-planning
 //! $ clara quantcheck                   # q16-vs-f64 tolerance oracle
 //! $ clara serve --addr 127.0.0.1:4117  # batched NF-analysis daemon
 //! $ clara bench-serve --requests 300   # load-generate against the daemon
@@ -43,12 +45,17 @@ fn find(name: &str) -> NfElement {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: clara <list|backends|analyze|predict|ir|asm|sweep|cache-verify|difftest|\
+        "usage: clara <list|backends|analyze|predict|place|ir|asm|sweep|cache-verify|difftest|\
          quantcheck|serve|bench-serve> [element] [options]"
     );
     eprintln!(
         "  options: --small-flows  --packets N  --seed N  --cores N  --model FILE  \
          --report FILE  --backend NAME|all  --precision f64|q16"
+    );
+    eprintln!(
+        "  place: NF[,NF...]  --packets N  --seed N  --small-flows  --backend NAME|FILE.toml  \
+         --precision f64|q16  --objective throughput|host-cores  --replay steady|shift|burst  \
+         --epochs N  --drift-threshold X  --model FILE  --report FILE"
     );
     eprintln!(
         "  difftest: --seeds N  --start N  --packets N  --artifacts DIR  --no-shrink  \
@@ -66,7 +73,8 @@ fn usage() -> ! {
     eprintln!(
         "  bench-serve: --addr HOST:PORT  --requests N  --conns N  --nf NAME  --packets N  \
          --seed N  --burst N  --burst-packets N  --baseline N  --model FILE  \
-         --require-speedup X  --drain  --report FILE  --backend NAME  --precision f64|q16"
+         --require-speedup X  --drain  --report FILE  --backend NAME  --precision f64|q16  \
+         --place-every N"
     );
     eprintln!(
         "  environment: CLARA_THREADS=N  CLARA_CACHE_DIR=DIR  \
@@ -76,7 +84,8 @@ fn usage() -> ! {
         "  exit codes: 0 success, 1 other errors, 2 usage, 3 degraded run \
          (engine tasks failed permanently), 4 cache corruption, 5 I/O failure, \
          6 difftest divergence, 7 serve/bench failure, 8 invalid manifest or \
-         unknown backend, 9 quantization tolerance violation"
+         unknown backend, 9 quantization tolerance violation, 10 infeasible \
+         placement / solver timeout / unknown NF in a placement request"
     );
     std::process::exit(2);
 }
@@ -338,6 +347,7 @@ fn run() -> Result<(), ClaraError> {
                 serve::protocol::predict_response(None, e.name(), backend.name(), precision, &p)
             );
         }
+        "place" => return place_cmd(rest),
         "quantcheck" => return quantcheck_cmd(rest),
         "serve" => return serve_cmd(rest),
         "bench-serve" => return bench_serve_cmd(rest),
@@ -523,6 +533,7 @@ fn bench_serve_cmd(args: &[String]) -> Result<(), ClaraError> {
             "--report" => bo.report = it.next().cloned().or_else(|| usage()),
             "--backend" => bo.backend = it.next().cloned().or_else(|| usage()),
             "--precision" => bo.precision = Some(parse_precision(it.next())),
+            "--place-every" => bo.place_every = num(&mut it) as usize,
             _ => usage(),
         }
     }
@@ -541,6 +552,84 @@ fn bench_serve_cmd(args: &[String]) -> Result<(), ClaraError> {
     if s.drained {
         println!("drain: ok");
     }
+    Ok(())
+}
+
+/// `clara place`: traffic-aware placement planning for an NF set.
+///
+/// Prints the plan with the exact rendering the daemon's `op:"place"`
+/// uses, so one-shot and served plans for the same request are
+/// byte-identical. `--backend` accepts a built-in device name or a
+/// manifest file path (loaded fresh, never warm). Infeasible instances,
+/// solver-budget exhaustion, and unknown NFs exit 10.
+fn place_cmd(args: &[String]) -> Result<(), ClaraError> {
+    use clara_repro::clara::PlacementRequest;
+
+    let (nf_arg, opt_args) = args.split_first().unwrap_or_else(|| usage());
+    let nfs: Vec<&str> = nf_arg.split(',').filter(|s| !s.is_empty()).collect();
+    if nfs.is_empty() {
+        usage();
+    }
+    let mut b = PlacementRequest::builder(nfs);
+    let mut model: Option<String> = None;
+    let mut report = obs::sink_from_env();
+    let mut backend: Option<String> = None;
+    let mut seed = 42u64;
+    let mut it = opt_args.iter();
+    let num = |it: &mut std::slice::Iter<String>| -> u64 {
+        it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--packets" => b = b.packets(num(&mut it) as usize),
+            "--seed" => {
+                seed = num(&mut it);
+                b = b.seed(seed);
+            }
+            "--small-flows" => b = b.small_flows(true),
+            "--backend" => backend = it.next().cloned().or_else(|| usage()),
+            "--precision" => b = b.precision(parse_precision(it.next())),
+            "--objective" => {
+                let o = it.next().unwrap_or_else(|| usage());
+                b = b.objective(
+                    clara_repro::clara::Objective::parse(o).unwrap_or_else(|| usage()),
+                );
+            }
+            "--replay" => b = b.replay(it.next().cloned().unwrap_or_else(|| usage())),
+            "--epochs" => b = b.epochs(num(&mut it) as usize),
+            "--drift-threshold" => {
+                b = b.drift_threshold(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--model" => model = it.next().cloned().or_else(|| usage()),
+            "--report" => report = it.next().cloned().or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    if report.is_some() {
+        obs::enable();
+    }
+    let clara = load_or_train(&model, seed)?;
+    // A backend argument that points at a file is a device manifest
+    // loaded for this run; anything else must be a built-in name (the
+    // same set the daemon can hold warm).
+    let from_file = backend.as_deref().is_some_and(|p| {
+        p.ends_with(".toml") || p.contains('/') || std::path::Path::new(p).exists()
+    });
+    let plan = if from_file {
+        let dev = DeviceBackend::load(backend.as_deref().expect("checked above"))?;
+        clara.place_on(&b.build(), &dev)?
+    } else {
+        if let Some(name) = backend {
+            b = b.backend(name);
+        }
+        clara.place(&b.build())?
+    };
+    println!("{}", serve::protocol::place_response(None, &plan));
+    write_report(&report);
     Ok(())
 }
 

@@ -47,7 +47,7 @@ proptest! {
         let cfg = NicConfig::default();
         let wp = nicsim::profile_workload(&m, &trace, &PortConfig::naive(), &cfg, |_| {});
         if let Some(placement) =
-            clara_repro::clara::placement::suggest_placement(&m, &wp, &cfg)
+            clara_repro::clara::placement::plan::suggest_placement(&m, &wp, &cfg)
         {
             let mut used = [0u64; 4];
             for g in &m.globals {

@@ -537,6 +537,91 @@ fn per_request_precision_routing() {
     assert_eq!(summary.errors, 1, "exactly the bad_request rejection");
 }
 
+/// `op:"place"` end to end: a served placement plan is byte-identical
+/// to the facade's rendering for the same request, an NF outside the
+/// corpus is rejected with a typed `unknown_nf` before queueing, a
+/// replayed request re-solves on drift, and the drain report carries
+/// the placement counters.
+#[test]
+fn place_requests_route_replan_and_land_in_the_drain_report() {
+    let _g = SERVE_LOCK.lock().unwrap();
+    let clara = clara();
+    let handle = start(2, 16, 4);
+    let addr = handle.addr();
+    let mut conn = Conn::open(addr);
+
+    // One-shot plan, byte-identical to the facade rendering.
+    let req = clara_repro::clara::PlacementRequest::builder(["firewall", "mazunat"])
+        .packets(150)
+        .seed(31)
+        .build();
+    let default = clara_repro::hal::default_backend();
+    let expected = protocol::place_response(
+        Some(40),
+        &clara
+            .place_on_prec(&req, default, Precision::F64)
+            .expect("facade place"),
+    );
+    let resp = conn.send(&protocol::render_request(Some(40), &Request::Place(req)));
+    assert_eq!(
+        resp, expected,
+        "served op:\"place\" must be byte-identical to the one-shot rendering"
+    );
+
+    // A drifting replay re-solves at least once and reports it.
+    // The large→small phase flip moves udpcount's access mix by ~14%;
+    // a 10% threshold makes the re-solve deterministic for these params.
+    let replay_req = clara_repro::clara::PlacementRequest::builder(["udpcount"])
+        .packets(150)
+        .seed(31)
+        .replay("shift")
+        .epochs(4)
+        .drift_threshold(0.1)
+        .build();
+    let resp = conn.send(&protocol::render_request(
+        Some(41),
+        &Request::Place(replay_req),
+    ));
+    let v = serde_json::parse_value(&resp).expect("replay response parses");
+    assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{resp}");
+    let replay = v.get("replay").expect("replay summary present");
+    match replay.get("resolves") {
+        Some(Value::UInt(n)) => assert!(*n >= 1, "shift replay must re-solve: {resp}"),
+        Some(Value::Int(n)) => assert!(*n >= 1, "shift replay must re-solve: {resp}"),
+        other => panic!("replay `resolves` missing or non-integer: {other:?} in {resp}"),
+    }
+
+    // Unknown NFs are rejected before queueing, with the typed kind.
+    let resp = conn.send(&protocol::render_request(
+        Some(42),
+        &Request::Place(clara_repro::clara::PlacementRequest::new([
+            "firewall",
+            "not-an-nf",
+        ])),
+    ));
+    let v = serde_json::parse_value(&resp).expect("rejection parses");
+    assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "{resp}");
+    assert_eq!(
+        v.get("error"),
+        Some(&Value::Str("unknown_nf".to_string())),
+        "unknown NF must be a typed rejection: {resp}"
+    );
+
+    // Drain: the deterministic report carries the re-plan counters.
+    let resp = conn.send(&protocol::render_request(Some(43), &Request::Drain));
+    assert!(resp.contains("\"ok\":true"), "drain succeeds: {resp}");
+    for counter in ["serve.ops.place", "place.requests", "place.epochs", "place.resolves"] {
+        assert!(
+            resp.contains(counter),
+            "drain report must carry `{counter}`: {resp}"
+        );
+    }
+
+    let summary = handle.join();
+    assert_eq!(summary.served, 2, "both placement plans served");
+    assert_eq!(summary.errors, 1, "exactly the unknown-NF rejection");
+}
+
 /// (d) Drain stops admission, finishes in-flight work, and answers with
 /// a well-formed deterministic run report.
 #[test]
