@@ -623,7 +623,8 @@ impl Clara {
         items: &[(&Module, &Trace)],
     ) -> Vec<Result<Prediction, ClaraError>> {
         let backend_fp = engine::value_fingerprint(&self.nic);
-        self.predict_batch_with(items, &self.nic, backend_fp, self.precision)
+        let predictor_fp = self.predictor_fingerprint();
+        self.predict_batch_with(items, &self.nic, backend_fp, self.precision, predictor_fp)
     }
 
     /// [`Clara::predict_batch`] against a specific device backend: the
@@ -650,7 +651,34 @@ impl Clara {
         backend: &dyn clara_hal::Backend,
         precision: Precision,
     ) -> Vec<Result<Prediction, ClaraError>> {
-        self.predict_batch_with(items, backend.nic(), backend.fingerprint(), precision)
+        let predictor_fp = self.predictor_fingerprint();
+        self.predict_batch_with(items, backend.nic(), backend.fingerprint(), precision, predictor_fp)
+    }
+
+    /// Content fingerprint of the trained predictor weights — the part
+    /// of the trace-independent prediction memo key that never changes
+    /// for a given instance. Hashing the full weight tensors costs
+    /// milliseconds, which is noise on a one-shot CLI run but dominates
+    /// a warm sub-millisecond serving request; a resident server should
+    /// call this **once** and reuse the value through
+    /// [`Clara::predict_batch_on_prec_cached`].
+    pub fn predictor_fingerprint(&self) -> u64 {
+        engine::value_fingerprint(&self.predictor)
+    }
+
+    /// [`Clara::predict_batch_on_prec`] with a precomputed
+    /// [`Clara::predictor_fingerprint`]: the serving-path entry point.
+    /// Passing a fingerprint that was not produced from this instance's
+    /// predictor poisons the process-wide memo with misattributed
+    /// entries, so callers must cache it per instance.
+    pub fn predict_batch_on_prec_cached(
+        &self,
+        items: &[(&Module, &Trace)],
+        backend: &dyn clara_hal::Backend,
+        precision: Precision,
+        predictor_fp: u64,
+    ) -> Vec<Result<Prediction, ClaraError>> {
+        self.predict_batch_with(items, backend.nic(), backend.fingerprint(), precision, predictor_fp)
     }
 
     fn predict_batch_with(
@@ -659,16 +687,15 @@ impl Clara {
         nic: &NicConfig,
         backend_fp: u64,
         precision: Precision,
+        // The trace-independent half of a prediction (IR verification,
+        // LSTM compute estimate, memory count) is a pure function of
+        // (trained predictor, module) — memoized process-wide under this
+        // fingerprint of the predictor weights, which covers the whole
+        // batch (and, for a resident server, its whole lifetime).
+        predictor_fp: u64,
     ) -> Vec<Result<Prediction, ClaraError>> {
         let eng = engine::Engine::new();
         let naive = PortConfig::naive();
-        // The trace-independent half of a prediction (IR verification,
-        // LSTM compute estimate, memory count) is a pure function of
-        // (trained predictor, module) — memoize it process-wide so a
-        // warm server answers repeat requests without re-running model
-        // inference. One fingerprint of the predictor weights covers the
-        // whole batch.
-        let predictor_fp = engine::value_fingerprint(&self.predictor);
         let outcome = engine::try_par_map("predict-batch", items, |_, &(module, trace)| {
             if trace.pkts.is_empty() {
                 return Err(ClaraError::EmptyTrace);

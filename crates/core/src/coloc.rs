@@ -216,6 +216,62 @@ impl ColocRanker {
     }
 }
 
+/// Predicted pairwise interference when two workloads are colocated on
+/// one device: each side's relative throughput loss versus running alone
+/// on half the cores (the colocated solver's split convention).
+///
+/// This is the operator-facing form of [`measure_pair`]: instead of a
+/// unitless friendliness score it answers "tenant A loses X% next to
+/// tenant B", which `clara serve` surfaces per registered tenant pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairInterference {
+    /// Throughput loss of the first workload, percent of its solo peak.
+    pub a_loss_pct: f64,
+    /// Throughput loss of the second workload, percent of its solo peak.
+    pub b_loss_pct: f64,
+}
+
+/// Predicts the colocation interference of a pair of workload profiles.
+pub fn pair_interference(
+    a: &WorkloadProfile,
+    b: &WorkloadProfile,
+    cfg: &NicConfig,
+    port: &PortConfig,
+) -> PairInterference {
+    let half = (cfg.cores / 2).max(1);
+    let solo_a = solve_perf(a, cfg, port, half);
+    let solo_b = solve_perf(b, cfg, port, half);
+    let pair = solve_colocated(&[a, b], cfg, &[port, port], &[half, half]);
+    let loss = |solo: f64, colocated: f64| {
+        ((1.0 - colocated / solo.max(1e-9)) * 100.0).clamp(0.0, 100.0)
+    };
+    PairInterference {
+        a_loss_pct: loss(solo_a.throughput_mpps, pair[0].throughput_mpps),
+        b_loss_pct: loss(solo_b.throughput_mpps, pair[1].throughput_mpps),
+    }
+}
+
+/// Deterministic representative profile of an NF set, for tenant-level
+/// colocation predictions: every module is profiled on the same fixed
+/// small trace and the heaviest (largest compute volume) profile stands
+/// in for the set. Returns `None` for an empty set.
+pub fn representative_profile(
+    modules: &[&nf_ir::Module],
+    cfg: &NicConfig,
+) -> Option<WorkloadProfile> {
+    use trafgen::{Trace, WorkloadSpec};
+    let port = PortConfig::naive();
+    let trace = Trace::generate(&WorkloadSpec::large_flows(), 300, 42);
+    modules
+        .iter()
+        .map(|m| nic_sim::profile_workload(m, &trace, &port, cfg, |_| {}))
+        .max_by(|a, b| {
+            a.compute
+                .partial_cmp(&b.compute)
+                .expect("profile compute volumes are finite")
+        })
+}
+
 /// Profiles a pool of synthesized NFs for ranking experiments.
 pub fn synth_profiles(n: usize, cfg: &NicConfig, seed: u64) -> Vec<WorkloadProfile> {
     use trafgen::{Trace, WorkloadSpec};

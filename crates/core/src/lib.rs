@@ -67,6 +67,8 @@ pub use clara::{
     Clara, ClaraConfig, ClaraConfigBuilder, Insights, Prediction, MIN_MODEL_FORMAT_VERSION,
     MODEL_FORMAT_VERSION,
 };
+pub use coloc::{pair_interference, representative_profile, PairInterference};
+pub use nic_sim::{NicConfig, PortConfig, WorkloadProfile};
 pub use difftest::{DifftestConfig, DifftestReport, Divergence, DivergenceKind};
 pub use engine::{Engine, EngineOptions, EngineOptionsBuilder};
 pub use error::{ClaraError, PlacementFailure};

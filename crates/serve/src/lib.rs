@@ -12,7 +12,10 @@
 //! - **accumulating caches** — one long-lived [`clara_core::Engine`]
 //!   handle serves every request, so the in-memory and on-disk
 //!   compile/profile artifact caches warm up monotonically across
-//!   requests (the second identical request recomputes nothing);
+//!   requests, and a serve-level prediction cache keyed by
+//!   `(spec, backend, precision)` answers repeats without re-entering
+//!   the engine (the second identical request recomputes — and
+//!   re-hashes — nothing);
 //! - **bounded queue + admission control** — requests run on a
 //!   fixed-size worker pool behind a bounded queue; when the queue is
 //!   full the server answers with a typed `overloaded` error immediately
@@ -27,14 +30,28 @@
 //!   stops admission, finishes everything in flight, and answers with a
 //!   final deterministic [`clara_obs::RunReport`].
 //!
-//! The wire protocol is versioned JSON lines over TCP; see [`protocol`].
-//! [`server`] hosts the daemon (in-process startable for tests), and
-//! [`client`] is the load generator behind `clara bench-serve`.
+//! - **multi-tenant fleet serving** — every request runs as a tenant
+//!   ([`tenant`]); `op:"register"` pins per-tenant NF sets, default
+//!   backend/precision, and admission quotas. Tenants get their own
+//!   sub-queues under the shared capacity budget with deficit
+//!   round-robin dispatch and sharded workers, so one tenant's burst
+//!   collects typed `quota_exceeded` while everyone else keeps their
+//!   latency; `stats` surfaces per-tenant counters and pairwise
+//!   colocation-interference predictions.
+//!
+//! The wire protocol is versioned JSON over TCP lines or UDS frames
+//! (see [`protocol`] and [`transport`]). [`server`] hosts the daemon
+//! (in-process startable for tests), and [`client`] is the load
+//! generator behind `clara bench-serve`.
 
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod tenant;
+pub mod transport;
 
-pub use client::{run_bench, BenchOptions, BenchSummary};
-pub use protocol::{Request, WorkSpec, PROTOCOL_VERSION};
+pub use client::{run_bench, BenchOptions, BenchSummary, FairnessReport, MatrixCell};
+pub use protocol::{RegisterSpec, Request, WorkSpec, PROTOCOL_VERSION};
 pub use server::{Server, ServerHandle, ServeOptions, ServeSummary};
+pub use tenant::{Registry, Tenant, TenantStats, DEFAULT_TENANT};
+pub use transport::Transport;

@@ -37,6 +37,27 @@
 //! `bad_request`. Successful `predict`/`analyze` responses echo the
 //! precision that actually served them.
 //!
+//! # Tenancy
+//!
+//! Every request may carry a top-level `"tenant"` field naming the
+//! tenant it runs as; requests without one run as the always-present
+//! `default` tenant. `op:"register"` declares (or updates) a tenant:
+//!
+//! ```json
+//! {"v":1,"op":"register","tenant":"team-a","nfs":["cmsketch","nat"],
+//!  "backend":"dpu-offpath","precision":"q16","quota":8}
+//! {"v":1,"op":"predict","tenant":"team-a","nf":"cmsketch"}
+//! ```
+//!
+//! Registration pins the tenant's NF set (an empty or omitted `nfs`
+//! admits the whole corpus), its default device backend and inference
+//! precision (applied to requests that name none), and its admission
+//! `quota` — the most jobs the tenant may have queued at once. A work
+//! request naming an unregistered tenant is rejected with the typed
+//! `unknown_tenant` kind; a registered tenant that fills its quota gets
+//! `quota_exceeded` while the shared queue keeps admitting everyone
+//! else (the global capacity rejection stays `overloaded`).
+//!
 //! Successful responses are `{"v":1,"ok":true,"op":...}` plus payload;
 //! failures are `{"v":1,"ok":false,"error":<kind>,"detail":...}` where
 //! `<kind>` is one of the [`ErrorKind`] strings. `overloaded` is the
@@ -89,6 +110,22 @@ impl WorkSpec {
     }
 }
 
+/// What `op:"register"` declares about a tenant.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegisterSpec {
+    /// The tenant's NF set; empty admits the whole corpus.
+    pub nfs: Vec<String>,
+    /// Default device backend for the tenant's requests (None: the
+    /// server's default backend).
+    pub backend: Option<String>,
+    /// Default inference precision for the tenant's requests (None: the
+    /// server's configured default).
+    pub precision: Option<Precision>,
+    /// Admission quota: most jobs the tenant may have queued at once
+    /// (None: the full queue capacity).
+    pub quota: Option<u64>,
+}
+
 /// One parsed request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -107,17 +144,21 @@ pub enum Request {
         /// Packets per seed.
         pkts: usize,
     },
+    /// Tenant registration (the envelope's `tenant` names it).
+    Register(RegisterSpec),
     /// Live server/engine statistics.
     Stats,
     /// Graceful shutdown: stop admission, finish in flight, report.
     Drain,
 }
 
-/// A request plus its optional client correlation id.
+/// A request plus its optional client correlation id and tenant.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
     /// Echoed back verbatim on the response.
     pub id: Option<u64>,
+    /// The tenant the request runs as (None: the `default` tenant).
+    pub tenant: Option<String>,
     /// The operation.
     pub req: Request,
 }
@@ -137,6 +178,11 @@ pub enum ErrorKind {
     Draining,
     /// `backend` does not name a device backend the server holds.
     UnknownBackend,
+    /// `tenant` does not name a registered tenant.
+    UnknownTenant,
+    /// The tenant's admission quota is full; the shared queue keeps
+    /// serving everyone else (per-tenant backpressure, not a fault).
+    QuotaExceeded,
     /// A placement request's ILP instance has no feasible assignment on
     /// the chosen device (`op:"place"` only).
     Infeasible,
@@ -154,6 +200,8 @@ impl ErrorKind {
             ErrorKind::Deadline => "deadline",
             ErrorKind::Draining => "draining",
             ErrorKind::UnknownBackend => "unknown_backend",
+            ErrorKind::UnknownTenant => "unknown_tenant",
+            ErrorKind::QuotaExceeded => "quota_exceeded",
             ErrorKind::Infeasible => "infeasible",
             ErrorKind::Internal => "internal",
         }
@@ -266,6 +314,33 @@ fn place_request(v: &Value) -> Result<PlacementRequest, String> {
     Ok(req)
 }
 
+fn register_spec(v: &Value) -> Result<RegisterSpec, String> {
+    let nfs: Vec<String> = match v.get("nfs") {
+        None | Some(Value::Null) => Vec::new(),
+        Some(Value::Seq(items)) => items
+            .iter()
+            .map(|item| match item {
+                Value::Str(s) if !s.is_empty() => Ok(s.clone()),
+                other => Err(format!(
+                    "`nfs` entries must be non-empty strings, got {}",
+                    other.kind()
+                )),
+            })
+            .collect::<Result<_, _>>()?,
+        Some(other) => {
+            return Err(format!("`nfs` must be an array of strings, got {}", other.kind()))
+        }
+    };
+    Ok(RegisterSpec {
+        nfs,
+        backend: get_str(v, "backend")?,
+        precision: get_str(v, "precision")?
+            .map(|s| Precision::parse(&s))
+            .transpose()?,
+        quota: get_u64(v, "quota")?,
+    })
+}
+
 /// Parses one request line.
 ///
 /// # Errors
@@ -281,6 +356,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
         ));
     }
     let id = get_u64(&v, "id")?;
+    let tenant = get_str(&v, "tenant")?;
     let req = match v.get("op") {
         Some(Value::Str(op)) => match op.as_str() {
             "predict" => Request::Predict(work_spec(&v)?),
@@ -291,6 +367,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
                 start: get_u64(&v, "start")?.unwrap_or(0),
                 pkts: get_u64(&v, "packets")?.unwrap_or(64) as usize,
             },
+            "register" => Request::Register(register_spec(&v)?),
             "stats" => Request::Stats,
             "drain" => Request::Drain,
             other => return Err(format!("unknown op `{other}`")),
@@ -298,7 +375,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
         Some(other) => return Err(format!("`op` must be a string, got {}", other.kind())),
         None => return Err("missing `op`".to_string()),
     };
-    Ok(Envelope { id, req })
+    Ok(Envelope { id, tenant, req })
 }
 
 // ---- rendering ---------------------------------------------------------
@@ -316,11 +393,20 @@ fn finish(m: Vec<(String, Value)>) -> String {
     serde_json::to_string(&Value::Map(m)).expect("value rendering is infallible")
 }
 
-/// Renders a request line (the client side of the protocol).
+/// Renders a request line (the client side of the protocol) for the
+/// `default` tenant.
 pub fn render_request(id: Option<u64>, req: &Request) -> String {
+    render_request_as(id, None, req)
+}
+
+/// Renders a request line running as the named tenant (None: `default`).
+pub fn render_request_as(id: Option<u64>, tenant: Option<&str>, req: &Request) -> String {
     let mut m = vec![("v".to_string(), Value::UInt(PROTOCOL_VERSION))];
     if let Some(id) = id {
         m.push(("id".to_string(), Value::UInt(id)));
+    }
+    if let Some(t) = tenant {
+        m.push(("tenant".to_string(), Value::Str(t.to_string())));
     }
     let op = |name: &str| ("op".to_string(), Value::Str(name.to_string()));
     match req {
@@ -372,9 +458,46 @@ pub fn render_request(id: Option<u64>, req: &Request) -> String {
             m.push(("start".to_string(), Value::UInt(*start)));
             m.push(("packets".to_string(), Value::UInt(*pkts as u64)));
         }
+        Request::Register(r) => {
+            m.push(op("register"));
+            m.push((
+                "nfs".to_string(),
+                Value::Seq(r.nfs.iter().map(|n| Value::Str(n.clone())).collect()),
+            ));
+            if let Some(b) = &r.backend {
+                m.push(("backend".to_string(), Value::Str(b.clone())));
+            }
+            if let Some(p) = r.precision {
+                m.push(("precision".to_string(), Value::Str(p.as_str().to_string())));
+            }
+            if let Some(q) = r.quota {
+                m.push(("quota".to_string(), Value::UInt(q)));
+            }
+        }
         Request::Stats => m.push(op("stats")),
         Request::Drain => m.push(op("drain")),
     }
+    finish(m)
+}
+
+/// Renders a successful `register` response: the tenant's effective
+/// configuration as the server admitted it.
+pub fn register_response(
+    id: Option<u64>,
+    tenant: &str,
+    shard: usize,
+    quota: usize,
+    nfs: &[String],
+) -> String {
+    let mut m = head(id, true);
+    m.push(("op".to_string(), Value::Str("register".to_string())));
+    m.push(("tenant".to_string(), Value::Str(tenant.to_string())));
+    m.push(("shard".to_string(), Value::UInt(shard as u64)));
+    m.push(("quota".to_string(), Value::UInt(quota as u64)));
+    m.push((
+        "nfs".to_string(),
+        Value::Seq(nfs.iter().map(|n| Value::Str(n.clone())).collect()),
+    ));
     finish(m)
 }
 
@@ -794,7 +917,7 @@ mod tests {
             .expect("minimal place");
         match env.req {
             Request::Place(r) => {
-                assert_eq!(r, PlacementRequest::new(["firewall", "nat"]));
+                assert_eq!(r, PlacementRequest::new(["firewall", "mazunat"]));
             }
             other => panic!("unexpected request {other:?}"),
         }
@@ -817,6 +940,57 @@ mod tests {
                 .unwrap_err()
                 .contains("drift_threshold")
         );
+    }
+
+    #[test]
+    fn tenant_and_register_round_trip() {
+        let reqs = [
+            Request::Register(RegisterSpec {
+                nfs: vec!["cmsketch".into(), "nat".into()],
+                backend: Some("dpu-offpath".into()),
+                precision: Some(Precision::Q16),
+                quota: Some(8),
+            }),
+            Request::Register(RegisterSpec::default()),
+            Request::Predict(WorkSpec {
+                nf: "cmsketch".into(),
+                packets: 400,
+                seed: 42,
+                small_flows: false,
+                backend: None,
+                precision: None,
+            }),
+        ];
+        for (i, req) in reqs.into_iter().enumerate() {
+            let line = render_request_as(Some(i as u64), Some("team-a"), &req);
+            let env = parse_request(&line).expect("round trip parses");
+            assert_eq!(env.tenant.as_deref(), Some("team-a"));
+            assert_eq!(env.req, req);
+        }
+        // Tenantless lines resolve to no tenant (the server's `default`).
+        let env = parse_request(r#"{"v":1,"op":"stats"}"#).expect("parses");
+        assert_eq!(env.tenant, None);
+        assert!(parse_request(r#"{"v":1,"op":"predict","nf":"x","tenant":7}"#)
+            .unwrap_err()
+            .contains("`tenant`"));
+        assert!(parse_request(r#"{"v":1,"op":"register","tenant":"a","nfs":"x"}"#)
+            .unwrap_err()
+            .contains("`nfs`"));
+        assert!(parse_request(r#"{"v":1,"op":"register","tenant":"a","quota":"big"}"#)
+            .unwrap_err()
+            .contains("`quota`"));
+    }
+
+    #[test]
+    fn tenancy_error_kinds_have_wire_strings() {
+        for (kind, wire) in [
+            (ErrorKind::UnknownTenant, "unknown_tenant"),
+            (ErrorKind::QuotaExceeded, "quota_exceeded"),
+        ] {
+            let line = error_response(None, kind, "detail");
+            let v = serde_json::parse_value(&line).expect("valid JSON");
+            assert_eq!(v.get("error"), Some(&serde::Value::Str(wire.to_string())));
+        }
     }
 
     #[test]

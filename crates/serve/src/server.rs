@@ -1,45 +1,67 @@
-//! The daemon: TCP acceptor, bounded work queue, worker pool.
+//! The daemon: TCP + UDS acceptors, per-tenant work queues, sharded
+//! worker pool.
 //!
-//! Life of a request: a connection thread parses the line and — for work
-//! ops — tries to enqueue a job onto the bounded queue. If the queue
-//! is at capacity the request is rejected *immediately* with a typed
-//! `overloaded` response (admission control; the client decides whether
-//! to retry). Otherwise the connection thread parks on a channel while a
-//! worker picks the job up, coalescing runs of adjacent `predict` jobs
-//! bound for the *same device backend* into one
-//! [`Clara::predict_batch_on`] call (one engine `par_map` stage for the
-//! whole batch). `stats` is answered inline without queueing so it
-//! stays responsive under load.
+//! Life of a request: a connection thread parses the line (or frame —
+//! see [`crate::transport`]), resolves the tenant it runs as, and — for
+//! work ops — tries to enqueue a job. Admission is decided **under the
+//! queue lock** in one linearized step: draining servers answer
+//! `draining`, a full shared queue answers `overloaded`, and a tenant
+//! that filled its own quota answers `quota_exceeded` while everyone
+//! else keeps being admitted. Admitted jobs go onto the tenant's
+//! sub-queue; the connection thread parks on a channel while a worker
+//! picks the job up.
+//!
+//! Dispatch is **deficit round-robin across tenants**: tenants with
+//! pending jobs form a ring, each visit grants a quantum of
+//! `batch_max` jobs, and unused credit carries (bounded) to the next
+//! visit. A visit coalesces runs of adjacent `predict` jobs bound for
+//! the *same device backend at the same precision* into one
+//! [`Clara::predict_batch_on_prec`] call — coalescing never crosses
+//! tenants. Workers are **sharded**: tenant *k* (registration order) is
+//! pinned to shard `k % workers` and worker *i* serves shard
+//! `i % min(workers, tenants)`, so a single tenant's burst occupies its
+//! own slice of the pool while a lone-tenant workload still uses every
+//! worker. `stats` is answered inline without queueing so it stays
+//! responsive under load, and now carries per-tenant counters, the
+//! `errors` total, and pairwise colocation-interference predictions.
 //!
 //! The server holds every backend in [`ServeOptions::backends`] warm
-//! and routes each request by its `backend` field (default: the first
-//! configured device); a name that is not loaded is rejected before
-//! queueing with a typed `unknown_backend` error.
+//! and routes each request by its `backend` field, falling back to the
+//! tenant's registered default and then the server default; a name that
+//! is not loaded is rejected before queueing with a typed
+//! `unknown_backend` error.
 //!
 //! Drain (the `drain` op, [`ServerHandle::drain`], or SIGTERM via
-//! [`install_sigterm_drain`]) flips one flag: admission stops (new work
-//! gets a typed `draining` error), workers finish the queue and exit,
-//! and the drain response carries the final deterministic
-//! [`clara_obs::RunReport`] of everything the server did.
+//! [`install_sigterm_drain`]) flips the drain flag **while holding the
+//! queue lock**, so it linearizes against admission: every job admitted
+//! before the flip is answered by the worker pool, every request after
+//! it gets the typed `draining` error, and drain always terminates.
+//! (Checking the flag outside the lock used to leave a window where a
+//! job could be pushed onto a queue whose workers had already observed
+//! empty-and-draining and exited — `await_quiesce` then spun forever.)
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use clara_core::{
-    difftest, engine, Clara, ClaraError, DifftestConfig, PlacementFailure, PlacementRequest,
-    Precision,
+    difftest, engine, Clara, ClaraError, DifftestConfig, NicConfig, PlacementFailure,
+    PlacementRequest, Precision, Prediction,
 };
 use clara_hal::{Backend as _, DeviceBackend};
 use clara_obs as obs;
 use nf_ir::Module;
 use serde::Value;
 
-use crate::protocol::{self, Envelope, ErrorKind, Request, WorkSpec};
+use crate::protocol::{self, Envelope, ErrorKind, RegisterSpec, Request, WorkSpec};
+use crate::tenant::{Registry, Tenant};
+use crate::transport;
 
 /// How the daemon is sized. Plain struct: every field has a sensible
 /// default, override what you need.
@@ -47,11 +69,15 @@ use crate::protocol::{self, Envelope, ErrorKind, Request, WorkSpec};
 pub struct ServeOptions {
     /// Bind address; use port 0 to let the OS pick (tests do).
     pub addr: String,
+    /// Also listen on a Unix-domain socket at this path, speaking
+    /// length-prefixed frames (the `uds` transport). `None`: TCP only.
+    pub uds_path: Option<String>,
     /// Worker threads executing queued jobs.
     pub workers: usize,
     /// Bounded queue capacity; beyond it requests get `overloaded`.
     pub queue_cap: usize,
-    /// Most `predict` jobs coalesced into one batched engine stage.
+    /// Most `predict` jobs coalesced into one batched engine stage;
+    /// also the deficit-round-robin quantum.
     pub batch_max: usize,
     /// Per-request budget measured from enqueue. Also installed as the
     /// engine's `stage_deadline` so a wedged stage is cut short too.
@@ -68,6 +94,7 @@ impl Default for ServeOptions {
     fn default() -> ServeOptions {
         ServeOptions {
             addr: "127.0.0.1:4117".to_string(),
+            uds_path: None,
             workers: 2,
             queue_cap: 64,
             batch_max: 8,
@@ -79,13 +106,16 @@ impl Default for ServeOptions {
 }
 
 /// What the server did over its lifetime (returned by
-/// [`ServerHandle::join`]).
+/// [`ServerHandle::join`]). Summed per-tenant counters (wire `stats`)
+/// reconcile exactly with these totals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeSummary {
     /// Work requests answered successfully.
     pub served: u64,
-    /// Requests rejected by admission control.
+    /// Requests rejected by shared-queue admission control.
     pub overloaded: u64,
+    /// Requests rejected by their tenant's own admission quota.
+    pub quota_exceeded: u64,
     /// Requests that failed for any other reason.
     pub errors: u64,
 }
@@ -99,23 +129,68 @@ enum JobKind {
 
 struct Job {
     id: Option<u64>,
+    tenant: Arc<Tenant>,
     kind: JobKind,
     enqueued: Instant,
     resp: mpsc::Sender<String>,
 }
 
+/// One tenant's sub-queue plus its deficit-round-robin credit.
+struct TenantQueue {
+    /// Latest registration of the owning tenant (refreshed at enqueue).
+    tenant: Arc<Tenant>,
+    jobs: VecDeque<Job>,
+    deficit: u64,
+}
+
+/// Everything admission and dispatch agree on, under one lock: the
+/// per-tenant sub-queues, the DRR ring of tenants with pending jobs,
+/// the shared-capacity total, and the drain flag (in here precisely so
+/// drain linearizes against admission).
+struct QueueState {
+    queues: BTreeMap<String, TenantQueue>,
+    ring: VecDeque<String>,
+    total: usize,
+    draining: bool,
+}
+
+/// A served prediction's identity: the materialized work spec plus the
+/// route (device, precision) that executed it. The trained model is
+/// fixed for the server's lifetime, so this key fully determines the
+/// prediction — and it hashes in nanoseconds, unlike the engine's
+/// serialize-and-FNV content fingerprints.
+type PredictKey = (String, usize, u64, bool, String, Precision);
+
+/// Most entries the completed-prediction memo holds. Inserts past the
+/// cap are dropped (never evicted), so a burst of distinctly-seeded
+/// one-off requests cannot wash out the steady-state working set.
+const PREDICT_CACHE_CAP: usize = 8192;
+
 struct Shared {
     clara: Arc<Clara>,
+    /// Predictor-weights fingerprint, hashed once at startup: computing
+    /// it per batch costs milliseconds, which would dominate every warm
+    /// sub-millisecond predict this daemon exists to serve.
+    predictor_fp: u64,
+    /// Completed predictions by spec + route. The engine's own caches
+    /// make the second identical request recompute nothing; this layer
+    /// makes it *re-hash* nothing (the engine keys its caches by
+    /// content fingerprints that serialize the module and trace on
+    /// every lookup, ~100us per request — 30-50% of a warm round trip).
+    predict_cache: Mutex<HashMap<PredictKey, Prediction>>,
     corpus: BTreeMap<String, Module>,
     /// Warm device backends, default (request names none) first.
     backends: Vec<&'static DeviceBackend>,
-    queue: Mutex<VecDeque<Job>>,
+    registry: Registry,
+    /// NIC model used for colocation-interference predictions.
+    nic: NicConfig,
+    queue: Mutex<QueueState>,
     cv: Condvar,
-    draining: AtomicBool,
     stopped: AtomicBool,
     in_flight: AtomicUsize,
     served: AtomicU64,
     overloaded: AtomicU64,
+    quota_exceeded: AtomicU64,
     errors: AtomicU64,
     opts: ServeOptions,
     root: obs::SpanHandle,
@@ -124,7 +199,8 @@ struct Shared {
 impl Shared {
     /// Resolves the backend a request routes to: the named warm device,
     /// or the default (first) one when the request names none. `None`
-    /// means the name is not loaded.
+    /// means the name is not loaded. (Tenant defaults are already
+    /// materialized into the spec at dispatch.)
     fn backend_of(&self, w: &WorkSpec) -> Option<&'static DeviceBackend> {
         match &w.backend {
             None => Some(self.backends[0]),
@@ -147,16 +223,33 @@ impl Shared {
         obs::volatile_gauge("serve.queue.depth").set(depth as f64);
     }
 
-    /// Stops admission and wakes everyone who might be waiting on it.
+    /// Counts one failed request against the global total and exactly
+    /// one tenant (the invariant that keeps per-tenant counters summing
+    /// to [`ServeSummary`]).
+    fn count_error(&self, tenant: &Tenant) {
+        self.errors.fetch_add(1, Ordering::SeqCst);
+        tenant.stats.errors.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The tenant to charge a failure to when the request's own tenant
+    /// may not exist: the named one if registered, else the default.
+    fn charge_tenant(&self, name: Option<&str>) -> Arc<Tenant> {
+        self.registry
+            .resolve(name)
+            .unwrap_or_else(|| self.registry.default_tenant())
+    }
+
+    /// Stops admission — under the queue lock, so it linearizes against
+    /// [`enqueue_and_wait`] — and wakes everyone who might be waiting.
     fn begin_drain(&self) {
-        self.draining.store(true, Ordering::SeqCst);
+        self.queue.lock().expect("queue poisoned").draining = true;
         self.cv.notify_all();
     }
 
     /// Blocks until the queue is empty and nothing is in flight.
     fn await_quiesce(&self) {
         loop {
-            let empty = self.queue.lock().expect("queue poisoned").is_empty();
+            let empty = self.queue.lock().expect("queue poisoned").total == 0;
             if empty && self.in_flight.load(Ordering::SeqCst) == 0 {
                 return;
             }
@@ -173,8 +266,9 @@ pub struct Server;
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: JoinHandle<()>,
+    acceptors: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    uds_path: Option<String>,
     /// Root span kept open for the server's lifetime so every request's
     /// spans parent under it; closed in [`ServerHandle::join`] right
     /// before the final report capture.
@@ -182,14 +276,14 @@ pub struct ServerHandle {
 }
 
 impl Server {
-    /// Binds, spawns the worker pool and acceptor, and returns
+    /// Binds, spawns the worker pool and acceptor(s), and returns
     /// immediately.
     ///
     /// # Errors
     ///
-    /// [`ClaraError::Serve`] when the address cannot be bound (CLI exit
-    /// code 7); [`ClaraError::Manifest`] when `opts.backends` names a
-    /// device that is not built in (exit code 8).
+    /// [`ClaraError::Serve`] when the TCP address or UDS path cannot be
+    /// bound (CLI exit code 7); [`ClaraError::Manifest`] when
+    /// `opts.backends` names a device that is not built in (exit code 8).
     pub fn start(opts: ServeOptions, clara: Arc<Clara>) -> Result<ServerHandle, ClaraError> {
         let backend_names = if opts.backends.is_empty() {
             vec![clara_hal::DEFAULT_BACKEND.to_string()]
@@ -206,6 +300,17 @@ impl Server {
         listener.set_nonblocking(true).map_err(|e| ClaraError::Serve {
             detail: format!("cannot set nonblocking accept: {e}"),
         })?;
+        #[cfg(unix)]
+        let uds_listener = match &opts.uds_path {
+            Some(path) => Some(bind_uds(path)?),
+            None => None,
+        };
+        #[cfg(not(unix))]
+        if let Some(path) = &opts.uds_path {
+            return Err(ClaraError::Serve {
+                detail: format!("unix-domain sockets are not available on this platform ({path})"),
+            });
+        }
 
         if let Some(d) = opts.deadline {
             let mut eo = engine::configured();
@@ -222,58 +327,99 @@ impl Server {
             .map(|e| (e.name().to_string(), e.module))
             .collect();
 
+        let workers = opts.workers.max(1);
+        let predictor_fp = clara.predictor_fingerprint();
         let shared = Arc::new(Shared {
             clara,
+            predictor_fp,
+            predict_cache: Mutex::new(HashMap::new()),
             corpus,
             backends,
-            queue: Mutex::new(VecDeque::new()),
+            registry: Registry::new(workers, opts.queue_cap),
+            nic: NicConfig::default(),
+            queue: Mutex::new(QueueState {
+                queues: BTreeMap::new(),
+                ring: VecDeque::new(),
+                total: 0,
+                draining: false,
+            }),
             cv: Condvar::new(),
-            draining: AtomicBool::new(false),
             stopped: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
             served: AtomicU64::new(0),
             overloaded: AtomicU64::new(0),
+            quota_exceeded: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             opts: opts.clone(),
             root,
         });
 
-        let workers = (0..opts.workers.max(1))
+        let workers = (0..workers)
             .map(|i| {
                 let s = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("clara-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&s))
+                    .spawn(move || worker_loop(&s, i))
                     .expect("spawn worker thread")
             })
             .collect();
 
-        let acceptor = {
+        let mut acceptors = vec![{
             let s = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("clara-serve-accept".to_string())
                 .spawn(move || accept_loop(&listener, &s))
                 .expect("spawn acceptor thread")
-        };
+        }];
+        #[cfg(unix)]
+        if let Some(l) = uds_listener {
+            let s = Arc::clone(&shared);
+            acceptors.push(
+                std::thread::Builder::new()
+                    .name("clara-serve-accept-uds".to_string())
+                    .spawn(move || uds_accept_loop(&l, &s))
+                    .expect("spawn UDS acceptor thread"),
+            );
+        }
 
         Ok(ServerHandle {
             addr,
             shared,
-            acceptor,
+            acceptors,
             workers,
+            uds_path: opts.uds_path.clone(),
             root_guard: Some(root_guard),
         })
     }
 }
 
+#[cfg(unix)]
+fn bind_uds(path: &str) -> Result<UnixListener, ClaraError> {
+    // A previous daemon's socket file would make bind fail; it is dead
+    // by definition (we are about to own the path), so clear it.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path).map_err(|e| ClaraError::Serve {
+        detail: format!("cannot bind unix socket {path}: {e}"),
+    })?;
+    listener.set_nonblocking(true).map_err(|e| ClaraError::Serve {
+        detail: format!("cannot set nonblocking UDS accept: {e}"),
+    })?;
+    Ok(listener)
+}
+
 impl ServerHandle {
-    /// The actual bound address (resolves port 0).
+    /// The actual bound TCP address (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
 
+    /// The Unix-socket path, when the `uds` transport is enabled.
+    pub fn uds_path(&self) -> Option<&str> {
+        self.uds_path.as_deref()
+    }
+
     /// Programmatic drain: stop admission and (once quiesced) the
-    /// acceptor. Equivalent to the wire `drain` op minus the report
+    /// acceptors. Equivalent to the wire `drain` op minus the report
     /// response.
     pub fn drain(&self) {
         self.shared.begin_drain();
@@ -281,14 +427,19 @@ impl ServerHandle {
         self.shared.stopped.store(true, Ordering::SeqCst);
     }
 
-    /// Waits for the acceptor and workers to exit (i.e. for a drain to
+    /// Waits for the acceptors and workers to exit (i.e. for a drain to
     /// complete), closes the root span, writes a final run report when a
     /// `CLARA_REPORT` sink is configured, and returns the lifetime
     /// summary.
     pub fn join(mut self) -> ServeSummary {
-        self.acceptor.join().expect("acceptor thread panicked");
+        for a in self.acceptors.drain(..) {
+            a.join().expect("acceptor thread panicked");
+        }
         for w in self.workers.drain(..) {
             w.join().expect("worker thread panicked");
+        }
+        if let Some(path) = &self.uds_path {
+            let _ = std::fs::remove_file(path);
         }
         drop(self.root_guard.take());
         if let Some(raw) = obs::sink_from_env() {
@@ -300,12 +451,13 @@ impl ServerHandle {
         ServeSummary {
             served: self.shared.served.load(Ordering::SeqCst),
             overloaded: self.shared.overloaded.load(Ordering::SeqCst),
+            quota_exceeded: self.shared.quota_exceeded.load(Ordering::SeqCst),
             errors: self.shared.errors.load(Ordering::SeqCst),
         }
     }
 }
 
-// ---- acceptor ----------------------------------------------------------
+// ---- acceptors ---------------------------------------------------------
 
 fn accept_loop(listener: &TcpListener, s: &Arc<Shared>) {
     loop {
@@ -330,6 +482,28 @@ fn accept_loop(listener: &TcpListener, s: &Arc<Shared>) {
             s.begin_drain();
             s.await_quiesce();
             s.stopped.store(true, Ordering::SeqCst);
+        }
+        if s.stopped.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+#[cfg(unix)]
+fn uds_accept_loop(listener: &UnixListener, s: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let s = Arc::clone(s);
+                std::thread::Builder::new()
+                    .name("clara-serve-conn-uds".to_string())
+                    .spawn(move || handle_conn_framed(stream, &s))
+                    .expect("spawn UDS connection thread");
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
         }
         if s.stopped.load(Ordering::SeqCst) {
             return;
@@ -366,12 +540,43 @@ fn handle_conn(stream: TcpStream, s: &Arc<Shared>) {
     }
 }
 
+#[cfg(unix)]
+fn handle_conn_framed(stream: UnixStream, s: &Arc<Shared>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    // Both buffers live for the whole connection: zero per-request
+    // allocation on the framing path (the point of the uds transport).
+    let mut read_buf = Vec::with_capacity(4096);
+    let mut write_buf = Vec::with_capacity(4096);
+    loop {
+        let line = match transport::read_frame(&mut reader, &mut read_buf) {
+            Ok(Some(line)) => line,
+            Ok(None) | Err(_) => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(&line, s);
+        if transport::write_frame(&mut writer, &mut write_buf, &response).is_err() {
+            return;
+        }
+        if s.stopped.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
 fn handle_line(line: &str, s: &Arc<Shared>) -> String {
     let started = Instant::now();
     let env = match protocol::parse_request(line) {
         Ok(env) => env,
         Err(detail) => {
-            s.errors.fetch_add(1, Ordering::SeqCst);
+            // Parse failures have no attributable tenant; they count
+            // against `default` so totals still reconcile.
+            s.count_error(&s.registry.default_tenant());
             return protocol::error_response(None, ErrorKind::BadRequest, &detail);
         }
     };
@@ -380,6 +585,7 @@ fn handle_line(line: &str, s: &Arc<Shared>) -> String {
         Request::Analyze(_) => "analyze",
         Request::Difftest { .. } => "difftest",
         Request::Place(_) => "place",
+        Request::Register(_) => "register",
         Request::Stats => "stats",
         Request::Drain => "drain",
     };
@@ -390,22 +596,74 @@ fn handle_line(line: &str, s: &Arc<Shared>) -> String {
 }
 
 fn dispatch(env: Envelope, s: &Arc<Shared>) -> String {
-    let Envelope { id, req } = env;
+    let Envelope { id, tenant, req } = env;
     match req {
         Request::Stats => stats_inline(id, s),
         Request::Drain => drain_inline(id, s),
-        Request::Predict(w) | Request::Analyze(w)
-            if !s.corpus.contains_key(&w.nf) =>
-        {
-            s.errors.fetch_add(1, Ordering::SeqCst);
+        Request::Register(spec) => register_inline(id, tenant.as_deref(), spec, s),
+        req => match s.registry.resolve(tenant.as_deref()) {
+            Some(t) => dispatch_work(id, t, req, s),
+            None => {
+                s.count_error(&s.charge_tenant(None));
+                protocol::error_response(
+                    id,
+                    ErrorKind::UnknownTenant,
+                    &format!(
+                        "`{}` is not a registered tenant (send op:\"register\" first)",
+                        tenant.as_deref().unwrap_or("?")
+                    ),
+                )
+            }
+        },
+    }
+}
+
+/// Checks an NF name against the tenant's registered set (empty set:
+/// whole corpus admitted).
+fn tenant_admits(t: &Tenant, nf: &str) -> bool {
+    t.nfs.is_empty() || t.nfs.iter().any(|n| n == nf)
+}
+
+fn dispatch_work(id: Option<u64>, t: Arc<Tenant>, req: Request, s: &Arc<Shared>) -> String {
+    // Materialize the tenant's registered defaults into the spec before
+    // validation so coalescing and routing see one resolved value.
+    let req = match req {
+        Request::Predict(mut w) => {
+            w.backend = w.backend.or_else(|| t.backend.clone());
+            w.precision = w.precision.or(t.precision);
+            Request::Predict(w)
+        }
+        Request::Analyze(mut w) => {
+            w.backend = w.backend.or_else(|| t.backend.clone());
+            w.precision = w.precision.or(t.precision);
+            Request::Analyze(w)
+        }
+        Request::Place(mut r) => {
+            r.backend = r.backend.or_else(|| t.backend.clone());
+            r.precision = r.precision.or(t.precision);
+            Request::Place(r)
+        }
+        other => other,
+    };
+    match req {
+        Request::Predict(w) | Request::Analyze(w) if !s.corpus.contains_key(&w.nf) => {
+            s.count_error(&t);
             protocol::error_response(
                 id,
                 ErrorKind::UnknownNf,
                 &format!("`{}` is not in the corpus (see `clara list`)", w.nf),
             )
         }
+        Request::Predict(w) | Request::Analyze(w) if !tenant_admits(&t, &w.nf) => {
+            s.count_error(&t);
+            protocol::error_response(
+                id,
+                ErrorKind::UnknownNf,
+                &format!("`{}` is not in tenant `{}`'s registered NF set", w.nf, t.name),
+            )
+        }
         Request::Predict(w) | Request::Analyze(w) if s.backend_of(&w).is_none() => {
-            s.errors.fetch_add(1, Ordering::SeqCst);
+            s.count_error(&t);
             let loaded: Vec<&str> = s.backends.iter().map(|b| b.name()).collect();
             protocol::error_response(
                 id,
@@ -418,7 +676,7 @@ fn dispatch(env: Envelope, s: &Arc<Shared>) -> String {
             )
         }
         Request::Place(r) if r.nfs.iter().any(|nf| !s.corpus.contains_key(nf)) => {
-            s.errors.fetch_add(1, Ordering::SeqCst);
+            s.count_error(&t);
             let unknown = r
                 .nfs
                 .iter()
@@ -430,12 +688,25 @@ fn dispatch(env: Envelope, s: &Arc<Shared>) -> String {
                 &format!("`{unknown}` is not in the corpus (see `clara list`)"),
             )
         }
+        Request::Place(r) if r.nfs.iter().any(|nf| !tenant_admits(&t, nf)) => {
+            s.count_error(&t);
+            let outside = r
+                .nfs
+                .iter()
+                .find(|nf| !tenant_admits(&t, nf))
+                .expect("guard found one");
+            protocol::error_response(
+                id,
+                ErrorKind::UnknownNf,
+                &format!("`{outside}` is not in tenant `{}`'s registered NF set", t.name),
+            )
+        }
         Request::Place(r)
             if r.backend
                 .as_deref()
                 .is_some_and(|n| !s.backends.iter().any(|b| b.name() == n)) =>
         {
-            s.errors.fetch_add(1, Ordering::SeqCst);
+            s.count_error(&t);
             let loaded: Vec<&str> = s.backends.iter().map(|b| b.name()).collect();
             protocol::error_response(
                 id,
@@ -447,30 +718,44 @@ fn dispatch(env: Envelope, s: &Arc<Shared>) -> String {
                 ),
             )
         }
-        Request::Predict(w) => enqueue_and_wait(id, JobKind::Predict(w), s),
-        Request::Analyze(w) => enqueue_and_wait(id, JobKind::Analyze(w), s),
+        Request::Predict(w) => enqueue_and_wait(id, t, JobKind::Predict(w), s),
+        Request::Analyze(w) => enqueue_and_wait(id, t, JobKind::Analyze(w), s),
         Request::Difftest { seeds, start, pkts } => {
-            enqueue_and_wait(id, JobKind::Difftest { seeds, start, pkts }, s)
+            enqueue_and_wait(id, t, JobKind::Difftest { seeds, start, pkts }, s)
         }
-        Request::Place(r) => enqueue_and_wait(id, JobKind::Place(r), s),
+        Request::Place(r) => enqueue_and_wait(id, t, JobKind::Place(r), s),
+        Request::Register(_) | Request::Stats | Request::Drain => {
+            unreachable!("inline ops handled before dispatch_work")
+        }
     }
 }
 
-fn enqueue_and_wait(id: Option<u64>, kind: JobKind, s: &Arc<Shared>) -> String {
-    if s.draining.load(Ordering::SeqCst) {
-        s.errors.fetch_add(1, Ordering::SeqCst);
-        return protocol::error_response(
-            id,
-            ErrorKind::Draining,
-            "server is draining and no longer admits work",
-        );
-    }
+fn enqueue_and_wait(id: Option<u64>, tenant: Arc<Tenant>, kind: JobKind, s: &Arc<Shared>) -> String {
     let (tx, rx) = mpsc::channel();
     {
-        let mut q = s.queue.lock().expect("queue poisoned");
-        if q.len() >= s.opts.queue_cap {
-            drop(q);
+        let mut qs = s.queue.lock().expect("queue poisoned");
+        // Admission is one linearized decision under the lock: the
+        // drain flag, the shared capacity, and the tenant quota are all
+        // judged against the same queue state. In particular a job
+        // admitted here is *guaranteed* a live worker pool — workers
+        // only exit after observing `draining && total == 0` under this
+        // same lock.
+        if qs.draining {
+            drop(qs);
+            // A lifecycle refusal, not a failure: like `overloaded` and
+            // `quota_exceeded` it stays out of `errors`, which tallies
+            // client mistakes and internal faults only.
+            obs::volatile_counter("serve.draining.rejected").incr();
+            return protocol::error_response(
+                id,
+                ErrorKind::Draining,
+                "server is draining and no longer admits work",
+            );
+        }
+        if qs.total >= s.opts.queue_cap {
+            drop(qs);
             s.overloaded.fetch_add(1, Ordering::SeqCst);
+            tenant.stats.overloaded.fetch_add(1, Ordering::SeqCst);
             obs::volatile_counter("serve.overloaded").incr();
             return protocol::error_response(
                 id,
@@ -478,15 +763,45 @@ fn enqueue_and_wait(id: Option<u64>, kind: JobKind, s: &Arc<Shared>) -> String {
                 &format!("queue at capacity ({})", s.opts.queue_cap),
             );
         }
-        q.push_back(Job {
+        let tq = qs
+            .queues
+            .entry(tenant.name.clone())
+            .or_insert_with(|| TenantQueue {
+                tenant: Arc::clone(&tenant),
+                jobs: VecDeque::new(),
+                deficit: 0,
+            });
+        if tq.jobs.len() >= tenant.quota {
+            drop(qs);
+            s.quota_exceeded.fetch_add(1, Ordering::SeqCst);
+            tenant.stats.quota_exceeded.fetch_add(1, Ordering::SeqCst);
+            obs::volatile_counter("serve.quota_exceeded").incr();
+            return protocol::error_response(
+                id,
+                ErrorKind::QuotaExceeded,
+                &format!("tenant `{}` is at its quota ({})", tenant.name, tenant.quota),
+            );
+        }
+        let was_empty = tq.jobs.is_empty();
+        // Refresh the queue's view of the tenant so a re-registration's
+        // new quota/defaults apply from the next admission on.
+        tq.tenant = Arc::clone(&tenant);
+        tq.jobs.push_back(Job {
             id,
+            tenant: Arc::clone(&tenant),
             kind,
             enqueued: Instant::now(),
             resp: tx,
         });
-        s.queue_gauge(q.len());
+        qs.total += 1;
+        if was_empty {
+            qs.ring.push_back(tenant.name.clone());
+        }
+        s.queue_gauge(qs.total);
     }
-    s.cv.notify_one();
+    // notify_all, not notify_one: with sharded workers the one woken
+    // thread may serve a different shard and go straight back to sleep.
+    s.cv.notify_all();
     // The worker pool always answers every admitted job — including
     // during drain, which finishes the queue before workers exit.
     rx.recv().unwrap_or_else(|_| {
@@ -494,9 +809,128 @@ fn enqueue_and_wait(id: Option<u64>, kind: JobKind, s: &Arc<Shared>) -> String {
     })
 }
 
+fn register_inline(
+    id: Option<u64>,
+    tenant_name: Option<&str>,
+    spec: RegisterSpec,
+    s: &Arc<Shared>,
+) -> String {
+    let Some(name) = tenant_name else {
+        s.count_error(&s.charge_tenant(None));
+        return protocol::error_response(
+            id,
+            ErrorKind::BadRequest,
+            "op \"register\" requires a `tenant` name",
+        );
+    };
+    // No registration during drain: the shard layout must stay frozen
+    // while workers finish the queue.
+    if s.queue.lock().expect("queue poisoned").draining {
+        s.count_error(&s.charge_tenant(Some(name)));
+        return protocol::error_response(
+            id,
+            ErrorKind::Draining,
+            "server is draining and no longer accepts registrations",
+        );
+    }
+    if let Some(unknown) = spec.nfs.iter().find(|nf| !s.corpus.contains_key(*nf)) {
+        s.count_error(&s.charge_tenant(Some(name)));
+        return protocol::error_response(
+            id,
+            ErrorKind::UnknownNf,
+            &format!("`{unknown}` is not in the corpus (see `clara list`)"),
+        );
+    }
+    if let Some(b) = &spec.backend {
+        if !s.backends.iter().any(|w| w.name() == b.as_str()) {
+            s.count_error(&s.charge_tenant(Some(name)));
+            let loaded: Vec<&str> = s.backends.iter().map(|w| w.name()).collect();
+            return protocol::error_response(
+                id,
+                ErrorKind::UnknownBackend,
+                &format!("`{b}` is not a warm backend (loaded: {})", loaded.join(", ")),
+            );
+        }
+    }
+    let cap = s.opts.queue_cap as u64;
+    let quota = spec.quota.unwrap_or(cap).clamp(1, cap) as usize;
+    let profile = if spec.nfs.is_empty() {
+        None
+    } else {
+        let modules: Vec<&Module> = spec
+            .nfs
+            .iter()
+            .map(|nf| s.corpus.get(nf).expect("validated above"))
+            .collect();
+        clara_core::representative_profile(&modules, &s.nic)
+    };
+    let t = s
+        .registry
+        .register(name, spec.nfs, spec.backend, spec.precision, quota, profile);
+    obs::counter("serve.ops.register").incr();
+    publish_coloc_gauges(s);
+    protocol::register_response(id, name, t.shard, t.quota, &t.nfs)
+}
+
+/// Publishes the pairwise interference predictions as deterministic
+/// gauges (`serve.coloc.<a>~<b>.loss_pct` = what `a` loses when
+/// colocated with `b`), so the drain report carries the fleet's
+/// interference map. Pure model outputs — safe for byte-identical
+/// deterministic reports.
+fn publish_coloc_gauges(s: &Arc<Shared>) {
+    for p in s.registry.coloc_pairs(&s.nic) {
+        obs::gauge(&format!("serve.coloc.{}~{}.loss_pct", p.a, p.b))
+            .set(p.interference.a_loss_pct);
+        obs::gauge(&format!("serve.coloc.{}~{}.loss_pct", p.b, p.a))
+            .set(p.interference.b_loss_pct);
+    }
+}
+
 fn stats_inline(id: Option<u64>, s: &Arc<Shared>) -> String {
-    let depth = s.queue.lock().expect("queue poisoned").len();
+    let (depth, draining, queued_by_tenant) = {
+        let qs = s.queue.lock().expect("queue poisoned");
+        let queued: BTreeMap<String, u64> = qs
+            .queues
+            .iter()
+            .map(|(name, tq)| (name.clone(), tq.jobs.len() as u64))
+            .collect();
+        (qs.total, qs.draining, queued)
+    };
     let es = engine::EngineStats::snapshot();
+    let tenants = s
+        .registry
+        .snapshot()
+        .iter()
+        .map(|t| {
+            let (served, overloaded, quota_exceeded, errors) = t.stats.snapshot();
+            Value::Map(vec![
+                ("name".to_string(), Value::Str(t.name.clone())),
+                ("shard".to_string(), Value::UInt(t.shard as u64)),
+                ("quota".to_string(), Value::UInt(t.quota as u64)),
+                (
+                    "queued".to_string(),
+                    Value::UInt(queued_by_tenant.get(&t.name).copied().unwrap_or(0)),
+                ),
+                ("served".to_string(), Value::UInt(served)),
+                ("overloaded".to_string(), Value::UInt(overloaded)),
+                ("quota_exceeded".to_string(), Value::UInt(quota_exceeded)),
+                ("errors".to_string(), Value::UInt(errors)),
+            ])
+        })
+        .collect();
+    let coloc = s
+        .registry
+        .coloc_pairs(&s.nic)
+        .iter()
+        .map(|p| {
+            Value::Map(vec![
+                ("a".to_string(), Value::Str(p.a.clone())),
+                ("b".to_string(), Value::Str(p.b.clone())),
+                ("a_loss_pct".to_string(), Value::Float(p.interference.a_loss_pct)),
+                ("b_loss_pct".to_string(), Value::Float(p.interference.b_loss_pct)),
+            ])
+        })
+        .collect();
     let fields = vec![
         ("queue_depth".to_string(), Value::UInt(depth as u64)),
         (
@@ -512,12 +946,21 @@ fn stats_inline(id: Option<u64>, s: &Arc<Shared>) -> String {
             Value::UInt(s.overloaded.load(Ordering::SeqCst)),
         ),
         (
-            "draining".to_string(),
-            Value::Bool(s.draining.load(Ordering::SeqCst)),
+            "quota_exceeded".to_string(),
+            Value::UInt(s.quota_exceeded.load(Ordering::SeqCst)),
         ),
+        (
+            "errors".to_string(),
+            Value::UInt(s.errors.load(Ordering::SeqCst)),
+        ),
+        ("draining".to_string(), Value::Bool(draining)),
         (
             "workers".to_string(),
             Value::UInt(s.opts.workers.max(1) as u64),
+        ),
+        (
+            "shards".to_string(),
+            Value::UInt(s.registry.shard_count() as u64),
         ),
         (
             "queue_cap".to_string(),
@@ -540,6 +983,8 @@ fn stats_inline(id: Option<u64>, s: &Arc<Shared>) -> String {
                     .collect(),
             ),
         ),
+        ("tenants".to_string(), Value::Seq(tenants)),
+        ("coloc".to_string(), Value::Seq(coloc)),
         ("compile_hits".to_string(), Value::UInt(es.compile_hits)),
         ("compile_misses".to_string(), Value::UInt(es.compile_misses)),
         ("profile_hits".to_string(), Value::UInt(es.profile_hits)),
@@ -570,48 +1015,88 @@ fn drain_inline(id: Option<u64>, s: &Arc<Shared>) -> String {
 
 // ---- workers -----------------------------------------------------------
 
-fn worker_loop(s: &Arc<Shared>) {
+/// One deficit-round-robin visit for the given worker: scan the ring
+/// for the first tenant on this worker's shard, grant it a quantum of
+/// credit, and take one coalescible batch from its sub-queue. `None`
+/// when no ring tenant belongs to this shard.
+fn pop_batch(
+    qs: &mut MutexGuard<'_, QueueState>,
+    worker: usize,
+    s: &Arc<Shared>,
+) -> Option<Vec<Job>> {
+    // Live shard layout: grows as tenants register (capped at the
+    // worker count), so a lone tenant is served by every worker while a
+    // full fleet gets disjoint worker groups.
+    let shard_count = s.registry.shard_count();
+    let my_shard = worker % shard_count;
+    let quantum = s.opts.batch_max.max(1) as u64;
+    let pos = (0..qs.ring.len()).find(|&i| {
+        let name = &qs.ring[i];
+        qs.queues
+            .get(name)
+            .is_some_and(|tq| tq.tenant.shard % shard_count == my_shard)
+    })?;
+    let name = qs.ring.remove(pos).expect("index in bounds");
+    let tq = qs.queues.get_mut(&name).expect("ring names a live queue");
+    // Unused credit carries to the next visit (bounded to one extra
+    // quantum) so a tenant whose batch was cut short by a backend
+    // boundary is not perpetually shortchanged.
+    tq.deficit = (tq.deficit + quantum).min(2 * quantum);
+    let mut batch = vec![tq.jobs.pop_front().expect("ring tenants have jobs")];
+    // Only predicts routed to the *same* device at the *same* precision
+    // coalesce — one batch, one backend, one inference path, one engine
+    // stage. Coalescing never crosses tenant sub-queues.
+    if let JobKind::Predict(w0) = &batch[0].kind {
+        let backend = s.effective_backend(w0).to_string();
+        let precision = s.effective_precision(w0);
+        while (batch.len() as u64) < tq.deficit && batch.len() < s.opts.batch_max.max(1) {
+            match tq.jobs.front() {
+                Some(j)
+                    if matches!(
+                        &j.kind,
+                        JobKind::Predict(w) if s.effective_backend(w) == backend
+                            && s.effective_precision(w) == precision
+                    ) =>
+                {
+                    batch.push(tq.jobs.pop_front().expect("front exists"));
+                }
+                _ => break,
+            }
+        }
+    }
+    tq.deficit = tq.deficit.saturating_sub(batch.len() as u64);
+    if tq.jobs.is_empty() {
+        tq.deficit = 0;
+    } else {
+        qs.ring.push_back(name);
+    }
+    qs.total -= batch.len();
+    Some(batch)
+}
+
+fn worker_loop(s: &Arc<Shared>, worker: usize) {
     loop {
         let batch = {
-            let mut q = s.queue.lock().expect("queue poisoned");
-            loop {
-                if !q.is_empty() {
-                    break;
-                }
-                if s.draining.load(Ordering::SeqCst) {
+            let mut qs = s.queue.lock().expect("queue poisoned");
+            let batch = loop {
+                // The drain flag lives under this lock, so a worker can
+                // only exit when no admitted job remains anywhere — the
+                // admission path holding the same lock makes
+                // "admitted but never served" impossible.
+                if qs.draining && qs.total == 0 {
                     return;
                 }
-                q = s
+                if let Some(batch) = pop_batch(&mut qs, worker, s) {
+                    break batch;
+                }
+                qs = s
                     .cv
-                    .wait_timeout(q, Duration::from_millis(50))
+                    .wait_timeout(qs, Duration::from_millis(50))
                     .expect("queue poisoned")
                     .0;
-            }
-            let first = q.pop_front().expect("checked non-empty");
-            let mut batch = vec![first];
-            // Only predicts routed to the *same* device at the *same*
-            // precision coalesce — one batch, one backend, one
-            // inference path, one engine stage.
-            if let JobKind::Predict(w0) = &batch[0].kind {
-                let backend = s.effective_backend(w0).to_string();
-                let precision = s.effective_precision(w0);
-                while batch.len() < s.opts.batch_max.max(1) {
-                    match q.front() {
-                        Some(j)
-                            if matches!(
-                                &j.kind,
-                                JobKind::Predict(w) if s.effective_backend(w) == backend
-                                    && s.effective_precision(w) == precision
-                            ) =>
-                        {
-                            batch.push(q.pop_front().expect("front exists"));
-                        }
-                        _ => break,
-                    }
-                }
-            }
+            };
             s.in_flight.fetch_add(batch.len(), Ordering::SeqCst);
-            s.queue_gauge(q.len());
+            s.queue_gauge(qs.total);
             batch
         };
         run_batch(batch, s);
@@ -628,7 +1113,7 @@ fn reap_expired(batch: Vec<Job>, s: &Arc<Shared>) -> Vec<Job> {
     let mut live = Vec::with_capacity(batch.len());
     for job in batch {
         if job.enqueued.elapsed() > deadline {
-            s.errors.fetch_add(1, Ordering::SeqCst);
+            s.count_error(&job.tenant);
             let _ = job.resp.send(protocol::error_response(
                 job.id,
                 ErrorKind::Deadline,
@@ -668,34 +1153,81 @@ fn run_predict_batch(batch: Vec<Job>, s: &Arc<Shared>) {
             _ => unreachable!("predict batches contain only predict jobs"),
         })
         .collect();
-    let traces: Vec<_> = specs.iter().map(|w| w.trace()).collect();
-    let items: Vec<(&Module, &trafgen::Trace)> = specs
-        .iter()
-        .zip(&traces)
-        .map(|(w, t)| {
-            (
-                s.corpus.get(&w.nf).expect("validated at admission"),
-                t,
-            )
-        })
-        .collect();
     // Coalescing admits only same-backend, same-precision predicts, so
     // the whole batch routes to the first spec's device and path.
     let backend = s.backend_of(specs[0]).expect("validated at admission");
     let precision = s.effective_precision(specs[0]);
-    let results = {
-        let span = obs::span_under(s.root, "serve-predict-batch");
-        let _ctx = obs::attach(span.handle());
-        s.clara.predict_batch_on_prec(&items, backend, precision)
-    };
+    let keys: Vec<PredictKey> = specs
+        .iter()
+        .map(|w| {
+            (
+                w.nf.clone(),
+                w.packets,
+                w.seed,
+                w.small_flows,
+                backend.name().to_string(),
+                precision,
+            )
+        })
+        .collect();
+    let mut results: Vec<Option<Result<Prediction, clara_core::ClaraError>>> =
+        (0..n).map(|_| None).collect();
+    let mut hits = 0u64;
+    {
+        let cache = s.predict_cache.lock().expect("predict cache lock");
+        for (slot, key) in results.iter_mut().zip(&keys) {
+            if let Some(p) = cache.get(key) {
+                *slot = Some(Ok(p.clone()));
+                hits += 1;
+            }
+        }
+    }
+    let misses: Vec<usize> = (0..n).filter(|i| results[*i].is_none()).collect();
+    obs::counter("serve.cache.predict_hits").add(hits);
+    obs::counter("serve.cache.predict_misses").add(misses.len() as u64);
+    if !misses.is_empty() {
+        // Trace synthesis is itself per-request work worth skipping on a
+        // hit, so it happens only for the cache misses.
+        let traces: Vec<_> = misses.iter().map(|&i| specs[i].trace()).collect();
+        let items: Vec<(&Module, &trafgen::Trace)> = misses
+            .iter()
+            .zip(&traces)
+            .map(|(&i, t)| {
+                (
+                    s.corpus.get(&specs[i].nf).expect("validated at admission"),
+                    t,
+                )
+            })
+            .collect();
+        let engine_results = {
+            let span = obs::span_under(s.root, "serve-predict-batch");
+            let _ctx = obs::attach(span.handle());
+            s.clara
+                .predict_batch_on_prec_cached(&items, backend, precision, s.predictor_fp)
+        };
+        let mut cache = s.predict_cache.lock().expect("predict cache lock");
+        for (&i, result) in misses.iter().zip(engine_results) {
+            if let Ok(p) = &result {
+                if cache.len() < PREDICT_CACHE_CAP {
+                    cache.insert(keys[i].clone(), p.clone());
+                }
+            }
+            results[i] = Some(result);
+        }
+    }
+    let results: Vec<_> = results
+        .into_iter()
+        .map(|r| r.expect("every slot filled by hit or miss path"))
+        .collect();
     for ((job, spec), result) in batch.iter().zip(&specs).zip(results) {
         let response = match result {
             Ok(p) => {
                 s.served.fetch_add(1, Ordering::SeqCst);
+                job.tenant.stats.served.fetch_add(1, Ordering::SeqCst);
                 protocol::predict_response(job.id, &spec.nf, backend.name(), precision, &p)
             }
             Err(e) => {
-                s.errors.fetch_add(1, Ordering::SeqCst);
+                s.count_error(&job.tenant);
                 protocol::error_response(job.id, ErrorKind::Internal, &e.to_string())
             }
         };
@@ -721,6 +1253,7 @@ fn run_single(job: Job, s: &Arc<Shared>) {
             match outcome {
                 Ok(ins) => {
                     s.served.fetch_add(1, Ordering::SeqCst);
+                    job.tenant.stats.served.fetch_add(1, Ordering::SeqCst);
                     protocol::analyze_response(
                         job.id,
                         &w.nf,
@@ -731,7 +1264,7 @@ fn run_single(job: Job, s: &Arc<Shared>) {
                     )
                 }
                 Err(e) => {
-                    s.errors.fetch_add(1, Ordering::SeqCst);
+                    s.count_error(&job.tenant);
                     protocol::error_response(job.id, ErrorKind::Internal, &e.to_string())
                 }
             }
@@ -756,10 +1289,11 @@ fn run_single(job: Job, s: &Arc<Shared>) {
             match outcome {
                 Ok(plan) => {
                     s.served.fetch_add(1, Ordering::SeqCst);
+                    job.tenant.stats.served.fetch_add(1, Ordering::SeqCst);
                     protocol::place_response(job.id, &plan)
                 }
                 Err(e) => {
-                    s.errors.fetch_add(1, Ordering::SeqCst);
+                    s.count_error(&job.tenant);
                     let kind = match &e {
                         ClaraError::Placement {
                             kind: PlacementFailure::Infeasible,
@@ -794,6 +1328,7 @@ fn run_single(job: Job, s: &Arc<Shared>) {
             match outcome {
                 Ok(report) => {
                     s.served.fetch_add(1, Ordering::SeqCst);
+                    job.tenant.stats.served.fetch_add(1, Ordering::SeqCst);
                     protocol::difftest_response(
                         job.id,
                         report.checked as u64,
@@ -802,7 +1337,7 @@ fn run_single(job: Job, s: &Arc<Shared>) {
                     )
                 }
                 Err(e) => {
-                    s.errors.fetch_add(1, Ordering::SeqCst);
+                    s.count_error(&job.tenant);
                     protocol::error_response(job.id, ErrorKind::Internal, &e.to_string())
                 }
             }

@@ -1,0 +1,164 @@
+//! Transport ablation: TCP JSON-lines vs Unix-domain-socket frames.
+//!
+//! PnO-TCP's observation is that the kernel network stack, not the NF,
+//! often dominates small-request latency. The serve daemon makes that
+//! measurable by speaking the same JSON protocol over two transports:
+//!
+//! - **`tcp`** — newline-delimited JSON over `TcpStream` with
+//!   `TCP_NODELAY`, one `write` per response. The default; reachable
+//!   over the network.
+//! - **`uds`** — a `UnixStream` listener speaking **length-prefixed
+//!   frames**: a 4-byte little-endian payload length followed by the
+//!   JSON payload, no delimiter scan, reusable per-connection buffers,
+//!   one `write` per frame. Local-only; skips the TCP/IP stack
+//!   entirely.
+//!
+//! The payload bytes are identical on both — `bench-serve --matrix`
+//! exists to quantify the difference, not to fork the protocol.
+
+use std::io::{self, Read, Write};
+
+/// Which listener(s) the daemon binds / the bench client dials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Newline-delimited JSON over TCP (the default).
+    Tcp,
+    /// Length-prefixed JSON frames over a Unix-domain socket.
+    Uds,
+}
+
+impl Transport {
+    /// Parses a `--transport` flag value.
+    pub fn parse(s: &str) -> Option<Transport> {
+        match s {
+            "tcp" => Some(Transport::Tcp),
+            "uds" => Some(Transport::Uds),
+            _ => None,
+        }
+    }
+
+    /// The flag/report string for this transport.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Transport::Tcp => "tcp",
+            Transport::Uds => "uds",
+        }
+    }
+}
+
+/// Frames larger than this are rejected as corrupt rather than
+/// allocated: no legitimate request or response comes close.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Reads one length-prefixed frame into `buf` (reused across calls) and
+/// returns the payload as UTF-8. `Ok(None)` is clean EOF (peer closed
+/// between frames).
+///
+/// # Errors
+///
+/// I/O errors from the stream; `InvalidData` for oversized frames,
+/// truncated payloads, or non-UTF-8 bytes.
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<Option<String>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds {MAX_FRAME_LEN}"),
+        ));
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    match std::str::from_utf8(buf) {
+        Ok(s) => Ok(Some(s.to_string())),
+        Err(_) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame payload is not UTF-8",
+        )),
+    }
+}
+
+/// Writes one length-prefixed frame. The prefix and payload are
+/// assembled in `buf` (reused across calls) so the frame goes out in a
+/// single `write_all` — no partial-frame interleaving, one syscall.
+///
+/// # Errors
+///
+/// I/O errors from the stream; `InvalidData` for oversized payloads.
+pub fn write_frame(w: &mut impl Write, buf: &mut Vec<u8>, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {} exceeds {MAX_FRAME_LEN}", bytes.len()),
+        ));
+    }
+    buf.clear();
+    buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    buf.extend_from_slice(bytes);
+    w.write_all(buf)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_with_reused_buffers() {
+        let mut wire = Vec::new();
+        let mut scratch = Vec::new();
+        for payload in ["{\"v\":1,\"op\":\"stats\"}", "", "π frames are UTF-8"] {
+            write_frame(&mut wire, &mut scratch, payload).expect("write");
+        }
+        let mut r = wire.as_slice();
+        let mut buf = Vec::new();
+        assert_eq!(
+            read_frame(&mut r, &mut buf).expect("read").as_deref(),
+            Some("{\"v\":1,\"op\":\"stats\"}")
+        );
+        assert_eq!(read_frame(&mut r, &mut buf).expect("read").as_deref(), Some(""));
+        assert_eq!(
+            read_frame(&mut r, &mut buf).expect("read").as_deref(),
+            Some("π frames are UTF-8")
+        );
+        assert_eq!(read_frame(&mut r, &mut buf).expect("clean EOF"), None);
+    }
+
+    #[test]
+    fn corrupt_frames_are_invalid_data_not_allocation() {
+        // Oversized length prefix.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut buf = Vec::new();
+        let err = read_frame(&mut wire.as_slice(), &mut buf).expect_err("oversized");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Truncated payload: prefix says 8, only 3 bytes follow.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&8u32.to_le_bytes());
+        wire.extend_from_slice(b"abc");
+        let err = read_frame(&mut wire.as_slice(), &mut buf).expect_err("truncated");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Non-UTF-8 payload.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&2u32.to_le_bytes());
+        wire.extend_from_slice(&[0xff, 0xfe]);
+        let err = read_frame(&mut wire.as_slice(), &mut buf).expect_err("bad UTF-8");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn transport_parses_flag_values() {
+        assert_eq!(Transport::parse("tcp"), Some(Transport::Tcp));
+        assert_eq!(Transport::parse("uds"), Some(Transport::Uds));
+        assert_eq!(Transport::parse("quic"), None);
+        assert_eq!(Transport::Tcp.as_str(), "tcp");
+        assert_eq!(Transport::Uds.as_str(), "uds");
+    }
+}

@@ -28,3 +28,9 @@ test -s BENCH_train_timing.json
 # golden matrix, a drifting replay with its migration run report, and
 # the infeasible-placement exit code.
 ./scripts/place_smoke.sh
+
+# tenant-smoke: multi-tenant serving — two-tenant fairness under a
+# quota-limited burst, typed-rejection exit codes, and the
+# tenants x transport x backend matrix (UDS frames must out-serve TCP
+# lines), leaving BENCH_serve_tenants.json behind.
+./scripts/tenant_smoke.sh

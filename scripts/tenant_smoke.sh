@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Multi-tenant serving smoke: one daemon on both transports, a
+# two-tenant fairness experiment (a quota-limited burster flooding while
+# the victim must keep its p95 and collect zero rejections), a typed
+# unknown-NF registration rejection pinned to exit code 7, and the
+# tenants x transport x backend matrix requiring the UDS frame
+# transport to out-serve TCP JSON-lines, leaving BENCH_serve_tenants.json
+# behind as the artifact.
+# Run from the repository root: ./scripts/tenant_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${CLARA_TENANT_ADDR:-127.0.0.1:49163}"
+SOCK="${CLARA_TENANT_SOCK:-/tmp/clara-tenant-smoke.sock}"
+MODEL="${CLARA_TENANT_MODEL:-tenant-smoke-model.json}"
+BIN=target/release/clara
+
+cargo build --release --bin clara
+
+rm -f BENCH_serve_tenants.json BENCH_serve_fairness.json "$MODEL" "$SOCK"
+
+# Train once and persist, so the daemon and every bench phase load the
+# same warm model instead of retraining.
+"$BIN" predict cmsketch --model "$MODEL" --packets 200 > /dev/null
+
+"$BIN" serve --addr "$ADDR" --transport both --uds "$SOCK" \
+  --workers 2 --queue-cap 16 --model "$MODEL" &
+SERVER=$!
+trap 'kill "$SERVER" 2>/dev/null || true' EXIT
+
+# Fairness: the victim tenant registers first (its worker shard stays
+# disjoint from the burster's), then a quota=2 burster floods 24 heavy
+# distinctly-seeded predicts. bench-serve exits 7 unless the victim
+# keeps its p95 within 2x solo (10ms floor) with zero rejections AND
+# the flood collects typed quota_exceeded/overloaded rejections.
+# (1000-packet flood jobs: heavy enough that quota-2 admission rejects
+# most of the 24-wide flood, light enough that the shared rayon pool
+# does not drown the victim's p95 in pure CPU contention.)
+"$BIN" bench-serve --addr "$ADDR" \
+  --fairness --requests 120 --conns 2 --packets 200 \
+  --quota 2 --burst 24 --burst-packets 1000 \
+  --report BENCH_serve_fairness.json
+
+# Typed-rejection exit pin: registering a tenant whose NF set names a
+# non-corpus element is answered with typed `unknown_nf`, which
+# bench-serve surfaces as exit code 7 — never a hang or a crash.
+set +e
+"$BIN" bench-serve --addr "$ADDR" --tenants 1 --nf not-an-nf \
+  --requests 1 --conns 1 > /dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 7 ]; then
+  echo "tenant_smoke: unknown-NF registration exited $code (expected 7)" >&2
+  exit 1
+fi
+
+# Matrix: tenants x {tcp,uds} x backend cells into the artifact, after a
+# TCP warmup slice primes the serving caches. --require-uds-win exits 7
+# unless the frame transport's aggregate rps beats TCP lines. --drain
+# shuts the daemon down gracefully afterwards.
+# (2000 requests per cell: warm cache-hit serving runs at tens of
+# thousands of rps, so short cells finish in milliseconds and scheduler
+# noise swamps the transport delta; long cells amortize it away.)
+"$BIN" bench-serve --addr "$ADDR" --uds "$SOCK" \
+  --matrix --require-uds-win --tenants 2 \
+  --requests 2000 --conns 2 --packets 200 \
+  --report BENCH_serve_tenants.json --drain
+
+# The drain must let the daemon exit cleanly (code 0).
+wait "$SERVER"
+code=$?
+trap - EXIT
+if [ "$code" -ne 0 ]; then
+  echo "tenant_smoke: daemon exited $code after drain (expected 0)" >&2
+  exit 1
+fi
+
+test -s BENCH_serve_tenants.json
+grep -q "serve.bench.matrix.tcp.rps" BENCH_serve_tenants.json
+grep -q "serve.bench.matrix.uds.rps" BENCH_serve_tenants.json
+test -s BENCH_serve_fairness.json
+grep -q "serve.bench.fairness.solo_p95_us" BENCH_serve_fairness.json
+rm -f "$MODEL"
+echo "tenant_smoke: ok (fairness held, uds out-served tcp, BENCH_serve_tenants.json written)"

@@ -66,15 +66,16 @@ fn usage() -> ! {
          --require-speedup X  --artifacts DIR"
     );
     eprintln!(
-        "  serve: --addr HOST:PORT  --workers N  --queue-cap N  --batch-max N  \
-         --deadline-ms N  --model FILE  --seed N  --backends all|A,B,...  \
-         --precision f64|q16"
+        "  serve: --addr HOST:PORT  --transport tcp|uds|both  --uds PATH  --workers N  \
+         --queue-cap N  --batch-max N  --deadline-ms N  --model FILE  --seed N  \
+         --backends all|A,B,...  --precision f64|q16"
     );
     eprintln!(
-        "  bench-serve: --addr HOST:PORT  --requests N  --conns N  --nf NAME  --packets N  \
-         --seed N  --burst N  --burst-packets N  --baseline N  --model FILE  \
-         --require-speedup X  --drain  --report FILE  --backend NAME  --precision f64|q16  \
-         --place-every N"
+        "  bench-serve: --addr HOST:PORT  --transport tcp|uds  --uds PATH  --requests N  \
+         --conns N  --nf NAME  --packets N  --seed N  --burst N  --burst-packets N  \
+         --baseline N  --model FILE  --require-speedup X  --drain  --report FILE  \
+         --backend NAME  --precision f64|q16  --place-every N  --tenants N  --quota N  \
+         --fairness  --matrix  --backends all|A,B,...  --require-uds-win"
     );
     eprintln!(
         "  environment: CLARA_THREADS=N  CLARA_CACHE_DIR=DIR  \
@@ -463,6 +464,7 @@ fn serve_cmd(args: &[String]) -> Result<(), ClaraError> {
     let mut so = ServeOptions::default();
     let mut model: Option<String> = None;
     let mut seed = 42u64;
+    let mut want_uds = false;
     let mut it = args.iter();
     let num = |it: &mut std::slice::Iter<String>| -> u64 {
         it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
@@ -470,6 +472,15 @@ fn serve_cmd(args: &[String]) -> Result<(), ClaraError> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" => so.addr = it.next().cloned().unwrap_or_else(|| usage()),
+            "--transport" => match it.next().map(String::as_str) {
+                Some("tcp") => want_uds = false,
+                Some("uds" | "both") => want_uds = true,
+                _ => usage(),
+            },
+            "--uds" => {
+                so.uds_path = it.next().cloned().or_else(|| usage());
+                want_uds = true;
+            }
             "--workers" => so.workers = num(&mut it) as usize,
             "--queue-cap" => so.queue_cap = num(&mut it) as usize,
             "--batch-max" => so.batch_max = num(&mut it) as usize,
@@ -485,16 +496,24 @@ fn serve_cmd(args: &[String]) -> Result<(), ClaraError> {
             _ => usage(),
         }
     }
+    if want_uds && so.uds_path.is_none() {
+        so.uds_path = Some("/tmp/clara-serve.sock".to_string());
+    } else if !want_uds {
+        so.uds_path = None;
+    }
     let clara = std::sync::Arc::new(load_or_train(&model, seed)?);
     serve::server::install_sigterm_drain();
     let handle = serve::Server::start(so, clara)?;
     println!("clara-serve listening on {}", handle.addr());
+    if let Some(path) = handle.uds_path() {
+        println!("clara-serve listening on unix socket {path}");
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     let summary = handle.join();
     eprintln!(
-        "clara-serve drained: {} served, {} overloaded, {} errors",
-        summary.served, summary.overloaded, summary.errors
+        "clara-serve drained: {} served, {} overloaded, {} quota-exceeded, {} errors",
+        summary.served, summary.overloaded, summary.quota_exceeded, summary.errors
     );
     Ok(())
 }
@@ -513,6 +532,13 @@ fn bench_serve_cmd(args: &[String]) -> Result<(), ClaraError> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" => bo.addr = it.next().cloned().unwrap_or_else(|| usage()),
+            "--transport" => {
+                bo.transport = it
+                    .next()
+                    .and_then(|v| serve::Transport::parse(v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--uds" => bo.uds_path = it.next().cloned().or_else(|| usage()),
             "--requests" => bo.requests = num(&mut it) as usize,
             "--conns" => bo.conns = num(&mut it) as usize,
             "--nf" => bo.nf = it.next().cloned().unwrap_or_else(|| usage()),
@@ -534,20 +560,44 @@ fn bench_serve_cmd(args: &[String]) -> Result<(), ClaraError> {
             "--backend" => bo.backend = it.next().cloned().or_else(|| usage()),
             "--precision" => bo.precision = Some(parse_precision(it.next())),
             "--place-every" => bo.place_every = num(&mut it) as usize,
+            "--tenants" => bo.tenants = num(&mut it) as usize,
+            "--quota" => bo.quota = Some(num(&mut it)),
+            "--fairness" => bo.fairness = true,
+            "--matrix" => bo.matrix = true,
+            "--backends" => {
+                bo.backends = backend_list(&it.next().cloned().unwrap_or_else(|| usage()));
+            }
+            "--require-uds-win" => bo.require_uds_win = true,
             _ => usage(),
         }
     }
     let s = serve::run_bench(&bo)?;
     println!(
-        "bench-serve: {} sent, {} ok, {} overloaded, {} failed",
-        s.sent, s.ok, s.overloaded, s.failed
+        "bench-serve: {} sent, {} ok, {} overloaded, {} quota-exceeded, {} failed",
+        s.sent, s.ok, s.overloaded, s.quota_exceeded, s.failed
     );
     println!(
-        "throughput: {:.1} req/s; latency p50 {:.0} us, p95 {:.0} us, p99 {:.0} us",
+        "throughput: {:.1} req/s; predict latency p50 {:.0} us, p95 {:.0} us, p99 {:.0} us",
         s.rps, s.p50_us, s.p95_us, s.p99_us
     );
+    if s.place_ok > 0 {
+        println!(
+            "place: {} ok; latency p50 {:.0} us, p95 {:.0} us, p99 {:.0} us",
+            s.place_ok, s.place_p50_us, s.place_p95_us, s.place_p99_us
+        );
+    }
     if let (Some(b), Some(x)) = (s.baseline_rps, s.speedup) {
         println!("baseline (one-shot CLI): {b:.2} req/s -> speedup {x:.1}x");
+    }
+    if let Some(f) = &s.fairness {
+        println!(
+            "fairness: victim p95 solo {:.0} us -> contended {:.0} us; \
+             victim rejections {}, burster rejections {}",
+            f.solo_p95_us, f.contended_p95_us, f.victim_rejections, f.burster_rejections
+        );
+    }
+    if let (Some(t), Some(u)) = (s.tcp_rps, s.uds_rps) {
+        println!("matrix: tcp {t:.1} req/s vs uds {u:.1} req/s");
     }
     if s.drained {
         println!("drain: ok");

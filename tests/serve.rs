@@ -6,7 +6,12 @@
 //! `overloaded` rejections while admitted requests still succeed;
 //! (c) a repeated identical request is served entirely from warm
 //! caches (zero recomputes); (d) drain finishes in-flight work and
-//! answers with a well-formed deterministic run report.
+//! answers with a well-formed deterministic run report; (e) tenants
+//! registered over the wire get scoped NF sets, typed
+//! `unknown_tenant`/`quota_exceeded` rejections, and fair latency
+//! while another tenant bursts; (f) drain racing concurrent
+//! enqueuers always terminates with every admitted job answered;
+//! (g) the UDS frame transport serves bytes identical to TCP lines.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -14,14 +19,19 @@ use std::sync::{Arc, Barrier, Mutex, OnceLock};
 
 use clara_repro::clara::{Clara, ClaraConfig, Precision};
 use clara_repro::hal::Backend as _;
-use clara_repro::serve::protocol::{self, Request, WorkSpec};
+use clara_repro::serve::protocol::{self, RegisterSpec, Request, WorkSpec};
 use clara_repro::serve::server::ServerHandle;
 use clara_repro::serve::{ServeOptions, Server};
 use serde::Value;
 
 /// The engine (caches, stats) and the obs registry are process globals;
-/// tests in this binary serialize on this lock.
+/// tests in this binary serialize on this lock. Poisoning is ignored:
+/// one test's failure must not cascade into the other ten.
 static SERVE_LOCK: Mutex<()> = Mutex::new(());
+
+fn serve_lock() -> std::sync::MutexGuard<'static, ()> {
+    SERVE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// One pipeline trained for the whole binary (training dominates debug
 /// runtime; every test shares the same warm state, like the daemon does).
@@ -45,6 +55,7 @@ fn start_with_backends(
     Server::start(
         ServeOptions {
             addr: "127.0.0.1:0".to_string(),
+            uds_path: None,
             workers,
             queue_cap,
             batch_max,
@@ -79,6 +90,27 @@ impl Conn {
         self.reader.read_line(&mut resp).expect("read response");
         assert!(!resp.is_empty(), "server closed the connection unexpectedly");
         resp.trim_end().to_string()
+    }
+
+    /// Like [`Conn::send`] but tolerates the server shutting the
+    /// connection down mid-exchange (drain races do that by design).
+    /// `None` means the request was never admitted; an admitted job is
+    /// always answered, so a written-then-dropped request is the one
+    /// legal "no response" outcome.
+    fn try_send(&mut self, line: &str) -> Option<String> {
+        if self
+            .stream
+            .write_all(line.as_bytes())
+            .and_then(|()| self.stream.write_all(b"\n"))
+            .is_err()
+        {
+            return None;
+        }
+        let mut resp = String::new();
+        match self.reader.read_line(&mut resp) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => Some(resp.trim_end().to_string()),
+        }
     }
 }
 
@@ -118,7 +150,7 @@ fn stat_u64(resp: &str, key: &str) -> u64 {
 /// byte-identical to one-shot facade calls.
 #[test]
 fn concurrent_requests_match_one_shot_facade() {
-    let _g = SERVE_LOCK.lock().unwrap();
+    let _g = serve_lock();
     let clara = clara();
     let handle = start(3, 64, 4);
     let addr = handle.addr();
@@ -218,7 +250,7 @@ fn concurrent_requests_match_one_shot_facade() {
 /// responses while admitted requests still complete successfully.
 #[test]
 fn over_capacity_burst_yields_typed_overloaded() {
-    let _g = SERVE_LOCK.lock().unwrap();
+    let _g = serve_lock();
     let handle = start(1, 1, 1);
     let addr = handle.addr();
     let n = 10;
@@ -275,10 +307,12 @@ fn over_capacity_burst_yields_typed_overloaded() {
 }
 
 /// (c) The second identical request is served entirely from the warm
-/// profile cache: zero recomputes, byte-identical response.
+/// serve-level prediction cache: it never re-enters the engine (profile
+/// stats frozen), the response is byte-identical, and the drain report
+/// tallies the hit.
 #[test]
 fn repeated_request_is_served_from_warm_caches() {
-    let _g = SERVE_LOCK.lock().unwrap();
+    let _g = serve_lock();
     let handle = start(2, 16, 4);
     let mut conn = Conn::open(handle.addr());
     // A (nf, seed) pair no other test uses, so the first request is
@@ -307,11 +341,18 @@ fn repeated_request_is_served_from_warm_caches() {
         miss_after, miss_mid,
         "the second identical request must recompute nothing"
     );
-    assert!(
-        stat_u64(&after, "profile_hits") > stat_u64(&mid, "profile_hits"),
-        "the second identical request must hit the warm cache"
+    assert_eq!(
+        stat_u64(&after, "profile_hits"),
+        stat_u64(&mid, "profile_hits"),
+        "the repeat is answered above the engine: no profile lookup at all"
     );
-    handle.drain();
+    let resp = conn.send(&protocol::render_request(Some(7), &Request::Drain));
+    for counter in ["serve.cache.predict_hits", "serve.cache.predict_misses"] {
+        assert!(
+            resp.contains(counter),
+            "drain report must carry `{counter}`: {resp}"
+        );
+    }
     handle.join();
 }
 
@@ -322,7 +363,7 @@ fn repeated_request_is_served_from_warm_caches() {
 /// is rejected with a typed `unknown_backend` error before queueing.
 #[test]
 fn per_request_backend_routing() {
-    let _g = SERVE_LOCK.lock().unwrap();
+    let _g = serve_lock();
     let clara = clara();
     let handle = start_with_backends(
         2,
@@ -451,7 +492,7 @@ fn per_request_backend_routing() {
 /// paths, and an unknown precision string is a typed `bad_request`.
 #[test]
 fn per_request_precision_routing() {
-    let _g = SERVE_LOCK.lock().unwrap();
+    let _g = serve_lock();
     let clara = clara();
     let handle = start(2, 32, 4);
     let addr = handle.addr();
@@ -544,7 +585,7 @@ fn per_request_precision_routing() {
 /// the placement counters.
 #[test]
 fn place_requests_route_replan_and_land_in_the_drain_report() {
-    let _g = SERVE_LOCK.lock().unwrap();
+    let _g = serve_lock();
     let clara = clara();
     let handle = start(2, 16, 4);
     let addr = handle.addr();
@@ -626,7 +667,7 @@ fn place_requests_route_replan_and_land_in_the_drain_report() {
 /// a well-formed deterministic run report.
 #[test]
 fn drain_completes_with_deterministic_report() {
-    let _g = SERVE_LOCK.lock().unwrap();
+    let _g = serve_lock();
     let handle = start(2, 16, 4);
     let mut conn = Conn::open(handle.addr());
 
@@ -665,4 +706,471 @@ fn drain_completes_with_deterministic_report() {
     let summary = handle.join();
     assert_eq!(summary.served, 3);
     assert_eq!(summary.errors, 0);
+}
+
+/// Extracts an integer field from a `Value::Map` entry.
+fn map_u64(m: &Value, key: &str) -> u64 {
+    match m.get(key) {
+        Some(Value::Int(i)) => *i as u64,
+        Some(Value::UInt(u)) => *u,
+        other => panic!("map `{key}` missing or non-integer: {other:?}"),
+    }
+}
+
+/// Sums the per-tenant counters out of a wire `stats` response:
+/// (served, overloaded, quota_exceeded, errors).
+fn tenant_sums(stats: &str) -> (u64, u64, u64, u64) {
+    let v = serde_json::parse_value(stats).expect("stats parses");
+    let Some(Value::Seq(tenants)) = v.get("tenants") else {
+        panic!("stats must carry a `tenants` array: {stats}");
+    };
+    let mut sums = (0, 0, 0, 0);
+    for t in tenants {
+        sums.0 += map_u64(t, "served");
+        sums.1 += map_u64(t, "overloaded");
+        sums.2 += map_u64(t, "quota_exceeded");
+        sums.3 += map_u64(t, "errors");
+    }
+    sums
+}
+
+fn p95_us(mut lat: Vec<u64>) -> u64 {
+    lat.sort_unstable();
+    lat[((lat.len() * 95) / 100).min(lat.len() - 1)]
+}
+
+/// (e) Tenancy over the wire: `op:"register"` pins an NF set and quota,
+/// scoped requests serve byte-identically to the facade, out-of-set and
+/// unregistered-tenant requests get typed rejections, and the `stats`
+/// response pins its key order (including the new `errors` and
+/// `quota_exceeded` counters, per-tenant sections, and coloc pairs).
+#[test]
+fn registered_tenants_are_scoped_and_stats_pin_key_order() {
+    let _g = serve_lock();
+    let clara = clara();
+    let handle = start(2, 8, 4);
+    let mut conn = Conn::open(handle.addr());
+
+    // Register two tenants with disjoint NF sets. The response echoes
+    // the admitted configuration (NF set sorted, quota clamped).
+    let resp = conn.send(&protocol::render_request_as(
+        Some(1),
+        Some("alpha"),
+        &Request::Register(RegisterSpec {
+            nfs: vec!["iplookup".to_string(), "cmsketch".to_string()],
+            backend: None,
+            precision: None,
+            quota: Some(2),
+        }),
+    ));
+    let v = serde_json::parse_value(&resp).expect("register response parses");
+    assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{resp}");
+    assert_eq!(v.get("tenant"), Some(&Value::Str("alpha".to_string())), "{resp}");
+    assert_eq!(map_u64(&v, "quota"), 2, "quota echoes as admitted: {resp}");
+    assert!(
+        resp.contains(r#""nfs":["cmsketch","iplookup"]"#),
+        "NF set must come back sorted: {resp}"
+    );
+    let resp = conn.send(&protocol::render_request_as(
+        Some(2),
+        Some("beta"),
+        &Request::Register(RegisterSpec {
+            nfs: vec!["firewall".to_string()],
+            backend: None,
+            precision: None,
+            quota: None,
+        }),
+    ));
+    assert!(resp.contains("\"ok\":true"), "beta registers: {resp}");
+
+    // A scoped predict serves byte-identically to the one-shot facade.
+    let w = WorkSpec {
+        nf: "cmsketch".to_string(),
+        packets: 100,
+        seed: 8181,
+        small_flows: false,
+        backend: None,
+        precision: None,
+    };
+    let expected = protocol::predict_response(
+        Some(3),
+        "cmsketch",
+        clara_repro::hal::DEFAULT_BACKEND,
+        Precision::F64,
+        &clara
+            .predict_one(&module_of("cmsketch"), &w.trace())
+            .expect("facade predict"),
+    );
+    let resp = conn.send(&protocol::render_request_as(
+        Some(3),
+        Some("alpha"),
+        &Request::Predict(w.clone()),
+    ));
+    assert_eq!(resp, expected, "tenant-scoped predict is byte-identical to the facade");
+
+    // Out-of-set NF: typed `unknown_nf`. Unregistered tenant: typed
+    // `unknown_tenant`. Register without a tenant name: `bad_request`.
+    let resp = conn.send(&protocol::render_request_as(
+        Some(4),
+        Some("alpha"),
+        &Request::Predict(WorkSpec { nf: "tcpack".to_string(), ..w.clone() }),
+    ));
+    assert!(
+        resp.contains(r#""error":"unknown_nf""#),
+        "out-of-set NF must be typed: {resp}"
+    );
+    let resp = conn.send(&protocol::render_request_as(
+        Some(5),
+        Some("ghost"),
+        &Request::Predict(w.clone()),
+    ));
+    assert!(
+        resp.contains(r#""error":"unknown_tenant""#),
+        "unregistered tenant must be typed: {resp}"
+    );
+    let resp = conn.send(&protocol::render_request_as(
+        Some(6),
+        None,
+        &Request::Register(RegisterSpec::default()),
+    ));
+    assert!(
+        resp.contains(r#""error":"bad_request""#),
+        "register without a tenant name must be typed: {resp}"
+    );
+
+    // Stats: every global key in pinned order, then per-tenant entries
+    // (each in pinned order) and the coloc pairs for the two profiled
+    // tenants.
+    let stats = conn.send(&protocol::render_request(None, &Request::Stats));
+    let global_keys = [
+        "queue_depth", "in_flight", "served", "overloaded", "quota_exceeded",
+        "errors", "draining", "workers", "shards", "queue_cap", "batch_max",
+        "precision", "backends", "tenants", "coloc", "compile_hits",
+        "compile_misses", "profile_hits", "profile_misses", "disk_hits",
+        "disk_recomputes",
+    ];
+    let mut at = 0;
+    for key in global_keys {
+        let needle = format!("\"{key}\":");
+        let pos = stats[at..]
+            .find(&needle)
+            .unwrap_or_else(|| panic!("stats must carry `{key}` after byte {at}: {stats}"));
+        at += pos + needle.len();
+    }
+    let tenants_at = stats.find("\"tenants\":").expect("tenants section");
+    let mut at = tenants_at;
+    for key in [
+        "name", "shard", "quota", "queued", "served", "overloaded",
+        "quota_exceeded", "errors",
+    ] {
+        let needle = format!("\"{key}\":");
+        let pos = stats[at..]
+            .find(&needle)
+            .unwrap_or_else(|| panic!("tenant entries must carry `{key}` in order: {stats}"));
+        at += pos + needle.len();
+    }
+    assert!(
+        stats.contains(r#""name":"alpha""#) && stats.contains(r#""name":"beta""#),
+        "stats must list both registered tenants: {stats}"
+    );
+    assert!(
+        stats.contains(r#""name":"default""#),
+        "the default tenant is always listed: {stats}"
+    );
+    // alpha and beta both registered non-empty NF sets, so they carry
+    // workload profiles and the coloc model predicts their pairwise
+    // interference.
+    let coloc_at = stats.find("\"coloc\":").expect("coloc section");
+    for key in ["\"a\":", "\"b\":", "\"a_loss_pct\":", "\"b_loss_pct\":"] {
+        assert!(
+            stats[coloc_at..].contains(key),
+            "coloc pairs must carry {key}: {stats}"
+        );
+    }
+
+    handle.drain();
+    let summary = handle.join();
+    assert_eq!(summary.served, 1, "exactly the scoped predict served");
+    assert_eq!(
+        summary.errors, 3,
+        "unknown_nf + unknown_tenant + nameless register"
+    );
+    assert_eq!(summary.quota_exceeded, 0);
+}
+
+/// (e) Fairness: while one tenant floods past its admission quota, the
+/// other tenant keeps its latency (p95 within 2x its solo baseline,
+/// with a 10ms floor against scheduler noise), collects zero
+/// rejections, and the flooding tenant's overflow is answered with
+/// typed `quota_exceeded` — and the per-tenant counters on the wire
+/// reconcile exactly with the lifetime `ServeSummary`.
+#[test]
+fn bursting_tenant_is_quota_limited_while_victim_keeps_latency() {
+    let _g = serve_lock();
+    let handle = start(2, 16, 4);
+    let addr = handle.addr();
+    let mut victim = Conn::open(addr);
+
+    // Victim first (shard 1 on a 2-worker pool), burster second: the
+    // deficit-round-robin ring plus sharding keep their queues apart.
+    let resp = victim.send(&protocol::render_request_as(
+        Some(1),
+        Some("victim"),
+        &Request::Register(RegisterSpec {
+            nfs: vec!["vlantag".to_string()],
+            backend: None,
+            precision: None,
+            quota: None,
+        }),
+    ));
+    assert!(resp.contains("\"ok\":true"), "victim registers: {resp}");
+    let resp = victim.send(&protocol::render_request_as(
+        Some(2),
+        Some("burster"),
+        &Request::Register(RegisterSpec {
+            nfs: vec!["cmsketch".to_string()],
+            backend: None,
+            precision: None,
+            quota: Some(1),
+        }),
+    ));
+    assert!(resp.contains("\"ok\":true"), "burster registers: {resp}");
+
+    let victim_line = |id: u64| {
+        protocol::render_request_as(
+            Some(id),
+            Some("victim"),
+            &Request::Predict(WorkSpec {
+                nf: "vlantag".to_string(),
+                packets: 90,
+                seed: 880,
+                small_flows: false,
+                backend: None,
+                precision: None,
+            }),
+        )
+    };
+    // Warm the victim's caches, then measure the solo baseline.
+    for i in 0..3 {
+        let resp = victim.send(&victim_line(10 + i));
+        assert!(resp.contains("\"ok\":true"), "victim warm-up: {resp}");
+    }
+    let solo: Vec<u64> = (0..20)
+        .map(|i| {
+            let t0 = std::time::Instant::now();
+            let resp = victim.send(&victim_line(100 + i));
+            assert!(resp.contains("\"ok\":true"), "solo victim predict: {resp}");
+            t0.elapsed().as_micros() as u64
+        })
+        .collect();
+
+    // Contended phase: six connections flood the burster with heavy
+    // uncacheable predicts (quota 1 admits at most one queued at a
+    // time) while the victim keeps sending.
+    let (contended, burst_ok, burst_quota) = std::thread::scope(|scope| {
+        let bursters: Vec<_> = (0..6)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut conn = Conn::open(addr);
+                    let (mut ok, mut quota) = (0u64, 0u64);
+                    for j in 0..2u64 {
+                        let line = protocol::render_request_as(
+                            Some(7000 + c * 10 + j),
+                            Some("burster"),
+                            &Request::Predict(WorkSpec {
+                                nf: "cmsketch".to_string(),
+                                packets: 1200,
+                                seed: 7000 + c * 10 + j,
+                                small_flows: false,
+                                backend: None,
+                                precision: None,
+                            }),
+                        );
+                        let resp = conn.send(&line);
+                        if resp.contains("\"ok\":true") {
+                            ok += 1;
+                        } else if resp.contains(r#""error":"quota_exceeded""#) {
+                            quota += 1;
+                        } else {
+                            panic!("burster overflow must be typed quota_exceeded: {resp}");
+                        }
+                    }
+                    (ok, quota)
+                })
+            })
+            .collect();
+        let contended: Vec<u64> = (0..20)
+            .map(|i| {
+                let t0 = std::time::Instant::now();
+                let resp = victim.send(&victim_line(200 + i));
+                assert!(
+                    resp.contains("\"ok\":true"),
+                    "victim must collect zero rejections while the burster floods: {resp}"
+                );
+                t0.elapsed().as_micros() as u64
+            })
+            .collect();
+        let (mut ok, mut quota) = (0u64, 0u64);
+        for b in bursters {
+            let (o, q) = b.join().expect("burster thread");
+            ok += o;
+            quota += q;
+        }
+        (contended, ok, quota)
+    });
+
+    assert!(
+        burst_quota >= 1,
+        "a 6-wide flood into quota=1 must trip per-tenant admission \
+         (ok={burst_ok}, quota_exceeded={burst_quota})"
+    );
+    let (solo_p95, contended_p95) = (p95_us(solo), p95_us(contended));
+    let bound = (2 * solo_p95).max(10_000);
+    assert!(
+        contended_p95 <= bound,
+        "victim p95 must stay within 2x its solo baseline (10ms floor): \
+         solo={solo_p95}us contended={contended_p95}us bound={bound}us"
+    );
+
+    // Per-tenant counters on the wire reconcile with the globals in the
+    // same response, and with the lifetime summary after drain.
+    let stats = victim.send(&protocol::render_request(None, &Request::Stats));
+    let (t_served, t_over, t_quota, t_errors) = tenant_sums(&stats);
+    assert_eq!(t_served, stat_u64(&stats, "served"), "served attribution: {stats}");
+    assert_eq!(t_over, stat_u64(&stats, "overloaded"), "overloaded attribution: {stats}");
+    assert_eq!(
+        t_quota,
+        stat_u64(&stats, "quota_exceeded"),
+        "quota_exceeded attribution: {stats}"
+    );
+    assert_eq!(t_errors, stat_u64(&stats, "errors"), "errors attribution: {stats}");
+
+    handle.drain();
+    let summary = handle.join();
+    assert_eq!(summary.served, t_served, "wire stats reconcile with the summary");
+    assert_eq!(summary.overloaded, t_over);
+    assert_eq!(summary.quota_exceeded, t_quota);
+    assert_eq!(summary.errors, t_errors);
+    assert_eq!(summary.served, 43 + burst_ok, "3 warm-ups + 40 timed + admitted burst");
+    assert_eq!(summary.quota_exceeded, burst_quota);
+    assert_eq!(summary.errors, 0);
+}
+
+/// (f) The drain/enqueue race: 50 rounds of `drain` fired into
+/// concurrent enqueuers. Admission and drain are linearized under the
+/// queue lock, so every admitted job is answered (no abandoned client
+/// blocks forever) and drain always terminates. Before the fix this
+/// test wedges on a job admitted after the drain flag flipped.
+#[test]
+fn drain_racing_concurrent_enqueuers_always_terminates() {
+    let _g = serve_lock();
+    for round in 0..50u64 {
+        let handle = start(2, 8, 2);
+        let addr = handle.addr();
+        let barrier = Arc::new(Barrier::new(5));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    // Connect before the race starts; the acceptor may be
+                    // gone by the time this thread would reconnect.
+                    let mut conn = Conn::open(addr);
+                    barrier.wait();
+                    for j in 0..3u64 {
+                        // Cached after round 0, so rounds are fast and the
+                        // race window sits in admission, not in the work.
+                        let (line, _) = predict_req(round * 100 + t * 10 + j, "tcpresp", 60, 30 + j);
+                        match conn.try_send(&line) {
+                            None => break, // connection torn down post-drain
+                            Some(resp) => {
+                                let v = serde_json::parse_value(&resp).expect("response parses");
+                                let admitted = v.get("ok") == Some(&Value::Bool(true));
+                                let refused = matches!(
+                                    v.get("error"),
+                                    Some(Value::Str(e)) if e == "draining" || e == "overloaded"
+                                );
+                                assert!(
+                                    admitted || refused,
+                                    "round {round}: every answered request is served or \
+                                     typed-refused: {resp}"
+                                );
+                            }
+                        }
+                    }
+                });
+            }
+            barrier.wait();
+            // Race drain against the enqueuers. This must terminate: the
+            // draining flag flips under the queue lock, so no job can be
+            // admitted after it and then sit unanswered.
+            handle.drain();
+        });
+        let summary = handle.join();
+        assert_eq!(summary.quota_exceeded, 0, "round {round}: no tenant quota in play");
+        assert_eq!(summary.errors, 0, "round {round}: nothing may hard-fail");
+    }
+}
+
+/// (g) The UDS frame transport: the same request over TCP JSON-lines
+/// and over length-prefixed frames on a Unix socket yields the same
+/// response bytes, and one framed connection serves repeated requests
+/// (the reusable-buffer path).
+#[cfg(unix)]
+#[test]
+fn uds_frames_serve_bytes_identical_to_tcp_lines() {
+    use clara_repro::serve::transport;
+    use std::os::unix::net::UnixStream;
+
+    let _g = serve_lock();
+    let sock = std::env::temp_dir().join(format!("clara-serve-test-{}.sock", std::process::id()));
+    let handle = Server::start(
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            uds_path: Some(sock.to_string_lossy().into_owned()),
+            workers: 2,
+            queue_cap: 16,
+            batch_max: 4,
+            deadline: None,
+            backends: Vec::new(),
+            precision: Precision::F64,
+        },
+        clara(),
+    )
+    .expect("server binds TCP and UDS");
+    let uds_path = handle.uds_path().expect("uds enabled").to_string();
+
+    let (line, _) = predict_req(77, "udpipencap", 80, 6262);
+    let mut tcp = Conn::open(handle.addr());
+    let tcp_resp = tcp.send(&line);
+
+    let mut uds = UnixStream::connect(&uds_path).expect("connect unix socket");
+    let mut wbuf = Vec::new();
+    let mut rbuf = Vec::new();
+    let mut uds_send = |stream: &mut UnixStream, line: &str| {
+        transport::write_frame(stream, &mut wbuf, line).expect("write frame");
+        transport::read_frame(stream, &mut rbuf)
+            .expect("read frame")
+            .expect("server answers the frame")
+    };
+    let uds_resp = uds_send(&mut uds, &line);
+    assert_eq!(
+        uds_resp, tcp_resp,
+        "the same request over UDS frames and TCP lines must serve identical bytes"
+    );
+    // Repeated frames on one connection exercise the reusable buffers.
+    let again = uds_send(&mut uds, &line);
+    assert_eq!(again, uds_resp, "framed responses are stable across reuse");
+    let stats = uds_send(&mut uds, &protocol::render_request(None, &Request::Stats));
+    let v = serde_json::parse_value(&stats).expect("framed stats parses");
+    assert!(
+        matches!(v.get("tenants"), Some(Value::Seq(_))),
+        "framed stats carries the tenant section: {stats}"
+    );
+
+    drop(uds);
+    handle.drain();
+    let summary = handle.join();
+    assert_eq!(summary.served, 3, "one TCP predict + two framed predicts");
+    assert_eq!(summary.errors, 0);
+    assert!(!sock.exists(), "join must remove the socket file");
 }
