@@ -113,6 +113,11 @@ pub fn extended_corpus() -> Vec<NfElement> {
         syncookie(),
         gretunnel(),
         flowstats(),
+        natchurn(),
+        fwstate(),
+        conntrack(),
+        dnscache(),
+        flowlimiter(),
     ]);
     v
 }

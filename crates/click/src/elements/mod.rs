@@ -11,11 +11,14 @@
 //!   (`cmsketch` and `wepdecap` with CRC-style loops, `iplookup` with a
 //!   trie walk);
 //! - [`apps`]: the larger applications (`iprewriter`, `ipclassifier`,
-//!   `dnsproxy`, `mazunat`, `udpcount`, `webgen`).
+//!   `dnsproxy`, `mazunat`, `udpcount`, `webgen`);
+//! - [`flows`]: heavy stateful elements over the flow-table primitive
+//!   (`natchurn`, `fwstate`, `conntrack`, `dnscache`, `flowlimiter`).
 
 pub mod algo;
 pub mod apps;
 pub mod extra;
+pub mod flows;
 pub mod helpers;
 pub mod stateful;
 pub mod stateless;
@@ -23,6 +26,7 @@ pub mod stateless;
 pub use algo::{cmsketch, iplookup, wepdecap};
 pub use apps::{dnsproxy, ipclassifier, iprewriter, mazunat, udpcount, webgen};
 pub use extra::{flowstats, gretunnel, loadbalancer, ratelimiter, syncookie, vlantag};
+pub use flows::{conntrack, dnscache, flowlimiter, fwstate, natchurn};
 pub use stateful::{
     aggcounter, dpi, dpi_with_depth, firewall, firewall_with_rules, heavy_hitter, tcpgen,
     timefilter, webtcp,

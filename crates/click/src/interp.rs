@@ -447,6 +447,25 @@ pub(crate) fn do_call(
             emit(api, r.probes, r.hit, 4);
             u64::from(r.hit)
         }
+        ApiCall::FlowLookup(g) => {
+            let r = state.flow_lookup(*g, arg(0)?, *timestamp);
+            emit(api, r.probes, r.hit, 8 * r.probes);
+            r.slot.map_or(0, |s| s + 1)
+        }
+        ApiCall::FlowUpsert(g) => {
+            let r = state.flow_upsert(*g, arg(0)?, *timestamp);
+            emit(api, r.probes, r.hit, 8 * r.probes);
+            r.slot.map_or(0, |s| s + 1)
+        }
+        ApiCall::FlowRemove(g) => {
+            let r = state.flow_remove(*g, arg(0)?, *timestamp);
+            emit(api, r.probes, r.hit, 8 * r.probes);
+            u64::from(r.hit)
+        }
+        ApiCall::FlowChurn(g) => {
+            emit(api, 1, true, 8);
+            state.flow_counters(*g).churn()
+        }
         ApiCall::PktSend => {
             let raw = arg(0)?;
             let port = u16::try_from(raw).map_err(|_| TraceError::ApiArgOutOfRange {

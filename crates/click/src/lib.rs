@@ -52,4 +52,4 @@ pub use element::{
 pub use exec::{ApiEvent, Event, ExecTrace, RefMachine, TraceError};
 pub use interp::Machine;
 pub use packet::{PacketSnapshot, PacketView};
-pub use state::StateStore;
+pub use state::{FlowCounters, StateStore};

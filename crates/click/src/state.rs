@@ -5,11 +5,14 @@
 //! fixed set of buckets (no linear probing past the bucket, no dynamic
 //! allocation) and vector deletion only tombstones entries.
 
-use nf_ir::{GlobalId, Module, StateKind};
+use nf_ir::{EvictPolicy, FlowSpec, GlobalId, Module, StateKind};
 use serde::{Deserialize, Serialize};
 
 /// Slots per hash bucket (Netronome-style fixed bucket set).
 pub const BUCKET_SLOTS: u64 = 4;
+
+/// Seed mixed into each flow table's private eviction RNG stream.
+const FLOW_RNG_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct GlobalStorage {
@@ -17,12 +20,46 @@ struct GlobalStorage {
     entry_bytes: u32,
     entries: u32,
     bytes: Vec<u8>,
-    /// Occupancy/validity flags (hash maps and vectors).
+    /// Occupancy/validity flags (hash maps, flow tables, and vectors).
     occupied: Vec<bool>,
-    /// Stored keys (hash maps).
+    /// Stored keys (hash maps and flow tables).
     keys: Vec<u64>,
-    /// Logical length (vectors).
+    /// Logical length (vectors) / live entry count (flow tables).
     count: u32,
+    /// Flow-table behaviour (`Some` iff `kind == FlowTable`).
+    flow: Option<FlowSpec>,
+    /// Element-clock tick each entry was last touched (flow tables).
+    last_seen: Vec<u64>,
+    /// Element-clock tick each entry was created (flow tables).
+    created: Vec<u64>,
+    /// Lifetime insertions of new entries (flow tables).
+    insertions: u64,
+    /// Lifetime capacity evictions (flow tables).
+    evictions: u64,
+    /// Lifetime timeout expirations (flow tables).
+    expirations: u64,
+    /// Private xorshift state for `EvictPolicy::Random` victims; seeded
+    /// deterministically per table so every layer evicts identically.
+    rng: u64,
+}
+
+/// Lifetime churn counters of one flow table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlowCounters {
+    /// New entries inserted.
+    pub insertions: u64,
+    /// Entries sacrificed to make room in a full bucket.
+    pub evictions: u64,
+    /// Entries removed by idle/hard timeout.
+    pub expirations: u64,
+}
+
+impl FlowCounters {
+    /// The churn figure [`crate::interp`] returns for `flow_churn`:
+    /// entries lost involuntarily (evicted or timed out).
+    pub fn churn(&self) -> u64 {
+        self.evictions + self.expirations
+    }
 }
 
 /// Storage for every global of a module.
@@ -65,6 +102,13 @@ impl StateStore {
                     occupied: vec![false; n as usize],
                     keys: vec![0; n as usize],
                     count: 0,
+                    flow: g.flow,
+                    last_seen: vec![0; n as usize],
+                    created: vec![0; n as usize],
+                    insertions: 0,
+                    evictions: 0,
+                    expirations: 0,
+                    rng: mix64(u64::from(g.id.0).wrapping_add(1)) ^ FLOW_RNG_SEED,
                 }
             })
             .collect();
@@ -73,11 +117,17 @@ impl StateStore {
 
     /// Clears all state (between experiment runs).
     pub fn reset(&mut self) {
-        for g in &mut self.globals {
+        for (i, g) in self.globals.iter_mut().enumerate() {
             g.bytes.iter_mut().for_each(|b| *b = 0);
             g.occupied.iter_mut().for_each(|o| *o = false);
             g.keys.iter_mut().for_each(|k| *k = 0);
             g.count = 0;
+            g.last_seen.iter_mut().for_each(|t| *t = 0);
+            g.created.iter_mut().for_each(|t| *t = 0);
+            g.insertions = 0;
+            g.evictions = 0;
+            g.expirations = 0;
+            g.rng = mix64((i as u64).wrapping_add(1)) ^ FLOW_RNG_SEED;
         }
     }
 
@@ -216,6 +266,143 @@ impl StateStore {
             s.count = s.count.saturating_sub(1);
         }
         found
+    }
+
+    /// True when the entry at `si` has outlived its idle or hard timeout
+    /// at element-clock tick `now` (a zero timeout disables that check).
+    fn flow_expired(s: &GlobalStorage, spec: FlowSpec, si: usize, now: u64) -> bool {
+        (spec.idle_timeout > 0 && now.saturating_sub(s.last_seen[si]) > u64::from(spec.idle_timeout))
+            || (spec.hard_timeout > 0
+                && now.saturating_sub(s.created[si]) > u64::from(spec.hard_timeout))
+    }
+
+    /// Tombstones the entry at `si` and wipes its value bytes so a slot
+    /// reclaimed later starts from zeroed state on every layer.
+    fn flow_wipe(s: &mut GlobalStorage, si: usize) {
+        let eb = s.entry_bytes as usize;
+        s.bytes[si * eb..(si + 1) * eb].iter_mut().for_each(|b| *b = 0);
+        s.occupied[si] = false;
+        s.keys[si] = 0;
+        s.last_seen[si] = 0;
+        s.created[si] = 0;
+        s.count = s.count.saturating_sub(1);
+    }
+
+    /// Walks the key's bucket, lazily expiring timed-out entries, and
+    /// returns `(live key slot, first free slot, probes)`.
+    fn flow_probe(s: &mut GlobalStorage, spec: FlowSpec, key: u64, now: u64)
+        -> (Option<u64>, Option<u64>, u32) {
+        let (start, end) = Self::bucket_range(s, key);
+        let mut probes = 0;
+        let mut free: Option<u64> = None;
+        let mut found: Option<u64> = None;
+        for slot in start..end {
+            probes += 1;
+            let si = slot as usize;
+            if s.occupied[si] && Self::flow_expired(s, spec, si, now) {
+                Self::flow_wipe(s, si);
+                s.expirations += 1;
+            }
+            if s.occupied[si] {
+                if s.keys[si] == key {
+                    found = Some(slot);
+                }
+            } else if free.is_none() {
+                free = Some(slot);
+            }
+        }
+        (found, free, probes)
+    }
+
+    /// Flow-table lookup: probes the key's bucket (expiring stale entries
+    /// in passing) and refreshes `last_seen` on a hit. Mutates — lazy
+    /// expiry is how flow tables age without a background sweeper.
+    pub fn flow_lookup(&mut self, g: GlobalId, key: u64, now: u64) -> OpResult {
+        let Some(s) = self.storage_mut(g) else {
+            return OpResult { slot: None, probes: 0, hit: false };
+        };
+        let Some(spec) = s.flow else {
+            return OpResult { slot: None, probes: 0, hit: false };
+        };
+        let (found, _, probes) = Self::flow_probe(s, spec, key, now);
+        if let Some(slot) = found {
+            s.last_seen[slot as usize] = now;
+        }
+        OpResult { slot: found, probes, hit: found.is_some() }
+    }
+
+    /// Flow-table insert-or-refresh: refreshes a live entry for the key,
+    /// else claims a free (or just-expired) bucket slot, else evicts per
+    /// the table's [`EvictPolicy`]. Always lands the key somewhere.
+    pub fn flow_upsert(&mut self, g: GlobalId, key: u64, now: u64) -> OpResult {
+        let Some(s) = self.storage_mut(g) else {
+            return OpResult { slot: None, probes: 0, hit: false };
+        };
+        let Some(spec) = s.flow else {
+            return OpResult { slot: None, probes: 0, hit: false };
+        };
+        let (found, free, probes) = Self::flow_probe(s, spec, key, now);
+        if let Some(slot) = found {
+            s.last_seen[slot as usize] = now;
+            return OpResult { slot: Some(slot), probes, hit: true };
+        }
+        let slot = match free {
+            Some(slot) => slot,
+            None => {
+                // Full bucket: sacrifice a victim.
+                let (start, end) = Self::bucket_range(s, key);
+                let victim = match spec.evict {
+                    EvictPolicy::Lru => (start..end)
+                        .min_by_key(|&slot| (s.last_seen[slot as usize], slot))
+                        .unwrap_or(start),
+                    EvictPolicy::Random => {
+                        // xorshift64: deterministic per-table stream.
+                        let mut x = s.rng;
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        s.rng = x;
+                        start + x % (end - start).max(1)
+                    }
+                };
+                Self::flow_wipe(s, victim as usize);
+                s.evictions += 1;
+                victim
+            }
+        };
+        let si = slot as usize;
+        s.occupied[si] = true;
+        s.keys[si] = key;
+        s.last_seen[si] = now;
+        s.created[si] = now;
+        s.count += 1;
+        s.insertions += 1;
+        OpResult { slot: Some(slot), probes, hit: false }
+    }
+
+    /// Flow-table removal: tombstones the key's live entry, if any.
+    pub fn flow_remove(&mut self, g: GlobalId, key: u64, now: u64) -> OpResult {
+        let Some(s) = self.storage_mut(g) else {
+            return OpResult { slot: None, probes: 0, hit: false };
+        };
+        let Some(spec) = s.flow else {
+            return OpResult { slot: None, probes: 0, hit: false };
+        };
+        let (found, _, probes) = Self::flow_probe(s, spec, key, now);
+        if let Some(slot) = found {
+            Self::flow_wipe(s, slot as usize);
+        }
+        OpResult { slot: found, probes, hit: found.is_some() }
+    }
+
+    /// Lifetime churn counters of a flow table (zeroes for non-flow
+    /// globals).
+    pub fn flow_counters(&self, g: GlobalId) -> FlowCounters {
+        self.storage(g).map_or(FlowCounters::default(), |s| FlowCounters {
+            insertions: s.insertions,
+            evictions: s.evictions,
+            expirations: s.expirations,
+        })
     }
 
     /// Vector element access: valid when `idx < len` and not tombstoned.
@@ -393,5 +580,120 @@ mod tests {
         assert!(!s.map_find(map, 9).hit);
         assert_eq!(s.len_of(vec), 0);
         assert_eq!(s.load(map, 0, 0, 4), 0);
+    }
+
+    fn flow_store(idle: u32, hard: u32, evict: nf_ir::EvictPolicy, entries: u32) -> (StateStore, GlobalId) {
+        let mut m = Module::new("t");
+        let t = m.add_flow_table(
+            "flows",
+            16,
+            entries,
+            nf_ir::FlowSpec {
+                idle_timeout: idle,
+                hard_timeout: hard,
+                evict,
+            },
+        );
+        (StateStore::new(&m), t)
+    }
+
+    #[test]
+    fn flow_upsert_then_lookup_and_remove() {
+        let (mut s, t) = flow_store(0, 0, nf_ir::EvictPolicy::Lru, 64);
+        let ins = s.flow_upsert(t, 0xabcd, 1);
+        assert!(!ins.hit);
+        let slot = ins.slot.unwrap();
+        let find = s.flow_lookup(t, 0xabcd, 2);
+        assert!(find.hit);
+        assert_eq!(find.slot, Some(slot));
+        // Upsert on a live key refreshes rather than inserting.
+        let again = s.flow_upsert(t, 0xabcd, 3);
+        assert!(again.hit);
+        assert_eq!(s.flow_counters(t).insertions, 1);
+        assert!(s.flow_remove(t, 0xabcd, 4).hit);
+        assert!(!s.flow_lookup(t, 0xabcd, 5).hit);
+    }
+
+    #[test]
+    fn flow_idle_timeout_expires_entries() {
+        let (mut s, t) = flow_store(10, 0, nf_ir::EvictPolicy::Lru, 64);
+        s.flow_upsert(t, 7, 0);
+        let slot = s.flow_lookup(t, 7, 5).slot.unwrap();
+        s.store(t, slot, 0, 4, 99);
+        // Tick 10: age 10, not past the idle limit (refreshes last_seen).
+        assert!(s.flow_lookup(t, 7, 10).hit);
+        // Tick 21: age 11 since the refresh — expired.
+        let miss = s.flow_lookup(t, 7, 21);
+        assert!(!miss.hit);
+        assert_eq!(s.flow_counters(t).expirations, 1);
+        // A reclaimed slot starts zeroed.
+        let re = s.flow_upsert(t, 7, 22);
+        assert_eq!(s.load(t, re.slot.unwrap(), 0, 4), 0);
+    }
+
+    #[test]
+    fn flow_hard_timeout_ignores_refreshes() {
+        let (mut s, t) = flow_store(0, 10, nf_ir::EvictPolicy::Lru, 64);
+        s.flow_upsert(t, 7, 0);
+        for now in 1..=10 {
+            assert!(s.flow_lookup(t, 7, now).hit, "tick {now}");
+        }
+        // Constant refreshes cannot save it past the hard limit.
+        assert!(!s.flow_lookup(t, 7, 11).hit);
+        assert_eq!(s.flow_counters(t).expirations, 1);
+    }
+
+    #[test]
+    fn flow_lru_evicts_the_stalest_bucket_entry() {
+        // 4 entries = one bucket; all keys collide.
+        let (mut s, t) = flow_store(0, 0, nf_ir::EvictPolicy::Lru, 4);
+        for k in 1..=4u64 {
+            s.flow_upsert(t, k, k);
+        }
+        // Touch 1 so key 2 becomes the LRU victim.
+        s.flow_lookup(t, 1, 5);
+        s.flow_upsert(t, 99, 6);
+        assert!(!s.flow_lookup(t, 2, 7).hit);
+        assert!(s.flow_lookup(t, 1, 7).hit);
+        assert!(s.flow_lookup(t, 99, 7).hit);
+        assert_eq!(s.flow_counters(t).evictions, 1);
+    }
+
+    #[test]
+    fn flow_random_eviction_is_deterministic() {
+        let run = || {
+            let (mut s, t) = flow_store(0, 0, nf_ir::EvictPolicy::Random, 4);
+            for k in 1..=12u64 {
+                s.flow_upsert(t, k, k);
+            }
+            (1..=12u64)
+                .map(|k| s.flow_lookup(t, k, 13).hit)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+        // Reset replays the identical eviction stream.
+        let (mut s, t) = flow_store(0, 0, nf_ir::EvictPolicy::Random, 4);
+        for k in 1..=12u64 {
+            s.flow_upsert(t, k, k);
+        }
+        let first: Vec<bool> = (1..=12u64).map(|k| s.flow_lookup(t, k, 13).hit).collect();
+        s.reset();
+        for k in 1..=12u64 {
+            s.flow_upsert(t, k, k);
+        }
+        let second: Vec<bool> = (1..=12u64).map(|k| s.flow_lookup(t, k, 13).hit).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn flow_reset_clears_counters_and_entries() {
+        let (mut s, t) = flow_store(5, 0, nf_ir::EvictPolicy::Lru, 4);
+        for k in 0..20u64 {
+            s.flow_upsert(t, k, k);
+        }
+        assert!(s.flow_counters(t).churn() > 0);
+        s.reset();
+        assert_eq!(s.flow_counters(t), FlowCounters::default());
+        assert_eq!(s.len_of(t), 0);
     }
 }

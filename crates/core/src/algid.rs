@@ -876,10 +876,43 @@ impl AlgoIdentifier {
     }
 }
 
+/// Matches an NF module against the accelerator variant catalog.
+///
+/// Where [`AlgoIdentifier`] learns the *class* of an algorithm from its
+/// loop structure, this is the exact complement: a static scan for the
+/// defining constants of named catalog variants ([`clara_accel::CATALOG`]),
+/// so a port can be told not just "this is CRC" but "this is `crc32c`,
+/// which the target device's menu does (not) implement". Returns matches
+/// in catalog order.
+pub fn match_catalog(module: &Module) -> Vec<&'static clara_accel::Variant> {
+    clara_accel::match_constants(module)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use tinyml::metrics::micro_precision_recall;
+
+    #[test]
+    fn catalog_matching_names_reference_kernels() {
+        for v in clara_accel::CATALOG.iter().filter(|v| v.poly != 0) {
+            let m = clara_accel::reference_module(v);
+            let hits = match_catalog(&m);
+            assert!(
+                hits.iter().any(|h| h.name == v.name),
+                "{} not recovered from its reference kernel",
+                v.name
+            );
+        }
+        // aggcounter's bucket index is a golden-ratio multiply — the
+        // matcher correctly names it hash-lookup3, and nothing else.
+        let agg = click_model::elements::aggcounter().module;
+        let hits: Vec<&str> = match_catalog(&agg).iter().map(|v| v.name).collect();
+        assert_eq!(hits, ["hash-lookup3"]);
+        // A header-rewriting NF with no algorithmic constants stays empty.
+        let plain = click_model::elements::udpipencap().module;
+        assert!(match_catalog(&plain).is_empty());
+    }
 
     #[test]
     fn variant_modules_verify() {

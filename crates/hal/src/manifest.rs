@@ -4,8 +4,9 @@
 //! A manifest is a versioned, self-describing TOML document covering
 //! everything the simulator and performance model consume: core
 //! count/clock, the four-level memory table, the EMEM-fronting SRAM
-//! cache, the accelerator table with per-op cycle costs, the vendor
-//! library call overhead, and the port map. Validation happens entirely
+//! cache, the accelerator table with per-op cycle costs and optional
+//! catalog variant names (validated against [`clara_accel::CATALOG`]),
+//! the vendor library call overhead, and the port map. Validation happens entirely
 //! at load time; every violation is a typed [`ManifestError`] carrying
 //! the dotted path of the offending field (`memory[2].latency_cycles`),
 //! so a bad manifest names its own defect.
@@ -13,6 +14,7 @@
 use std::fmt;
 use std::path::Path;
 
+use clara_accel::AccelUnit;
 use nic_sim::{MemLevel, MemLevelCfg, NicConfig};
 use serde::Serialize;
 
@@ -107,6 +109,9 @@ pub struct ChecksumAccel {
     pub accel_cycles: u32,
     /// Software fallback cost in cycles.
     pub sw_cycles: u32,
+    /// Catalog variant the engine implements (`csum-*`); defaults to the
+    /// catalog's checksum default when the manifest omits `variant`.
+    pub variant: String,
 }
 
 /// CRC engine costs.
@@ -116,6 +121,9 @@ pub struct CrcAccel {
     pub base_cycles: u32,
     /// Incremental cost per collapsed loop iteration.
     pub per_iter_cycles: f64,
+    /// Catalog variant the engine implements (`crc*`); defaults to the
+    /// catalog's CRC default when the manifest omits `variant`.
+    pub variant: String,
 }
 
 /// LPM flow-cache (CAM) costs and capacity.
@@ -127,6 +135,9 @@ pub struct LpmCam {
     pub insert_cycles: u32,
     /// Capacity in flows.
     pub entries: u32,
+    /// Catalog variant the block implements (`lpm-*`); defaults to the
+    /// catalog's LPM default when the manifest omits `variant`.
+    pub variant: String,
 }
 
 /// Vendor library call costs.
@@ -277,6 +288,42 @@ impl Cx<'_> {
             return Err(self.err(join(parent, key), format!("{f} must be a positive number")));
         }
         Ok(f)
+    }
+
+    /// Resolves an accelerator row's optional `variant` key against the
+    /// catalog: absent ⇒ the unit's default; present ⇒ must name a
+    /// catalog entry of the matching unit.
+    fn variant_of(&self, t: &Table, parent: &str, unit: AccelUnit) -> Result<String, ManifestError> {
+        let name = match t.get("variant") {
+            None => return Ok(clara_accel::default_for(unit).name.to_string()),
+            Some(Value::Str(s)) => s.clone(),
+            Some(other) => {
+                return Err(self.err(
+                    join(parent, "variant"),
+                    format!("expected a string, got a {}", other.type_name()),
+                ))
+            }
+        };
+        let Some(v) = clara_accel::lookup(&name) else {
+            return Err(self.err(
+                join(parent, "variant"),
+                format!(
+                    "unknown accelerator variant `{name}` (catalog: {})",
+                    clara_accel::names().join(", ")
+                ),
+            ));
+        };
+        if v.unit != unit {
+            return Err(self.err(
+                join(parent, "variant"),
+                format!(
+                    "variant `{name}` is a {} algorithm, not usable by a {} unit",
+                    v.unit.name(),
+                    unit.name()
+                ),
+            ));
+        }
+        Ok(name)
     }
 }
 
@@ -493,6 +540,7 @@ impl Manifest {
                     checksum = Some(ChecksumAccel {
                         accel_cycles: cx.u32_of(row, &parent, "accel_cycles")?,
                         sw_cycles: cx.u32_of(row, &parent, "sw_cycles")?,
+                        variant: cx.variant_of(row, &parent, AccelUnit::Checksum)?,
                     });
                 }
                 "crc" => {
@@ -502,6 +550,7 @@ impl Manifest {
                     crc = Some(CrcAccel {
                         base_cycles: cx.u32_of(row, &parent, "base_cycles")?,
                         per_iter_cycles: cx.f64_of(row, &parent, "per_iter_cycles")?,
+                        variant: cx.variant_of(row, &parent, AccelUnit::Crc)?,
                     });
                 }
                 "lpm-cam" => {
@@ -512,6 +561,7 @@ impl Manifest {
                         hit_cycles: cx.u32_of(row, &parent, "hit_cycles")?,
                         insert_cycles: cx.u32_of(row, &parent, "insert_cycles")?,
                         entries: cx.u32_of(row, &parent, "entries")?,
+                        variant: cx.variant_of(row, &parent, AccelUnit::Lpm)?,
                     };
                     if entry.entries == 0 {
                         return Err(cx.err(
@@ -573,13 +623,33 @@ impl Manifest {
         Manifest::parse(&origin, &text)
     }
 
+    /// The device's accelerator menu: `(op, catalog variant)` per unit.
+    pub fn menu(&self) -> [(&'static str, &str); 3] {
+        [
+            ("checksum", self.checksum.variant.as_str()),
+            ("crc", self.crc.variant.as_str()),
+            ("lpm-cam", self.lpm_cam.variant.as_str()),
+        ]
+    }
+
     /// Lowers the manifest to the simulator's [`NicConfig`].
+    ///
+    /// Accelerator cycle costs are scaled by the declared catalog
+    /// variant's [`clara_accel::Variant::cycle_scale`]; the per-unit
+    /// defaults scale by 1.0, so manifests written before the catalog
+    /// existed lower to the same configuration as ever.
     pub fn nic_config(&self) -> NicConfig {
         let lvl = |i: usize| MemLevelCfg {
             capacity: self.memory[i].capacity_bytes,
             latency: self.memory[i].latency_cycles,
             bandwidth: self.memory[i].bandwidth,
         };
+        let scale_of = |name: &str| clara_accel::lookup(name).map_or(1.0, |v| v.cycle_scale);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let scaled = |cycles: u32, s: f64| (f64::from(cycles) * s).round() as u32;
+        let csum_s = scale_of(&self.checksum.variant);
+        let crc_s = scale_of(&self.crc.variant);
+        let lpm_s = scale_of(&self.lpm_cam.variant);
         NicConfig {
             cores: self.cores,
             freq_ghz: self.freq_ghz,
@@ -590,11 +660,11 @@ impl Manifest {
             max_io_mpps: self.io.max_mpps,
             line_rate_gbps: self.io.line_rate_gbps,
             csum_sw_cycles: self.checksum.sw_cycles,
-            csum_accel_cycles: self.checksum.accel_cycles,
+            csum_accel_cycles: scaled(self.checksum.accel_cycles, csum_s),
             crc_accel_base: self.crc.base_cycles,
-            crc_accel_per_iter: self.crc.per_iter_cycles,
-            cam_hit_cycles: self.lpm_cam.hit_cycles,
-            cam_insert_cycles: self.lpm_cam.insert_cycles,
+            crc_accel_per_iter: self.crc.per_iter_cycles * crc_s,
+            cam_hit_cycles: scaled(self.lpm_cam.hit_cycles, lpm_s),
+            cam_insert_cycles: scaled(self.lpm_cam.insert_cycles, lpm_s),
             cam_entries: self.lpm_cam.entries,
             libcall_overhead: self.vendor_lib.call_overhead_cycles,
         }

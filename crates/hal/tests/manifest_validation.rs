@@ -123,6 +123,27 @@ const CASES: &[Case] = &[
         field: "cores.count",
         detail: "expected an integer",
     },
+    Case {
+        class: "unknown accelerator variant",
+        remove: "op = \"crc\"",
+        insert: "op = \"crc\"\nvariant = \"crc31-bogus\"",
+        field: "accelerator[1].variant",
+        detail: "unknown accelerator variant `crc31-bogus`",
+    },
+    Case {
+        class: "accelerator variant from the wrong unit",
+        remove: "op = \"crc\"",
+        insert: "op = \"crc\"\nvariant = \"lpm-w24\"",
+        field: "accelerator[1].variant",
+        detail: "lpm algorithm, not usable by a crc unit",
+    },
+    Case {
+        class: "non-string accelerator variant",
+        remove: "op = \"crc\"",
+        insert: "op = \"crc\"\nvariant = 32",
+        field: "accelerator[1].variant",
+        detail: "expected a string",
+    },
 ];
 
 fn mutate(c: &Case) -> String {
@@ -193,6 +214,52 @@ fn all_builtins_load_and_roundtrip() {
     names.sort_unstable();
     names.dedup();
     assert_eq!(names.len(), builtins().len());
+}
+
+#[test]
+fn omitted_variants_resolve_to_catalog_defaults() {
+    // Pre-catalog manifests (no `variant` keys anywhere) resolve to the
+    // per-unit defaults and lower unchanged.
+    let b = DeviceBackend::parse("base.toml", BASE).expect("base is valid");
+    assert_eq!(
+        b.manifest().menu(),
+        [("checksum", "csum-fold16"), ("crc", "crc32-ieee"), ("lpm-cam", "lpm-w32")]
+    );
+    for (_, v) in b.manifest().menu() {
+        assert_eq!(clara_accel::lookup(v).expect("catalog name").cycle_scale, 1.0);
+    }
+}
+
+#[test]
+fn declared_variant_scales_the_lowered_costs() {
+    let base = DeviceBackend::parse("base.toml", BASE).expect("valid");
+    let widened = BASE.replacen(
+        "op = \"crc\"",
+        "op = \"crc\"\nvariant = \"crc64-ecma\"",
+        1,
+    );
+    let wide = DeviceBackend::parse("wide.toml", &widened).expect("valid");
+    assert_eq!(wide.manifest().crc.variant, "crc64-ecma");
+    // crc64-ecma doubles the per-iteration cost; everything else is
+    // untouched by the CRC variant.
+    assert_eq!(
+        wide.nic().crc_accel_per_iter,
+        base.nic().crc_accel_per_iter * 2.0
+    );
+    assert_eq!(wide.nic().crc_accel_base, base.nic().crc_accel_base);
+    assert_eq!(wide.nic().csum_accel_cycles, base.nic().csum_accel_cycles);
+    // The variant is part of the manifest content, so it must show up in
+    // the fingerprint (cache keys may never conflate the two devices).
+    assert_ne!(wide.fingerprint(), base.fingerprint());
+}
+
+#[test]
+fn shipped_dpu_declares_a_non_default_crc_variant() {
+    // The cross-device accelerator delta pinned by the backend-matrix
+    // golden comes from this menu entry.
+    let dpu = clara_hal::builtin("dpu-offpath").expect("shipped");
+    assert_eq!(dpu.manifest().crc.variant, "crc64-ecma");
+    assert_eq!(dpu.nic().crc_accel_per_iter, 0.6);
 }
 
 #[test]

@@ -485,6 +485,21 @@ pub enum ApiCall {
     VectorPush(GlobalId),
     /// `Vector::erase` on the given global.
     VectorDelete(GlobalId),
+    /// Flow-table lookup on the given global: probes the key's bucket,
+    /// lazily expiring timed-out entries, and refreshes `last_seen` on a
+    /// hit. Returns `slot + 1` on a hit, `0` on a miss.
+    FlowLookup(GlobalId),
+    /// Flow-table insert-or-refresh on the given global: refreshes a
+    /// live entry for the key, otherwise claims a free/expired slot, and
+    /// as a last resort evicts per the table's [`crate::EvictPolicy`].
+    /// Returns `slot + 1`.
+    FlowUpsert(GlobalId),
+    /// Flow-table removal on the given global. Returns `slot + 1` if a
+    /// live entry was removed, `0` otherwise.
+    FlowRemove(GlobalId),
+    /// Reads the given flow table's churn counter (lifetime evictions
+    /// plus timeout expirations).
+    FlowChurn(GlobalId),
     /// `Packet::send` to an output port.
     PktSend,
     /// Drop the packet.
@@ -514,6 +529,10 @@ impl ApiCall {
             ApiCall::VectorGet(_) => "vector_get",
             ApiCall::VectorPush(_) => "vector_push",
             ApiCall::VectorDelete(_) => "vector_delete",
+            ApiCall::FlowLookup(_) => "flow_lookup",
+            ApiCall::FlowUpsert(_) => "flow_upsert",
+            ApiCall::FlowRemove(_) => "flow_remove",
+            ApiCall::FlowChurn(_) => "flow_churn",
             ApiCall::PktSend => "pkt_send",
             ApiCall::PktDrop => "pkt_drop",
             ApiCall::ChecksumUpdate => "checksum_update",
@@ -531,7 +550,11 @@ impl ApiCall {
             | ApiCall::HashMapErase(g)
             | ApiCall::VectorGet(g)
             | ApiCall::VectorPush(g)
-            | ApiCall::VectorDelete(g) => Some(*g),
+            | ApiCall::VectorDelete(g)
+            | ApiCall::FlowLookup(g)
+            | ApiCall::FlowUpsert(g)
+            | ApiCall::FlowRemove(g)
+            | ApiCall::FlowChurn(g) => Some(*g),
             _ => None,
         }
     }
@@ -553,6 +576,9 @@ impl ApiCall {
             | ApiCall::HashMapErase(_)
             | ApiCall::VectorGet(_)
             | ApiCall::VectorDelete(_)
+            | ApiCall::FlowLookup(_)
+            | ApiCall::FlowUpsert(_)
+            | ApiCall::FlowRemove(_)
             | ApiCall::PktSend => 1,
             _ => 0,
         }

@@ -53,5 +53,7 @@ pub use cfg::Cfg;
 pub use inst::{
     ApiCall, BinOp, CastOp, Inst, InstClass, MemRef, Operand, PktField, Pred, Term, ValueId,
 };
-pub use module::{Block, BlockId, Function, GlobalDef, GlobalId, Module, StateKind, Ty};
+pub use module::{
+    Block, BlockId, EvictPolicy, FlowSpec, Function, GlobalDef, GlobalId, Module, StateKind, Ty,
+};
 pub use stats::ModuleStats;

@@ -114,6 +114,8 @@ pub enum StateKind {
     Sketch,
     /// A trie used for longest-prefix matching.
     Trie,
+    /// A keyed flow table with timeouts and eviction (see [`FlowSpec`]).
+    FlowTable,
 }
 
 impl StateKind {
@@ -126,6 +128,7 @@ impl StateKind {
             StateKind::Vector => "vector",
             StateKind::Sketch => "sketch",
             StateKind::Trie => "trie",
+            StateKind::FlowTable => "flowtable",
         }
     }
 
@@ -138,9 +141,58 @@ impl StateKind {
             "vector" => Some(StateKind::Vector),
             "sketch" => Some(StateKind::Sketch),
             "trie" => Some(StateKind::Trie),
+            "flowtable" => Some(StateKind::FlowTable),
             _ => None,
         }
     }
+}
+
+/// Which entry a full flow-table bucket sacrifices on insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvictPolicy {
+    /// Evict the bucket entry with the oldest `last_seen` stamp
+    /// (ties broken by lowest slot index).
+    Lru,
+    /// Evict a pseudo-random bucket entry drawn from a per-table
+    /// deterministic stream.
+    Random,
+}
+
+impl EvictPolicy {
+    /// Short lowercase name used by the printer.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictPolicy::Lru => "lru",
+            EvictPolicy::Random => "random",
+        }
+    }
+
+    /// Parses a name produced by [`EvictPolicy::name`].
+    pub fn from_name(s: &str) -> Option<EvictPolicy> {
+        match s {
+            "lru" => Some(EvictPolicy::Lru),
+            "random" => Some(EvictPolicy::Random),
+            _ => None,
+        }
+    }
+}
+
+/// Flow-table behaviour attached to a [`StateKind::FlowTable`] global.
+///
+/// Timeouts are measured in *element clock ticks* (one tick per packet
+/// the element processes, the same clock [`crate::ApiCall::Timestamp`]
+/// reads) so every execution layer ages entries identically — wall
+/// clocks would break the difftest oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Ticks since `last_seen` after which an entry expires; `0`
+    /// disables idle expiry.
+    pub idle_timeout: u32,
+    /// Ticks since creation after which an entry expires regardless of
+    /// activity; `0` disables hard expiry.
+    pub hard_timeout: u32,
+    /// Which entry a full bucket sacrifices on insert.
+    pub evict: EvictPolicy,
 }
 
 /// Definition of a global (stateful, cross-packet) data structure.
@@ -156,6 +208,10 @@ pub struct GlobalDef {
     pub entry_bytes: u32,
     /// Number of entries (pre-sized — baremetal NICs lack `malloc`).
     pub entries: u32,
+    /// Flow-table behaviour; `Some` iff `kind == StateKind::FlowTable`.
+    /// (The compat serde maps a missing field to `None`, so modules
+    /// serialized before this field existed still load.)
+    pub flow: Option<FlowSpec>,
 }
 
 impl GlobalDef {
@@ -260,6 +316,28 @@ impl Module {
             kind,
             entry_bytes,
             entries,
+            flow: None,
+        });
+        id
+    }
+
+    /// Registers a keyed flow table ([`StateKind::FlowTable`]) with the
+    /// given timeout/eviction behaviour and returns its id.
+    pub fn add_flow_table(
+        &mut self,
+        name: impl Into<String>,
+        entry_bytes: u32,
+        entries: u32,
+        spec: FlowSpec,
+    ) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(GlobalDef {
+            id,
+            name: name.into(),
+            kind: StateKind::FlowTable,
+            entry_bytes,
+            entries,
+            flow: Some(spec),
         });
         id
     }
@@ -305,10 +383,15 @@ mod tests {
             StateKind::Vector,
             StateKind::Sketch,
             StateKind::Trie,
+            StateKind::FlowTable,
         ] {
             assert_eq!(StateKind::from_name(kind.name()), Some(kind));
         }
         assert_eq!(StateKind::from_name("bogus"), None);
+        for evict in [EvictPolicy::Lru, EvictPolicy::Random] {
+            assert_eq!(EvictPolicy::from_name(evict.name()), Some(evict));
+        }
+        assert_eq!(EvictPolicy::from_name("fifo"), None);
     }
 
     #[test]
@@ -320,5 +403,29 @@ mod tests {
         assert_eq!(b, GlobalId(1));
         assert_eq!(m.global(b).unwrap().total_bytes(), 16 * 1024);
         assert!(m.global(GlobalId(7)).is_none());
+    }
+
+    #[test]
+    fn flow_table_registration_carries_its_spec() {
+        let mut m = Module::new("test");
+        let t = m.add_flow_table(
+            "flows",
+            16,
+            4096,
+            FlowSpec {
+                idle_timeout: 32,
+                hard_timeout: 256,
+                evict: EvictPolicy::Lru,
+            },
+        );
+        let g = m.global(t).unwrap();
+        assert_eq!(g.kind, StateKind::FlowTable);
+        let spec = g.flow.unwrap();
+        assert_eq!(spec.idle_timeout, 32);
+        assert_eq!(spec.hard_timeout, 256);
+        assert_eq!(spec.evict, EvictPolicy::Lru);
+        // Non-flow globals carry no spec.
+        let a = m.add_global("a", StateKind::Scalar, 4, 1);
+        assert!(m.global(a).unwrap().flow.is_none());
     }
 }

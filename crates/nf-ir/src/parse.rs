@@ -105,12 +105,33 @@ fn parse_global(ln: usize, line: &str) -> Result<crate::module::GlobalDef, Parse
         })?;
     let entry_bytes = parse_kv(ln, parts.next(), "entry")?;
     let entries = parse_kv(ln, parts.next(), "n")?;
+    let flow = if kind == StateKind::FlowTable {
+        // ... idle=32 hard=256 evict=lru
+        let idle_timeout = parse_kv(ln, parts.next(), "idle")?;
+        let hard_timeout = parse_kv(ln, parts.next(), "hard")?;
+        let evict = parts
+            .next()
+            .and_then(|s| s.strip_prefix("evict="))
+            .and_then(crate::module::EvictPolicy::from_name)
+            .ok_or_else(|| ParseError {
+                line: ln,
+                message: "expected `evict=lru|random`".into(),
+            })?;
+        Some(crate::module::FlowSpec {
+            idle_timeout,
+            hard_timeout,
+            evict,
+        })
+    } else {
+        None
+    };
     Ok(crate::module::GlobalDef {
         id: GlobalId(id),
         name,
         kind,
         entry_bytes,
         entries,
+        flow,
     })
 }
 
@@ -412,6 +433,10 @@ fn parse_api(ln: usize, s: &str) -> Result<ApiCall, ParseError> {
         "vector_get" => need(ApiCall::VectorGet),
         "vector_push" => need(ApiCall::VectorPush),
         "vector_delete" => need(ApiCall::VectorDelete),
+        "flow_lookup" => need(ApiCall::FlowLookup),
+        "flow_upsert" => need(ApiCall::FlowUpsert),
+        "flow_remove" => need(ApiCall::FlowRemove),
+        "flow_churn" => need(ApiCall::FlowChurn),
         "pkt_send" => Ok(ApiCall::PktSend),
         "pkt_drop" => Ok(ApiCall::PktDrop),
         "checksum_update" => Ok(ApiCall::ChecksumUpdate),

@@ -175,7 +175,7 @@ pub fn module(m: &Module) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "module @{} {{", m.name);
     for g in &m.globals {
-        let _ = writeln!(
+        let _ = write!(
             out,
             "  global @{} {} : {} entry={} n={}",
             g.id.0,
@@ -184,6 +184,16 @@ pub fn module(m: &Module) -> String {
             g.entry_bytes,
             g.entries
         );
+        if let Some(spec) = &g.flow {
+            let _ = write!(
+                out,
+                " idle={} hard={} evict={}",
+                spec.idle_timeout,
+                spec.hard_timeout,
+                spec.evict.name()
+            );
+        }
+        out.push('\n');
     }
     for f in &m.funcs {
         out.push_str(&function(f));

@@ -503,6 +503,26 @@ fn cost_api(
             p.compute_cycles += ovh + 4.0;
             charge(p, port.level_of(*g), Some(*g), 1.0);
         }
+        ApiCall::FlowLookup(g) | ApiCall::FlowRemove(g) => {
+            // Bucket walk plus a timestamp compare per probed slot.
+            p.compute_cycles += ovh + 8.0 * f64::from(api.probes);
+            for _ in 0..api.probes {
+                charge(p, port.level_of(*g), Some(*g), 1.0);
+            }
+        }
+        ApiCall::FlowUpsert(g) => {
+            // Bucket walk, then key + timestamp writes on insert/refresh.
+            p.compute_cycles += ovh + 8.0 * f64::from(api.probes) + 10.0;
+            for _ in 0..api.probes {
+                charge(p, port.level_of(*g), Some(*g), 1.0);
+            }
+            charge(p, port.level_of(*g), Some(*g), 1.0); // Entry write.
+        }
+        ApiCall::FlowChurn(g) => {
+            // Single counter read, kept near the table.
+            p.compute_cycles += ovh;
+            charge(p, port.level_of(*g), Some(*g), 1.0);
+        }
         ApiCall::PktSend => {
             p.compute_cycles += ovh;
             charge(p, MemLevel::Ctm, None, 1.0);

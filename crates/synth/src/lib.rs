@@ -179,6 +179,12 @@ fn api_kind(api: &ApiCall) -> ApiKind {
         ApiCall::PktLen | ApiCall::Timestamp | ApiCall::Random => ApiKind::Misc,
         ApiCall::HashMapFind(_) | ApiCall::HashMapErase(_) => ApiKind::MapFind,
         ApiCall::HashMapInsert(_) => ApiKind::MapInsert,
+        // Flow-table calls walk buckets exactly like map calls do;
+        // bucket them by access shape so guided synthesis reproduces
+        // their memory behaviour without a dedicated kind.
+        ApiCall::FlowLookup(_) | ApiCall::FlowRemove(_) => ApiKind::MapFind,
+        ApiCall::FlowUpsert(_) => ApiKind::MapInsert,
+        ApiCall::FlowChurn(_) => ApiKind::Misc,
         ApiCall::VectorGet(_) | ApiCall::VectorPush(_) | ApiCall::VectorDelete(_) => {
             ApiKind::Vector
         }
@@ -656,11 +662,93 @@ pub fn synth_corpus(n: usize, guided: bool, seed: u64) -> Vec<Module> {
     modules
 }
 
+/// Synthesizes `n` NF modules that target a device's accelerator menu.
+///
+/// Each module interleaves a corpus-guided synthetic NF with the catalog
+/// reference kernel of one menu variant (round-robin over `menu`), so
+/// the generated program both *looks* like the real corpus and embeds a
+/// constant `clara_core`-style catalog matching can pin to the device's
+/// declared hardware. Unknown menu names are skipped; an effectively
+/// empty menu yields plain guided synthesis.
+pub fn synth_for_menu(menu: &[&str], n: usize, seed: u64) -> Vec<Module> {
+    let variants: Vec<&clara_accel::Variant> =
+        menu.iter().filter_map(|name| clara_accel::lookup(name)).collect();
+    let mut out = synth_corpus(n, true, seed);
+    for (i, m) in out.iter_mut().enumerate() {
+        let Some(v) = variants.get(i % variants.len().max(1)) else {
+            continue;
+        };
+        // Graft the reference kernel in as a second function: the packet
+        // handler stays the synthesized one, but the module now carries
+        // the variant's defining constants (and an extra global).
+        let mut kernel = clara_accel::reference_module(v);
+        let base = GlobalId(m.globals.len() as u32);
+        for g in &mut kernel.globals {
+            g.id = GlobalId(g.id.0 + base.0);
+            g.name = format!("accel_{}", g.name);
+        }
+        for f in &mut kernel.funcs {
+            f.name = format!("accel_{}", f.name);
+            for b in &mut f.blocks {
+                for inst in &mut b.insts {
+                    remap_globals(inst, base);
+                }
+            }
+        }
+        m.globals.extend(kernel.globals);
+        m.funcs.extend(kernel.funcs);
+        m.name = format!("{}_{}", m.name, v.name.replace('-', "_"));
+        nf_ir::verify::verify_module(m).expect("menu-targeted module must verify");
+    }
+    out
+}
+
+/// Shifts every global reference in `inst` up by `base` (kernel grafting).
+fn remap_globals(inst: &mut Inst, base: GlobalId) {
+    let shift = |mem: &mut MemRef| {
+        if let MemRef::Global { global, .. } = mem {
+            *global = GlobalId(global.0 + base.0);
+        }
+    };
+    match inst {
+        Inst::Load { mem, .. } | Inst::Store { mem, .. } => shift(mem),
+        _ => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use click_model::Machine;
     use trafgen::{Trace, WorkloadSpec};
+
+    #[test]
+    fn menu_targeted_modules_carry_their_variant_constants() {
+        let menu = ["crc64-ecma", "hash-fnv1a"];
+        let mods = synth_for_menu(&menu, 4, 11);
+        assert_eq!(mods.len(), 4);
+        let trace = Trace::generate(&WorkloadSpec::imix(), 5, 3);
+        for (i, m) in mods.iter().enumerate() {
+            let want = menu[i % menu.len()];
+            assert!(m.name.ends_with(&want.replace('-', "_")), "{}", m.name);
+            let hits = clara_accel::match_constants(m);
+            assert!(
+                hits.iter().any(|v| v.name == want),
+                "{}: expected {want}, got {:?}",
+                m.name,
+                hits.iter().map(|v| v.name).collect::<Vec<_>>()
+            );
+            // Still an executable NF: the grafted kernel never touches
+            // the packet path.
+            let mut machine = Machine::new(m).expect("verifies");
+            for p in &trace.pkts {
+                machine.run(p).unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            }
+        }
+        // Unknown names degrade to plain synthesis, not a panic.
+        let plain = synth_for_menu(&["no-such-unit"], 2, 11);
+        assert_eq!(plain.len(), 2);
+    }
 
     #[test]
     fn profile_measures_real_corpus() {

@@ -39,7 +39,7 @@ pub struct Schedule {
 }
 
 /// Builtin schedule names accepted by [`Schedule::builtin`].
-pub const BUILTIN_SCHEDULES: [&str; 3] = ["steady", "shift", "burst"];
+pub const BUILTIN_SCHEDULES: [&str; 4] = ["steady", "shift", "burst", "churn"];
 
 impl Schedule {
     /// Drift-free baseline: `epochs` epochs of the large-flows profile.
@@ -101,13 +101,39 @@ impl Schedule {
         }
     }
 
-    /// Resolves a builtin schedule by name (`steady`, `shift`, `burst`)
-    /// sized to `epochs` epochs; `None` for unknown names.
+    /// Flow-population churn: four short phases of small-flow storms,
+    /// each drawing a fresh flow population (epoch traces are seeded by
+    /// phase, so no two phases share a 5-tuple population) with the
+    /// population size stepping up and back down. Every boundary floods
+    /// the NFs' flow tables with never-seen keys while the previous
+    /// phase's entries go idle — the timeout-and-eviction-heavy workload
+    /// the stateful corpus's churn counters are pinned against.
+    pub fn churn(epochs: usize) -> Schedule {
+        let epochs = epochs.max(4);
+        let base = epochs / 4;
+        let extra = epochs - base * 4;
+        let flows = [2048u32, 8192, 4096, 16384];
+        Schedule {
+            name: "churn".into(),
+            phases: flows
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| Phase {
+                    spec: WorkloadSpec::small_flows().with_flows(f),
+                    epochs: base + usize::from(i < extra),
+                })
+                .collect(),
+        }
+    }
+
+    /// Resolves a builtin schedule by name (`steady`, `shift`, `burst`,
+    /// `churn`) sized to `epochs` epochs; `None` for unknown names.
     pub fn builtin(name: &str, epochs: usize) -> Option<Schedule> {
         match name {
             "steady" => Some(Schedule::steady(epochs)),
             "shift" => Some(Schedule::shift(epochs)),
             "burst" => Some(Schedule::burst(epochs)),
+            "churn" => Some(Schedule::churn(epochs)),
             _ => None,
         }
     }
@@ -172,6 +198,25 @@ mod tests {
         let a = s.epoch_trace(0, 50, 7).unwrap();
         let d = s.epoch_trace(3, 50, 7).unwrap();
         assert_eq!(a.pkts, d.pkts);
+    }
+
+    #[test]
+    fn churn_phases_draw_disjoint_flow_populations() {
+        let s = Schedule::churn(8);
+        assert_eq!(s.phases.len(), 4);
+        assert_eq!(s.epochs(), 8);
+        // Each phase's trace is seeded differently, so the flow
+        // populations at a boundary are (overwhelmingly) disjoint.
+        let a = s.epoch_trace(0, 200, 11).unwrap();
+        let b = s.epoch_trace(2, 200, 11).unwrap();
+        let keys = |t: &Trace| {
+            t.pkts
+                .iter()
+                .map(|p| p.flow)
+                .collect::<std::collections::HashSet<_>>()
+        };
+        let (ka, kb) = (keys(&a), keys(&b));
+        assert!(ka.intersection(&kb).count() * 10 < ka.len().min(kb.len()));
     }
 
     #[test]

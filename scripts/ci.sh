@@ -29,6 +29,11 @@ test -s BENCH_train_timing.json
 # the infeasible-placement exit code.
 ./scripts/place_smoke.sh
 
+# corpus-smoke: the stateful-NF corpus + accelerator catalog — flow-state
+# acceptance tests, the `clara corpus` JSON report, and per-backend
+# accelerator menus.
+./scripts/corpus_smoke.sh
+
 # tenant-smoke: multi-tenant serving — two-tenant fairness under a
 # quota-limited burst, typed-rejection exit codes, and the
 # tenants x transport x backend matrix (UDS frames must out-serve TCP

@@ -2,7 +2,8 @@
 //!
 //! ```console
 //! $ clara list                         # show the NF corpus
-//! $ clara backends                     # show the built-in device manifests
+//! $ clara corpus                       # corpus inventory as JSON (state class, tables, accel hits)
+//! $ clara backends                     # show the built-in device manifests + accelerator menus
 //! $ clara analyze mazunat              # full insight bundle for one NF
 //! $ clara analyze cmsketch --small-flows --packets 4000
 //! $ clara analyze nat --backend dpu-offpath   # insights for another device
@@ -45,8 +46,8 @@ fn find(name: &str) -> NfElement {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: clara <list|backends|analyze|predict|place|ir|asm|sweep|cache-verify|difftest|\
-         quantcheck|serve|bench-serve> [element] [options]"
+        "usage: clara <list|corpus|backends|analyze|predict|place|ir|asm|sweep|cache-verify|\
+         difftest|quantcheck|serve|bench-serve> [element] [options]"
     );
     eprintln!(
         "  options: --small-flows  --packets N  --seed N  --cores N  --model FILE  \
@@ -54,7 +55,7 @@ fn usage() -> ! {
     );
     eprintln!(
         "  place: NF[,NF...]  --packets N  --seed N  --small-flows  --backend NAME|FILE.toml  \
-         --precision f64|q16  --objective throughput|host-cores  --replay steady|shift|burst  \
+         --precision f64|q16  --objective throughput|host-cores  --replay steady|shift|burst|churn  \
          --epochs N  --drift-threshold X  --model FILE  --report FILE"
     );
     eprintln!(
@@ -245,21 +246,92 @@ fn run() -> Result<(), ClaraError> {
         }
         "backends" => {
             println!(
-                "{:<14} {:<9} {:>5} {:>8} {:>6} DESCRIPTION",
-                "NAME", "CLASS", "CORES", "FREQ", "PORTS"
+                "{:<14} {:<9} {:>5} {:>8} {:>6} {:<38} DESCRIPTION",
+                "NAME", "CLASS", "CORES", "FREQ", "PORTS", "ACCELERATORS"
             );
             for b in hal::builtins() {
                 let m = b.manifest();
+                let menu = m
+                    .menu()
+                    .iter()
+                    .map(|(_, v)| *v)
+                    .collect::<Vec<_>>()
+                    .join(",");
                 println!(
-                    "{:<14} {:<9} {:>5} {:>7.2}G {:>6} {}",
+                    "{:<14} {:<9} {:>5} {:>7.2}G {:>6} {:<38} {}",
                     b.name(),
                     m.class.as_str(),
                     m.cores,
                     m.freq_ghz,
                     m.ports.len(),
+                    menu,
                     m.description
                 );
             }
+        }
+        "corpus" => {
+            // Deterministic machine-readable corpus inventory: state
+            // class, table geometry, and catalog-variant hits per NF.
+            // Hand-formatted so field order never depends on map
+            // iteration order.
+            println!("{{\"corpus\":[");
+            let elems = pool();
+            for (i, e) in elems.iter().enumerate() {
+                let class = if e
+                    .module
+                    .globals
+                    .iter()
+                    .any(|g| g.kind == clara_repro::ir::StateKind::FlowTable)
+                {
+                    "flow-state"
+                } else if e.meta.stateful {
+                    "static-state"
+                } else {
+                    "stateless"
+                };
+                let state_bytes: u64 = e
+                    .module
+                    .globals
+                    .iter()
+                    .map(|g| u64::from(g.entry_bytes) * u64::from(g.entries))
+                    .sum();
+                let tables = e
+                    .module
+                    .globals
+                    .iter()
+                    .map(|g| {
+                        let flow = g.flow.map_or(String::new(), |f| {
+                            format!(
+                                ",\"idle\":{},\"hard\":{},\"evict\":\"{}\"",
+                                f.idle_timeout,
+                                f.hard_timeout,
+                                f.evict.name()
+                            )
+                        });
+                        format!(
+                            "{{\"name\":\"{}\",\"kind\":\"{}\",\"entry_bytes\":{},\"entries\":{}{}}}",
+                            g.name,
+                            g.kind.name(),
+                            g.entry_bytes,
+                            g.entries,
+                            flow
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let hits = clara_repro::clara::algid::match_catalog(&e.module)
+                    .iter()
+                    .map(|v| format!("\"{}\"", v.name))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let comma = if i + 1 < elems.len() { "," } else { "" };
+                println!(
+                    "{{\"name\":\"{}\",\"state_class\":\"{class}\",\"state_bytes\":{state_bytes},\
+                     \"tables\":[{tables}],\"accel_hits\":[{hits}]}}{comma}",
+                    e.name()
+                );
+            }
+            println!("]}}");
         }
         "analyze" => {
             let (name, opt_args) = rest.split_first().unwrap_or_else(|| usage());

@@ -3,6 +3,7 @@
 //! Re-exports the member crates so that examples and integration tests can
 //! use a single dependency. See `clara_core` for the main entry points.
 
+pub use clara_accel as accel;
 pub use clara_core as clara;
 pub use clara_hal as hal;
 pub use clara_obs as obs;

@@ -86,7 +86,82 @@ fn cross_device_matrix_matches_golden() {
             .expect("write to string");
         }
     }
+    // Ported compute cycles for the accelerator-eligible NFs — the rows
+    // where a device's declared catalog variant shows: dpu-offpath's
+    // `crc64-ecma` menu entry doubles the CRC per-iteration charge, so
+    // its `ported` rows for the CRC NFs differ from what the identical
+    // device with the default variant would produce (see
+    // `dpu_crc_variant_delta_is_attributable_to_the_catalog`).
+    for name in ["cmsketch", "wepdecap", "iplookup"] {
+        let e = clara_repro::click::corpus()
+            .into_iter()
+            .find(|e| e.name() == name)
+            .expect("known corpus element");
+        let trace = Trace::generate(&WorkloadSpec::imix(), 60, 7);
+        for b in hal::builtins() {
+            let insights = clara.analyze_on(&e.module, &trace, b).expect("analyze succeeds");
+            let port = insights.port_config();
+            let wp =
+                clara_repro::nicsim::profile_workload(&e.module, &trace, &port, b.nic(), |_| {});
+            writeln!(out, "ported {} {} cycles={:.3}", e.name(), b.name(), wp.compute)
+                .expect("write to string");
+        }
+    }
     check_golden("backend_matrix.txt", &out);
+}
+
+/// Cross-device accelerator-variant pin: porting a CRC NF onto each
+/// device charges the device's CRC engine, and `dpu-offpath`'s declared
+/// `crc64-ecma` variant (2x per-iteration cost) produces a compute delta
+/// attributable to *nothing but* the catalog variant. The per-device
+/// ported cycle counts are pinned in `backend_matrix.txt` alongside the
+/// prediction rows (see `cross_device_matrix_matches_golden`).
+#[test]
+fn dpu_crc_variant_delta_is_attributable_to_the_catalog() {
+    let _g = OBS_LOCK.lock().unwrap();
+    let clara = clara();
+    let trace = Trace::generate(&WorkloadSpec::imix(), 60, 7);
+    let e = clara_repro::click::corpus()
+        .into_iter()
+        .find(|e| e.name() == "wepdecap")
+        .expect("known corpus element");
+    let dpu = hal::builtin("dpu-offpath").expect("shipped");
+    let insights = clara.analyze_on(&e.module, &trace, dpu).expect("analyze");
+    let (class, _) = insights.accel.clone().expect("wepdecap has a CRC region");
+    assert_eq!(class.name(), "crc");
+    let port = insights.port_config();
+
+    // The same manifest with the `variant` key stripped lowers to the
+    // catalog default (crc32-ieee, scale 1.0).
+    let text = std::fs::read_to_string(format!(
+        "{}/crates/hal/manifests/dpu-offpath.toml",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .expect("shipped manifest readable");
+    let stripped: String = text
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("variant"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let base = hal::DeviceBackend::parse("dpu-default-crc.toml", &stripped).expect("valid");
+    assert_eq!(base.manifest().crc.variant, "crc32-ieee");
+    assert_eq!(dpu.nic().crc_accel_per_iter, 2.0 * base.nic().crc_accel_per_iter);
+
+    // Profile the ported NF under both lowered configs: identical except
+    // for the CRC engine's per-iteration cost, so the compute delta is
+    // exactly the collapsed CRC iterations' share.
+    let with = clara_repro::nicsim::profile_workload(&e.module, &trace, &port, dpu.nic(), |_| {});
+    let without =
+        clara_repro::nicsim::profile_workload(&e.module, &trace, &port, base.nic(), |_| {});
+    assert!(
+        with.compute > without.compute,
+        "crc64-ecma must cost more per packet: {} vs {}",
+        with.compute,
+        without.compute
+    );
+    assert_eq!(with.pkts, without.pkts);
+    assert_eq!(with.fixed_accesses, without.fixed_accesses);
+    assert_eq!(with.global_access, without.global_access);
 }
 
 #[test]
